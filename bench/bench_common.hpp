@@ -1,0 +1,41 @@
+// Shared helpers for the reproduction harnesses.
+//
+// Every bench binary prints (a) a header naming the paper artifact it
+// regenerates, (b) an aligned ASCII table, and (c) a CSV block for plotting.
+// Set MOBIWEB_FAST=1 to cut repetitions (quick smoke runs); default settings
+// match the paper (50 repetitions x 200 documents).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace mobiweb::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("MOBIWEB_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Paper-default repetition count, reduced under MOBIWEB_FAST.
+inline int repetitions() { return fast_mode() ? 5 : 50; }
+inline int documents_per_session() { return fast_mode() ? 50 : 200; }
+
+inline void print_header(const std::string& artifact, const std::string& summary) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", summary.c_str());
+  if (fast_mode()) {
+    std::printf("[MOBIWEB_FAST: reduced repetitions; expect noisier numbers]\n");
+  }
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const std::string& caption, const TextTable& table) {
+  std::printf("\n-- %s --\n%s", caption.c_str(), table.render().c_str());
+  std::printf("csv:\n%s", table.render_csv().c_str());
+}
+
+}  // namespace mobiweb::bench

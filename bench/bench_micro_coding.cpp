@@ -1,0 +1,117 @@
+// Micro-benchmarks: GF(2^8) kernels, IDA encode/decode, CRC, packet framing.
+// These quantify the client/server CPU cost of the fault-tolerant encoding —
+// relevant because the paper targets battery-constrained mobile devices.
+#include <benchmark/benchmark.h>
+
+#include "gf256/gf256.hpp"
+#include "gf256/matrix.hpp"
+#include "ida/ida.hpp"
+#include "packet/packet.hpp"
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+
+namespace gf = mobiweb::gf;
+namespace ida = mobiweb::ida;
+namespace packet = mobiweb::packet;
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::Rng;
+
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+void BM_GfMulAddRow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Bytes in = random_bytes(n, 1);
+  Bytes out = random_bytes(n, 2);
+  for (auto _ : state) {
+    gf::mul_add_row(out.data(), in.data(), 0x57, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GfMulAddRow)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gf::Matrix v = gf::vandermonde(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.inverse());
+  }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_IdaEncode(benchmark::State& state) {
+  // The paper's document shape: 10240 bytes, 40 raw -> 60 cooked.
+  const Bytes payload = random_bytes(10240, 3);
+  const ida::Encoder enc(40, 60);
+  (void)ida::systematic_generator(60, 40);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_payload(ByteSpan(payload), 256));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 10240);
+}
+BENCHMARK(BM_IdaEncode);
+
+void BM_IdaDecodeWorstCase(benchmark::State& state) {
+  // Decode from redundancy-only packets (full matrix inversion + multiply).
+  const Bytes payload = random_bytes(10240, 4);
+  const ida::Encoder enc(40, 80);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  std::vector<std::pair<std::size_t, Bytes>> redundancy;
+  for (std::size_t i = 40; i < 80; ++i) redundancy.emplace_back(i, cooked[i]);
+  const ida::Decoder dec(40, 80);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode_payload(redundancy, payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 10240);
+}
+BENCHMARK(BM_IdaDecodeWorstCase);
+
+void BM_IdaDecodeMostlyClear(benchmark::State& state) {
+  // The common case: 36 of 40 clear packets arrived, 4 from redundancy.
+  const Bytes payload = random_bytes(10240, 5);
+  const ida::Encoder enc(40, 60);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  std::vector<std::pair<std::size_t, Bytes>> held;
+  for (std::size_t i = 0; i < 36; ++i) held.emplace_back(i, cooked[i]);
+  for (std::size_t i = 40; i < 44; ++i) held.emplace_back(i, cooked[i]);
+  const ida::Decoder dec(40, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode_payload(held, payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 10240);
+}
+BENCHMARK(BM_IdaDecodeMostlyClear);
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobiweb::crc32(ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(260)->Arg(10240);
+
+void BM_PacketEncodeDecode(benchmark::State& state) {
+  packet::Packet p;
+  p.doc_id = 1;
+  p.seq = 7;
+  p.total = 60;
+  p.payload = random_bytes(256, 7);
+  for (auto _ : state) {
+    const Bytes frame = packet::encode(p);
+    benchmark::DoNotOptimize(packet::decode(ByteSpan(frame)));
+  }
+}
+BENCHMARK(BM_PacketEncodeDecode);
+
+}  // namespace

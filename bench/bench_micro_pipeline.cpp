@@ -1,0 +1,111 @@
+// Micro-benchmarks: the server-side document pipeline — XML parsing, HTML
+// structuring, Porter stemming, SC generation, QIC scoring. These bound how
+// fast a proxy/gateway can index documents and answer queries (the paper
+// notes "the computational overhead of QIC is quite low").
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "doc/recognizer.hpp"
+#include "html/structurer.hpp"
+#include "text/porter.hpp"
+#include "text/tokenize.hpp"
+#include "xml/parser.hpp"
+#include "xml/serialize.hpp"
+
+// The bundled paper document (same data the Table 1 harness uses).
+#include "data_paper.hpp"
+
+namespace doc = mobiweb::doc;
+namespace bench = mobiweb::bench;
+
+namespace {
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string source = bench::kPaperXml;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobiweb::xml::parse(source));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_XmlWrite(benchmark::State& state) {
+  const auto parsed = mobiweb::xml::parse(bench::kPaperXml);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobiweb::xml::write(parsed));
+  }
+}
+BENCHMARK(BM_XmlWrite);
+
+void BM_HtmlStructure(benchmark::State& state) {
+  std::string page = "<html><head><title>T</title></head><body>";
+  for (int s = 0; s < 10; ++s) {
+    page += "<h1>Section " + std::to_string(s) + "</h1>";
+    for (int p = 0; p < 5; ++p) {
+      page += "<p>the quick brown fox jumps over the lazy dog again and "
+              "<b>again</b> while browsing mobile web documents</p>";
+    }
+  }
+  page += "</body></html>";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobiweb::html::structure_html(page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(page.size()));
+}
+BENCHMARK(BM_HtmlStructure);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = {
+      "browsing",  "transmission", "characteristics", "organizational",
+      "relational", "probabilities", "connectivity",  "retransmitted",
+      "effectiveness", "multiresolution"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mobiweb::text::porter_stem(words[i % words.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_ScGeneration(benchmark::State& state) {
+  const auto parsed = mobiweb::xml::parse(bench::kPaperXml);
+  const doc::ScGenerator gen;
+  const auto tree = doc::recognize(parsed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(tree));
+  }
+}
+BENCHMARK(BM_ScGeneration);
+
+void BM_QicScoring(benchmark::State& state) {
+  const doc::ScGenerator gen;
+  const auto sc = gen.generate(mobiweb::xml::parse(bench::kPaperXml));
+  const auto query =
+      doc::Query::from_text("browsing mobile web", gen.extractor());
+  for (auto _ : state) {
+    const doc::ContentScorer scorer(sc, query);
+    double total = 0.0;
+    doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+      total += scorer.qic(u) + scorer.mqic(u);
+    });
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_QicScoring);
+
+void BM_Linearize(benchmark::State& state) {
+  const doc::ScGenerator gen;
+  const auto sc = gen.generate(mobiweb::xml::parse(bench::kPaperXml));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc}));
+  }
+}
+BENCHMARK(BM_Linearize);
+
+}  // namespace

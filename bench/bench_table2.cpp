@@ -1,0 +1,19 @@
+// Table 2: the default simulation parameter settings, as consumed by the
+// experiment runner (printed from the live defaults, not hard-coded prose, so
+// any drift between code and documentation shows up here).
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+
+namespace bench = mobiweb::bench;
+
+int main() {
+  bench::print_header("Table 2 — parameter settings",
+                      "Defaults of sim::ExperimentParams (paper Table 2).");
+  const mobiweb::sim::ExperimentParams params;
+  std::printf("\n%s", mobiweb::sim::describe_parameters(params).c_str());
+  std::printf("\nDerived: time per cooked packet = %.4f s; document at document\n"
+              "LOD needs M = %d intact packets = %.2f s minimum.\n",
+              params.time_per_packet(), params.m(),
+              params.m() * params.time_per_packet());
+  return 0;
+}

@@ -1,0 +1,240 @@
+// An XML rendition of the paper's own draft — the document whose Structural
+// Characteristic the paper's Table 1 lists. The section/subsection/paragraph
+// skeleton mirrors the published structure (abstract = section 0; paragraphs
+// outside any subsection fall into virtual subsections, giving the paper's
+// 1.0 / 2.0 / 3.0 labels). The prose is condensed from the paper's text, so
+// absolute IC values differ from Table 1 while the structure, the zero-QIC
+// rows and the additive rule reproduce exactly.
+#pragma once
+
+namespace mobiweb::bench {
+
+inline const char* kPaperXml = R"XML(<?xml version="1.0"?>
+<research-paper>
+  <title>On Supporting Weakly-Connected Browsing in a Mobile Web Environment</title>
+  <abstract>
+    <para>A mobile environment is weakly-connected, characterized by low
+    communication bandwidth and poor connectivity. Conventional paradigm for
+    surfing mobile web documents is ineffective since portions of a document
+    could be corrupted during transmission and it is expensive to retransmit
+    the whole document. We have proposed a multi-resolution transmission
+    paradigm which allows higher content-bearing portions of a web document to
+    be transmitted, by partitioning it into multiple organizational units and
+    associating an information content with each unit. In this paper we extend
+    our previous work and propose a fault-tolerant multi-resolution
+    transmission scheme which allows units of higher information content to be
+    recovered from transmission error. The client can obtain an overall
+    content of a web document and either terminate the transmission of the
+    remaining portions or decide if the corrupted portions need to be
+    retransmitted. We demonstrate its feasibility with a prototype and with
+    simulation results.</para>
+  </abstract>
+  <section>
+    <title>Introduction</title>
+    <para>We focus on a mobile environment in which mobile clients navigate
+    web documents via common browsers, termed a mobile web environment. A
+    mobile environment is weakly-connected, characterized by its low
+    communication bandwidth and poor connectivity. Traffic generated due to
+    web accesses in a mobile setting should consume as little bandwidth as
+    possible. Conventional approaches to web navigation suffer from serious
+    limitations.</para>
+    <para>Conventional approaches to web navigation usually involve searching
+    of web documents via some search engines, followed by human exploration of
+    each document for relevance. Very often, most documents identified by a
+    search engine are irrelevant to a user, thus wasting the precious
+    bandwidth and the limited energy of a mobile client by transferring
+    them.</para>
+    <para>We propose a multi-resolution transmission paradigm which allows
+    higher content-bearing portions of a web document to be transmitted to a
+    mobile client earlier. A document is partitioned into multiple
+    organizational units at various levels of detail according to its XML
+    structure. A notion of information content is associated with each
+    organizational unit, indicating the amount of information captured by the
+    unit. A mobile client is able to explore the higher content-bearing
+    portions of a web document earlier and to determine if the document is of
+    any interest.</para>
+    <para>One limitation of the multi-resolution transmission paradigm is its
+    lack of resilience to faulty transmission. An organizational unit could
+    get corrupted while being transmitted via a faulty wireless channel. We
+    extend our approach with a fault-tolerant transmission capability so that
+    a mobile client could recover the corrupted units sent over the unreliable
+    network, known as fault-tolerant multi-resolution transmission.</para>
+  </section>
+  <section>
+    <title>Related Work</title>
+    <para>The explosion of information available on the Internet and the
+    user-friendliness of web browsers have dramatically changed the way
+    information is accessed. There have been numerous works attempting to
+    increase the accuracy of information searching on the web. A common
+    technique is to build an index over a collection of documents found by a
+    web search process, which typically searches exhaustively.</para>
+    <para>A probably better approach is to establish a user profile, capturing
+    individual users' interests. The profile is used to filter out irrelevant
+    information identified by a search engine. Rather than providing a user
+    with a set of selected documents, recommender systems assist a user in his
+    or her browsing behavior, interactively offering advice about which
+    subsequent hyperlinks would likely contain the most relevant
+    information.</para>
+    <para>Recent advances in wireless communication and portable computers
+    have enabled users to access web information along the road. Since
+    wireless channels have limited bandwidth and mobile clients are
+    constrained by limited battery life, one must consider efficient use of
+    bandwidth and power carefully. To reduce bandwidth utilization, techniques
+    for caching of data items from the server in a client's local storage have
+    been investigated. Prefetching, however, demands higher bandwidth
+    requirement and is thus not as feasible in a mobile environment with an
+    already limited bandwidth.</para>
+  </section>
+  <section>
+    <title>Multi-Resolution Transmission</title>
+    <para>The structural organization of a document could be modeled by a
+    tree-like indexing structure, called a structural characteristic. A notion
+    of information content is defined as an indicator for the amount of
+    information captured within an organizational unit, allowing a web
+    document to be browsed at different levels of detail. We defined several
+    levels: document, section, subsection, subsubsection, and paragraph,
+    providing different degrees of detail with which a user can navigate a
+    document.</para>
+    <para>Our definition of level of detail is an abstraction to the actual
+    formatting tags. It has a straightforward implementation in the context of
+    XML, which allows the explicit definition of document structures. We are
+    working on a mapping between HTML and XML documents which allows our
+    approach to work on HTML documents as well.</para>
+    <para>The set of keywords in a document will be used to determine the
+    information content of an organizational unit. A weight is associated with
+    each keyword which indicates its relative importance in a document. We use
+    a logarithmic function of keyword occurrences to define this weight,
+    normalized by the infinity norm of the occurrence vector. This allows the
+    weight of each keyword to be determined without human intervention.</para>
+    <subsection>
+      <title>Information Content</title>
+      <para>The information content of an organizational unit is defined to be
+      the weighted sum of the keywords in the unit, normalized with respect to
+      that of the document. Under this definition, the additive rule for
+      information contents of sub-units will hold and the total information
+      content for the document adds up to unity.</para>
+    </subsection>
+    <subsection>
+      <title>Query-Based Information Content</title>
+      <para>The notion of information content is based on a static analysis of
+      a document. In practice, the set of documents that will be transmitted
+      to and browsed by a user is the result of a searching process via some
+      search engines. We extend the definition of information content in
+      response to a search query and name the revised notion query-based
+      information content. While information content of an organizational unit
+      is static, its query-based counterpart is dynamic, changing according to
+      the definition of an initiated keyword-based query.</para>
+      <para>Sometimes, a user might want to emphasize a particular keyword by
+      repeating it in order to give it a higher weight during a search process
+      so as to bias the searching procedure towards certain words. We take the
+      weight of each querying word into account, so as to be symmetrical to
+      the processing of the document.</para>
+    </subsection>
+    <subsection>
+      <title>Structural Characteristic Generation</title>
+      <para>To generate the structural characteristic for a document, the
+      document is pre-processed and a keyword-based logical index is
+      established for each organizational unit. It can be structured as five
+      modules: document recognizer, lemmatizer, word filter, keyword
+      extractor, and structural characteristic generator, operating in a
+      pipelined fashion. The lemmatizer converts document words into their
+      lemmatized form. The word filter eliminates non-meaning-bearing words,
+      usually referred to as stop words.</para>
+    </subsection>
+    <subsection>
+      <title>Prototype</title>
+      <para>We have implemented a prototype for multi-resolution transmission.
+      The client renders each organizational unit incrementally at the proper
+      position in the browsing window when the unit is received.</para>
+    </subsection>
+  </section>
+  <section>
+    <title>Fault-Tolerant Transmission</title>
+    <para>The Internet is quite unstable in terms of connectivity. Occasional
+    disconnection during transmission of web information is common and the
+    browser will get stalled. This situation will get worse in the context of
+    a mobile environment. We would like to enhance the reliability of
+    delivering organizational units by introducing redundancy so that more
+    important organizational units of a web document can be received
+    successfully with a much higher probability.</para>
+    <subsection>
+      <title>Fault-Tolerating Encoding</title>
+      <para>We assume that a document can be divided into raw packets, each of
+      which is a fundamental unit of transmission over the wireless network.
+      Data packets are received either intact or corrupted with detectable
+      error. We propose to adopt the cyclic redundancy code for the detection
+      of packet corruption, since it has a low computational cost and a high
+      error coverage.</para>
+      <para>Via a matrix multiplication procedure, the raw packets can be
+      transformed into cooked packets such that if any sufficient subset of
+      the cooked packets can be collected, the original file can be
+      reconstructed via another matrix operation based on polynomial code. A
+      slight modification is to adopt the Vandermonde polynomial in the
+      transformation stage, followed by making the upper portion of the
+      multiplying Vandermonde matrix into an identity matrix via elementary
+      matrix transformation. This ensures that the first cooked packets will
+      appear in exactly the same form as the raw packets, in clear text,
+      saving recovering effort.</para>
+      <para>Assuming that the probability a packet will be corrupted is given
+      and that the corruption events of individual packets are independent,
+      the number of packets to be collected before the original file can be
+      reconstructed follows a negative binomial distribution. This inequality
+      can be solved yielding an optimal number of cooked packets.</para>
+    </subsection>
+    <subsection>
+      <title>Fault-Tolerating Multi-Resolution Transmission</title>
+      <para>Using the encoding scheme, a document can be transmitted pretty
+      reliably over a weakly-connected wireless channel in an order defined by
+      query-based information content. The number of cooked packets required
+      is pretty much of a linear relationship with the number of raw packets.
+      This leads us to adopting a redundancy ratio as a guideline. To balance
+      the amount of redundancy with successful transmission probability, the
+      redundancy ratio could be defined as an adaptive function of the
+      observed summarized failure probability, using perhaps a kind of
+      exponentially weighted moving average measure.</para>
+      <para>If a client is not able to receive enough intact cooked packets to
+      reconstruct the document after all cooked packets are transmitted, the
+      client is suffering from a stalled transmission. A better alternative is
+      to cache the intact cooked packets received and use them to reconstruct
+      the document when a retransmission of corrupted packets occurs. The
+      local storage of the client could be utilized to store the partial
+      document so as to increase the chance of getting the intact cooked
+      packets required to reconstruct the original document.</para>
+    </subsection>
+  </section>
+  <section>
+    <title>Evaluation</title>
+    <para>In order to quickly generate a portrait of an overall behavior and
+    performance of our proposed scheme, we have developed a simulation model
+    for the study. Our simulation study is mainly focused on the impact of
+    transmission errors of a wireless channel on the performance of our
+    fault-tolerance mechanism. Each simulated document is divided into raw
+    packets which are transformed into cooked packets. The wireless channel
+    has a typical bandwidth of nineteen point two kilobits per second.</para>
+    <para>We study the performance difference between caching and no caching
+    under various redundancy ratios. It is clear that the impact of the cache
+    is very significant, especially when the error rate of the channel is
+    high. We can briefly conclude that the use of cache in a highly unreliable
+    wireless channel is very effective and must probably be implemented.</para>
+    <para>Our third experiment studies the benefit brought about by
+    multi-resolution browsing in discarding irrelevant documents early. We
+    observe that a level of detail at the paragraph level leads to a better
+    performance due to the earlier receipt of the most amount of information
+    content. The higher the skewed factor, the more improvement the
+    multi-resolution transmission approach can bring.</para>
+  </section>
+  <section>
+    <title>Discussion and Future Work</title>
+    <para>We have presented a mobile web system for transmitting and browsing
+    web documents over a faulty wireless channel. Based on the notion of
+    information content and its variants, it presents users with the main
+    document content before presenting supplementary information. A redundant
+    transmission scheme is also provided to increase the recoverability of a
+    corrupted document due to unreliable wireless channels. We are also
+    investigating intelligent prefetching based on information content and
+    user profiling, utilizing the unused wireless bandwidth being left
+    idle.</para>
+  </section>
+</research-paper>)XML";
+
+}  // namespace mobiweb::bench

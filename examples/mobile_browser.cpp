@@ -1,0 +1,127 @@
+// mobile_browser: a terminal "browser" that shows what weakly-connected
+// browsing feels like with fault-tolerant multi-resolution transmission.
+//
+// It fetches the same document over channels of worsening quality (alpha =
+// 0.1 -> 0.5) and renders a live-ish transcript: which organizational units
+// became readable after how many seconds of 19.2 kbps airtime, when the
+// document became reconstructable, and how the cache rescued stalled rounds.
+//
+// Usage: mobile_browser [alpha]      (default: sweep 0.1 0.3 0.5)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mobiweb.hpp"
+
+namespace doc = mobiweb::doc;
+
+namespace {
+
+const char* kNewsXml = R"(<?xml version="1.0"?>
+<article>
+  <title>Field Report: Browsing the Web from a Moving Train</title>
+  <abstract>
+    <para>We measure what a commuter actually experiences when loading
+    technical documents over a 19.2 kbps wireless link with bursty packet
+    corruption, and how content-first transmission changes it.</para>
+  </abstract>
+  <section>
+    <title>The Problem</title>
+    <para>Between stations the corruption rate of the link climbs past thirty
+    percent. A conventional browser stalls: one corrupted packet anywhere in
+    the page forces a full reload, and the reload fares no better.</para>
+    <para>Worse, the reader cannot even tell whether the page is worth the
+    wait, because the first screenful is navigation chrome with no
+    content.</para>
+  </section>
+  <section>
+    <title>Content-First Delivery</title>
+    <para>Ranking organizational units by information content sends the
+    substance first. After a handful of packets the reader sees the abstract
+    and the key findings and can hit stop if the page is irrelevant.</para>
+    <para>Redundancy packets computed over the whole page mean that any
+    sufficiently large subset reconstructs it; the cache keeps every intact
+    packet across retries, so repeated corruption only delays, never
+    restarts.</para>
+  </section>
+  <section>
+    <title>Findings</title>
+    <para>With caching and a redundancy ratio of one point five, page load
+    times grew gracefully with corruption instead of collapsing; readers
+    discarded irrelevant pages after roughly a tenth of the airtime a full
+    load would have cost.</para>
+  </section>
+</article>)";
+
+void browse_once(const mobiweb::Server& server, double alpha) {
+  std::printf("\n########  channel alpha = %.1f  ########\n", alpha);
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = alpha;
+  cfg.caching = true;
+  cfg.fixed_gamma = 1.5;
+  cfg.seed = 42 + static_cast<std::uint64_t>(alpha * 10);
+  mobiweb::BrowseSession session(server, cfg);
+
+  // Map byte offsets back to unit labels for the render transcript.
+  const auto* sc = server.find("doc://train-report");
+  mobiweb::FetchOptions opts;
+  opts.lod = doc::Lod::kParagraph;
+  opts.rank = doc::RankBy::kIc;
+
+  std::vector<doc::Segment> segments;
+  {
+    // Dry lookup of the segment map (same ranking the fetch will use).
+    const auto lin = doc::linearize(*sc, {.lod = opts.lod, .rank = opts.rank});
+    segments = lin.segments;
+  }
+  const std::size_t packet_size = 256;
+  auto unit_for_packet = [&segments, packet_size](std::size_t raw_index) {
+    const std::size_t begin = raw_index * packet_size;
+    for (const auto& s : segments) {
+      if (begin >= s.offset && begin < s.offset + std::max<std::size_t>(s.size, 1)) {
+        return s.label;
+      }
+    }
+    return std::string("?");
+  };
+
+  const double t0 = session.now();
+  opts.render_hook = [&](std::size_t raw_index, mobiweb::ByteSpan bytes) {
+    const std::string preview(bytes.begin(),
+                              bytes.begin() + std::min<std::size_t>(28, bytes.size()));
+    std::string clean;
+    for (char c : preview) clean.push_back(c == '\n' ? ' ' : c);
+    std::printf("  t=%6.2fs  unit %-6s packet %-3zu  |%s...|\n",
+                session.now() - t0, unit_for_packet(raw_index).c_str(), raw_index,
+                clean.c_str());
+  };
+
+  const auto result = session.fetch("doc://train-report", opts);
+  std::printf("  ------\n");
+  std::printf("  M=%zu raw, N=%zu cooked (gamma %.2f), %ld frames, %d round(s)\n",
+              result.m, result.n, result.gamma, result.session.frames_sent,
+              result.session.rounds);
+  std::printf("  document %s after %.2f s of airtime\n",
+              result.session.completed ? "fully reconstructed" : "NOT complete",
+              result.session.response_time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mobiweb::Server server;
+  server.publish_xml("doc://train-report", kNewsXml);
+
+  std::printf("mobile_browser — fault-tolerant multi-resolution browsing demo\n");
+  std::printf("Content-first order: highest-IC paragraphs render first;\n");
+  std::printf("corrupted packets are recovered from redundancy, not reloads.\n");
+
+  if (argc > 1) {
+    browse_once(server, std::atof(argv[1]));
+  } else {
+    for (const double alpha : {0.1, 0.3, 0.5}) browse_once(server, alpha);
+  }
+  return 0;
+}

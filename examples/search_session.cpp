@@ -1,0 +1,124 @@
+// search_session: the paper's end-to-end workflow — a keyword search over a
+// small published corpus, followed by query-aware (QIC-ordered) fetching of
+// the hits over a lossy channel, aborting each document as soon as enough
+// query-relevant content has arrived to judge it.
+//
+// Compare the airtime spent against fetching every hit in full: this is the
+// bandwidth the multi-resolution scheme saves a weakly-connected client.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/mobiweb.hpp"
+
+namespace doc = mobiweb::doc;
+
+namespace {
+
+struct Page {
+  const char* url;
+  const char* xml;
+};
+
+const Page kCorpus[] = {
+    {"doc://erasure-codes", R"(<paper>
+      <title>Dispersal Codes for Unreliable Links</title>
+      <section><title>Encoding</title>
+        <para>Raw packets are transformed into cooked packets with a
+        Vandermonde matrix over a finite field; any sufficient subset of the
+        cooked packets reconstructs the original data.</para>
+        <para>Making the top of the generator an identity matrix keeps the
+        first packets in clear text, so receivers use them immediately.</para>
+      </section>
+      <section><title>Recovery</title>
+        <para>Reconstruction inverts the sub-generator selected by the intact
+        packet indices; with caching, intact packets persist across stalled
+        rounds and retransmission only fills the gaps.</para>
+      </section>
+    </paper>)"},
+    {"doc://profiles", R"(<paper>
+      <title>Learning User Profiles for Web Filtering</title>
+      <section><para>A profile captures individual interests and filters the
+      flood of search results; relevance feedback adapts the profile as the
+      user's interests drift over time.</para></section>
+      <section><para>Recommender systems interactively suggest hyperlinks,
+      refining their model whenever the advice is followed or ignored.</para>
+      </section>
+    </paper>)"},
+    {"doc://spin-down", R"(<paper>
+      <title>Adaptive Disk Spin-Down for Mobile Computers</title>
+      <section><para>Spinning the disk down saves battery energy but costs
+      latency on the next access; adaptive policies balance the two using
+      recent access patterns.</para></section>
+    </paper>)"},
+    {"doc://mobile-cache", R"(<paper>
+      <title>Cache Management for Mobile Databases</title>
+      <section><para>Caching data items in a mobile client's local storage
+      masks disconnection and reduces wireless bandwidth consumption; cached
+      packets double as recovery state for interrupted transfers.</para>
+      </section>
+      <section><para>Invalidation reports broadcast over the air keep caches
+      coherent at low cost.</para></section>
+    </paper>)"},
+};
+
+}  // namespace
+
+int main() {
+  mobiweb::Server server;
+  for (const auto& page : kCorpus) server.publish_xml(page.url, page.xml);
+
+  const std::string query = "cooked packets reconstruction caching";
+  std::printf("search_session — corpus of %zu documents\n",
+              std::size(kCorpus));
+  std::printf("query: \"%s\"\n\n", query.c_str());
+
+  // 1. Server-side search (QIC mass ranking).
+  const auto hits = server.search(query);
+  std::printf("search results (%zu hits):\n", hits.size());
+  for (const auto& hit : hits) {
+    std::printf("  %.4f  %s\n", hit.score, hit.url.c_str());
+  }
+
+  // 2. Fetch each hit with query-aware transmission; judge at F = 0.4.
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.25;
+  cfg.caching = true;
+  cfg.seed = 2026;
+  mobiweb::BrowseSession session(server, cfg);
+
+  double airtime_multires = 0.0;
+  std::printf("\nbrowsing hits over alpha=0.25 channel (QIC order, F=0.4):\n");
+  for (const auto& hit : hits) {
+    mobiweb::FetchOptions opts;
+    opts.lod = doc::Lod::kParagraph;
+    opts.rank = doc::RankBy::kQic;
+    opts.query = query;
+    opts.relevance_threshold = 0.4;
+    const auto r = session.fetch(hit.url, opts);
+    airtime_multires += r.session.response_time;
+    std::printf("  %-22s %5.2f s, %2ld frames -> first unit %s, %s\n",
+                hit.url.c_str(),
+                r.session.response_time, r.session.frames_sent,
+                r.segments.front().label.c_str(),
+                r.session.aborted_irrelevant ? "judged after threshold"
+                                             : "downloaded fully");
+  }
+
+  // 3. Baseline: conventional full downloads in document order.
+  mobiweb::BrowseSession baseline(server, cfg);
+  double airtime_full = 0.0;
+  for (const auto& hit : hits) {
+    mobiweb::FetchOptions opts;
+    opts.lod = doc::Lod::kDocument;
+    opts.rank = doc::RankBy::kDocumentOrder;
+    const auto r = baseline.fetch(hit.url, opts);
+    airtime_full += r.session.response_time;
+  }
+
+  std::printf("\nairtime: multi-resolution with early stop %.2f s vs full "
+              "download %.2f s (%.0f%% saved)\n",
+              airtime_multires, airtime_full,
+              100.0 * (1.0 - airtime_multires / airtime_full));
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "analysis/negbinom.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mobiweb::analysis {
+
+namespace {
+void check_args(int m, double alpha) {
+  MOBIWEB_CHECK_MSG(m >= 1, "negbinom: m >= 1");
+  MOBIWEB_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "negbinom: alpha in [0,1)");
+}
+}  // namespace
+
+double negbinom_pmf(int x, int m, double alpha) {
+  check_args(m, alpha);
+  if (x < m) return 0.0;
+  // log C(x-1, m-1) + (x-m) log alpha + m log(1-alpha), via lgamma.
+  const double log_choose = std::lgamma(static_cast<double>(x)) -
+                            std::lgamma(static_cast<double>(m)) -
+                            std::lgamma(static_cast<double>(x - m + 1));
+  double log_p = log_choose + static_cast<double>(m) * std::log1p(-alpha);
+  if (x > m) {
+    if (alpha == 0.0) return 0.0;
+    log_p += static_cast<double>(x - m) * std::log(alpha);
+  }
+  return std::exp(log_p);
+}
+
+double negbinom_cdf(int x, int m, double alpha) {
+  check_args(m, alpha);
+  if (x < m) return 0.0;
+  if (alpha == 0.0) return 1.0;
+  // Iterate Pr(P = i) from i = m upward with the ratio recurrence.
+  double pmf = std::exp(static_cast<double>(m) * std::log1p(-alpha));  // Pr(P=m)
+  double cdf = pmf;
+  for (int i = m; i < x; ++i) {
+    pmf *= alpha * static_cast<double>(i) / static_cast<double>(i + 1 - m);
+    cdf += pmf;
+  }
+  return cdf > 1.0 ? 1.0 : cdf;
+}
+
+double expected_packets(int m, double alpha) {
+  check_args(m, alpha);
+  return static_cast<double>(m) / (1.0 - alpha);
+}
+
+int optimal_cooked_packets(int m, double alpha, double success, int max_n) {
+  check_args(m, alpha);
+  MOBIWEB_CHECK_MSG(success > 0.0 && success < 1.0,
+                    "optimal_cooked_packets: success in (0,1)");
+  if (alpha == 0.0) return m;
+  double pmf = std::exp(static_cast<double>(m) * std::log1p(-alpha));
+  double cdf = pmf;
+  int n = m;
+  while (cdf < success) {
+    MOBIWEB_CHECK_MSG(n < max_n, "optimal_cooked_packets: N exceeds max_n");
+    pmf *= alpha * static_cast<double>(n) / static_cast<double>(n + 1 - m);
+    cdf += pmf;
+    ++n;
+  }
+  return n;
+}
+
+double redundancy_ratio(int m, double alpha, double success) {
+  return static_cast<double>(optimal_cooked_packets(m, alpha, success)) /
+         static_cast<double>(m);
+}
+
+}  // namespace mobiweb::analysis

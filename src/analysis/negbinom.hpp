@@ -1,0 +1,35 @@
+// Redundancy analysis (paper §4.1).
+//
+// With per-packet corruption probability α (independent), the number of
+// cooked packets P a client must receive before collecting M intact ones
+// follows a negative binomial distribution:
+//
+//   Pr(P = x) = C(x-1, M-1) · α^(x-M) · (1-α)^M,   x >= M
+//   E(P) = M / (1 - α)
+//
+// optimal_cooked_packets solves for the smallest N with Pr(P <= N) >= S,
+// "yielding an optimal number of cooked packets"; redundancy_ratio is the
+// paper's γ = N/M.
+#pragma once
+
+namespace mobiweb::analysis {
+
+// Pr(P = x). Zero for x < m. Requires m >= 1, 0 <= alpha < 1.
+double negbinom_pmf(int x, int m, double alpha);
+
+// Pr(P <= x), computed with the stable ratio recurrence
+// Pr(x+1) = Pr(x) · α · x / (x+1-M).
+double negbinom_cdf(int x, int m, double alpha);
+
+// E(P) = m / (1 - alpha).
+double expected_packets(int m, double alpha);
+
+// Smallest N >= m with Pr(P <= N) >= success. Requires 0 < success < 1.
+// Throws ContractViolation if N would exceed `max_n` (guards pathological
+// alpha/success combinations).
+int optimal_cooked_packets(int m, double alpha, double success, int max_n = 1 << 20);
+
+// γ = N/M for the optimal N.
+double redundancy_ratio(int m, double alpha, double success);
+
+}  // namespace mobiweb::analysis

@@ -1,0 +1,115 @@
+#include "broadcast/broadcast.hpp"
+
+#include "util/check.hpp"
+
+namespace mobiweb::broadcast {
+
+BroadcastServer::BroadcastServer(BroadcastConfig config) : config_(config) {
+  MOBIWEB_CHECK_MSG(config_.gamma >= 1.0, "BroadcastServer: gamma >= 1");
+  MOBIWEB_CHECK_MSG(config_.packet_size >= 1, "BroadcastServer: packet_size >= 1");
+}
+
+std::uint16_t BroadcastServer::publish(const doc::LinearDocument& document) {
+  MOBIWEB_CHECK_MSG(!built_, "BroadcastServer: cycle already built");
+  MOBIWEB_CHECK_MSG(!document.payload.empty(), "BroadcastServer: empty document");
+  MOBIWEB_CHECK_MSG(documents_.size() < 0xfffe, "BroadcastServer: too many documents");
+
+  Entry entry;
+  entry.info.doc_id = static_cast<std::uint16_t>(documents_.size() + 1);
+  entry.info.packet_size = config_.packet_size;
+  entry.info.payload_size = document.payload.size();
+  entry.info.m = ida::packet_count(document.payload.size(), config_.packet_size);
+  MOBIWEB_CHECK_MSG(entry.info.m <= 255, "BroadcastServer: document too large");
+  const double n_raw = config_.gamma * static_cast<double>(entry.info.m);
+  entry.info.n = std::min<std::size_t>(255, static_cast<std::size_t>(n_raw + 0.999999));
+  if (entry.info.n < entry.info.m) entry.info.n = entry.info.m;
+
+  ida::Encoder encoder(entry.info.m, entry.info.n);
+  const auto cooked =
+      encoder.encode_payload(ByteSpan(document.payload), config_.packet_size);
+  entry.frames.reserve(entry.info.n);
+  for (std::size_t i = 0; i < entry.info.n; ++i) {
+    packet::Packet p;
+    p.doc_id = entry.info.doc_id;
+    p.seq = static_cast<std::uint16_t>(i);
+    p.total = static_cast<std::uint16_t>(entry.info.n);
+    if (i < entry.info.m) p.flags |= packet::kFlagClearText;
+    if (i + 1 == entry.info.n) p.flags |= packet::kFlagLast;
+    p.payload = cooked[i];
+    entry.frames.push_back(packet::encode(p));
+  }
+  documents_.push_back(std::move(entry));
+  return documents_.back().info.doc_id;
+}
+
+void BroadcastServer::build_cycle() const {
+  MOBIWEB_CHECK_MSG(!documents_.empty(), "BroadcastServer: nothing published");
+  cycle_.clear();
+  if (config_.interleave) {
+    // Round-robin over documents until all frames are scheduled.
+    std::size_t remaining = 0;
+    for (const auto& d : documents_) remaining += d.frames.size();
+    std::vector<std::size_t> next(documents_.size(), 0);
+    while (remaining > 0) {
+      for (std::size_t d = 0; d < documents_.size(); ++d) {
+        if (next[d] < documents_[d].frames.size()) {
+          cycle_.push_back(documents_[d].frames[next[d]]);
+          ++next[d];
+          --remaining;
+        }
+      }
+    }
+  } else {
+    for (const auto& d : documents_) {
+      cycle_.insert(cycle_.end(), d.frames.begin(), d.frames.end());
+    }
+  }
+  built_ = true;
+}
+
+const std::vector<Bytes>& BroadcastServer::cycle() const {
+  if (!built_) build_cycle();
+  return cycle_;
+}
+
+const DocumentInfo& BroadcastServer::info(std::uint16_t doc_id) const {
+  MOBIWEB_CHECK_MSG(doc_id >= 1 && doc_id <= documents_.size(),
+                    "BroadcastServer::info: unknown doc_id");
+  return documents_[doc_id - 1].info;
+}
+
+ListenResult listen_for(const BroadcastServer& server, std::uint16_t doc_id,
+                        std::size_t start_offset, channel::WirelessChannel& channel,
+                        int max_cycles) {
+  const auto& cycle = server.cycle();
+  MOBIWEB_CHECK_MSG(!cycle.empty(), "listen_for: empty cycle");
+  const DocumentInfo& info = server.info(doc_id);
+  ida::StreamingDecoder decoder(info.m, info.n, info.packet_size,
+                                info.payload_size);
+
+  ListenResult result;
+  const double start = channel.now();
+  const std::size_t total = cycle.size();
+  const std::size_t limit = total * static_cast<std::size_t>(max_cycles);
+  for (std::size_t k = 0; k < limit; ++k) {
+    const std::size_t idx = (start_offset + k) % total;
+    const auto delivery = channel.send(ByteSpan(cycle[idx]));
+    ++result.frames_heard;
+    const auto decoded = packet::decode(ByteSpan(delivery.frame));
+    if (!decoded || decoded->doc_id != doc_id) continue;
+    ++result.frames_of_doc;
+    if (decoded->payload.size() != info.packet_size || decoded->seq >= info.n) {
+      continue;
+    }
+    decoder.add(decoded->seq, ByteSpan(decoded->payload));
+    if (decoder.complete()) {
+      result.completed = true;
+      result.payload = decoder.reconstruct();
+      break;
+    }
+  }
+  result.time = channel.now() - start;
+  return result;
+}
+
+}  // namespace mobiweb::broadcast

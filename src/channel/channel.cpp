@@ -1,0 +1,47 @@
+#include "channel/channel.hpp"
+
+#include "util/check.hpp"
+
+namespace mobiweb::channel {
+
+WirelessChannel::WirelessChannel(ChannelConfig config,
+                                 std::unique_ptr<ErrorModel> errors)
+    : config_(config), errors_(std::move(errors)), rng_(config.seed) {
+  MOBIWEB_CHECK_MSG(config_.bandwidth_bps > 0.0, "WirelessChannel: bandwidth > 0");
+  MOBIWEB_CHECK_MSG(errors_ != nullptr, "WirelessChannel: error model required");
+}
+
+double WirelessChannel::transmit_time(std::size_t frame_bytes) const {
+  return static_cast<double>(frame_bytes) * 8.0 / config_.bandwidth_bps;
+}
+
+WirelessChannel::Delivery WirelessChannel::send(ByteSpan frame) {
+  MOBIWEB_CHECK_MSG(!frame.empty(), "WirelessChannel::send: empty frame");
+  Delivery d;
+  d.frame.assign(frame.begin(), frame.end());
+  clock_ += transmit_time(frame.size());
+  d.depart_time = clock_;
+  d.arrive_time = clock_ + config_.propagation_delay_s;
+  d.corrupted = errors_->next_corrupted(rng_);
+  if (d.corrupted) {
+    // Flip a handful of bytes so the CRC check fails with near-certainty;
+    // xor with a nonzero mask guarantees the byte actually changes.
+    const std::size_t flips = 1 + d.frame.size() / 64;
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t pos = rng_.next_below(d.frame.size());
+      const auto mask = static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      d.frame[pos] ^= mask;
+    }
+  }
+  ++stats_.frames_sent;
+  if (d.corrupted) ++stats_.frames_corrupted;
+  stats_.bytes_sent += frame.size();
+  return d;
+}
+
+void WirelessChannel::advance(double seconds) {
+  MOBIWEB_CHECK_MSG(seconds >= 0.0, "WirelessChannel::advance: negative time");
+  clock_ += seconds;
+}
+
+}  // namespace mobiweb::channel

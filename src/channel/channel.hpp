@@ -1,0 +1,74 @@
+// Simulated weakly-connected wireless link.
+//
+// The channel is FIFO with a fixed serialization bandwidth (the paper's
+// typical 19.2 kbps) and a pluggable per-packet corruption model. Because the
+// link is FIFO and the bandwidth constant, delivery order equals send order
+// and a synchronous send loop computes exact timings — no event queue needed.
+//
+// The channel operates on real frames: a corrupted delivery has bytes
+// actually flipped, so the receiving side detects it through the CRC exactly
+// as a real client would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "channel/error_model.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mobiweb::channel {
+
+struct ChannelConfig {
+  double bandwidth_bps = 19200.0;   // paper Table 2: B = 19.2 kbps
+  double propagation_delay_s = 0.0; // one-way latency added to every frame
+  std::uint64_t seed = 1;
+};
+
+struct ChannelStats {
+  long frames_sent = 0;
+  long frames_corrupted = 0;
+  std::size_t bytes_sent = 0;
+
+  [[nodiscard]] double observed_corruption_rate() const {
+    return frames_sent > 0
+               ? static_cast<double>(frames_corrupted) / static_cast<double>(frames_sent)
+               : 0.0;
+  }
+};
+
+class WirelessChannel {
+ public:
+  WirelessChannel(ChannelConfig config, std::unique_ptr<ErrorModel> errors);
+
+  struct Delivery {
+    Bytes frame;           // possibly corrupted bytes
+    bool corrupted = false;
+    double depart_time = 0.0;  // when the last bit left the sender
+    double arrive_time = 0.0;  // when the last bit reached the receiver
+  };
+
+  // Serializes one frame onto the link, advancing the channel clock by the
+  // transmission time. Corruption flips bytes in the delivered copy.
+  Delivery send(ByteSpan frame);
+
+  // Seconds needed to serialize `frame_bytes` at the configured bandwidth.
+  [[nodiscard]] double transmit_time(std::size_t frame_bytes) const;
+
+  [[nodiscard]] double now() const { return clock_; }
+  void advance(double seconds);  // e.g. a retransmission-request round trip
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const ErrorModel& errors() const { return *errors_; }
+
+  void reset_clock() { clock_ = 0.0; }
+
+ private:
+  ChannelConfig config_;
+  std::unique_ptr<ErrorModel> errors_;
+  Rng rng_;
+  double clock_ = 0.0;
+  ChannelStats stats_;
+};
+
+}  // namespace mobiweb::channel

@@ -1,0 +1,66 @@
+#include "channel/error_model.hpp"
+
+#include "util/check.hpp"
+
+namespace mobiweb::channel {
+
+IidErrorModel::IidErrorModel(double alpha) : alpha_(alpha) {
+  MOBIWEB_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "IidErrorModel: alpha in [0,1)");
+}
+
+bool IidErrorModel::next_corrupted(Rng& rng) { return rng.next_bernoulli(alpha_); }
+
+std::unique_ptr<ErrorModel> IidErrorModel::clone() const {
+  return std::make_unique<IidErrorModel>(alpha_);
+}
+
+GilbertElliottModel::GilbertElliottModel(double p_good_to_bad, double p_bad_to_good,
+                                         double loss_good, double loss_bad)
+    : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_good_(loss_good),
+      loss_bad_(loss_bad) {
+  MOBIWEB_CHECK_MSG(p_gb_ >= 0.0 && p_gb_ <= 1.0, "GE: p_good_to_bad in [0,1]");
+  MOBIWEB_CHECK_MSG(p_bg_ > 0.0 && p_bg_ <= 1.0, "GE: p_bad_to_good in (0,1]");
+  MOBIWEB_CHECK_MSG(loss_good_ >= 0.0 && loss_good_ < 1.0, "GE: loss_good in [0,1)");
+  MOBIWEB_CHECK_MSG(loss_bad_ >= 0.0 && loss_bad_ <= 1.0, "GE: loss_bad in [0,1]");
+}
+
+bool GilbertElliottModel::next_corrupted(Rng& rng) {
+  const bool corrupted = rng.next_bernoulli(bad_ ? loss_bad_ : loss_good_);
+  // State transition applies after the packet is drawn.
+  if (bad_) {
+    if (rng.next_bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.next_bernoulli(p_gb_)) bad_ = true;
+  }
+  return corrupted;
+}
+
+double GilbertElliottModel::steady_state_rate() const {
+  const double denom = p_gb_ + p_bg_;
+  if (denom <= 0.0) return loss_good_;
+  const double pi_bad = p_gb_ / denom;
+  return (1.0 - pi_bad) * loss_good_ + pi_bad * loss_bad_;
+}
+
+std::unique_ptr<ErrorModel> GilbertElliottModel::clone() const {
+  auto copy = std::make_unique<GilbertElliottModel>(p_gb_, p_bg_, loss_good_, loss_bad_);
+  copy->bad_ = bad_;
+  return copy;
+}
+
+GilbertElliottModel GilbertElliottModel::with_average_rate(double alpha,
+                                                           double mean_burst,
+                                                           double loss_bad) {
+  MOBIWEB_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "GE: alpha in [0,1)");
+  MOBIWEB_CHECK_MSG(mean_burst >= 1.0, "GE: mean_burst >= 1 packet");
+  MOBIWEB_CHECK_MSG(loss_bad > 0.0 && loss_bad <= 1.0, "GE: loss_bad in (0,1]");
+  MOBIWEB_CHECK_MSG(alpha < loss_bad, "GE: alpha must be below loss_bad");
+  // pi_bad * loss_bad = alpha and mean bad-state dwell = mean_burst packets.
+  const double p_bg = 1.0 / mean_burst;
+  const double pi_bad = alpha / loss_bad;
+  // pi_bad = p_gb / (p_gb + p_bg)  =>  p_gb = p_bg * pi_bad / (1 - pi_bad)
+  const double p_gb = p_bg * pi_bad / (1.0 - pi_bad);
+  return GilbertElliottModel(p_gb, p_bg, /*loss_good=*/0.0, loss_bad);
+}
+
+}  // namespace mobiweb::channel

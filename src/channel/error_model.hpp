@@ -1,0 +1,75 @@
+// Per-packet corruption models for the wireless channel.
+//
+// The paper assumes "the probability a packet will be corrupted is α and ...
+// the corruption events of individual packets are independent" — IidErrorModel.
+// GilbertElliottModel adds the classic two-state burst-error channel as an
+// extension (weakly-connected links lose packets in bursts when the client
+// drives through a fade), used by the channel ablation bench.
+#pragma once
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace mobiweb::channel {
+
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+
+  // Draws whether the next packet is corrupted.
+  virtual bool next_corrupted(Rng& rng) = 0;
+
+  // Restores the initial state (e.g. at the start of a browsing session).
+  virtual void reset() {}
+
+  // Long-run corruption probability (for reporting and adaptive γ seeding).
+  [[nodiscard]] virtual double steady_state_rate() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ErrorModel> clone() const = 0;
+};
+
+// Independent, identically distributed corruption with probability alpha.
+class IidErrorModel final : public ErrorModel {
+ public:
+  explicit IidErrorModel(double alpha);
+
+  bool next_corrupted(Rng& rng) override;
+  [[nodiscard]] double steady_state_rate() const override { return alpha_; }
+  [[nodiscard]] std::unique_ptr<ErrorModel> clone() const override;
+
+ private:
+  double alpha_;
+};
+
+// Two-state Markov (Gilbert-Elliott) burst model: in the Good state packets
+// are corrupted with probability loss_good, in the Bad state with loss_bad;
+// the state flips with the given transition probabilities after each packet.
+class GilbertElliottModel final : public ErrorModel {
+ public:
+  GilbertElliottModel(double p_good_to_bad, double p_bad_to_good,
+                      double loss_good, double loss_bad);
+
+  bool next_corrupted(Rng& rng) override;
+  void reset() override { bad_ = false; }
+  [[nodiscard]] double steady_state_rate() const override;
+  [[nodiscard]] std::unique_ptr<ErrorModel> clone() const override;
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+  // Convenience: builds a GE model whose steady-state corruption rate equals
+  // `alpha` with mean burst length `mean_burst` packets and loss probability
+  // `loss_bad` inside a burst (loss_good = 0). Used by the ablation bench to
+  // compare iid vs bursty channels at equal average error rate.
+  static GilbertElliottModel with_average_rate(double alpha, double mean_burst,
+                                               double loss_bad = 1.0);
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace mobiweb::channel

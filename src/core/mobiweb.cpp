@@ -1,0 +1,155 @@
+#include "core/mobiweb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "doc/recognizer.hpp"
+#include "html/structurer.hpp"
+#include "xml/parser.hpp"
+
+namespace mobiweb {
+
+Server::Server(ServerConfig config)
+    : config_(config), generator_(config_.sc) {}
+
+void Server::publish_xml(const std::string& url, std::string_view xml_text) {
+  const xml::Document parsed = xml::parse(xml_text);
+  documents_.insert_or_assign(url, generator_.generate(parsed));
+}
+
+void Server::publish_html(const std::string& url, std::string_view html_text) {
+  doc::OrgUnit tree = html::structure_html(html_text);
+  documents_.insert_or_assign(url, generator_.generate(std::move(tree)));
+}
+
+void Server::publish_tree(const std::string& url, doc::OrgUnit tree) {
+  documents_.insert_or_assign(url, generator_.generate(std::move(tree)));
+}
+
+std::vector<std::string> Server::urls() const {
+  std::vector<std::string> out;
+  out.reserve(documents_.size());
+  for (const auto& [url, sc] : documents_) out.push_back(url);
+  return out;
+}
+
+const doc::StructuralCharacteristic* Server::find(std::string_view url) const {
+  const auto it = documents_.find(url);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+doc::Query Server::make_query(std::string_view query_text) const {
+  return doc::Query::from_text(query_text, generator_.extractor());
+}
+
+std::vector<Server::SearchHit> Server::search(std::string_view query_text) const {
+  const doc::Query query = make_query(query_text);
+  std::vector<SearchHit> hits;
+  for (const auto& [url, sc] : documents_) {
+    const doc::ContentScorer scorer(sc, query);
+    if (!scorer.query_matches()) continue;
+    // Root QIC is 1 by normalization whenever any query word matches, so we
+    // score by the un-normalized query mass the document carries: the QIC
+    // numerator relative to the document's weighted total. This ranks
+    // documents against each other, not units within one document.
+    double mass = 0.0;
+    for (const auto& [term, q_count] : query.terms().counts) {
+      (void)q_count;
+      const long d_count = sc.document_terms().count(term);
+      if (d_count <= 0) continue;
+      mass += static_cast<double>(d_count) * sc.weight(term) * query.weight(term);
+    }
+    if (sc.weighted_total() > 0.0) mass /= sc.weighted_total();
+    if (mass > 0.0) hits.push_back(SearchHit{url, mass});
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const SearchHit& a, const SearchHit& b) {
+                     return a.score > b.score;
+                   });
+  return hits;
+}
+
+BrowseSession::BrowseSession(const Server& server, BrowseConfig config)
+    : server_(&server), config_(config), adaptive_(config.adaptive) {
+  channel::ChannelConfig cc;
+  cc.bandwidth_bps = config_.bandwidth_bps;
+  cc.propagation_delay_s = config_.propagation_delay_s;
+  cc.seed = config_.seed;
+  channel_ = std::make_unique<channel::WirelessChannel>(
+      cc, std::make_unique<channel::IidErrorModel>(config_.alpha));
+}
+
+FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& options) {
+  const doc::StructuralCharacteristic* sc = server_->find(url);
+  if (sc == nullptr) {
+    throw std::out_of_range("BrowseSession::fetch: unknown url '" +
+                            std::string(url) + "'");
+  }
+
+  // Rank units (the server side of §4.2).
+  doc::LinearizeOptions lin;
+  lin.lod = options.lod;
+  lin.rank = options.rank;
+  lin.compress = options.compress;
+  std::optional<doc::ContentScorer> scorer;
+  if (options.rank == doc::RankBy::kQic || options.rank == doc::RankBy::kMqic) {
+    scorer.emplace(*sc, server_->make_query(options.query));
+    lin.scorer = &*scorer;
+  }
+  doc::LinearDocument linear = doc::linearize(*sc, lin);
+
+  // Choose γ; the adaptive controller needs M, i.e. the payload size.
+  const std::size_t m_estimate =
+      ida::packet_count(linear.payload.size(), config_.packet_size);
+  const double gamma =
+      config_.adaptive_gamma
+          ? adaptive_.gamma(static_cast<int>(m_estimate))
+          : config_.fixed_gamma;
+
+  transmit::TransmitterConfig tc;
+  tc.packet_size = config_.packet_size;
+  tc.gamma = gamma;
+  tc.doc_id = next_doc_id_++;
+  if (next_doc_id_ == 0) next_doc_id_ = 1;  // wrap, doc_id 0 reserved
+  transmit::DocumentTransmitter transmitter(std::move(linear), tc);
+
+  transmit::ReceiverConfig rc;
+  rc.doc_id = tc.doc_id;
+  rc.m = transmitter.m();
+  rc.n = transmitter.n();
+  rc.packet_size = config_.packet_size;
+  rc.payload_size = transmitter.payload_size();
+  rc.caching = config_.caching;
+  transmit::ClientReceiver receiver(rc, transmitter.document().segments);
+  if (options.render_hook) receiver.set_render_hook(options.render_hook);
+
+  transmit::SessionConfig scfg;
+  scfg.relevance_threshold = options.relevance_threshold;
+  transmit::TransferSession session(transmitter, receiver, *channel_, scfg);
+
+  FetchResult result;
+  const long corrupted_before = channel_->stats().frames_corrupted;
+  const long sent_before = channel_->stats().frames_sent;
+  result.session = session.run();
+  result.m = transmitter.m();
+  result.n = transmitter.n();
+  result.gamma = gamma;
+  result.segments = transmitter.document().segments;
+  if (receiver.complete()) {
+    doc::LinearDocument reconstructed;
+    reconstructed.payload = receiver.reconstruct();
+    reconstructed.segments = transmitter.document().segments;
+    reconstructed.compressed_units = transmitter.document().compressed_units;
+    result.text = doc::reassemble_text(reconstructed);
+  }
+
+  // Feed the observed corruption rate back into the adaptive controller.
+  const long sent = channel_->stats().frames_sent - sent_before;
+  const long corrupted = channel_->stats().frames_corrupted - corrupted_before;
+  if (sent > 0) {
+    adaptive_.observe(static_cast<double>(corrupted) / static_cast<double>(sent));
+  }
+  return result;
+}
+
+}  // namespace mobiweb

@@ -1,0 +1,99 @@
+#include "core/prefetch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mobiweb {
+
+bool DocumentCache::contains(std::string_view url) const {
+  return texts_.find(url) != texts_.end();
+}
+
+std::optional<std::string> DocumentCache::get(std::string_view url) const {
+  const auto it = texts_.find(url);
+  if (it == texts_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DocumentCache::put(const std::string& url, std::string text) {
+  const auto it = texts_.find(url);
+  if (it != texts_.end()) {
+    bytes_ -= it->second.size();
+    it->second = std::move(text);
+    bytes_ += it->second.size();
+    return;
+  }
+  bytes_ += text.size();
+  texts_.emplace(url, std::move(text));
+}
+
+void DocumentCache::evict(std::string_view url) {
+  const auto it = texts_.find(url);
+  if (it == texts_.end()) return;
+  bytes_ -= it->second.size();
+  texts_.erase(it);
+}
+
+void DocumentCache::trim(std::size_t max_bytes,
+                         const std::map<std::string, double>& scores) {
+  if (bytes_ <= max_bytes) return;
+  std::vector<std::pair<double, std::string>> order;
+  order.reserve(texts_.size());
+  for (const auto& [url, text] : texts_) {
+    const auto it = scores.find(url);
+    order.emplace_back(it == scores.end() ? 0.0 : it->second, url);
+  }
+  std::sort(order.begin(), order.end());  // lowest score first
+  for (const auto& [score, url] : order) {
+    if (bytes_ <= max_bytes) break;
+    evict(url);
+  }
+}
+
+Prefetcher::Prefetcher(const Server& server, BrowseSession& session,
+                       DocumentCache& cache, PrefetchConfig config)
+    : server_(&server), session_(&session), cache_(&cache), config_(config) {}
+
+PrefetchOutcome Prefetcher::run_idle(const doc::UserProfile& profile,
+                                     double idle_budget_s,
+                                     const std::set<std::string>& exclude) {
+  MOBIWEB_CHECK_MSG(idle_budget_s >= 0.0, "Prefetcher: negative idle budget");
+  PrefetchOutcome outcome;
+
+  // Rank candidates by profile score.
+  struct Candidate {
+    std::string url;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& url : server_->urls()) {
+    if (cache_->contains(url) || exclude.contains(url)) continue;
+    const auto* sc = server_->find(url);
+    const double score = profile.score(*sc);
+    if (score > config_.min_score) candidates.push_back({url, score});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+
+  const double start = session_->now();
+  for (const auto& candidate : candidates) {
+    if (outcome.fetched >= static_cast<int>(config_.max_documents_per_idle)) break;
+    if (session_->now() - start >= idle_budget_s) break;
+    FetchOptions opts;
+    opts.lod = doc::Lod::kParagraph;
+    opts.rank = doc::RankBy::kIc;
+    const FetchResult r = session_->fetch(candidate.url, opts);
+    if (r.session.completed) {
+      cache_->put(candidate.url, r.text);
+      ++outcome.fetched;
+    }
+  }
+  outcome.airtime_used = session_->now() - start;
+  return outcome;
+}
+
+}  // namespace mobiweb

@@ -1,0 +1,72 @@
+// Profile-driven prefetching over idle wireless bandwidth — the paper's
+// future-work feature: "we are also investigating intelligent prefetching
+// based on information content and user-profiling, utilizing the unused
+// wireless bandwidth being left idle."
+//
+// Between user requests the channel sits idle; the Prefetcher spends that
+// idle airtime fetching the documents the UserProfile scores highest into a
+// client-side DocumentCache. A later fetch of a cached document costs zero
+// airtime.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "core/mobiweb.hpp"
+#include "doc/profile.hpp"
+
+namespace mobiweb {
+
+// Client-side store of fully reconstructed documents.
+class DocumentCache {
+ public:
+  [[nodiscard]] bool contains(std::string_view url) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view url) const;
+  void put(const std::string& url, std::string text);
+  void evict(std::string_view url);
+
+  [[nodiscard]] std::size_t documents() const { return texts_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+  // Evicts lowest-priority documents (by the given scores) until the cache
+  // holds at most `max_bytes`. Unknown urls score 0.
+  void trim(std::size_t max_bytes, const std::map<std::string, double>& scores);
+
+ private:
+  std::map<std::string, std::string, std::less<>> texts_;
+  std::size_t bytes_ = 0;
+};
+
+struct PrefetchConfig {
+  // Only documents the profile scores above this are worth idle airtime.
+  double min_score = 0.0;
+  std::size_t max_documents_per_idle = 4;
+};
+
+struct PrefetchOutcome {
+  int fetched = 0;
+  double airtime_used = 0.0;
+};
+
+class Prefetcher {
+ public:
+  Prefetcher(const Server& server, BrowseSession& session, DocumentCache& cache,
+             PrefetchConfig config = {});
+
+  // Spends up to `idle_budget_s` of channel time prefetching the
+  // highest-profile-scored documents that are neither cached nor in
+  // `exclude`. Stops early when the budget or candidate list runs out.
+  PrefetchOutcome run_idle(const doc::UserProfile& profile, double idle_budget_s,
+                           const std::set<std::string>& exclude = {});
+
+ private:
+  const Server* server_;
+  BrowseSession* session_;
+  DocumentCache* cache_;
+  PrefetchConfig config_;
+};
+
+}  // namespace mobiweb

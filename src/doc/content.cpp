@@ -1,0 +1,146 @@
+#include "doc/content.hpp"
+
+#include <cmath>
+
+#include "doc/recognizer.hpp"
+#include "util/check.hpp"
+
+namespace mobiweb::doc {
+
+double keyword_weight(long count, long inf_norm) {
+  MOBIWEB_CHECK_MSG(count > 0 && inf_norm > 0 && count <= inf_norm,
+                    "keyword_weight: need 0 < count <= inf_norm");
+  return 1.0 - std::log2(static_cast<double>(count) / static_cast<double>(inf_norm));
+}
+
+double StructuralCharacteristic::weight(std::string_view term) const {
+  const long c = root_.terms.count(term);
+  if (c <= 0 || norm_ <= 0) return 0.0;
+  return keyword_weight(c, norm_);
+}
+
+std::vector<StructuralCharacteristic::Row> StructuralCharacteristic::rows() const {
+  std::vector<Row> out;
+  walk(root_, [&](const OrgUnit& unit, const std::vector<std::size_t>& path) {
+    out.push_back(Row{unit_label(path), &unit, path.size()});
+  });
+  return out;
+}
+
+ScGenerator::ScGenerator(ScOptions options)
+    : extractor_(options.keywords) {}
+
+namespace {
+
+// Bottom-up: fills unit.terms with the subtree keyword counts.
+void aggregate_terms(OrgUnit& unit, const text::KeywordExtractor& extractor) {
+  unit.terms = extractor.extract(unit.own_tokens);
+  for (auto& child : unit.children) {
+    aggregate_terms(child, extractor);
+    unit.terms.merge(child.terms);
+  }
+}
+
+void assign_info_content(OrgUnit& unit, const StructuralCharacteristic& sc) {
+  double weighted = 0.0;
+  for (const auto& [term, count] : unit.terms.counts) {
+    weighted += static_cast<double>(count) * sc.weight(term);
+  }
+  unit.info_content =
+      sc.weighted_total() > 0.0 ? weighted / sc.weighted_total() : 0.0;
+  for (auto& child : unit.children) assign_info_content(child, sc);
+}
+
+}  // namespace
+
+StructuralCharacteristic ScGenerator::generate(OrgUnit tree) const {
+  aggregate_terms(tree, extractor_);
+  return StructuralCharacteristic::from_indexed_tree(std::move(tree));
+}
+
+StructuralCharacteristic StructuralCharacteristic::from_indexed_tree(OrgUnit tree) {
+  StructuralCharacteristic sc;
+  sc.root_ = std::move(tree);
+  sc.norm_ = sc.root_.terms.max_count();
+  double total = 0.0;
+  if (sc.norm_ > 0) {
+    for (const auto& [term, count] : sc.root_.terms.counts) {
+      total += static_cast<double>(count) * keyword_weight(count, sc.norm_);
+    }
+  }
+  sc.weighted_total_ = total;
+  assign_info_content(sc.root_, sc);
+  return sc;
+}
+
+StructuralCharacteristic ScGenerator::generate(const xml::Document& document) const {
+  return generate(recognize(document));
+}
+
+Query Query::from_text(std::string_view text, const text::KeywordExtractor& extractor) {
+  Query q;
+  q.terms_ = extractor.extract_text(text);
+  return q;
+}
+
+Query Query::from_terms(text::TermCounts terms) {
+  Query q;
+  q.terms_ = std::move(terms);
+  return q;
+}
+
+double Query::weight(std::string_view term) const {
+  const long c = terms_.count(term);
+  if (c <= 0) return 0.0;
+  return keyword_weight(c, terms_.max_count());
+}
+
+ContentScorer::ContentScorer(const StructuralCharacteristic& sc, Query query)
+    : sc_(&sc), query_(std::move(query)) {
+  const auto& doc_terms = sc.document_terms();
+  double qic_denom = 0.0;
+  double query_side = 0.0;  // Σ_{a∈D∩Q} |a_D|·ω_a^Q, the λ-scaled MQIC extra
+  for (const auto& [term, q_count] : query_.terms().counts) {
+    (void)q_count;
+    const long d_count = doc_terms.count(term);
+    if (d_count <= 0) continue;
+    const double wd = sc.weight(term);
+    const double wq = query_.weight(term);
+    qic_denom += static_cast<double>(d_count) * wd * wq;
+    query_side += static_cast<double>(d_count) * wq;
+  }
+  qic_denominator_ = qic_denom;
+
+  const long q_total = query_.total_occurrences();
+  lambda_ = (q_total > 0)
+                ? static_cast<double>(doc_terms.total()) / static_cast<double>(q_total)
+                : 0.0;
+  mqic_denominator_ = sc.weighted_total() + lambda_ * query_side;
+}
+
+double ContentScorer::qic(const OrgUnit& unit) const {
+  if (qic_denominator_ <= 0.0) return 0.0;
+  double numer = 0.0;
+  for (const auto& [term, q_count] : query_.terms().counts) {
+    (void)q_count;
+    const long u_count = unit.terms.count(term);
+    if (u_count <= 0) continue;
+    numer += static_cast<double>(u_count) * sc_->weight(term) * query_.weight(term);
+  }
+  return numer / qic_denominator_;
+}
+
+double ContentScorer::mqic(const OrgUnit& unit) const {
+  if (mqic_denominator_ <= 0.0) return 0.0;
+  // Σ_{a∈n_i} |a|·ω_a is the unit's IC numerator, recoverable from p_i.
+  double numer = unit.info_content * sc_->weighted_total();
+  for (const auto& [term, q_count] : query_.terms().counts) {
+    (void)q_count;
+    const long u_count = unit.terms.count(term);
+    if (u_count <= 0) continue;
+    numer += lambda_ * static_cast<double>(u_count) * query_.weight(term);
+  }
+  return numer / mqic_denominator_;
+}
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,135 @@
+// Information content, the Structural Characteristic, and the query-based
+// variants QIC and MQIC (paper §3.1–§3.3).
+//
+// Definitions implemented verbatim:
+//   ω_a   = 1 − log2(|a_D| / ‖V_D‖∞)                       (keyword weight)
+//   p_i   = Σ_{a∈n_i} |a_{n_i}|·ω_a / Σ_{d∈D} |d_D|·ω_d     (IC)
+//   ω_a^Q = 1 − log2(|a_Q| / ‖V_Q‖∞), 0 if a ∉ Q            (query weight)
+//   q_i^Q = Σ_{a∈n_i∩Q} |a|·ω_a·ω_a^Q / Σ_{d∈D∩Q} |d|·ω_d·ω_d^Q   (QIC)
+//   λ     = Σ_{a∈D} |a_D| / Σ_{a∈Q} |a_Q|                   (MQIC scale)
+//   q̃_i^Q = Σ_{a∈n_i} |a|·(ω_a + λ·ω_a^Q) / Σ_{d∈D} |d|·(ω_d + λ·ω_d^Q)
+//
+// The infinity norm is used for both document and query occurrence vectors,
+// so "the weight of each keyword [is] determined without human intervention".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "doc/unit.hpp"
+#include "text/keywords.hpp"
+#include "xml/dom.hpp"
+
+namespace mobiweb::doc {
+
+// ω for a term occurring `count` times when the most frequent term occurs
+// `inf_norm` times. count in [1, inf_norm] gives ω in [1, 1 + log2(inf_norm)].
+double keyword_weight(long count, long inf_norm);
+
+// The SC: the organizational-unit tree annotated with keyword statistics and
+// static information content (the "tree-like indexing structure" of §3).
+class StructuralCharacteristic {
+ public:
+  [[nodiscard]] const OrgUnit& root() const { return root_; }
+  [[nodiscard]] const text::TermCounts& document_terms() const { return root_.terms; }
+  [[nodiscard]] long norm() const { return norm_; }
+
+  // ω_a; 0 when the term does not occur in the document.
+  [[nodiscard]] double weight(std::string_view term) const;
+
+  // Σ_{d∈D} |d_D|·ω_d — the IC denominator.
+  [[nodiscard]] double weighted_total() const { return weighted_total_; }
+
+  // DFS listing (root included, depth 0), for Table-1-style output.
+  struct Row {
+    std::string label;
+    const OrgUnit* unit;
+    std::size_t depth;
+  };
+  [[nodiscard]] std::vector<Row> rows() const;
+
+  // Rebuilds an SC from a unit tree whose per-unit `terms` are already
+  // populated (e.g. parsed back from a serialized SC, see doc/sc_io.hpp).
+  // Norm, keyword weights and information content are recomputed from the
+  // term counts; own_text/own_tokens are not needed — the SC is an index.
+  static StructuralCharacteristic from_indexed_tree(OrgUnit tree);
+
+ private:
+  friend class ScGenerator;
+  OrgUnit root_;
+  long norm_ = 0;
+  double weighted_total_ = 0.0;
+};
+
+struct ScOptions {
+  text::KeywordOptions keywords;
+};
+
+// Final pipeline stage ("structural characteristic generator"): computes each
+// unit's keyword index and information content. Combined with recognize()
+// this realizes the five-module pipeline of §3.3 — recognizer, lemmatizer,
+// word filter, keyword extractor, SC generator.
+class ScGenerator {
+ public:
+  explicit ScGenerator(ScOptions options = {});
+
+  // Consumes a recognized unit tree.
+  [[nodiscard]] StructuralCharacteristic generate(OrgUnit tree) const;
+  // Convenience: recognize + generate.
+  [[nodiscard]] StructuralCharacteristic generate(const xml::Document& document) const;
+
+  [[nodiscard]] const text::KeywordExtractor& extractor() const { return extractor_; }
+
+ private:
+  text::KeywordExtractor extractor_;
+};
+
+// A keyword-based search query (§3.2). Words are normalized through the same
+// pipeline as document keywords so they compare equal after stemming;
+// repeated words carry multiplicity.
+class Query {
+ public:
+  Query() = default;
+  static Query from_text(std::string_view text, const text::KeywordExtractor& extractor);
+  static Query from_terms(text::TermCounts terms);
+
+  [[nodiscard]] const text::TermCounts& terms() const { return terms_; }
+  [[nodiscard]] bool empty() const { return terms_.counts.empty(); }
+  [[nodiscard]] long total_occurrences() const { return terms_.total(); }
+  [[nodiscard]] long norm() const { return terms_.max_count(); }
+
+  // ω_a^Q: 0 when the term is not a querying word.
+  [[nodiscard]] double weight(std::string_view term) const;
+
+ private:
+  text::TermCounts terms_;
+};
+
+// Evaluates QIC and MQIC for units of one SC against one query. Denominators
+// and λ are computed once at construction; per-unit evaluation then only
+// touches the (few) querying words.
+class ContentScorer {
+ public:
+  ContentScorer(const StructuralCharacteristic& sc, Query query);
+
+  // Static information content (precomputed on the unit).
+  [[nodiscard]] static double ic(const OrgUnit& unit) { return unit.info_content; }
+
+  [[nodiscard]] double qic(const OrgUnit& unit) const;
+  [[nodiscard]] double mqic(const OrgUnit& unit) const;
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+  // False when no querying word occurs in the document (every QIC is then 0).
+  [[nodiscard]] bool query_matches() const { return qic_denominator_ > 0.0; }
+  [[nodiscard]] const Query& query() const { return query_; }
+
+ private:
+  const StructuralCharacteristic* sc_;
+  Query query_;
+  double qic_denominator_ = 0.0;
+  double mqic_denominator_ = 0.0;
+  double lambda_ = 0.0;
+};
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,58 @@
+#include "doc/content_alt.hpp"
+
+#include <cmath>
+
+namespace mobiweb::doc {
+
+void CorpusStats::add_document(const StructuralCharacteristic& sc) {
+  ++documents_;
+  for (const auto& [term, count] : sc.document_terms().counts) {
+    (void)count;
+    ++df_[term];
+  }
+}
+
+long CorpusStats::document_frequency(std::string_view term) const {
+  const auto it = df_.find(std::string(term));
+  return it == df_.end() ? 0 : it->second;
+}
+
+double CorpusStats::idf(std::string_view term) const {
+  const double d = static_cast<double>(documents_);
+  const double df = static_cast<double>(document_frequency(term));
+  return std::log((1.0 + d) / (1.0 + df)) + 1.0;
+}
+
+namespace {
+std::size_t subtree_text_bytes(const OrgUnit& unit) {
+  std::size_t bytes = unit.own_text.size() + unit.title.size();
+  for (const auto& c : unit.children) bytes += subtree_text_bytes(c);
+  return bytes;
+}
+}  // namespace
+
+double length_content(const StructuralCharacteristic& sc, const OrgUnit& unit) {
+  const std::size_t total = subtree_text_bytes(sc.root());
+  if (total == 0) return 0.0;
+  return static_cast<double>(subtree_text_bytes(unit)) /
+         static_cast<double>(total);
+}
+
+TfIdfScorer::TfIdfScorer(const StructuralCharacteristic& sc,
+                         const CorpusStats& corpus)
+    : corpus_(&corpus) {
+  for (const auto& [term, count] : sc.document_terms().counts) {
+    denominator_ += static_cast<double>(count) * corpus.idf(term);
+  }
+}
+
+double TfIdfScorer::content(const OrgUnit& unit) const {
+  if (denominator_ <= 0.0) return 0.0;
+  double numerator = 0.0;
+  for (const auto& [term, count] : unit.terms.counts) {
+    numerator += static_cast<double>(count) * corpus_->idf(term);
+  }
+  return numerator / denominator_;
+}
+
+}  // namespace mobiweb::doc

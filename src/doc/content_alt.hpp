@@ -1,0 +1,63 @@
+// Alternative information-content definitions.
+//
+// The paper's §6: "Alternative ways of defining the information content of a
+// document would be explored." This module provides the two natural
+// contenders next to the paper's log-weighted scheme, in the same normalized,
+// additive form so they drop into linearize()/ranking unchanged:
+//
+//   * LengthContent   — content proportional to a unit's share of the
+//                       document text (the "bytes are bytes" null model;
+//                       ranking by it reproduces size order).
+//   * TfIdfContent    — classic TF-IDF against a corpus: terms that are rare
+//                       across the corpus weigh more, so boilerplate shared
+//                       by every document stops inflating units.
+//
+// CorpusStats accumulates document frequencies across published documents
+// (the Server-side corpus) and hands out idf weights.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+
+#include "doc/content.hpp"
+
+namespace mobiweb::doc {
+
+// Document-frequency statistics over a corpus of SCs.
+class CorpusStats {
+ public:
+  // Registers one document's term set (counts ignored, presence only).
+  void add_document(const StructuralCharacteristic& sc);
+
+  [[nodiscard]] long documents() const { return documents_; }
+  [[nodiscard]] long document_frequency(std::string_view term) const;
+
+  // Smoothed idf: ln((1 + D) / (1 + df)) + 1, always positive so unseen
+  // corpora degrade to plain TF.
+  [[nodiscard]] double idf(std::string_view term) const;
+
+ private:
+  long documents_ = 0;
+  std::unordered_map<std::string, long> df_;
+};
+
+// Content by text share: unit subtree bytes / document bytes. Additive by
+// construction; the root scores 1 (or 0 for an empty document).
+double length_content(const StructuralCharacteristic& sc, const OrgUnit& unit);
+
+// TF-IDF content of a unit, normalized so the document root scores 1:
+//   Σ_{a∈unit} |a_unit| · idf(a)  /  Σ_{d∈doc} |d_doc| · idf(d)
+// Additive over subtrees exactly like the paper's IC.
+class TfIdfScorer {
+ public:
+  TfIdfScorer(const StructuralCharacteristic& sc, const CorpusStats& corpus);
+
+  [[nodiscard]] double content(const OrgUnit& unit) const;
+  [[nodiscard]] double denominator() const { return denominator_; }
+
+ private:
+  const CorpusStats* corpus_;
+  double denominator_ = 0.0;
+};
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,141 @@
+#include "doc/linear.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/lzss.hpp"
+
+namespace mobiweb::doc {
+
+double LinearDocument::total_content() const {
+  double t = 0.0;
+  for (const auto& s : segments) t += s.content;
+  return t;
+}
+
+double LinearDocument::content_of_prefix(std::size_t nbytes) const {
+  return content_of_range(0, nbytes);
+}
+
+double LinearDocument::content_of_range(std::size_t begin, std::size_t end) const {
+  if (end <= begin) return 0.0;
+  double total = 0.0;
+  for (const auto& s : segments) {
+    if (s.size == 0) {
+      // Zero-byte unit: counts once its position has been passed.
+      if (s.offset >= begin && s.offset < end) total += s.content;
+      continue;
+    }
+    const std::size_t s_end = s.offset + s.size;
+    const std::size_t lo = std::max(begin, s.offset);
+    const std::size_t hi = std::min(end, s_end);
+    if (hi > lo) {
+      total += s.content * static_cast<double>(hi - lo) / static_cast<double>(s.size);
+    }
+  }
+  return total;
+}
+
+std::string render_unit_text(const OrgUnit& unit) {
+  std::string out;
+  const auto append_line = [&out](const std::string& s) {
+    if (s.empty()) return;
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+    out += s;
+  };
+  append_line(unit.title);
+  append_line(unit.own_text);
+  for (const auto& child : unit.children) {
+    append_line(render_unit_text(child));
+  }
+  return out;
+}
+
+LinearDocument linearize(const StructuralCharacteristic& sc,
+                         const LinearizeOptions& options) {
+  const auto frontier = frontier_at(sc.root(), options.lod);
+
+  // Build (unit, label, score) triples in document order.
+  struct Entry {
+    const OrgUnit* unit;
+    std::string label;
+    double score;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(frontier.size());
+  {
+    // Labels come from a walk keyed by unit address.
+    std::size_t next = 0;
+    walk(sc.root(), [&](const OrgUnit& u, const std::vector<std::size_t>& path) {
+      if (next < frontier.size() && &u == frontier[next]) {
+        entries.push_back(Entry{&u, unit_label(path), 0.0});
+        ++next;
+      }
+    });
+    MOBIWEB_CHECK_MSG(entries.size() == frontier.size(),
+                      "linearize: frontier/walk mismatch");
+  }
+
+  for (auto& e : entries) {
+    switch (options.rank) {
+      case RankBy::kDocumentOrder:
+        e.score = e.unit->info_content;
+        break;
+      case RankBy::kIc:
+        e.score = e.unit->info_content;
+        break;
+      case RankBy::kQic:
+        MOBIWEB_CHECK_MSG(options.scorer != nullptr, "linearize: QIC needs a scorer");
+        e.score = options.scorer->qic(*e.unit);
+        break;
+      case RankBy::kMqic:
+        MOBIWEB_CHECK_MSG(options.scorer != nullptr, "linearize: MQIC needs a scorer");
+        e.score = options.scorer->mqic(*e.unit);
+        break;
+    }
+  }
+
+  if (options.rank != RankBy::kDocumentOrder) {
+    // Stable: equal scores keep document order.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  }
+
+  LinearDocument out;
+  out.compressed_units = options.compress;
+  for (const auto& e : entries) {
+    const std::string text = render_unit_text(*e.unit);
+    Bytes bytes(text.begin(), text.end());
+    if (options.compress) {
+      bytes = lzss_compress(ByteSpan(bytes));
+    }
+    Segment seg;
+    seg.label = e.label;
+    seg.offset = out.payload.size();
+    seg.size = bytes.size();
+    seg.content = e.score;
+    out.segments.push_back(std::move(seg));
+    out.payload.insert(out.payload.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::string reassemble_text(const LinearDocument& doc) {
+  std::string out;
+  for (const auto& seg : doc.segments) {
+    MOBIWEB_CHECK_MSG(seg.offset + seg.size <= doc.payload.size(),
+                      "reassemble_text: segment out of payload bounds");
+    const ByteSpan bytes =
+        ByteSpan(doc.payload).subspan(seg.offset, seg.size);
+    if (doc.compressed_units) {
+      const Bytes raw = lzss_decompress(bytes);
+      out.append(raw.begin(), raw.end());
+    } else {
+      out.append(bytes.begin(), bytes.end());
+    }
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,75 @@
+// Linearization: turning a document into the ordered byte stream that the
+// fault-tolerant transmitter will cut into raw packets (paper §4.2: "the
+// organizational units at the appropriate level are ranked and transmitted
+// according to QIC", then "the permuted sequence of organizational units ...
+// are transformed into N cooked packets").
+#pragma once
+
+#include <vector>
+
+#include "doc/content.hpp"
+#include "doc/unit.hpp"
+#include "util/bytes.hpp"
+
+namespace mobiweb::doc {
+
+// Ranking measure for the transmission order.
+enum class RankBy {
+  kDocumentOrder,  // conventional sequential transmission
+  kIc,             // static information content
+  kQic,            // query-based
+  kMqic,           // modified query-based
+};
+
+struct Segment {
+  std::string label;       // organizational-unit label ("3.2.1")
+  std::size_t offset = 0;  // byte offset within the payload
+  std::size_t size = 0;    // byte length
+  double content = 0.0;    // information content carried by this unit
+};
+
+// The permuted document: payload bytes plus the unit map. `content` across
+// segments sums to the document's total measured content (1.0 for IC when the
+// whole tree is covered and the root carries no own text).
+struct LinearDocument {
+  Bytes payload;
+  std::vector<Segment> segments;
+  // True when each segment's bytes are LZSS-compressed unit text (the
+  // prototype's compression interceptor); reassemble_text() decompresses.
+  bool compressed_units = false;
+
+  [[nodiscard]] double total_content() const;
+
+  // Information content contained in the first `nbytes` of the payload,
+  // accruing proportionally within a partially covered segment. This models
+  // the client's "received information content" as clear-text packets arrive.
+  [[nodiscard]] double content_of_prefix(std::size_t nbytes) const;
+
+  // Content carried by the byte range [begin, end).
+  [[nodiscard]] double content_of_range(std::size_t begin, std::size_t end) const;
+};
+
+struct LinearizeOptions {
+  Lod lod = Lod::kParagraph;
+  RankBy rank = RankBy::kIc;
+  // Required when rank is kQic/kMqic; segment content is then that measure.
+  const ContentScorer* scorer = nullptr;
+  // Compress each unit's text independently (LZSS). Units stay individually
+  // decodable, so incremental rendering still works once a unit's packets
+  // have all arrived.
+  bool compress = false;
+};
+
+// Renders one unit subtree as transmission text (title line + own text +
+// children in document order).
+std::string render_unit_text(const OrgUnit& unit);
+
+LinearDocument linearize(const StructuralCharacteristic& sc,
+                         const LinearizeOptions& options = {});
+
+// Reconstructs the document text from a (fully received) payload, segment by
+// segment in transmission order, decompressing when compressed_units is set.
+// Throws std::invalid_argument on corrupt compressed data.
+std::string reassemble_text(const LinearDocument& doc);
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,51 @@
+#include "doc/lod.hpp"
+
+namespace mobiweb::doc {
+
+std::string_view lod_name(Lod lod) {
+  switch (lod) {
+    case Lod::kDocument: return "document";
+    case Lod::kSection: return "section";
+    case Lod::kSubsection: return "subsection";
+    case Lod::kSubsubsection: return "subsubsection";
+    case Lod::kParagraph: return "paragraph";
+  }
+  return "unknown";
+}
+
+std::optional<Lod> lod_from_name(std::string_view name) {
+  if (name == "document") return Lod::kDocument;
+  if (name == "section") return Lod::kSection;
+  if (name == "subsection") return Lod::kSubsection;
+  if (name == "subsubsection") return Lod::kSubsubsection;
+  if (name == "paragraph") return Lod::kParagraph;
+  return std::nullopt;
+}
+
+std::optional<Lod> lod_from_element(std::string_view element_name) {
+  if (element_name == "document" || element_name == "paper" ||
+      element_name == "research-paper" || element_name == "article") {
+    return Lod::kDocument;
+  }
+  if (element_name == "abstract" || element_name == "section" ||
+      element_name == "sect") {
+    return Lod::kSection;
+  }
+  if (element_name == "subsection" || element_name == "subsect") {
+    return Lod::kSubsection;
+  }
+  if (element_name == "subsubsection" || element_name == "subsubsect") {
+    return Lod::kSubsubsection;
+  }
+  if (element_name == "para" || element_name == "paragraph" || element_name == "p") {
+    return Lod::kParagraph;
+  }
+  return std::nullopt;
+}
+
+Lod finer(Lod lod) {
+  const int v = static_cast<int>(lod);
+  return v >= kLodCount - 1 ? Lod::kParagraph : static_cast<Lod>(v + 1);
+}
+
+}  // namespace mobiweb::doc

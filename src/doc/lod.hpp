@@ -1,0 +1,45 @@
+// Levels of detail (paper §3): document, section, subsection, subsubsection,
+// paragraph. "Our definition of LOD is an abstraction to the actual
+// formatting tags" — lod_from_element maps XML element names onto the
+// abstraction.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mobiweb::doc {
+
+enum class Lod {
+  kDocument = 0,
+  kSection = 1,
+  kSubsection = 2,
+  kSubsubsection = 3,
+  kParagraph = 4,
+};
+
+inline constexpr int kLodCount = 5;
+
+// "document", "section", ...
+std::string_view lod_name(Lod lod);
+
+// Parses a LOD name back; nullopt for unknown names.
+std::optional<Lod> lod_from_name(std::string_view name);
+
+// Maps an XML element name to a LOD. Recognized spellings:
+//   document/paper/research-paper/article -> document
+//   abstract/section/sect                 -> section  (abstract = section 0)
+//   subsection/subsect                    -> subsection
+//   subsubsection/subsubsect              -> subsubsection
+//   para/paragraph/p                      -> paragraph
+// Anything else returns nullopt (formatting markup, titles, etc.).
+std::optional<Lod> lod_from_element(std::string_view element_name);
+
+// The next finer level (paragraph maps to itself).
+Lod finer(Lod lod);
+
+// a is at least as coarse as b.
+inline bool coarser_or_equal(Lod a, Lod b) {
+  return static_cast<int>(a) <= static_cast<int>(b);
+}
+
+}  // namespace mobiweb::doc

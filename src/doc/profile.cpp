@@ -1,0 +1,66 @@
+#include "doc/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mobiweb::doc {
+
+UserProfile::UserProfile(double learning_rate) : rate_(learning_rate) {
+  MOBIWEB_CHECK_MSG(learning_rate > 0.0 && learning_rate <= 1.0,
+                    "UserProfile: learning_rate in (0,1]");
+}
+
+void UserProfile::observe(const text::TermCounts& document_terms, bool relevant) {
+  const long total = document_terms.total();
+  if (total <= 0) return;
+  const double sign = relevant ? 1.0 : -1.0;
+  for (const auto& [term, count] : document_terms.counts) {
+    const double tf = static_cast<double>(count) / static_cast<double>(total);
+    double& w = weights_[term];
+    w = std::clamp(w + rate_ * sign * tf, -1.0, 1.0);
+  }
+  ++feedback_count_;
+}
+
+double UserProfile::term_weight(std::string_view term) const {
+  const auto it = weights_.find(std::string(term));
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+double UserProfile::score(const text::TermCounts& document_terms) const {
+  const long total = document_terms.total();
+  if (total <= 0) return 0.0;
+  double s = 0.0;
+  for (const auto& [term, count] : document_terms.counts) {
+    const auto it = weights_.find(term);
+    if (it == weights_.end()) continue;
+    s += it->second * static_cast<double>(count) / static_cast<double>(total);
+  }
+  return std::clamp(s, -1.0, 1.0);
+}
+
+double UserProfile::score(const StructuralCharacteristic& sc) const {
+  return score(sc.document_terms());
+}
+
+void UserProfile::decay(double factor) {
+  MOBIWEB_CHECK_MSG(factor >= 0.0 && factor <= 1.0, "UserProfile::decay: [0,1]");
+  for (auto& [term, w] : weights_) w *= factor;
+}
+
+std::vector<std::pair<std::string, double>> UserProfile::top_terms(
+    std::size_t k) const {
+  std::vector<std::pair<std::string, double>> out(weights_.begin(), weights_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (std::fabs(a.second) != std::fabs(b.second)) {
+      return std::fabs(a.second) > std::fabs(b.second);
+    }
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace mobiweb::doc

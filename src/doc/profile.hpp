@@ -1,0 +1,55 @@
+// User profile — relevance-feedback term weighting.
+//
+// The paper's related-work and future-work sections call for "intelligent
+// prefetching based on information content and user-profiling" and for
+// profiles that "adapt to changes in user interest" via relevance feedback.
+// UserProfile is that component: a term-weight vector nudged toward the
+// keyword distribution of documents the user found relevant and away from
+// those judged irrelevant.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "doc/content.hpp"
+#include "text/keywords.hpp"
+
+namespace mobiweb::doc {
+
+class UserProfile {
+ public:
+  // learning_rate in (0, 1]: how strongly one feedback event moves weights.
+  explicit UserProfile(double learning_rate = 0.2);
+
+  // Relevance feedback: the user judged a document (given by its keyword
+  // counts) relevant or irrelevant. Term weights move toward +tf for
+  // relevant and -tf for irrelevant documents, staying in [-1, 1].
+  void observe(const text::TermCounts& document_terms, bool relevant);
+
+  // Current interest weight of a term; 0 when never seen.
+  [[nodiscard]] double term_weight(std::string_view term) const;
+
+  // Interest score of a document: profile-weighted term-frequency mass, in
+  // [-1, 1]. Positive = matches the user's interests.
+  [[nodiscard]] double score(const text::TermCounts& document_terms) const;
+  [[nodiscard]] double score(const StructuralCharacteristic& sc) const;
+
+  // Decay all weights toward 0 (interest drift); factor in [0, 1].
+  void decay(double factor);
+
+  [[nodiscard]] std::size_t size() const { return weights_.size(); }
+  [[nodiscard]] long feedback_count() const { return feedback_count_; }
+
+  // Top-k terms by |weight|, strongest first (introspection/debugging).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> top_terms(
+      std::size_t k) const;
+
+ private:
+  double rate_;
+  std::unordered_map<std::string, double> weights_;
+  long feedback_count_ = 0;
+};
+
+}  // namespace mobiweb::doc

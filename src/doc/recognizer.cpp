@@ -1,0 +1,191 @@
+#include "doc/recognizer.hpp"
+
+#include <string_view>
+
+namespace mobiweb::doc {
+
+namespace {
+
+bool is_emphasis_element(std::string_view name) {
+  return name == "em" || name == "i" || name == "b" || name == "strong" ||
+         name == "bold" || name == "italic" || name == "emph" || name == "it" ||
+         name == "bf" || name == "u";
+}
+
+bool is_title_element(std::string_view name) {
+  return name == "title" || name == "caption" || name == "heading";
+}
+
+// A text run being accumulated between unit boundaries.
+struct Run {
+  std::string text;
+  std::vector<text::Token> tokens;
+
+  [[nodiscard]] bool blank() const {
+    return text.find_first_not_of(" \t\r\n") == std::string::npos;
+  }
+};
+
+// Groups consecutive children deeper than the parent's next level under a
+// virtual intermediate unit. Subsubsections are optional and never
+// synthesized.
+void group_deep_children(OrgUnit& unit) {
+  const Lod next = finer(unit.lod);
+  const bool can_wrap =
+      unit.lod != Lod::kParagraph && next != Lod::kSubsubsection;
+  if (can_wrap) {
+    std::vector<OrgUnit> regrouped;
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::size_t open_virtual = kNone;  // index into regrouped
+    for (auto& child : unit.children) {
+      const bool too_deep = static_cast<int>(child.lod) > static_cast<int>(next);
+      if (too_deep) {
+        if (open_virtual == kNone) {
+          OrgUnit v;
+          v.lod = next;
+          v.virtual_unit = true;
+          regrouped.push_back(std::move(v));
+          open_virtual = regrouped.size() - 1;
+        }
+        regrouped[open_virtual].children.push_back(std::move(child));
+      } else {
+        open_virtual = kNone;
+        regrouped.push_back(std::move(child));
+      }
+    }
+    unit.children = std::move(regrouped);
+  }
+  for (auto& child : unit.children) {
+    if (child.virtual_unit && !child.children.empty()) {
+      group_deep_children(child);
+    }
+  }
+}
+
+class Builder {
+ public:
+  explicit Builder(const RecognizerOptions& options) : options_(options) {}
+
+  OrgUnit build(const xml::Node& element, Lod lod) {
+    OrgUnit unit;
+    unit.lod = lod;
+
+    std::vector<Run> runs;     // text runs, in order
+    std::vector<OrgUnit> kids; // unit children, in order
+    // Interleaving: order[i] = true -> next run, false -> next kid.
+    std::vector<bool> order;
+    Run current;
+
+    auto flush_run = [&] {
+      if (!current.blank()) {
+        runs.push_back(std::move(current));
+        order.push_back(true);
+      }
+      current = Run{};
+    };
+
+    collect(element, unit, current, [&](const xml::Node& child_elem, Lod child_lod) {
+      flush_run();
+      kids.push_back(build(child_elem, child_lod));
+      order.push_back(false);
+    }, /*emphasized=*/false);
+    flush_run();
+
+    if (kids.empty()) {
+      // Leaf: merge every run into the unit's own text.
+      for (auto& run : runs) {
+        if (!unit.own_text.empty()) unit.own_text.push_back('\n');
+        unit.own_text += run.text;
+        unit.own_tokens.insert(unit.own_tokens.end(), run.tokens.begin(),
+                               run.tokens.end());
+      }
+    } else {
+      // Interior: each text run becomes a virtual paragraph, in order.
+      std::size_t run_idx = 0;
+      std::size_t kid_idx = 0;
+      for (bool is_run : order) {
+        if (is_run) {
+          OrgUnit para;
+          para.lod = Lod::kParagraph;
+          para.virtual_unit = true;
+          para.own_text = std::move(runs[run_idx].text);
+          para.own_tokens = std::move(runs[run_idx].tokens);
+          ++run_idx;
+          unit.children.push_back(std::move(para));
+        } else {
+          unit.children.push_back(std::move(kids[kid_idx++]));
+        }
+      }
+      group_deep_children(unit);
+    }
+    return unit;
+  }
+
+ private:
+  // Walks an element's content. Unit-bearing child elements are reported via
+  // `on_unit`; everything else lands in `current` (or on the unit for titles).
+  template <typename OnUnit>
+  void collect(const xml::Node& element, OrgUnit& unit, Run& current,
+               const OnUnit& on_unit, bool emphasized) {
+    for (const auto& child : element.children) {
+      switch (child.type) {
+        case xml::NodeType::kText:
+        case xml::NodeType::kCData: {
+          current.text += child.text;
+          for (auto& tok : text::tokenize(child.text, emphasized)) {
+            current.tokens.push_back(std::move(tok));
+          }
+          break;
+        }
+        case xml::NodeType::kComment:
+        case xml::NodeType::kProcessing:
+          break;
+        case xml::NodeType::kElement: {
+          if (auto lod = lod_from_element(child.name)) {
+            on_unit(child, *lod);
+            break;
+          }
+          if (is_title_element(child.name)) {
+            const std::string title_text = child.text_content();
+            if (unit.title.empty()) {
+              unit.title = title_text;
+            } else {
+              unit.title += " / " + title_text;
+            }
+            for (auto& tok :
+                 text::tokenize(title_text, options_.title_emphasized)) {
+              unit.own_tokens.push_back(std::move(tok));
+            }
+            break;
+          }
+          // Transparent container or emphasis markup: descend in place.
+          const bool child_emphasis = emphasized || is_emphasis_element(child.name);
+          collect(child, unit, current, on_unit, child_emphasis);
+          break;
+        }
+      }
+    }
+  }
+
+  RecognizerOptions options_;
+};
+
+void normalize_all(OrgUnit& unit) {
+  group_deep_children(unit);
+  for (auto& child : unit.children) normalize_all(child);
+}
+
+}  // namespace
+
+void normalize_units(OrgUnit& root) { normalize_all(root); }
+
+OrgUnit recognize(const xml::Node& root_element, const RecognizerOptions& options) {
+  Builder builder(options);
+  return builder.build(root_element, Lod::kDocument);
+}
+
+OrgUnit recognize(const xml::Document& document, const RecognizerOptions& options) {
+  return recognize(document.root, options);
+}
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,44 @@
+// Document recognizer — first stage of the SC pipeline (§3.3): "converts an
+// XML document into a plain text document, taking consideration of formatting
+// information including the hierarchical document structure and those
+// specially formatted words."
+//
+// Mapping rules:
+//   * Elements naming a LOD (section, subsection, para, ...; see
+//     lod_from_element) become organizational units.
+//   * <title> children set the unit title; title words are treated as
+//     specially formatted (emphasized) tokens of the unit.
+//   * Emphasis markup (em, i, b, strong, bold, italic, emph) marks its words
+//     emphasized; such words always qualify as keywords.
+//   * Unknown elements are transparent containers (e.g. <body>, <figure>).
+//   * Text sitting directly inside a unit that also has sub-units becomes a
+//     *virtual* paragraph, and runs of units deeper than the parent's next
+//     level are grouped under a *virtual* intermediate unit — the paper's
+//     "Paragraphs not belonging to any subsection are grouped under a virtual
+//     subsection". The optional subsubsection level is never synthesized,
+//     matching the paper's labelling (3.0.1 = paragraph under virtual
+//     subsection 3.0).
+#pragma once
+
+#include "doc/unit.hpp"
+#include "xml/dom.hpp"
+
+namespace mobiweb::doc {
+
+struct RecognizerOptions {
+  // Treat title words as emphasized (they qualify as keywords).
+  bool title_emphasized = true;
+};
+
+// Builds the organizational-unit tree from a parsed XML document. The root
+// element becomes the document unit regardless of its name.
+OrgUnit recognize(const xml::Document& document, const RecognizerOptions& options = {});
+OrgUnit recognize(const xml::Node& root_element, const RecognizerOptions& options = {});
+
+// Applies the virtual-unit grouping rule to an externally built tree (used by
+// the HTML structurer and tests): consecutive children deeper than their
+// parent's next level are wrapped in a virtual intermediate unit; the
+// optional subsubsection level is never synthesized.
+void normalize_units(OrgUnit& root);
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,103 @@
+#include "doc/sc_io.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "xml/parser.hpp"
+#include "xml/serialize.hpp"
+
+namespace mobiweb::doc {
+
+namespace {
+
+xml::Node unit_to_node(const OrgUnit& unit) {
+  xml::Node node = xml::make_element("unit");
+  node.attributes.push_back({"lod", std::string(lod_name(unit.lod))});
+  if (!unit.title.empty()) node.attributes.push_back({"title", unit.title});
+  if (unit.virtual_unit) node.attributes.push_back({"virtual", "1"});
+  node.attributes.push_back({"ic", std::to_string(unit.info_content)});
+
+  // Per-unit keyword index, deterministic order.
+  if (unit.terms.distinct() > 0) {
+    xml::Node terms = xml::make_element("terms");
+    for (const auto& [term, count] : unit.terms.sorted()) {
+      xml::Node t = xml::make_element("t");
+      t.attributes.push_back({"w", term});
+      t.attributes.push_back({"c", std::to_string(count)});
+      terms.children.push_back(std::move(t));
+    }
+    node.children.push_back(std::move(terms));
+  }
+  for (const auto& child : unit.children) {
+    node.children.push_back(unit_to_node(child));
+  }
+  return node;
+}
+
+long parse_long(std::string_view s, const char* what) {
+  long value = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("sc_io: bad ") + what);
+  }
+  return value;
+}
+
+OrgUnit node_to_unit(const xml::Node& node) {
+  if (node.name != "unit") {
+    throw std::invalid_argument("sc_io: expected <unit>, got <" + node.name + ">");
+  }
+  OrgUnit unit;
+  const auto lod_attr = node.attribute("lod");
+  if (!lod_attr) throw std::invalid_argument("sc_io: <unit> missing lod");
+  const auto lod = lod_from_name(*lod_attr);
+  if (!lod) throw std::invalid_argument("sc_io: unknown lod '" + std::string(*lod_attr) + "'");
+  unit.lod = *lod;
+  if (const auto title = node.attribute("title")) unit.title = std::string(*title);
+  unit.virtual_unit = node.attribute("virtual").value_or("0") == "1";
+
+  for (const auto& child : node.children) {
+    if (!child.is_element()) continue;
+    if (child.name == "terms") {
+      for (const auto& t : child.children) {
+        if (!t.is_element() || t.name != "t") continue;
+        const auto w = t.attribute("w");
+        const auto c = t.attribute("c");
+        if (!w || !c) throw std::invalid_argument("sc_io: <t> missing w/c");
+        const long count = parse_long(*c, "term count");
+        if (count <= 0) throw std::invalid_argument("sc_io: non-positive term count");
+        unit.terms.add(std::string(*w), count);
+      }
+    } else if (child.name == "unit") {
+      unit.children.push_back(node_to_unit(child));
+    }
+  }
+  return unit;
+}
+
+}  // namespace
+
+std::string write_sc(const StructuralCharacteristic& sc) {
+  xml::Document doc;
+  doc.root = xml::make_element("sc");
+  doc.root.attributes.push_back({"norm", std::to_string(sc.norm())});
+  doc.root.children.push_back(unit_to_node(sc.root()));
+  xml::WriteOptions opts;
+  opts.indent = "  ";
+  return xml::write(doc, opts);
+}
+
+StructuralCharacteristic parse_sc(std::string_view xml_text) {
+  const xml::Document doc = xml::parse(xml_text, {.keep_comments = false,
+                                                  .strip_whitespace_text = true});
+  if (doc.root.name != "sc") {
+    throw std::invalid_argument("sc_io: root element must be <sc>");
+  }
+  const xml::Node* unit_node = doc.root.child("unit");
+  if (unit_node == nullptr) {
+    throw std::invalid_argument("sc_io: <sc> must contain a <unit>");
+  }
+  return StructuralCharacteristic::from_indexed_tree(node_to_unit(*unit_node));
+}
+
+}  // namespace mobiweb::doc

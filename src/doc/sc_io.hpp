@@ -1,0 +1,28 @@
+// Structural Characteristic serialization.
+//
+// In the prototype architecture (Figure 1) the SC lives beside the document
+// in the server's database and its metadata reaches the client so units can
+// be rendered "at the proper position". sc_io is that wire/storage format:
+// the unit tree with LOD, titles, virtual flags, information content and the
+// per-unit keyword index, as XML.
+//
+// Round trip: parse_sc(write_sc(sc)) reproduces every unit's terms and
+// (recomputed) information content. Unit text is NOT serialized — the SC is
+// an index, the document body travels separately.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "doc/content.hpp"
+
+namespace mobiweb::doc {
+
+// Serializes the SC as an XML document (<sc> root).
+std::string write_sc(const StructuralCharacteristic& sc);
+
+// Parses XML produced by write_sc. Throws xml::ParseError on malformed XML
+// and std::invalid_argument on schema violations (unknown lod, bad counts).
+StructuralCharacteristic parse_sc(std::string_view xml_text);
+
+}  // namespace mobiweb::doc

@@ -1,0 +1,83 @@
+#include "doc/unit.hpp"
+
+namespace mobiweb::doc {
+
+std::size_t OrgUnit::subtree_units() const {
+  std::size_t n = 1;
+  for (const auto& c : children) n += c.subtree_units();
+  return n;
+}
+
+std::string OrgUnit::subtree_text() const {
+  std::string out;
+  std::function<void(const OrgUnit&)> rec = [&](const OrgUnit& u) {
+    if (!u.own_text.empty()) {
+      if (!out.empty()) out.push_back('\n');
+      out += u.own_text;
+    }
+    for (const auto& c : u.children) rec(c);
+  };
+  rec(*this);
+  return out;
+}
+
+std::string unit_label(const std::vector<std::size_t>& path) {
+  if (path.empty()) return "(document)";
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+namespace {
+template <typename UnitT, typename Fn>
+void walk_impl(UnitT& unit, std::vector<std::size_t>& path, const Fn& fn) {
+  fn(unit, path);
+  for (std::size_t i = 0; i < unit.children.size(); ++i) {
+    path.push_back(i);
+    walk_impl(unit.children[i], path, fn);
+    path.pop_back();
+  }
+}
+}  // namespace
+
+void walk(const OrgUnit& root,
+          const std::function<void(const OrgUnit&, const std::vector<std::size_t>&)>& fn) {
+  std::vector<std::size_t> path;
+  walk_impl(root, path, fn);
+}
+
+void walk(OrgUnit& root,
+          const std::function<void(OrgUnit&, const std::vector<std::size_t>&)>& fn) {
+  std::vector<std::size_t> path;
+  walk_impl(root, path, fn);
+}
+
+namespace {
+void frontier_rec(const OrgUnit& unit, Lod lod, std::vector<const OrgUnit*>& out) {
+  if (!coarser_or_equal(unit.lod, lod) || unit.lod == lod || unit.is_leaf()) {
+    out.push_back(&unit);
+    return;
+  }
+  for (const auto& c : unit.children) frontier_rec(c, lod, out);
+}
+}  // namespace
+
+std::vector<const OrgUnit*> frontier_at(const OrgUnit& root, Lod lod) {
+  std::vector<const OrgUnit*> out;
+  frontier_rec(root, lod, out);
+  return out;
+}
+
+const OrgUnit* unit_at_path(const OrgUnit& root, const std::vector<std::size_t>& path) {
+  const OrgUnit* cur = &root;
+  for (std::size_t idx : path) {
+    if (idx >= cur->children.size()) return nullptr;
+    cur = &cur->children[idx];
+  }
+  return cur;
+}
+
+}  // namespace mobiweb::doc

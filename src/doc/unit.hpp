@@ -1,0 +1,70 @@
+// Organizational units (paper §3): the tree of document / section /
+// subsection / subsubsection / paragraph pieces a web document is partitioned
+// into. The tree is value-semantic; derived quantities (keyword counts,
+// information content) are filled in by the SC generator.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "doc/lod.hpp"
+#include "text/keywords.hpp"
+#include "text/tokenize.hpp"
+
+namespace mobiweb::doc {
+
+struct OrgUnit {
+  Lod lod = Lod::kDocument;
+  std::string title;  // e.g. the <title> child's text; may be empty
+  // True for units synthesized to hold text that sat directly inside a
+  // non-leaf unit ("Paragraphs not belonging to any subsection are grouped
+  // under a virtual subsection", §3.3).
+  bool virtual_unit = false;
+
+  // Text belonging directly to this unit (only leaves carry text once the
+  // recognizer has run — virtual units absorb interior text).
+  std::string own_text;
+  // Tokens of own_text with emphasis flags, produced by the recognizer.
+  std::vector<text::Token> own_tokens;
+
+  std::vector<OrgUnit> children;
+
+  // ---- Filled in by the SC generator ----
+  // Keyword occurrences of the whole subtree (own + descendants).
+  text::TermCounts terms;
+  // Static information content p_i (§3.1). The root's is 1 by definition.
+  double info_content = 0.0;
+
+  [[nodiscard]] bool is_leaf() const { return children.empty(); }
+
+  // Total number of units in this subtree (including this one).
+  [[nodiscard]] std::size_t subtree_units() const;
+
+  // Concatenated text of the subtree in document order, separating units
+  // with a single newline.
+  [[nodiscard]] std::string subtree_text() const;
+};
+
+// Hierarchical label of a unit: the root is "" (rendered "(document)");
+// children are numbered from 0 at every level, "2.0.1"-style, matching the
+// paper's Table 1 labelling.
+std::string unit_label(const std::vector<std::size_t>& path);
+
+// Depth-first walk delivering (unit, path); path holds child indices from the
+// root (empty for the root itself).
+void walk(const OrgUnit& root,
+          const std::function<void(const OrgUnit&, const std::vector<std::size_t>&)>& fn);
+void walk(OrgUnit& root,
+          const std::function<void(OrgUnit&, const std::vector<std::size_t>&)>& fn);
+
+// The "frontier" of the tree at a LOD: descending from the root, a unit is
+// emitted when its level is at least `lod` or it has no children; otherwise
+// descent continues. At Lod::kDocument this is just {root}; at
+// Lod::kParagraph it is the set of leaves. Document order is preserved.
+std::vector<const OrgUnit*> frontier_at(const OrgUnit& root, Lod lod);
+
+// Looks a unit up by path; nullptr when out of range.
+const OrgUnit* unit_at_path(const OrgUnit& root, const std::vector<std::size_t>& path);
+
+}  // namespace mobiweb::doc

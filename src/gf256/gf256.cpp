@@ -1,0 +1,45 @@
+#include "gf256/gf256.hpp"
+
+namespace mobiweb::gf {
+
+namespace detail {
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+}  // namespace detail
+
+Elem pow(Elem a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const unsigned l = (static_cast<unsigned>(t.log_[a]) * e) % 255u;
+  return t.exp_[l];
+}
+
+void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  if (c == 0) return;
+  const auto& t = detail::tables();
+  const std::uint16_t lc = t.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem x = in[i];
+    if (x != 0) {
+      out[i] ^= t.exp_[lc + t.log_[x]];
+    }
+  }
+}
+
+void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const auto& t = detail::tables();
+  const std::uint16_t lc = t.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] = (x == 0) ? 0 : t.exp_[lc + t.log_[x]];
+  }
+}
+
+}  // namespace mobiweb::gf

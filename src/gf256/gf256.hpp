@@ -1,0 +1,78 @@
+// Arithmetic over GF(2^8) = GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1).
+//
+// This is the finite field underlying the fault-tolerant encoding (paper §4.1,
+// built on Rabin's Information Dispersal Algorithm). Multiplication and
+// division use log/antilog tables generated at static-init time from the
+// primitive element 0x02 of the AES-like polynomial 0x11d.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace mobiweb::gf {
+
+using Elem = std::uint8_t;
+
+namespace detail {
+
+struct Tables {
+  // exp_[i] = g^i for i in [0, 510) — doubled so mul can skip a mod-255.
+  std::array<Elem, 510> exp_{};
+  // log_[x] = i such that g^i == x, for x != 0. log_[0] unused.
+  std::array<std::uint16_t, 256> log_{};
+
+  Tables() {
+    constexpr std::uint16_t kPoly = 0x11d;  // x^8 + x^4 + x^3 + x^2 + 1
+    std::uint16_t x = 1;
+    for (std::uint16_t i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<Elem>(x);
+      log_[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (std::uint16_t i = 255; i < 510; ++i) {
+      exp_[i] = exp_[i - 255];
+    }
+  }
+};
+
+const Tables& tables();
+
+}  // namespace detail
+
+// Addition and subtraction coincide: bitwise xor.
+constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+inline Elem mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp_[t.log_[a] + t.log_[b]];
+}
+
+// Multiplicative inverse; throws ContractViolation for 0.
+inline Elem inv(Elem a) {
+  MOBIWEB_CHECK_MSG(a != 0, "gf256: inverse of zero");
+  const auto& t = detail::tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+inline Elem div(Elem a, Elem b) {
+  MOBIWEB_CHECK_MSG(b != 0, "gf256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+// a^e with e >= 0 (0^0 defined as 1).
+Elem pow(Elem a, unsigned e);
+
+// out[i] ^= c * in[i] over a row of bytes — the inner loop of encode/decode.
+void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n);
+
+// out[i] = c * in[i].
+void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n);
+
+}  // namespace mobiweb::gf

@@ -1,0 +1,145 @@
+#include "gf256/matrix.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace mobiweb::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Elem& Matrix::at(std::size_t r, std::size_t c) {
+  MOBIWEB_CHECK_MSG(r < rows_ && c < cols_, "Matrix::at out of range");
+  return data_[r * cols_ + c];
+}
+
+Elem Matrix::at(std::size_t r, std::size_t c) const {
+  MOBIWEB_CHECK_MSG(r < rows_ && c < cols_, "Matrix::at out of range");
+  return data_[r * cols_ + c];
+}
+
+const Elem* Matrix::row(std::size_t r) const {
+  MOBIWEB_CHECK_MSG(r < rows_, "Matrix::row out of range");
+  return data_.data() + r * cols_;
+}
+
+Elem* Matrix::row(std::size_t r) {
+  MOBIWEB_CHECK_MSG(r < rows_, "Matrix::row out of range");
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  MOBIWEB_CHECK_MSG(cols_ == other.rows_, "Matrix::multiply dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const Elem* lhs = row(i);
+    Elem* dst = out.row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      mul_add_row(dst, other.row(k), lhs[k], other.cols_);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverse() const {
+  MOBIWEB_CHECK_MSG(rows_ == cols_, "Matrix::inverse requires a square matrix");
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return Matrix{};  // singular
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize the pivot row.
+    const Elem p = work.at(col, col);
+    if (p != 1) {
+      const Elem pinv = gf::inv(p);
+      mul_row(work.row(col), work.row(col), pinv, n);
+      mul_row(inv.row(col), inv.row(col), pinv, n);
+    }
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Elem factor = work.at(r, col);
+      if (factor != 0) {
+        mul_add_row(work.row(r), work.row(col), factor, n);
+        mul_add_row(inv.row(r), inv.row(col), factor, n);
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    MOBIWEB_CHECK_MSG(indices[i] < rows_, "Matrix::select_rows index out of range");
+    const Elem* src = row(indices[i]);
+    Elem* dst = out.row(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+bool Matrix::is_identity() const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (at(r, c) != (r == c ? 1 : 0)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::to_string() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const Elem v = at(r, c);
+      if (c > 0) os << ' ';
+      os << kDigits[v >> 4] << kDigits[v & 0x0f];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Matrix vandermonde(std::size_t n, std::size_t m) {
+  MOBIWEB_CHECK_MSG(n >= 1 && m >= 1, "vandermonde: dimensions must be positive");
+  MOBIWEB_CHECK_MSG(n <= 255, "vandermonde: at most 255 rows over GF(2^8)");
+  Matrix v(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem x = static_cast<Elem>(i + 1);
+    for (std::size_t j = 0; j < m; ++j) {
+      v.at(i, j) = gf::pow(x, static_cast<unsigned>(j));
+    }
+  }
+  return v;
+}
+
+Matrix systematic_vandermonde(std::size_t n, std::size_t m) {
+  MOBIWEB_CHECK_MSG(n >= m, "systematic_vandermonde: need n >= m");
+  Matrix v = vandermonde(n, m);
+  std::vector<std::size_t> top(m);
+  for (std::size_t i = 0; i < m; ++i) top[i] = i;
+  Matrix top_inv = v.select_rows(top).inverse();
+  MOBIWEB_CHECK_MSG(!top_inv.empty(), "systematic_vandermonde: top block singular");
+  return v.multiply(top_inv);
+}
+
+}  // namespace mobiweb::gf

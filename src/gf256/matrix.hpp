@@ -1,0 +1,64 @@
+// Dense matrices over GF(2^8): construction, multiplication, Gaussian
+// elimination (inverse / solve), and the Vandermonde builders used by the
+// systematic information-dispersal code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gf256/gf256.hpp"
+
+namespace mobiweb::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Elem& at(std::size_t r, std::size_t c);
+  [[nodiscard]] Elem at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] const Elem* row(std::size_t r) const;
+  Elem* row(std::size_t r);
+
+  static Matrix identity(std::size_t n);
+
+  // this * other; dimension mismatch throws ContractViolation.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  // Gauss-Jordan inverse. Throws ContractViolation if not square; returns an
+  // empty Matrix if singular (callers distinguish "bad input" from "bad data").
+  [[nodiscard]] Matrix inverse() const;
+
+  // Extracts the sub-matrix formed by the given row indices (in order).
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  [[nodiscard]] bool operator==(const Matrix& other) const = default;
+
+  // Debug rendering ("a1 b2 | 03 ..."-style hex grid).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Elem> data_;
+};
+
+// N x M Vandermonde matrix: row i = [1, x_i, x_i^2, ..., x_i^(M-1)] with
+// x_i = i + 1 (nonzero and pairwise distinct, so every M-row subset is
+// invertible). Requires N <= 255.
+Matrix vandermonde(std::size_t n, std::size_t m);
+
+// Systematic generator: vandermonde(n, m) right-multiplied by the inverse of
+// its top m x m block, so the first m rows form the identity while any m rows
+// remain invertible. Requires n >= m.
+Matrix systematic_vandermonde(std::size_t n, std::size_t m);
+
+}  // namespace mobiweb::gf

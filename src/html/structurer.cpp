@@ -1,0 +1,233 @@
+#include "html/structurer.hpp"
+
+#include <string>
+#include <vector>
+
+#include "doc/recognizer.hpp"
+#include "html/tokenizer.hpp"
+#include "text/tokenize.hpp"
+
+namespace mobiweb::html {
+
+namespace {
+
+// Heading level for hN tags; 0 when not a heading.
+int heading_level(std::string_view name) {
+  if (name.size() == 2 && name[0] == 'h' && name[1] >= '1' && name[1] <= '6') {
+    return name[1] - '0';
+  }
+  return 0;
+}
+
+doc::Lod heading_lod(int level) {
+  switch (level) {
+    case 1: return doc::Lod::kSection;
+    case 2: return doc::Lod::kSubsection;
+    default: return doc::Lod::kSubsubsection;
+  }
+}
+
+bool is_emphasis_tag(std::string_view name) {
+  return name == "b" || name == "i" || name == "em" || name == "strong" ||
+         name == "u";
+}
+
+// Block-level boundaries that flush the current paragraph.
+bool is_block_tag(std::string_view name) {
+  return name == "p" || name == "div" || name == "ul" || name == "ol" ||
+         name == "li" || name == "table" || name == "tr" || name == "td" ||
+         name == "th" || name == "blockquote" || name == "pre" ||
+         name == "section" || name == "article" || name == "aside" ||
+         name == "nav" || name == "footer" || name == "header" ||
+         name == "figure" || name == "figcaption" || name == "dl" ||
+         name == "dt" || name == "dd" || name == "form" || name == "hr";
+}
+
+class Structurer {
+ public:
+  explicit Structurer(const StructurerOptions& options) : options_(options) {
+    doc::OrgUnit root;
+    root.lod = doc::Lod::kDocument;
+    open_.push_back(std::move(root));
+  }
+
+  doc::OrgUnit run(const std::vector<Token>& tokens) {
+    for (const auto& tok : tokens) {
+      switch (tok.type) {
+        case TokenType::kText:
+          on_text(tok.text);
+          break;
+        case TokenType::kStartTag:
+          on_start(tok);
+          break;
+        case TokenType::kEndTag:
+          on_end(tok);
+          break;
+        case TokenType::kComment:
+        case TokenType::kDoctype:
+          break;
+      }
+    }
+    finish_open_heading();  // tolerate an unclosed <hN> at EOF
+    flush_paragraph();
+    while (open_.size() > 1) close_deepest();
+    doc::OrgUnit root = std::move(open_.front());
+    doc::normalize_units(root);
+    return root;
+  }
+
+ private:
+  void on_text(const std::string& text) {
+    if (raw_text_depth_ > 0) return;  // script/style/textarea content
+    if (in_head_ && !in_title_) return;
+    if (in_title_) {
+      title_buffer_ += text;
+      return;
+    }
+    if (heading_depth_ > 0) {
+      heading_buffer_ += text;
+      return;
+    }
+    para_text_ += text;
+    for (auto& t : text::tokenize(text, emphasis_depth_ > 0)) {
+      para_tokens_.push_back(std::move(t));
+    }
+  }
+
+  void on_start(const Token& tok) {
+    const std::string& name = tok.name;
+    if (is_raw_text_element(name)) {
+      if (!tok.self_closing) ++raw_text_depth_;
+      return;
+    }
+    if (name == "head") {
+      in_head_ = true;
+      return;
+    }
+    if (name == "title" && open_.size() == 1 && open_[0].title.empty()) {
+      in_title_ = true;
+      title_buffer_.clear();
+      return;
+    }
+    if (const int level = heading_level(name); level > 0) {
+      finish_open_heading();  // tag soup: a new heading closes the previous
+      flush_paragraph();
+      ++heading_depth_;
+      heading_buffer_.clear();
+      pending_heading_lod_ = heading_lod(level);
+      return;
+    }
+    if (is_emphasis_tag(name)) {
+      ++emphasis_depth_;
+      return;
+    }
+    if (is_block_tag(name)) {
+      finish_open_heading();  // <h1>Title<p>... implies </h1>
+      flush_paragraph();
+      return;
+    }
+    if (name == "br") {
+      para_text_.push_back('\n');
+    }
+  }
+
+  void on_end(const Token& tok) {
+    const std::string& name = tok.name;
+    if (is_raw_text_element(name)) {
+      if (raw_text_depth_ > 0) --raw_text_depth_;
+      return;
+    }
+    if (name == "head") {
+      in_head_ = false;
+      in_title_ = false;
+      return;
+    }
+    if (name == "title" && in_title_) {
+      in_title_ = false;
+      open_[0].title = title_buffer_;
+      for (auto& t : text::tokenize(title_buffer_, options_.heading_emphasized)) {
+        open_[0].own_tokens.push_back(std::move(t));
+      }
+      return;
+    }
+    if (heading_level(name) > 0 && heading_depth_ > 0) {
+      --heading_depth_;
+      if (heading_depth_ == 0) open_unit(pending_heading_lod_, heading_buffer_);
+      return;
+    }
+    if (is_emphasis_tag(name)) {
+      if (emphasis_depth_ > 0) --emphasis_depth_;
+      return;
+    }
+    if (is_block_tag(name)) {
+      flush_paragraph();
+    }
+  }
+
+  // Closes an implicitly open heading (missing </hN>) as if it had ended.
+  void finish_open_heading() {
+    if (heading_depth_ == 0) return;
+    heading_depth_ = 0;
+    open_unit(pending_heading_lod_, heading_buffer_);
+    heading_buffer_.clear();
+  }
+
+  // Closes the deepest open unit into its parent.
+  void close_deepest() {
+    doc::OrgUnit done = std::move(open_.back());
+    open_.pop_back();
+    open_.back().children.push_back(std::move(done));
+  }
+
+  // Opens a unit at `lod`, closing anything at the same depth or deeper.
+  void open_unit(doc::Lod lod, const std::string& title) {
+    flush_paragraph();
+    while (open_.size() > 1 &&
+           static_cast<int>(open_.back().lod) >= static_cast<int>(lod)) {
+      close_deepest();
+    }
+    doc::OrgUnit unit;
+    unit.lod = lod;
+    unit.title = title;
+    for (auto& t : text::tokenize(title, options_.heading_emphasized)) {
+      unit.own_tokens.push_back(std::move(t));
+    }
+    open_.push_back(std::move(unit));
+  }
+
+  void flush_paragraph() {
+    const bool blank =
+        para_text_.find_first_not_of(" \t\r\n") == std::string::npos;
+    if (!blank) {
+      doc::OrgUnit para;
+      para.lod = doc::Lod::kParagraph;
+      para.own_text = para_text_;
+      para.own_tokens = std::move(para_tokens_);
+      open_.back().children.push_back(std::move(para));
+    }
+    para_text_.clear();
+    para_tokens_.clear();
+  }
+
+  StructurerOptions options_;
+  std::vector<doc::OrgUnit> open_;  // open_[0] is the document unit
+  bool in_head_ = false;
+  bool in_title_ = false;
+  int raw_text_depth_ = 0;
+  int heading_depth_ = 0;
+  int emphasis_depth_ = 0;
+  std::string title_buffer_;
+  std::string heading_buffer_;
+  std::string para_text_;
+  std::vector<text::Token> para_tokens_;
+  doc::Lod pending_heading_lod_ = doc::Lod::kSection;
+};
+
+}  // namespace
+
+doc::OrgUnit structure_html(std::string_view html_text,
+                            const StructurerOptions& options) {
+  return Structurer(options).run(tokenize(html_text));
+}
+
+}  // namespace mobiweb::html

@@ -1,0 +1,33 @@
+// HTML structure extraction: folds an HTML token stream into the same
+// organizational-unit tree the XML recognizer produces, using heading levels
+// as structure cues:
+//
+//   <title>            -> document title
+//   <h1>               -> section boundary
+//   <h2>               -> subsection boundary
+//   <h3>..<h6>         -> subsubsection boundary
+//   <p>, <li>, <td>, block boundaries -> paragraphs
+//   <b>/<i>/<em>/<strong>/<u> -> emphasized keywords
+//   <script>/<style>/<head> content (except <title>) -> dropped
+//
+// Text preceding the first heading lands in paragraphs directly under the
+// document unit; normalize_units then wraps stray paragraphs in virtual
+// sections/subsections exactly as the XML path does.
+#pragma once
+
+#include <string_view>
+
+#include "doc/unit.hpp"
+
+namespace mobiweb::html {
+
+struct StructurerOptions {
+  // Treat heading words as emphasized (they qualify as keywords).
+  bool heading_emphasized = true;
+};
+
+// Parses HTML text and returns the document's organizational-unit tree.
+doc::OrgUnit structure_html(std::string_view html_text,
+                            const StructurerOptions& options = {});
+
+}  // namespace mobiweb::html

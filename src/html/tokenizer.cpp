@@ -1,0 +1,318 @@
+#include "html/tokenizer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace mobiweb::html {
+
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == ':';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+std::string encode_utf8(unsigned code) {
+  std::string out;
+  if (code == 0 || code > 0x10ffff) return out;
+  if (code < 0x80) {
+    out.push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  } else if (code < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string decode_entities(std::string_view text) {
+  static const std::unordered_map<std::string, std::string> kNamed = {
+      {"amp", "&"},    {"lt", "<"},     {"gt", ">"},     {"quot", "\""},
+      {"apos", "'"},   {"nbsp", " "},   {"copy", "\xC2\xA9"},
+      {"reg", "\xC2\xAE"}, {"mdash", "\xE2\x80\x94"}, {"ndash", "\xE2\x80\x93"},
+      {"hellip", "\xE2\x80\xA6"}, {"lsquo", "'"}, {"rsquo", "'"},
+      {"ldquo", "\""}, {"rdquo", "\""},
+  };
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(text[i++]);  // bare ampersand
+      continue;
+    }
+    const std::string_view body = text.substr(i + 1, semi - i - 1);
+    if (!body.empty() && body[0] == '#') {
+      unsigned code = 0;
+      const char* begin = body.data() + 1;
+      const char* end = body.data() + body.size();
+      std::from_chars_result res{};
+      if (body.size() > 1 && (body[1] == 'x' || body[1] == 'X')) {
+        res = std::from_chars(begin + 1, end, code, 16);
+      } else {
+        res = std::from_chars(begin, end, code, 10);
+      }
+      if (res.ec == std::errc{} && res.ptr == end) {
+        out += encode_utf8(code);
+        i = semi + 1;
+        continue;
+      }
+    } else if (auto it = kNamed.find(std::string(body)); it != kNamed.end()) {
+      out += it->second;
+      i = semi + 1;
+      continue;
+    }
+    out.push_back(text[i++]);  // unknown entity: keep literal
+  }
+  return out;
+}
+
+bool is_raw_text_element(std::string_view name) {
+  return name == "script" || name == "style" || name == "textarea";
+}
+
+bool is_void_element(std::string_view name) {
+  return name == "area" || name == "base" || name == "br" || name == "col" ||
+         name == "embed" || name == "hr" || name == "img" || name == "input" ||
+         name == "link" || name == "meta" || name == "param" ||
+         name == "source" || name == "track" || name == "wbr";
+}
+
+namespace {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : in_(input) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    std::string text;
+    auto flush_text = [&] {
+      if (text.empty()) return;
+      Token t;
+      t.type = TokenType::kText;
+      t.text = decode_entities(text);
+      out.push_back(std::move(t));
+      text.clear();
+    };
+
+    while (pos_ < in_.size()) {
+      if (in_[pos_] != '<') {
+        text.push_back(in_[pos_++]);
+        continue;
+      }
+      // '<' — decide what construct this is.
+      if (starts_with("<!--")) {
+        flush_text();
+        out.push_back(read_comment());
+        continue;
+      }
+      if (starts_with("<!")) {
+        flush_text();
+        out.push_back(read_doctype());
+        continue;
+      }
+      if (starts_with("</")) {
+        if (pos_ + 2 < in_.size() && std::isalpha(static_cast<unsigned char>(in_[pos_ + 2]))) {
+          flush_text();
+          out.push_back(read_end_tag());
+        } else {
+          text.push_back(in_[pos_++]);  // "</3" — literal text
+        }
+        continue;
+      }
+      if (pos_ + 1 < in_.size() && std::isalpha(static_cast<unsigned char>(in_[pos_ + 1]))) {
+        flush_text();
+        Token start = read_start_tag();
+        const std::string name = start.name;
+        const bool self_closing = start.self_closing;
+        out.push_back(std::move(start));
+        if (!self_closing && is_raw_text_element(name)) {
+          out.push_back(read_raw_text(name));
+          Token end;
+          end.type = TokenType::kEndTag;
+          end.name = name;
+          out.push_back(std::move(end));
+        }
+        continue;
+      }
+      text.push_back(in_[pos_++]);  // lone '<'
+    }
+    flush_text();
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return in_.substr(pos_).starts_with(s);
+  }
+
+  Token read_comment() {
+    pos_ += 4;  // <!--
+    Token t;
+    t.type = TokenType::kComment;
+    const std::size_t end = in_.find("-->", pos_);
+    if (end == std::string_view::npos) {
+      t.text = std::string(in_.substr(pos_));
+      pos_ = in_.size();
+    } else {
+      t.text = std::string(in_.substr(pos_, end - pos_));
+      pos_ = end + 3;
+    }
+    return t;
+  }
+
+  Token read_doctype() {
+    pos_ += 2;  // <!
+    Token t;
+    t.type = TokenType::kDoctype;
+    const std::size_t end = in_.find('>', pos_);
+    if (end == std::string_view::npos) {
+      t.text = std::string(in_.substr(pos_));
+      pos_ = in_.size();
+    } else {
+      t.text = std::string(in_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    return t;
+  }
+
+  Token read_end_tag() {
+    pos_ += 2;  // </
+    Token t;
+    t.type = TokenType::kEndTag;
+    while (pos_ < in_.size() && is_name_char(in_[pos_])) {
+      t.name.push_back(lower(in_[pos_++]));
+    }
+    const std::size_t end = in_.find('>', pos_);
+    pos_ = (end == std::string_view::npos) ? in_.size() : end + 1;
+    return t;
+  }
+
+  Token read_start_tag() {
+    ++pos_;  // <
+    Token t;
+    t.type = TokenType::kStartTag;
+    while (pos_ < in_.size() && is_name_char(in_[pos_])) {
+      t.name.push_back(lower(in_[pos_++]));
+    }
+    // Attributes.
+    for (;;) {
+      while (pos_ < in_.size() && is_space(in_[pos_])) ++pos_;
+      if (pos_ >= in_.size()) break;
+      if (in_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (starts_with("/>")) {
+        t.self_closing = true;
+        pos_ += 2;
+        break;
+      }
+      if (in_[pos_] == '/') {  // stray slash
+        ++pos_;
+        continue;
+      }
+      // Attribute name.
+      xml::Attribute attr;
+      while (pos_ < in_.size() && !is_space(in_[pos_]) && in_[pos_] != '=' &&
+             in_[pos_] != '>' && in_[pos_] != '/') {
+        attr.name.push_back(lower(in_[pos_++]));
+      }
+      if (attr.name.empty()) {
+        ++pos_;  // defensive: skip the odd character
+        continue;
+      }
+      while (pos_ < in_.size() && is_space(in_[pos_])) ++pos_;
+      if (pos_ < in_.size() && in_[pos_] == '=') {
+        ++pos_;
+        while (pos_ < in_.size() && is_space(in_[pos_])) ++pos_;
+        if (pos_ < in_.size() && (in_[pos_] == '"' || in_[pos_] == '\'')) {
+          const char quote = in_[pos_++];
+          const std::size_t end = in_.find(quote, pos_);
+          if (end == std::string_view::npos) {
+            attr.value = decode_entities(in_.substr(pos_));
+            pos_ = in_.size();
+          } else {
+            attr.value = decode_entities(in_.substr(pos_, end - pos_));
+            pos_ = end + 1;
+          }
+        } else {
+          std::string raw;
+          while (pos_ < in_.size() && !is_space(in_[pos_]) && in_[pos_] != '>') {
+            // A '/' that closes the tag ("src=x/>") is not part of the value.
+            if (in_[pos_] == '/' && pos_ + 1 < in_.size() && in_[pos_ + 1] == '>') {
+              break;
+            }
+            raw.push_back(in_[pos_++]);
+          }
+          attr.value = decode_entities(raw);
+        }
+      }
+      t.attributes.push_back(std::move(attr));
+    }
+    return t;
+  }
+
+  Token read_raw_text(std::string_view element) {
+    Token t;
+    t.type = TokenType::kText;
+    // Scan for the matching case-insensitive close tag.
+    std::string close = "</";
+    close += element;
+    std::size_t i = pos_;
+    while (i < in_.size()) {
+      if (in_[i] == '<' && in_.size() - i >= close.size()) {
+        bool match = true;
+        for (std::size_t k = 0; k < close.size(); ++k) {
+          if (lower(in_[i + k]) != close[k]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) break;
+      }
+      ++i;
+    }
+    t.text = std::string(in_.substr(pos_, i - pos_));
+    if (i >= in_.size()) {
+      pos_ = in_.size();
+    } else {
+      const std::size_t end = in_.find('>', i);
+      pos_ = (end == std::string_view::npos) ? in_.size() : end + 1;
+    }
+    return t;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view input) {
+  return Tokenizer(input).run();
+}
+
+}  // namespace mobiweb::html

@@ -1,0 +1,50 @@
+// Minimal HTML tokenizer.
+//
+// The paper's prototype works on XML; mapping HTML onto the LOD abstraction
+// is listed as work in progress ("We are working on algorithms to extract the
+// structure of an HTML document from its content"). src/html implements that
+// extension: this tokenizer handles the tag soup of real pages — unclosed
+// tags, case-insensitive names, unquoted attributes, raw-text elements
+// (script/style), entities — and the structurer (structurer.hpp) folds the
+// token stream into the same organizational-unit tree as the XML recognizer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"  // reuse Attribute
+
+namespace mobiweb::html {
+
+enum class TokenType {
+  kStartTag,
+  kEndTag,
+  kText,
+  kComment,
+  kDoctype,
+};
+
+struct Token {
+  TokenType type = TokenType::kText;
+  std::string name;                       // tag name, lowercased
+  std::string text;                       // text/comment/doctype body
+  std::vector<xml::Attribute> attributes; // start tags; names lowercased
+  bool self_closing = false;              // <br/>
+};
+
+// Decodes the common named entities plus numeric references; unknown
+// entities pass through literally (HTML-style leniency).
+std::string decode_entities(std::string_view text);
+
+// Tokenizes a full document. Never throws on malformed markup — bad
+// constructs degrade to text, as browsers do.
+std::vector<Token> tokenize(std::string_view input);
+
+// Elements whose content is raw text (no markup): script, style, textarea.
+bool is_raw_text_element(std::string_view name);
+
+// Void elements that never take an end tag: br, img, hr, meta, ...
+bool is_void_element(std::string_view name);
+
+}  // namespace mobiweb::html

@@ -1,0 +1,203 @@
+#include "ida/ida.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace mobiweb::ida {
+
+const gf::Matrix& systematic_generator(std::size_t n, std::size_t m) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, std::size_t>, std::unique_ptr<gf::Matrix>> cache;
+  std::scoped_lock lock(mu);
+  auto& slot = cache[{n, m}];
+  if (!slot) {
+    slot = std::make_unique<gf::Matrix>(gf::systematic_vandermonde(n, m));
+  }
+  return *slot;
+}
+
+std::size_t packet_count(std::size_t payload_size, std::size_t packet_size) {
+  MOBIWEB_CHECK_MSG(packet_size >= 1, "packet_count: packet_size must be >= 1");
+  return (payload_size + packet_size - 1) / packet_size;
+}
+
+std::vector<Bytes> split_payload(ByteSpan payload, std::size_t packet_size) {
+  MOBIWEB_CHECK_MSG(!payload.empty(), "split_payload: empty payload");
+  MOBIWEB_CHECK_MSG(packet_size >= 1, "split_payload: packet_size must be >= 1");
+  const std::size_t m = packet_count(payload.size(), packet_size);
+  std::vector<Bytes> raw(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t begin = i * packet_size;
+    const std::size_t end = std::min(begin + packet_size, payload.size());
+    raw[i].assign(payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                  payload.begin() + static_cast<std::ptrdiff_t>(end));
+    raw[i].resize(packet_size, 0);  // zero-pad the tail packet
+  }
+  return raw;
+}
+
+Encoder::Encoder(std::size_t m, std::size_t n) : m_(m), n_(n) {
+  MOBIWEB_CHECK_MSG(m >= 1, "Encoder: m must be >= 1");
+  MOBIWEB_CHECK_MSG(n >= m, "Encoder: n must be >= m");
+  MOBIWEB_CHECK_MSG(n <= 255, "Encoder: n must be <= 255 over GF(2^8)");
+}
+
+std::vector<Bytes> Encoder::encode(const std::vector<Bytes>& raw) const {
+  MOBIWEB_CHECK_MSG(raw.size() == m_, "Encoder::encode: expected m raw packets");
+  const std::size_t size = raw.front().size();
+  MOBIWEB_CHECK_MSG(size >= 1, "Encoder::encode: empty packets");
+  for (const auto& p : raw) {
+    MOBIWEB_CHECK_MSG(p.size() == size, "Encoder::encode: packet sizes differ");
+  }
+
+  const gf::Matrix& g = systematic_generator(n_, m_);
+  std::vector<Bytes> cooked(n_);
+  // Systematic prefix: plain copies, no field arithmetic.
+  for (std::size_t i = 0; i < m_; ++i) cooked[i] = raw[i];
+  for (std::size_t i = m_; i < n_; ++i) {
+    cooked[i].assign(size, 0);
+    for (std::size_t j = 0; j < m_; ++j) {
+      gf::mul_add_row(cooked[i].data(), raw[j].data(), g.at(i, j), size);
+    }
+  }
+  return cooked;
+}
+
+std::vector<Bytes> Encoder::encode_payload(ByteSpan payload,
+                                           std::size_t packet_size) const {
+  auto raw = split_payload(payload, packet_size);
+  MOBIWEB_CHECK_MSG(raw.size() == m_,
+                    "Encoder::encode_payload: payload does not split into m packets");
+  return encode(raw);
+}
+
+Decoder::Decoder(std::size_t m, std::size_t n) : m_(m), n_(n) {
+  MOBIWEB_CHECK_MSG(m >= 1, "Decoder: m must be >= 1");
+  MOBIWEB_CHECK_MSG(n >= m, "Decoder: n must be >= m");
+  MOBIWEB_CHECK_MSG(n <= 255, "Decoder: n must be <= 255 over GF(2^8)");
+}
+
+std::vector<Bytes> Decoder::decode(
+    const std::vector<std::pair<std::size_t, Bytes>>& cooked) const {
+  // Gather the first m distinct indices.
+  std::vector<std::size_t> indices;
+  std::vector<const Bytes*> payloads;
+  std::vector<bool> seen(n_, false);
+  for (const auto& [idx, data] : cooked) {
+    MOBIWEB_CHECK_MSG(idx < n_, "Decoder::decode: cooked index out of range");
+    if (seen[idx]) continue;
+    seen[idx] = true;
+    indices.push_back(idx);
+    payloads.push_back(&data);
+    if (indices.size() == m_) break;
+  }
+  MOBIWEB_CHECK_MSG(indices.size() == m_,
+                    "Decoder::decode: need at least m distinct intact packets");
+
+  const std::size_t size = payloads.front()->size();
+  for (const Bytes* p : payloads) {
+    MOBIWEB_CHECK_MSG(p->size() == size, "Decoder::decode: packet sizes differ");
+  }
+
+  const gf::Matrix& g = systematic_generator(n_, m_);
+  const gf::Matrix sub = g.select_rows(indices);
+  const gf::Matrix inv = sub.inverse();
+  MOBIWEB_CHECK_MSG(!inv.empty(),
+                    "Decoder::decode: sub-generator singular (corrupt indices?)");
+
+  std::vector<Bytes> raw(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    raw[i].assign(size, 0);
+    for (std::size_t j = 0; j < m_; ++j) {
+      gf::mul_add_row(raw[i].data(), payloads[j]->data(), inv.at(i, j), size);
+    }
+  }
+  return raw;
+}
+
+Bytes Decoder::decode_payload(
+    const std::vector<std::pair<std::size_t, Bytes>>& cooked,
+    std::size_t payload_size) const {
+  auto raw = decode(cooked);
+  Bytes out;
+  out.reserve(payload_size);
+  for (const auto& p : raw) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  MOBIWEB_CHECK_MSG(out.size() >= payload_size,
+                    "Decoder::decode_payload: payload_size exceeds decoded data");
+  out.resize(payload_size);
+  return out;
+}
+
+StreamingDecoder::StreamingDecoder(std::size_t m, std::size_t n,
+                                   std::size_t packet_size,
+                                   std::size_t payload_size)
+    : m_(m), n_(n), packet_size_(packet_size), payload_size_(payload_size),
+      seen_(n, false) {
+  MOBIWEB_CHECK_MSG(m >= 1 && n >= m && n <= 255, "StreamingDecoder: bad (m, n)");
+  MOBIWEB_CHECK_MSG(packet_size >= 1, "StreamingDecoder: packet_size must be >= 1");
+  MOBIWEB_CHECK_MSG(payload_size >= 1 && payload_size <= m * packet_size,
+                    "StreamingDecoder: payload_size inconsistent with m*packet_size");
+}
+
+bool StreamingDecoder::add(std::size_t index, ByteSpan payload) {
+  MOBIWEB_CHECK_MSG(index < n_, "StreamingDecoder::add: index out of range");
+  MOBIWEB_CHECK_MSG(payload.size() == packet_size_,
+                    "StreamingDecoder::add: wrong packet size");
+  if (seen_[index]) return false;
+  seen_[index] = true;
+  // Keep every clear-text packet (callers read them via clear_packet) and at
+  // most m packets overall for reconstruction; later redundancy packets add
+  // nothing once m are held.
+  if (held_.size() < m_ || index < m_) {
+    held_.emplace_back(index, Bytes(payload.begin(), payload.end()));
+  }
+  return true;
+}
+
+bool StreamingDecoder::has(std::size_t index) const {
+  MOBIWEB_CHECK_MSG(index < n_, "StreamingDecoder::has: index out of range");
+  return seen_[index];
+}
+
+bool StreamingDecoder::has_clear(std::size_t raw_index) const {
+  MOBIWEB_CHECK_MSG(raw_index < m_, "StreamingDecoder::has_clear: index out of range");
+  return seen_[raw_index];
+}
+
+ByteSpan StreamingDecoder::clear_packet(std::size_t raw_index) const {
+  MOBIWEB_CHECK_MSG(has_clear(raw_index),
+                    "StreamingDecoder::clear_packet: packet not held in clear");
+  for (const auto& [idx, data] : held_) {
+    if (idx == raw_index) return ByteSpan(data);
+  }
+  // seen_ true but not held can only happen for indices beyond the first m
+  // useful packets, which has_clear already rejects for clear-prefix indices.
+  throw ContractViolation("StreamingDecoder::clear_packet: internal inconsistency");
+}
+
+Bytes StreamingDecoder::reconstruct() const {
+  MOBIWEB_CHECK_MSG(complete(), "StreamingDecoder::reconstruct: not complete");
+  Decoder dec(m_, n_);
+  return dec.decode_payload(held_, payload_size_);
+}
+
+double StreamingDecoder::clear_fraction() const {
+  std::size_t clear = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (seen_[i]) ++clear;
+  }
+  return static_cast<double>(clear) / static_cast<double>(m_);
+}
+
+void StreamingDecoder::reset() {
+  held_.clear();
+  std::fill(seen_.begin(), seen_.end(), false);
+}
+
+}  // namespace mobiweb::ida

@@ -1,0 +1,140 @@
+// Systematic Information Dispersal (paper §4.1).
+//
+// A document payload is cut into M raw packets of `packet_size` bytes (the
+// last one zero-padded) and expanded to N >= M "cooked" packets with a
+// systematic Vandermonde generator over GF(2^8):
+//
+//   * cooked packets 0..M-1 are byte-identical to the raw packets (clear
+//     text), so a receiver can use them immediately without any decoding;
+//   * ANY M intact cooked packets reconstruct all M raw packets by inverting
+//     the corresponding M x M sub-generator.
+//
+// This mirrors Rabin's IDA with the paper's modification: "adopt the
+// Vandermonde polynomial in the transformation stage, followed by making the
+// upper portion of the multiplying Vandermonde matrix into an identity matrix
+// via elementary matrix transformation".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gf256/matrix.hpp"
+#include "util/bytes.hpp"
+
+namespace mobiweb::ida {
+
+// Returns the shared systematic generator for (n, m); generators are cached
+// process-wide because the simulator re-uses a handful of shapes thousands of
+// times. Thread-safe.
+const gf::Matrix& systematic_generator(std::size_t n, std::size_t m);
+
+// Number of raw packets needed to carry `payload_size` bytes at `packet_size`.
+std::size_t packet_count(std::size_t payload_size, std::size_t packet_size);
+
+// Splits payload into raw packets of exactly `packet_size` bytes each,
+// zero-padding the tail. Requires a non-empty payload and packet_size >= 1.
+std::vector<Bytes> split_payload(ByteSpan payload, std::size_t packet_size);
+
+class Encoder {
+ public:
+  // m = raw packets, n = cooked packets; 1 <= m <= n <= 255.
+  Encoder(std::size_t m, std::size_t n);
+
+  [[nodiscard]] std::size_t m() const { return m_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  // Encodes pre-split raw packets (all the same size) into n cooked packets.
+  // The first m cooked packets equal the raw packets.
+  [[nodiscard]] std::vector<Bytes> encode(const std::vector<Bytes>& raw) const;
+
+  // Convenience: split + encode.
+  [[nodiscard]] std::vector<Bytes> encode_payload(ByteSpan payload,
+                                                  std::size_t packet_size) const;
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+};
+
+// One-shot decoder: give it >= m (index, payload) pairs with distinct indices
+// in [0, n) and it reconstructs the m raw packets.
+class Decoder {
+ public:
+  Decoder(std::size_t m, std::size_t n);
+
+  [[nodiscard]] std::size_t m() const { return m_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  // `cooked` holds (cooked index, payload); payloads must share one size.
+  // Uses the first m distinct indices. Throws ContractViolation when fewer
+  // than m distinct intact packets are supplied.
+  [[nodiscard]] std::vector<Bytes> decode(
+      const std::vector<std::pair<std::size_t, Bytes>>& cooked) const;
+
+  // Reconstructs the original payload of `payload_size` bytes.
+  [[nodiscard]] Bytes decode_payload(
+      const std::vector<std::pair<std::size_t, Bytes>>& cooked,
+      std::size_t payload_size) const;
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+};
+
+// Incremental receiver-side decoder. Cooked packets arrive one at a time (in
+// any order, possibly with gaps); clear-text packets are usable immediately
+// ("it allows a portion of the original information to be used once they are
+// available"), and reconstruction unlocks once m distinct intact packets are
+// buffered. The buffer survives retransmission rounds — this is exactly the
+// client cache that the paper's Caching strategy keeps across "stalled"
+// downloads.
+class StreamingDecoder {
+ public:
+  StreamingDecoder(std::size_t m, std::size_t n, std::size_t packet_size,
+                   std::size_t payload_size);
+
+  // Returns true if the packet was new and intact-usable (i.e. not a
+  // duplicate). Index must be < n and payload exactly packet_size bytes.
+  bool add(std::size_t index, ByteSpan payload);
+
+  [[nodiscard]] std::size_t intact_count() const { return held_.size(); }
+  [[nodiscard]] bool complete() const { return held_.size() >= m_; }
+
+  // True when cooked packet `index` has been received intact (any index).
+  [[nodiscard]] bool has(std::size_t index) const;
+
+  // True when raw packet `raw_index` is already available in clear text
+  // (systematic prefix), before full reconstruction.
+  [[nodiscard]] bool has_clear(std::size_t raw_index) const;
+
+  // The bytes of a clear-text raw packet; throws if !has_clear(raw_index).
+  [[nodiscard]] ByteSpan clear_packet(std::size_t raw_index) const;
+
+  // Full payload; throws ContractViolation if !complete().
+  [[nodiscard]] Bytes reconstruct() const;
+
+  // Fraction of raw packets currently readable in clear text.
+  [[nodiscard]] double clear_fraction() const;
+
+  void reset();
+
+  [[nodiscard]] std::size_t m() const { return m_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t packet_size() const { return packet_size_; }
+  [[nodiscard]] std::size_t payload_size() const { return payload_size_; }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t packet_size_;
+  std::size_t payload_size_;
+  // (cooked index, payload), insertion order. Clear-text packets are always
+  // kept (clients read them incrementally); redundancy packets only until m
+  // are held — beyond that they add nothing.
+  std::vector<std::pair<std::size_t, Bytes>> held_;
+  std::vector<bool> seen_;
+};
+
+}  // namespace mobiweb::ida

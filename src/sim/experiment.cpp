@@ -1,0 +1,96 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mobiweb::sim {
+
+int ExperimentParams::n() const {
+  const int m_val = m();
+  const int n_val = static_cast<int>(std::ceil(gamma * static_cast<double>(m_val)));
+  return n_val < m_val ? m_val : n_val;
+}
+
+ExperimentResult run_browsing_experiment(const ExperimentParams& params) {
+  MOBIWEB_CHECK_MSG(params.repetitions >= 1, "experiment: repetitions >= 1");
+  MOBIWEB_CHECK_MSG(params.documents_per_session >= 1, "experiment: documents >= 1");
+  MOBIWEB_CHECK_MSG(params.irrelevant_fraction >= 0.0 &&
+                        params.irrelevant_fraction <= 1.0,
+                    "experiment: I in [0,1]");
+
+  TransferConfig transfer;
+  transfer.m = params.m();
+  transfer.n = params.n();
+  transfer.alpha = params.alpha;
+  transfer.caching = params.caching;
+  transfer.time_per_packet = params.time_per_packet();
+  transfer.max_rounds = params.max_rounds;
+
+  // Exact irrelevant count per session (lower variance than per-document
+  // Bernoulli; documents are independent so position is irrelevant).
+  const int irrelevant_docs = static_cast<int>(std::lround(
+      params.irrelevant_fraction * static_cast<double>(params.documents_per_session)));
+
+  Rng master(params.seed);
+  ExperimentResult out;
+  RunningStats session_means;
+  long stalled = 0;
+  long gave_up = 0;
+  const long total_docs = static_cast<long>(params.repetitions) *
+                          static_cast<long>(params.documents_per_session);
+
+  for (int rep = 0; rep < params.repetitions; ++rep) {
+    Rng rng = master.fork();
+    RunningStats per_doc;
+    for (int d = 0; d < params.documents_per_session; ++d) {
+      const SyntheticDocument document = generate_document(params.document, rng);
+      const std::vector<double> profile = packet_content_profile(document, params.lod);
+      transfer.relevance_threshold =
+          (d < irrelevant_docs) ? params.relevance_threshold : -1.0;
+      const TransferResult r = simulate_transfer(profile, transfer, rng);
+      per_doc.add(r.time);
+      out.total_packets += r.packets;
+      if (r.rounds > 1) ++stalled;
+      if (r.gave_up) ++gave_up;
+    }
+    session_means.add(per_doc.mean());
+  }
+
+  out.response_time.count = session_means.count();
+  out.response_time.mean = session_means.mean();
+  out.response_time.stddev = session_means.stddev();
+  out.response_time.ci95 = session_means.ci95_halfwidth();
+  out.response_time.min = session_means.min();
+  out.response_time.max = session_means.max();
+  out.stall_fraction = static_cast<double>(stalled) / static_cast<double>(total_docs);
+  out.gave_up_fraction =
+      static_cast<double>(gave_up) / static_cast<double>(total_docs);
+  return out;
+}
+
+std::string describe_parameters(const ExperimentParams& p) {
+  std::ostringstream os;
+  os << "s_p (raw size per packet)        = " << p.document.packet_size << " bytes\n"
+     << "s_D (size per document)          = " << p.document.doc_size << " bytes\n"
+     << "O (overhead: CRC + seq number)   = " << p.overhead << " bytes\n"
+     << "M (number of raw packets)        = " << p.m() << "\n"
+     << "N (number of cooked packets)     = " << p.n() << "\n"
+     << "B (bandwidth)                    = " << p.bandwidth_bps / 1000.0 << " kbps\n"
+     << "delta (skew in info content)     = " << p.document.skew << "\n"
+     << "I (irrelevant documents)         = " << p.irrelevant_fraction * 100.0 << "%\n"
+     << "F (content to judge relevance)   = " << p.relevance_threshold << "\n"
+     << "alpha (corrupted-packet prob.)   = " << p.alpha << "\n"
+     << "gamma (redundancy ratio N/M)     = " << p.gamma << "\n"
+     << "structure                        = " << p.document.sections << " sections x "
+     << p.document.subsections_per_section << " subsections x "
+     << p.document.paragraphs_per_subsection << " paragraphs\n"
+     << "documents per session            = " << p.documents_per_session << "\n"
+     << "repetitions                      = " << p.repetitions << "\n"
+     << "LOD                              = " << lod_name(p.lod) << "\n"
+     << "caching                          = " << (p.caching ? "yes" : "no") << "\n";
+  return os.str();
+}
+
+}  // namespace mobiweb::sim

@@ -1,0 +1,58 @@
+// Browsing-session experiment runner (paper §5).
+//
+// "Each simulated browsing session will visit 200 random documents, with a
+// certain percentage of documents, I, defined to be irrelevant. Each
+// irrelevant document will be discovered to be irrelevant by a client after a
+// total information content of F has been received ... The mean response time
+// taken to visit a document in a session is measured. The same experiment is
+// repeated 50 times and the average of the 50 mean response times is taken."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "doc/lod.hpp"
+#include "sim/synthetic.hpp"
+#include "sim/transfer.hpp"
+#include "util/stats.hpp"
+
+namespace mobiweb::sim {
+
+// Defaults are the paper's Table 2.
+struct ExperimentParams {
+  SyntheticConfig document;            // s_p=256, s_D=10240, 5x2x2, delta=3
+  std::size_t overhead = 4;            // O: CRC + sequence number
+  double bandwidth_bps = 19200.0;      // B
+  double gamma = 1.5;                  // N/M
+  double alpha = 0.1;                  // per-packet corruption probability
+  double irrelevant_fraction = 0.5;    // I
+  double relevance_threshold = 0.5;    // F
+  bool caching = true;
+  doc::Lod lod = doc::Lod::kDocument;
+  int documents_per_session = 200;
+  int repetitions = 50;
+  int max_rounds = 25;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] int m() const { return document.raw_packets(); }
+  [[nodiscard]] int n() const;  // ceil(gamma * m)
+  [[nodiscard]] double time_per_packet() const {
+    return static_cast<double>(document.packet_size + overhead) * 8.0 / bandwidth_bps;
+  }
+};
+
+struct ExperimentResult {
+  Summary response_time;   // over the per-session means (seconds)
+  double stall_fraction = 0.0;   // fraction of documents that stalled >= once
+  double gave_up_fraction = 0.0; // fraction that hit max_rounds
+  long total_packets = 0;
+};
+
+// Runs `repetitions` sessions of `documents_per_session` documents each;
+// returns statistics over the per-session mean response times.
+ExperimentResult run_browsing_experiment(const ExperimentParams& params);
+
+// Renders Table 2 (the parameter settings) for the given params.
+std::string describe_parameters(const ExperimentParams& params);
+
+}  // namespace mobiweb::sim

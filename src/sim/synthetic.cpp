@@ -1,0 +1,104 @@
+#include "sim/synthetic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mobiweb::sim {
+
+SyntheticDocument generate_document(const SyntheticConfig& config, Rng& rng) {
+  MOBIWEB_CHECK_MSG(config.paragraphs() > 0, "generate_document: no paragraphs");
+  MOBIWEB_CHECK_MSG(config.skew >= 1.0, "generate_document: skew >= 1");
+  SyntheticDocument doc;
+  doc.config = config;
+  doc.paragraph_content.resize(static_cast<std::size_t>(config.paragraphs()));
+  double total = 0.0;
+  for (double& c : doc.paragraph_content) {
+    c = rng.next_range(1.0, config.skew);
+    total += c;
+  }
+  for (double& c : doc.paragraph_content) c /= total;
+  return doc;
+}
+
+std::vector<double> packet_content_profile(const SyntheticDocument& doc,
+                                           doc::Lod lod) {
+  const SyntheticConfig& cfg = doc.config;
+  const int paragraphs = cfg.paragraphs();
+  MOBIWEB_CHECK_MSG(static_cast<int>(doc.paragraph_content.size()) == paragraphs,
+                    "packet_content_profile: paragraph count mismatch");
+
+  // Paragraphs per organizational unit at this LOD. The synthetic tree has no
+  // subsubsection level, so that LOD falls through to subsection grouping —
+  // matching the paper ("our simulated documents do not have subsubsection
+  // defined", Experiment #3 uses document/section/subsection/paragraph).
+  int per_unit = 0;
+  switch (lod) {
+    case doc::Lod::kDocument:
+      per_unit = paragraphs;
+      break;
+    case doc::Lod::kSection:
+      per_unit = cfg.subsections_per_section * cfg.paragraphs_per_subsection;
+      break;
+    case doc::Lod::kSubsection:
+    case doc::Lod::kSubsubsection:
+      per_unit = cfg.paragraphs_per_subsection;
+      break;
+    case doc::Lod::kParagraph:
+      per_unit = 1;
+      break;
+  }
+  const int units = paragraphs / per_unit;
+
+  // Rank units by total content, descending; stable keeps document order on
+  // ties. Document LOD has a single unit -> sequential order.
+  struct Unit {
+    int first_paragraph;
+    double content;
+  };
+  std::vector<Unit> ranked(static_cast<std::size_t>(units));
+  for (int u = 0; u < units; ++u) {
+    double content = 0.0;
+    for (int p = 0; p < per_unit; ++p) {
+      content += doc.paragraph_content[static_cast<std::size_t>(u * per_unit + p)];
+    }
+    ranked[static_cast<std::size_t>(u)] = Unit{u * per_unit, content};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Unit& a, const Unit& b) { return a.content > b.content; });
+
+  // Paragraph contents in transmission order.
+  std::vector<double> ordered;
+  ordered.reserve(static_cast<std::size_t>(paragraphs));
+  for (const Unit& u : ranked) {
+    for (int p = 0; p < per_unit; ++p) {
+      ordered.push_back(
+          doc.paragraph_content[static_cast<std::size_t>(u.first_paragraph + p)]);
+    }
+  }
+
+  // Cut the byte stream into M raw packets; content accrues proportionally
+  // within a paragraph. All paragraphs share the same byte size.
+  const int m = cfg.raw_packets();
+  const double para_bytes =
+      static_cast<double>(cfg.doc_size) / static_cast<double>(paragraphs);
+  std::vector<double> profile(static_cast<std::size_t>(m), 0.0);
+  for (int p = 0; p < paragraphs; ++p) {
+    const double begin = static_cast<double>(p) * para_bytes;
+    const double end = begin + para_bytes;
+    const double density = ordered[static_cast<std::size_t>(p)] / para_bytes;
+    int first = static_cast<int>(begin / static_cast<double>(cfg.packet_size));
+    for (int k = first; k < m; ++k) {
+      const double k_begin = static_cast<double>(k) * static_cast<double>(cfg.packet_size);
+      const double k_end = k_begin + static_cast<double>(cfg.packet_size);
+      if (k_begin >= end) break;
+      const double lo = std::max(begin, k_begin);
+      const double hi = std::min(end, k_end);
+      if (hi > lo) profile[static_cast<std::size_t>(k)] += density * (hi - lo);
+    }
+  }
+  return profile;
+}
+
+}  // namespace mobiweb::sim

@@ -1,0 +1,55 @@
+// Synthetic documents for the §5 simulation study.
+//
+// "Each simulated document is composed of 5 sections; each section is
+// composed of 2 subsections; each subsection is composed of 2 paragraphs. We
+// model the information content of each paragraph by a uniform distribution.
+// We use a skewed factor, δ, to model the ratio between the highest
+// information content of a paragraph and the lowest."
+//
+// Paragraph contents are drawn from Uniform[1, δ] and normalized to sum to 1;
+// all paragraphs have equal byte size s_D / #paragraphs.
+#pragma once
+
+#include <vector>
+
+#include "doc/lod.hpp"
+#include "util/rng.hpp"
+
+namespace mobiweb::sim {
+
+struct SyntheticConfig {
+  std::size_t doc_size = 10240;   // s_D (bytes)
+  std::size_t packet_size = 256;  // s_p (bytes, raw payload)
+  int sections = 5;
+  int subsections_per_section = 2;
+  int paragraphs_per_subsection = 2;
+  double skew = 3.0;              // δ
+
+  [[nodiscard]] int paragraphs() const {
+    return sections * subsections_per_section * paragraphs_per_subsection;
+  }
+  [[nodiscard]] int raw_packets() const {  // M
+    return static_cast<int>((doc_size + packet_size - 1) / packet_size);
+  }
+};
+
+// One simulated document: normalized information content per paragraph, in
+// document order.
+struct SyntheticDocument {
+  SyntheticConfig config;
+  std::vector<double> paragraph_content;  // sums to 1
+};
+
+SyntheticDocument generate_document(const SyntheticConfig& config, Rng& rng);
+
+// Content of each *clear-text raw packet* when the document is transmitted at
+// `lod`: organizational units at that level are ranked by information content
+// (descending, stable), their paragraphs concatenated, and the byte stream
+// cut into M packets; entry i is the content carried by packet i's byte
+// range (proportional accrual inside a paragraph). Sums to 1.
+//
+// Lod::kDocument yields the conventional sequential order.
+std::vector<double> packet_content_profile(const SyntheticDocument& doc,
+                                           doc::Lod lod);
+
+}  // namespace mobiweb::sim

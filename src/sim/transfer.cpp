@@ -1,0 +1,149 @@
+#include "sim/transfer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mobiweb::sim {
+
+TransferResult simulate_transfer(const std::vector<double>& clear_content,
+                                 const TransferConfig& config,
+                                 const std::function<bool()>& next_corrupted) {
+  MOBIWEB_CHECK_MSG(config.m >= 1, "simulate_transfer: m >= 1");
+  MOBIWEB_CHECK_MSG(config.n >= config.m, "simulate_transfer: n >= m");
+  MOBIWEB_CHECK_MSG(static_cast<int>(clear_content.size()) == config.m,
+                    "simulate_transfer: clear_content must have m entries");
+  MOBIWEB_CHECK_MSG(config.max_rounds >= 1, "simulate_transfer: max_rounds >= 1");
+
+  double total_content = 0.0;
+  for (double c : clear_content) total_content += c;
+
+  const bool relevance_check = config.relevance_threshold >= 0.0;
+
+  TransferResult result;
+  std::vector<bool> seen(static_cast<std::size_t>(config.n), false);
+  int intact = 0;
+  double content = 0.0;
+
+  const auto finish = [&](double received) {
+    result.content = received;
+    result.time = static_cast<double>(result.packets) * config.time_per_packet +
+                  static_cast<double>(result.rounds - 1) * config.request_delay;
+  };
+
+  for (result.rounds = 1; result.rounds <= config.max_rounds; ++result.rounds) {
+    for (int i = 0; i < config.n; ++i) {
+      ++result.packets;
+      const bool corrupted = next_corrupted();
+      if (!corrupted && !seen[static_cast<std::size_t>(i)]) {
+        seen[static_cast<std::size_t>(i)] = true;
+        ++intact;
+        if (i < config.m) content += clear_content[static_cast<std::size_t>(i)];
+      }
+      const double received = (intact >= config.m) ? total_content : content;
+      if (relevance_check && received >= config.relevance_threshold) {
+        // Condition 3 (§4.2): the user judges the document irrelevant.
+        result.aborted_irrelevant = true;
+        result.completed = intact >= config.m;
+        finish(received);
+        return result;
+      }
+      if (intact >= config.m) {
+        // Condition 1: enough cooked packets to reconstruct.
+        result.completed = true;
+        finish(total_content);
+        return result;
+      }
+    }
+    // Condition 2 without reconstruction: stalled round; retransmit.
+    if (!config.caching) {
+      std::fill(seen.begin(), seen.end(), false);
+      intact = 0;
+      content = 0.0;
+    }
+  }
+
+  result.rounds = config.max_rounds;
+  result.gave_up = true;
+  result.completed = false;
+  finish((intact >= config.m) ? total_content : content);
+  return result;
+}
+
+TransferResult simulate_transfer(const std::vector<double>& clear_content,
+                                 const TransferConfig& config, Rng& rng) {
+  MOBIWEB_CHECK_MSG(config.alpha >= 0.0 && config.alpha < 1.0,
+                    "simulate_transfer: alpha in [0,1)");
+  return simulate_transfer(clear_content, config,
+                           [&rng, &config] { return rng.next_bernoulli(config.alpha); });
+}
+
+TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
+                                     const TransferConfig& config,
+                                     const std::function<bool()>& next_corrupted) {
+  MOBIWEB_CHECK_MSG(config.m >= 1, "simulate_arq_transfer: m >= 1");
+  MOBIWEB_CHECK_MSG(static_cast<int>(clear_content.size()) == config.m,
+                    "simulate_arq_transfer: clear_content must have m entries");
+  MOBIWEB_CHECK_MSG(config.max_rounds >= 1, "simulate_arq_transfer: max_rounds >= 1");
+
+  double total_content = 0.0;
+  for (double c : clear_content) total_content += c;
+  const bool relevance_check = config.relevance_threshold >= 0.0;
+
+  TransferResult result;
+  std::vector<bool> seen(static_cast<std::size_t>(config.m), false);
+  int received = 0;
+  double content = 0.0;
+
+  const auto finish = [&] {
+    result.content = content;
+    result.time = static_cast<double>(result.packets) * config.time_per_packet +
+                  static_cast<double>(result.rounds - 1) * config.request_delay;
+  };
+
+  std::vector<int> pending(static_cast<std::size_t>(config.m));
+  for (int i = 0; i < config.m; ++i) pending[static_cast<std::size_t>(i)] = i;
+
+  for (result.rounds = 1; result.rounds <= config.max_rounds; ++result.rounds) {
+    for (const int i : pending) {
+      ++result.packets;
+      if (!next_corrupted() && !seen[static_cast<std::size_t>(i)]) {
+        seen[static_cast<std::size_t>(i)] = true;
+        ++received;
+        content += clear_content[static_cast<std::size_t>(i)];
+      }
+      if (relevance_check && content >= config.relevance_threshold) {
+        result.aborted_irrelevant = true;
+        result.completed = received >= config.m;
+        finish();
+        return result;
+      }
+      if (received >= config.m) {
+        result.completed = true;
+        finish();
+        return result;
+      }
+    }
+    std::vector<int> missing;
+    for (int i = 0; i < config.m; ++i) {
+      if (!seen[static_cast<std::size_t>(i)]) missing.push_back(i);
+    }
+    pending = std::move(missing);
+  }
+
+  result.rounds = config.max_rounds;
+  result.gave_up = true;
+  finish();
+  return result;
+}
+
+TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
+                                     const TransferConfig& config, Rng& rng) {
+  MOBIWEB_CHECK_MSG(config.alpha >= 0.0 && config.alpha < 1.0,
+                    "simulate_arq_transfer: alpha in [0,1)");
+  return simulate_arq_transfer(
+      clear_content, config,
+      [&rng, &config] { return rng.next_bernoulli(config.alpha); });
+}
+
+}  // namespace mobiweb::sim

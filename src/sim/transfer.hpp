@@ -1,0 +1,61 @@
+// Packet-level analytic transfer simulator.
+//
+// Mirrors transmit::TransferSession + ida::StreamingDecoder semantics exactly
+// but replaces real encoding/CRC with Bernoulli corruption draws, so millions
+// of document transfers run in seconds. tests/test_sim_vs_real.cpp checks the
+// two paths agree on identical corruption patterns.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobiweb::sim {
+
+struct TransferConfig {
+  int m = 40;                        // raw packets
+  int n = 60;                        // cooked packets per round
+  double alpha = 0.1;                // per-packet corruption probability
+  bool caching = true;               // keep intact packets across rounds
+  double relevance_threshold = -1.0; // F; < 0 = relevant (full download)
+  double time_per_packet = 260.0 * 8.0 / 19200.0;  // (s_p + O) * 8 / B
+  double request_delay = 0.0;        // added per stalled round
+  int max_rounds = 25;               // cap for hopeless (alpha, gamma) combos
+};
+
+struct TransferResult {
+  double time = 0.0;
+  long packets = 0;
+  int rounds = 0;
+  bool completed = false;          // M intact packets collected
+  bool aborted_irrelevant = false; // stopped at the relevance threshold
+  bool gave_up = false;            // hit max_rounds while stalled
+  double content = 0.0;            // information content at termination
+};
+
+// `clear_content[i]` = information content carried by clear-text packet i
+// (size m, summing to the document's total content, normally 1).
+TransferResult simulate_transfer(const std::vector<double>& clear_content,
+                                 const TransferConfig& config, Rng& rng);
+
+// Same, but with an arbitrary per-packet corruption source (one call per
+// packet sent, true = corrupted). Used to drive the simulator with scripted
+// patterns (equivalence tests against the real transmit stack) and with
+// burst-error models (channel ablation); config.alpha is ignored.
+TransferResult simulate_transfer(const std::vector<double>& clear_content,
+                                 const TransferConfig& config,
+                                 const std::function<bool()>& next_corrupted);
+
+// Selective-repeat ARQ baseline (no erasure coding): round 1 sends the m raw
+// packets, every later round resends exactly the still-missing ones, each
+// extra round charging `request_delay` of feedback latency. Mirrors
+// transmit::ArqSession; `n` and `caching` in the config are ignored (ARQ is
+// inherently caching and carries no redundancy).
+TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
+                                     const TransferConfig& config, Rng& rng);
+TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
+                                     const TransferConfig& config,
+                                     const std::function<bool()>& next_corrupted);
+
+}  // namespace mobiweb::sim

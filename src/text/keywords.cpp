@@ -1,0 +1,67 @@
+#include "text/keywords.hpp"
+
+#include <algorithm>
+
+#include "text/porter.hpp"
+
+namespace mobiweb::text {
+
+long TermCounts::count(std::string_view term) const {
+  const auto it = counts.find(std::string(term));
+  return it == counts.end() ? 0 : it->second;
+}
+
+long TermCounts::total() const {
+  long t = 0;
+  for (const auto& [term, n] : counts) t += n;
+  return t;
+}
+
+long TermCounts::max_count() const {
+  long m = 0;
+  for (const auto& [term, n] : counts) m = std::max(m, n);
+  return m;
+}
+
+void TermCounts::add(const std::string& term, long n) { counts[term] += n; }
+
+void TermCounts::merge(const TermCounts& other) {
+  for (const auto& [term, n] : other.counts) counts[term] += n;
+}
+
+std::vector<std::pair<std::string, long>> TermCounts::sorted() const {
+  std::vector<std::pair<std::string, long>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+KeywordExtractor::KeywordExtractor(KeywordOptions options, StopWordFilter filter)
+    : options_(options), filter_(std::move(filter)) {}
+
+std::string KeywordExtractor::normalize(std::string_view word, bool emphasized) const {
+  const std::string lowered = to_lower(word);
+  const bool privileged = emphasized && options_.emphasis_qualifies;
+  if (!privileged) {
+    if (lowered.size() < options_.min_word_length) return {};
+    if (options_.drop_stop_words && filter_.is_stop_word(lowered)) return {};
+  }
+  return options_.stem ? porter_stem(lowered) : lowered;
+}
+
+TermCounts KeywordExtractor::extract(const std::vector<Token>& tokens) const {
+  TermCounts out;
+  for (const auto& token : tokens) {
+    std::string key = normalize(token.word, token.emphasized);
+    if (!key.empty()) out.add(key);
+  }
+  return out;
+}
+
+TermCounts KeywordExtractor::extract_text(std::string_view text) const {
+  return extract(tokenize(text));
+}
+
+}  // namespace mobiweb::text

@@ -1,0 +1,67 @@
+// Keyword extraction — the paper's "keyword extractor" stage: frequency
+// analysis over lemmatized, stop-filtered words, with specially formatted
+// (emphasized) words always qualifying as keywords.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/stopwords.hpp"
+#include "text/tokenize.hpp"
+
+namespace mobiweb::text {
+
+// Term -> occurrence count. This is the occurrence vector V_D of §3.1 in map
+// form; the norm used by the weighting scheme is the infinity norm.
+struct TermCounts {
+  std::unordered_map<std::string, long> counts;
+
+  [[nodiscard]] long count(std::string_view term) const;
+  [[nodiscard]] long total() const;          // sum of all occurrences
+  [[nodiscard]] long max_count() const;      // infinity norm of V_D
+  [[nodiscard]] std::size_t distinct() const { return counts.size(); }
+
+  void add(const std::string& term, long n = 1);
+  void merge(const TermCounts& other);
+
+  // Deterministic order (by descending count, then term) for display.
+  [[nodiscard]] std::vector<std::pair<std::string, long>> sorted() const;
+};
+
+struct KeywordOptions {
+  bool stem = true;              // run the Porter lemmatizer
+  bool drop_stop_words = true;   // run the word filter
+  std::size_t min_word_length = 2;
+  // Words seen emphasized anywhere in the input always qualify as keywords
+  // even if they would otherwise be dropped (e.g. too short).
+  bool emphasis_qualifies = true;
+};
+
+class KeywordExtractor {
+ public:
+  explicit KeywordExtractor(KeywordOptions options = {},
+                            StopWordFilter filter = StopWordFilter());
+
+  // Normalizes one raw word to its keyword form; returns empty string when
+  // the word is filtered out (stop word / too short).
+  [[nodiscard]] std::string normalize(std::string_view word,
+                                      bool emphasized = false) const;
+
+  // Full pipeline over a token stream.
+  [[nodiscard]] TermCounts extract(const std::vector<Token>& tokens) const;
+
+  // Convenience: tokenize + extract over plain text.
+  [[nodiscard]] TermCounts extract_text(std::string_view text) const;
+
+  [[nodiscard]] const KeywordOptions& options() const { return options_; }
+  [[nodiscard]] const StopWordFilter& stop_words() const { return filter_; }
+
+ private:
+  KeywordOptions options_;
+  StopWordFilter filter_;
+};
+
+}  // namespace mobiweb::text

@@ -1,0 +1,297 @@
+#include "text/porter.hpp"
+
+#include <cctype>
+
+#include "text/tokenize.hpp"
+
+namespace mobiweb::text {
+
+namespace {
+
+// Port of Porter's reference C implementation. `b` holds the word; `k` is the
+// index of the last live character; `j` marks the stem end set by ends().
+// Indices are signed, exactly as in the reference, so boundary conditions
+// (j == -1, i == -1) behave identically.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word)
+      : b_(std::move(word)), k_(static_cast<int>(b_.size()) - 1) {}
+
+  std::string run() {
+    if (k_ <= 1) return b_;
+    step1ab();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5();
+    b_.resize(static_cast<std::size_t>(k_) + 1);
+    return b_;
+  }
+
+ private:
+  char at(int i) const { return b_[static_cast<std::size_t>(i)]; }
+  char& at(int i) { return b_[static_cast<std::size_t>(i)]; }
+
+  // True when b_[i] is a consonant.
+  bool cons(int i) const {
+    switch (at(i)) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Number of consonant sequences in b_[0..j_].
+  int measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!cons(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool vowel_in_stem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True when b_[i-1] == b_[i] and both are consonants.
+  bool doublec(int i) const {
+    if (i < 1) return false;
+    if (at(i) != at(i - 1)) return false;
+    return cons(i);
+  }
+
+  // consonant-vowel-consonant ending at i, final consonant not w/x/y;
+  // signals that a trailing 'e' should be restored (e.g. cav(e), lov(e)).
+  bool cvc(int i) const {
+    if (i < 2 || !cons(i) || cons(i - 1) || !cons(i - 2)) return false;
+    const char ch = at(i);
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool ends(std::string_view s) {
+    const int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<std::size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void set_to(std::string_view s) {
+    b_.replace(static_cast<std::size_t>(j_ + 1),
+               static_cast<std::size_t>(k_ - j_), s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void replace_if_m_positive(std::string_view s) {
+    if (measure() > 0) set_to(s);
+  }
+
+  void step1ab() {
+    if (at(k_) == 's') {
+      if (ends("sses")) {
+        k_ -= 2;
+      } else if (ends("ies")) {
+        set_to("i");
+      } else if (at(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    if (ends("eed")) {
+      if (measure() > 0) --k_;
+    } else if ((ends("ed") || ends("ing")) && vowel_in_stem()) {
+      k_ = j_;
+      if (ends("at")) {
+        set_to("ate");
+      } else if (ends("bl")) {
+        set_to("ble");
+      } else if (ends("iz")) {
+        set_to("ize");
+      } else if (doublec(k_)) {
+        --k_;
+        const char ch = at(k_);
+        if (ch == 'l' || ch == 's' || ch == 'z') ++k_;
+      } else if (measure() == 1 && cvc(k_)) {
+        set_to("e");
+      }
+    }
+  }
+
+  void step1c() {
+    if (ends("y") && vowel_in_stem()) at(k_) = 'i';
+  }
+
+  void step2() {
+    if (k_ < 1) return;
+    switch (at(k_ - 1)) {
+      case 'a':
+        if (ends("ational")) { replace_if_m_positive("ate"); return; }
+        if (ends("tional")) { replace_if_m_positive("tion"); return; }
+        return;
+      case 'c':
+        if (ends("enci")) { replace_if_m_positive("ence"); return; }
+        if (ends("anci")) { replace_if_m_positive("ance"); return; }
+        return;
+      case 'e':
+        if (ends("izer")) { replace_if_m_positive("ize"); return; }
+        return;
+      case 'l':
+        if (ends("bli")) { replace_if_m_positive("ble"); return; }
+        if (ends("alli")) { replace_if_m_positive("al"); return; }
+        if (ends("entli")) { replace_if_m_positive("ent"); return; }
+        if (ends("eli")) { replace_if_m_positive("e"); return; }
+        if (ends("ousli")) { replace_if_m_positive("ous"); return; }
+        return;
+      case 'o':
+        if (ends("ization")) { replace_if_m_positive("ize"); return; }
+        if (ends("ation")) { replace_if_m_positive("ate"); return; }
+        if (ends("ator")) { replace_if_m_positive("ate"); return; }
+        return;
+      case 's':
+        if (ends("alism")) { replace_if_m_positive("al"); return; }
+        if (ends("iveness")) { replace_if_m_positive("ive"); return; }
+        if (ends("fulness")) { replace_if_m_positive("ful"); return; }
+        if (ends("ousness")) { replace_if_m_positive("ous"); return; }
+        return;
+      case 't':
+        if (ends("aliti")) { replace_if_m_positive("al"); return; }
+        if (ends("iviti")) { replace_if_m_positive("ive"); return; }
+        if (ends("biliti")) { replace_if_m_positive("ble"); return; }
+        return;
+      case 'g':
+        if (ends("logi")) { replace_if_m_positive("log"); return; }
+        return;
+      default:
+        return;
+    }
+  }
+
+  void step3() {
+    switch (at(k_)) {
+      case 'e':
+        if (ends("icate")) { replace_if_m_positive("ic"); return; }
+        if (ends("ative")) { replace_if_m_positive(""); return; }
+        if (ends("alize")) { replace_if_m_positive("al"); return; }
+        return;
+      case 'i':
+        if (ends("iciti")) { replace_if_m_positive("ic"); return; }
+        return;
+      case 'l':
+        if (ends("ical")) { replace_if_m_positive("ic"); return; }
+        if (ends("ful")) { replace_if_m_positive(""); return; }
+        return;
+      case 's':
+        if (ends("ness")) { replace_if_m_positive(""); return; }
+        return;
+      default:
+        return;
+    }
+  }
+
+  void step4() {
+    if (k_ < 1) return;
+    switch (at(k_ - 1)) {
+      case 'a':
+        if (ends("al")) break;
+        return;
+      case 'c':
+        if (ends("ance")) break;
+        if (ends("ence")) break;
+        return;
+      case 'e':
+        if (ends("er")) break;
+        return;
+      case 'i':
+        if (ends("ic")) break;
+        return;
+      case 'l':
+        if (ends("able")) break;
+        if (ends("ible")) break;
+        return;
+      case 'n':
+        if (ends("ant")) break;
+        if (ends("ement")) break;
+        if (ends("ment")) break;
+        if (ends("ent")) break;
+        return;
+      case 'o':
+        if (ends("ion") && j_ >= 0 && (at(j_) == 's' || at(j_) == 't')) break;
+        if (ends("ou")) break;
+        return;
+      case 's':
+        if (ends("ism")) break;
+        return;
+      case 't':
+        if (ends("ate")) break;
+        if (ends("iti")) break;
+        return;
+      case 'u':
+        if (ends("ous")) break;
+        return;
+      case 'v':
+        if (ends("ive")) break;
+        return;
+      case 'z':
+        if (ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (measure() > 1) k_ = j_;
+  }
+
+  void step5() {
+    j_ = k_;
+    if (at(k_) == 'e') {
+      const int a = measure();
+      if (a > 1 || (a == 1 && !cvc(k_ - 1))) --k_;
+    }
+    if (at(k_) == 'l' && doublec(k_) && measure() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      // Tokens with digits/joiners ("19", "e-mail") pass through unstemmed.
+      return std::string(word);
+    }
+  }
+  return Stemmer(to_lower(word)).run();
+}
+
+}  // namespace mobiweb::text

@@ -1,0 +1,18 @@
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980) — the paper's "lemmatizer" stage, which
+// "converts document words into their lemmatized form".
+//
+// This is a faithful port of the reference implementation, including the two
+// published departures (bli->ble and logi->log in step 2).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mobiweb::text {
+
+// Stems a single lowercase word. Words of length <= 2 are returned unchanged.
+// Non-alphabetic input is returned unchanged.
+std::string porter_stem(std::string_view word);
+
+}  // namespace mobiweb::text

@@ -1,0 +1,61 @@
+#include "text/stopwords.hpp"
+
+namespace mobiweb::text {
+
+const std::unordered_set<std::string>& default_stop_words() {
+  static const std::unordered_set<std::string> kWords = {
+      "a", "about", "above", "after", "again", "against", "all", "also", "am",
+      "an", "and", "any", "are", "aren't", "as", "at", "be", "because", "been",
+      "before", "being", "below", "between", "both", "but", "by", "can",
+      "can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+      "doesn't", "doing", "don't", "down", "during", "each", "either", "else",
+      "etc", "ever", "every", "few", "for", "from", "further", "had", "hadn't",
+      "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll",
+      "he's", "her", "here", "here's", "hers", "herself", "him", "himself",
+      "his", "how", "how's", "however", "i", "i'd", "i'll", "i'm", "i've",
+      "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself",
+      "let's", "may", "me", "might", "more", "most", "much", "must", "mustn't",
+      "my", "myself", "neither", "no", "nor", "not", "of", "off", "on",
+      "once", "one", "only", "or", "other", "ought", "our", "ours",
+      "ourselves", "out", "over", "own", "per", "quite", "rather", "same",
+      "shall", "shan't", "she", "she'd", "she'll", "she's", "should",
+      "shouldn't", "since", "so", "some", "such", "than", "that", "that's",
+      "the", "their", "theirs", "them", "themselves", "then", "there",
+      "there's", "these", "they", "they'd", "they'll", "they're", "they've",
+      "this", "those", "through", "thus", "to", "too", "under", "until", "up",
+      "upon", "us", "very", "was", "wasn't", "we", "we'd", "we'll", "we're",
+      "we've", "were", "weren't", "what", "what's", "when", "when's", "where",
+      "where's", "which", "while", "who", "who's", "whom", "whose", "why",
+      "why's", "will", "with", "within", "without", "won't", "would",
+      "wouldn't", "yet", "you", "you'd", "you'll", "you're", "you've", "your",
+      "yours", "yourself", "yourselves",
+  };
+  return kWords;
+}
+
+StopWordFilter::StopWordFilter() : words_(default_stop_words()) {}
+
+StopWordFilter::StopWordFilter(std::unordered_set<std::string> words)
+    : words_(std::move(words)) {}
+
+bool StopWordFilter::is_stop_word(std::string_view word) const {
+  return words_.contains(std::string(word));
+}
+
+void StopWordFilter::add(std::string word) { words_.insert(std::move(word)); }
+
+void StopWordFilter::remove(std::string_view word) {
+  words_.erase(std::string(word));
+}
+
+std::vector<std::string> StopWordFilter::filter(
+    const std::vector<std::string>& words) const {
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    if (!is_stop_word(w)) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace mobiweb::text

@@ -1,0 +1,36 @@
+// Stop-word filtering — the paper's "word filter" stage that "eliminates
+// non-meaning-bearing words, usually referred to as 'stop' words".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace mobiweb::text {
+
+// The built-in English stop-word list (lowercase).
+const std::unordered_set<std::string>& default_stop_words();
+
+class StopWordFilter {
+ public:
+  // Uses the built-in list.
+  StopWordFilter();
+  // Uses a custom list.
+  explicit StopWordFilter(std::unordered_set<std::string> words);
+
+  [[nodiscard]] bool is_stop_word(std::string_view word) const;
+
+  void add(std::string word);
+  void remove(std::string_view word);
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+
+  // Removes stop words from a token stream.
+  [[nodiscard]] std::vector<std::string> filter(
+      const std::vector<std::string>& words) const;
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace mobiweb::text

@@ -1,0 +1,59 @@
+#include "text/tokenize.hpp"
+
+#include <cctype>
+
+namespace mobiweb::text {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_word_joiner(char c) { return c == '\'' || c == '-'; }
+
+}  // namespace
+
+std::vector<std::string> tokenize_words(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (!is_word_char(s[i])) {
+      ++i;
+      continue;
+    }
+    std::string word;
+    while (i < s.size()) {
+      if (is_word_char(s[i])) {
+        word.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(s[i]))));
+        ++i;
+      } else if (is_word_joiner(s[i]) && i + 1 < s.size() && is_word_char(s[i + 1])) {
+        // Internal apostrophe/hyphen joins word parts ("client's", "e-mail").
+        word.push_back(s[i]);
+        ++i;
+      } else {
+        break;
+      }
+    }
+    out.push_back(std::move(word));
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(std::string_view s, bool emphasized) {
+  std::vector<Token> out;
+  for (auto& w : tokenize_words(s)) {
+    out.push_back(Token{std::move(w), emphasized});
+  }
+  return out;
+}
+
+}  // namespace mobiweb::text

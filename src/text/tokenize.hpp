@@ -1,0 +1,31 @@
+// Word tokenization for the keyword pipeline.
+//
+// Words are maximal runs of ASCII letters/digits (with internal apostrophes
+// and hyphens), lowercased. The tokenizer also carries an "emphasized" flag so
+// that specially formatted words (bold/italic in the source markup) can
+// qualify as keywords per paper §3.3.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobiweb::text {
+
+struct Token {
+  std::string word;        // lowercased
+  bool emphasized = false; // set by callers tokenizing <em>/<b>/... content
+
+  bool operator==(const Token&) const = default;
+};
+
+// Lowercases ASCII letters; leaves other bytes unchanged.
+std::string to_lower(std::string_view s);
+
+// Splits `s` into lowercase word tokens.
+std::vector<std::string> tokenize_words(std::string_view s);
+
+// Same, attaching the given emphasis flag to every token.
+std::vector<Token> tokenize(std::string_view s, bool emphasized = false);
+
+}  // namespace mobiweb::text

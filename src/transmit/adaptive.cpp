@@ -1,0 +1,35 @@
+#include "transmit/adaptive.hpp"
+
+#include <algorithm>
+
+#include "analysis/negbinom.hpp"
+#include "util/check.hpp"
+
+namespace mobiweb::transmit {
+
+AdaptiveGamma::AdaptiveGamma(AdaptiveGammaConfig config)
+    : config_(config), estimate_(config.ewma_alpha) {
+  MOBIWEB_CHECK_MSG(config_.initial_gamma >= 1.0, "AdaptiveGamma: initial_gamma >= 1");
+  MOBIWEB_CHECK_MSG(config_.target_success > 0.0 && config_.target_success < 1.0,
+                    "AdaptiveGamma: target_success in (0,1)");
+  MOBIWEB_CHECK_MSG(config_.max_gamma >= config_.initial_gamma,
+                    "AdaptiveGamma: max_gamma >= initial_gamma");
+}
+
+void AdaptiveGamma::observe(double corruption_rate) {
+  MOBIWEB_CHECK_MSG(corruption_rate >= 0.0 && corruption_rate <= 1.0,
+                    "AdaptiveGamma::observe: rate in [0,1]");
+  // Rates at/above 1 would make the negative binomial degenerate; clamp just
+  // under so a fully dead round still pushes the estimate up hard.
+  estimate_.observe(std::min(corruption_rate, 0.99));
+}
+
+double AdaptiveGamma::gamma(int m) const {
+  MOBIWEB_CHECK_MSG(m >= 1, "AdaptiveGamma::gamma: m >= 1");
+  if (!estimate_.initialized()) return config_.initial_gamma;
+  const double alpha = std::clamp(estimate_.value(), 0.0, 0.99);
+  const double g = analysis::redundancy_ratio(m, alpha, config_.target_success);
+  return std::clamp(g, 1.0, config_.max_gamma);
+}
+
+}  // namespace mobiweb::transmit

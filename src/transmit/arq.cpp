@@ -1,0 +1,66 @@
+#include "transmit/arq.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mobiweb::transmit {
+
+ArqSession::ArqSession(const DocumentTransmitter& transmitter,
+                       ClientReceiver& receiver, channel::WirelessChannel& channel,
+                       ArqConfig config)
+    : transmitter_(&transmitter), receiver_(&receiver), channel_(&channel),
+      config_(config) {
+  MOBIWEB_CHECK_MSG(transmitter_->n() == transmitter_->m(),
+                    "ArqSession: transmitter must carry no redundancy (gamma=1)");
+  MOBIWEB_CHECK_MSG(config_.max_rounds >= 1, "ArqSession: max_rounds >= 1");
+}
+
+SessionResult ArqSession::run() {
+  SessionResult result;
+  const double start = channel_->now();
+  const bool relevance_check = config_.relevance_threshold >= 0.0;
+  const std::size_t m = transmitter_->m();
+
+  // Sequence numbers still outstanding; round 1 sends everything.
+  std::vector<std::size_t> pending(m);
+  for (std::size_t i = 0; i < m; ++i) pending[i] = i;
+
+  for (result.rounds = 1; result.rounds <= config_.max_rounds; ++result.rounds) {
+    for (const std::size_t seq : pending) {
+      const auto delivery = channel_->send(ByteSpan(transmitter_->frame(seq)));
+      ++result.frames_sent;
+      receiver_->on_frame(ByteSpan(delivery.frame));
+      if (relevance_check &&
+          receiver_->content_received() >= config_.relevance_threshold) {
+        result.aborted_irrelevant = true;
+        result.completed = receiver_->complete();
+        result.content_received = receiver_->content_received();
+        result.response_time = channel_->now() - start;
+        return result;
+      }
+      if (receiver_->complete()) {
+        result.completed = true;
+        result.content_received = receiver_->content_received();
+        result.response_time = channel_->now() - start;
+        return result;
+      }
+    }
+    // Collect the NACK list for the next round.
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!receiver_->has_packet(i)) missing.push_back(i);
+    }
+    MOBIWEB_CHECK_MSG(!missing.empty(), "ArqSession: incomplete but nothing missing");
+    pending = std::move(missing);
+    if (config_.feedback_delay_s > 0.0) channel_->advance(config_.feedback_delay_s);
+  }
+
+  result.rounds = config_.max_rounds;
+  result.completed = receiver_->complete();
+  result.content_received = receiver_->content_received();
+  result.response_time = channel_->now() - start;
+  return result;
+}
+
+}  // namespace mobiweb::transmit

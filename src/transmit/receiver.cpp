@@ -1,0 +1,55 @@
+#include "transmit/receiver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mobiweb::transmit {
+
+ClientReceiver::ClientReceiver(ReceiverConfig config, std::vector<doc::Segment> segments)
+    : config_(config),
+      segments_(std::move(segments)),
+      decoder_(config.m, config.n, config.packet_size, config.payload_size) {
+  content_map_.segments = segments_;
+  for (const auto& s : segments_) total_content_ += s.content;
+}
+
+double ClientReceiver::packet_content(std::size_t raw_index) const {
+  const std::size_t begin = raw_index * config_.packet_size;
+  const std::size_t end =
+      std::min(begin + config_.packet_size, config_.payload_size);
+  return content_map_.content_of_range(begin, end);
+}
+
+FrameResult ClientReceiver::on_frame(ByteSpan frame) {
+  ++frames_seen_;
+  FrameResult result;
+  const auto decoded = packet::decode(frame);
+  if (!decoded || decoded->doc_id != config_.doc_id ||
+      decoded->total != config_.n || decoded->seq >= config_.n ||
+      decoded->payload.size() != config_.packet_size) {
+    ++frames_corrupted_;
+    return result;  // corrupted or foreign frame: discard
+  }
+  result.intact = true;
+  const std::size_t index = decoded->seq;
+  result.newly_useful = decoder_.add(index, ByteSpan(decoded->payload));
+  if (result.newly_useful && index < config_.m) {
+    clear_content_ += packet_content(index);
+    if (render_hook_) render_hook_(index, ByteSpan(decoded->payload));
+  }
+  return result;
+}
+
+double ClientReceiver::content_received() const {
+  if (decoder_.complete()) return total_content_;
+  return clear_content_;
+}
+
+void ClientReceiver::on_round_end() {
+  if (config_.caching) return;
+  decoder_.reset();
+  clear_content_ = 0.0;
+}
+
+}  // namespace mobiweb::transmit

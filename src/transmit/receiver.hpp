@@ -1,0 +1,91 @@
+// Client side: the prototype's Sequence Manager + Rendering Manager rolled
+// into one receiver. Validates frames (CRC), feeds intact cooked packets to
+// the streaming decoder, tracks the information content received so far, and
+// fires a render hook for every clear-text unit fragment so a browser can
+// display "each organizational unit incrementally at the proper position".
+//
+// The receiver's packet buffer doubles as the paper's client cache: with
+// caching enabled it survives "stalled" rounds, so a retransmission only has
+// to supply the still-missing packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "doc/linear.hpp"
+#include "ida/ida.hpp"
+#include "packet/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace mobiweb::transmit {
+
+struct ReceiverConfig {
+  std::uint16_t doc_id = 1;
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t packet_size = 256;
+  std::size_t payload_size = 0;
+  // Keep intact packets across stalled rounds (the paper's Caching strategy).
+  bool caching = true;
+};
+
+struct FrameResult {
+  bool intact = false;        // CRC passed and header consistent
+  bool newly_useful = false;  // not a duplicate of an already-held packet
+};
+
+class ClientReceiver {
+ public:
+  // `segments` is the unit map of the transmitted (permuted) document — the
+  // SC metadata the client needs to position units and account content.
+  ClientReceiver(ReceiverConfig config, std::vector<doc::Segment> segments);
+
+  // Called for every raw fragment of the document the client can newly
+  // display: (raw packet index, bytes). Fired for clear-text packets as they
+  // arrive and never twice for the same packet.
+  using RenderHook = std::function<void(std::size_t raw_index, ByteSpan bytes)>;
+  void set_render_hook(RenderHook hook) { render_hook_ = std::move(hook); }
+
+  FrameResult on_frame(ByteSpan frame);
+
+  // Information content received so far: the sum over clear-text raw packets
+  // of the content their byte ranges carry, or the full document content once
+  // reconstruction is possible.
+  [[nodiscard]] double content_received() const;
+
+  [[nodiscard]] bool complete() const { return decoder_.complete(); }
+  [[nodiscard]] std::size_t intact_count() const { return decoder_.intact_count(); }
+
+  // Whether cooked packet `index` has been received intact — the feedback a
+  // selective-repeat (ARQ) server needs to decide what to resend.
+  [[nodiscard]] bool has_packet(std::size_t index) const { return decoder_.has(index); }
+
+  // Reconstructs the document payload; requires complete().
+  [[nodiscard]] Bytes reconstruct() const { return decoder_.reconstruct(); }
+
+  // Signals the end of a (possibly stalled) round. Without caching the packet
+  // buffer and content accounting reset — the default HTTP "reload" be-
+  // haviour; with caching this is a no-op.
+  void on_round_end();
+
+  [[nodiscard]] const std::vector<doc::Segment>& segments() const { return segments_; }
+  [[nodiscard]] long frames_seen() const { return frames_seen_; }
+  [[nodiscard]] long frames_corrupted() const { return frames_corrupted_; }
+
+ private:
+  [[nodiscard]] double packet_content(std::size_t raw_index) const;
+
+  ReceiverConfig config_;
+  std::vector<doc::Segment> segments_;
+  doc::LinearDocument content_map_;  // segments only; payload stays empty
+  ida::StreamingDecoder decoder_;
+  RenderHook render_hook_;
+  double clear_content_ = 0.0;
+  long frames_seen_ = 0;
+  long frames_corrupted_ = 0;
+  double total_content_ = 0.0;
+};
+
+}  // namespace mobiweb::transmit

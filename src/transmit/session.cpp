@@ -1,0 +1,58 @@
+#include "transmit/session.hpp"
+
+#include "util/check.hpp"
+
+namespace mobiweb::transmit {
+
+TransferSession::TransferSession(const DocumentTransmitter& transmitter,
+                                 ClientReceiver& receiver,
+                                 channel::WirelessChannel& channel,
+                                 SessionConfig config)
+    : transmitter_(&transmitter), receiver_(&receiver), channel_(&channel),
+      config_(config) {
+  MOBIWEB_CHECK_MSG(config_.max_rounds >= 1, "TransferSession: max_rounds >= 1");
+}
+
+SessionResult TransferSession::run() {
+  SessionResult result;
+  const double start = channel_->now();
+  const bool relevance_check = config_.relevance_threshold >= 0.0;
+
+  for (result.rounds = 1; result.rounds <= config_.max_rounds; ++result.rounds) {
+    for (std::size_t i = 0; i < transmitter_->n(); ++i) {
+      channel::WirelessChannel::Delivery d = channel_->send(
+          ByteSpan(transmitter_->frame(i)));
+      ++result.frames_sent;
+      receiver_->on_frame(ByteSpan(d.frame));
+
+      if (relevance_check &&
+          receiver_->content_received() >= config_.relevance_threshold) {
+        // Condition 3: the user hits "stop" — enough content to judge.
+        result.aborted_irrelevant = true;
+        result.completed = receiver_->complete();
+        result.content_received = receiver_->content_received();
+        result.response_time = channel_->now() - start;
+        return result;
+      }
+      if (receiver_->complete()) {
+        // Condition 1: M intact cooked packets — reconstruct and stop.
+        result.completed = true;
+        result.content_received = receiver_->content_received();
+        result.response_time = channel_->now() - start;
+        return result;
+      }
+    }
+    // Condition 2 reached without reconstruction: stalled round.
+    receiver_->on_round_end();
+    if (config_.request_delay_s > 0.0) channel_->advance(config_.request_delay_s);
+  }
+
+  // Gave up after max_rounds (pathological channel).
+  result.rounds = config_.max_rounds;
+  result.completed = receiver_->complete();
+  result.content_received = receiver_->content_received();
+  result.response_time = channel_->now() - start;
+  return result;
+}
+
+}  // namespace mobiweb::transmit

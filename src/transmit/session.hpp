@@ -1,0 +1,58 @@
+// One document transfer over the wireless channel, with the paper's three
+// termination conditions (§4.2) and stalled-round retransmission:
+//
+//   "The transmission can be terminated when any one of the following three
+//    conditions occurs: the client receives sufficient number of cooked
+//    packets to reconstruct the whole document; all cooked packets are
+//    received; the user has determined that the document is irrelevant and
+//    hit the 'stop' button."
+//
+// A round that ends with fewer than M intact packets is "stalled"; the
+// session then retransmits, either from scratch (NoCaching — the default
+// HTTP reload) or reusing the receiver's cache of intact packets (Caching).
+#pragma once
+
+#include "channel/channel.hpp"
+#include "transmit/receiver.hpp"
+#include "transmit/transmitter.hpp"
+
+namespace mobiweb::transmit {
+
+struct SessionConfig {
+  // < 0 means the document is relevant and must be fully downloaded;
+  // otherwise the client aborts once content_received() >= this threshold
+  // (the paper's F).
+  double relevance_threshold = -1.0;
+  // Extra channel time consumed by a retransmission request (paper assumes
+  // immediate feedback; keep 0 to reproduce it).
+  double request_delay_s = 0.0;
+  // Safety valve against alpha ~ 1 pathologies.
+  int max_rounds = 1000;
+};
+
+struct SessionResult {
+  double response_time = 0.0;    // channel time from start to termination
+  int rounds = 0;                // 1 = no stall
+  long frames_sent = 0;
+  bool completed = false;        // document reconstructable at the client
+  bool aborted_irrelevant = false;
+  double content_received = 0.0;
+};
+
+class TransferSession {
+ public:
+  TransferSession(const DocumentTransmitter& transmitter, ClientReceiver& receiver,
+                  channel::WirelessChannel& channel, SessionConfig config = {});
+
+  // Runs to termination and reports the outcome. The receiver retains its
+  // final state (so callers can reconstruct / inspect rendered fragments).
+  SessionResult run();
+
+ private:
+  const DocumentTransmitter* transmitter_;
+  ClientReceiver* receiver_;
+  channel::WirelessChannel* channel_;
+  SessionConfig config_;
+};
+
+}  // namespace mobiweb::transmit

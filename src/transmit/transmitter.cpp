@@ -1,0 +1,51 @@
+#include "transmit/transmitter.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mobiweb::transmit {
+
+std::size_t cooked_count(std::size_t m, double gamma) {
+  MOBIWEB_CHECK_MSG(gamma >= 1.0, "cooked_count: gamma >= 1");
+  const double raw = std::ceil(gamma * static_cast<double>(m));
+  auto n = static_cast<std::size_t>(raw);
+  if (n < m) n = m;
+  if (n > 255) n = 255;
+  return n;
+}
+
+DocumentTransmitter::DocumentTransmitter(doc::LinearDocument document,
+                                         TransmitterConfig config)
+    : document_(std::move(document)), config_(config) {
+  MOBIWEB_CHECK_MSG(!document_.payload.empty(),
+                    "DocumentTransmitter: empty document payload");
+  m_ = ida::packet_count(document_.payload.size(), config_.packet_size);
+  MOBIWEB_CHECK_MSG(m_ <= 255,
+                    "DocumentTransmitter: document too large for one dispersal "
+                    "group (m > 255); increase packet_size");
+  n_ = cooked_count(m_, config_.gamma);
+
+  ida::Encoder encoder(m_, n_);
+  const auto cooked = encoder.encode_payload(ByteSpan(document_.payload),
+                                             config_.packet_size);
+  frames_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    packet::Packet p;
+    p.doc_id = config_.doc_id;
+    p.seq = static_cast<std::uint16_t>(i);
+    p.total = static_cast<std::uint16_t>(n_);
+    p.flags = 0;
+    if (i < m_) p.flags |= packet::kFlagClearText;
+    if (i + 1 == n_) p.flags |= packet::kFlagLast;
+    p.payload = cooked[i];
+    frames_.push_back(packet::encode(p));
+  }
+}
+
+const Bytes& DocumentTransmitter::frame(std::size_t index) const {
+  MOBIWEB_CHECK_MSG(index < frames_.size(), "DocumentTransmitter::frame: range");
+  return frames_[index];
+}
+
+}  // namespace mobiweb::transmit

@@ -1,0 +1,76 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace mobiweb {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteSpan bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::string to_hex(ByteSpan bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex character");
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) * 16 + hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+void put_u16(Bytes& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+std::uint16_t get_u16(ByteSpan in, std::size_t offset) {
+  if (offset + 2 > in.size()) {
+    throw std::out_of_range("get_u16: buffer too short");
+  }
+  return static_cast<std::uint16_t>(in[offset] | (in[offset + 1] << 8));
+}
+
+std::uint32_t get_u32(ByteSpan in, std::size_t offset) {
+  if (offset + 4 > in.size()) {
+    throw std::out_of_range("get_u32: buffer too short");
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace mobiweb

@@ -1,0 +1,37 @@
+// Byte-buffer alias and small helpers shared across the packet/coding layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobiweb {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+// Converts a string's bytes into a Bytes buffer (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+// Interprets a byte buffer as a string (no validation applied).
+std::string to_string(ByteSpan bytes);
+
+// Renders bytes as lowercase hex, e.g. {0xde, 0xad} -> "dead".
+std::string to_hex(ByteSpan bytes);
+
+// Parses lowercase/uppercase hex back into bytes. Throws std::invalid_argument
+// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+// Appends `value` to `out` in little-endian order.
+void put_u16(Bytes& out, std::uint16_t value);
+void put_u32(Bytes& out, std::uint32_t value);
+
+// Reads a little-endian integer at `offset`. Throws std::out_of_range if the
+// buffer is too short.
+std::uint16_t get_u16(ByteSpan in, std::size_t offset);
+std::uint32_t get_u32(ByteSpan in, std::size_t offset);
+
+}  // namespace mobiweb

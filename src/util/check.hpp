@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking.
+//
+// MOBIWEB_CHECK is active in all build types: these guard API contracts whose
+// violation would otherwise corrupt state silently (e.g. mismatched packet
+// sizes fed to the erasure coder). Failures throw mobiweb::ContractViolation
+// so callers and tests can observe them deterministically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mobiweb {
+
+// Thrown when a documented precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = "contract violation: ";
+  full += expr;
+  full += " at ";
+  full += file;
+  full += ":";
+  full += std::to_string(line);
+  if (!msg.empty()) {
+    full += " (";
+    full += msg;
+    full += ")";
+  }
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace mobiweb
+
+#define MOBIWEB_CHECK(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mobiweb::detail::contract_fail(#expr, __FILE__, __LINE__, "");     \
+    }                                                                      \
+  } while (false)
+
+#define MOBIWEB_CHECK_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mobiweb::detail::contract_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,49 @@
+// Exponentially weighted moving average.
+//
+// The paper (§4.2) suggests choosing the redundancy ratio γ as "an adaptive
+// function of the observed summarized value of α, using perhaps a kind of
+// EWMA measure". The transmit module's AdaptiveGamma controller uses this.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace mobiweb {
+
+class Ewma {
+ public:
+  // `alpha` is the smoothing factor in (0, 1]; higher reacts faster.
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    MOBIWEB_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha must be in (0,1]");
+  }
+
+  void observe(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double value_or(double fallback) const {
+    return initialized_ ? value_ : fallback;
+  }
+  [[nodiscard]] long count() const { return count_; }
+
+  void reset() {
+    initialized_ = false;
+    value_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  long count_ = 0;
+};
+
+}  // namespace mobiweb

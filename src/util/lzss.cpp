@@ -1,0 +1,138 @@
+#include "util/lzss.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace mobiweb {
+
+namespace {
+
+constexpr std::size_t kWindow = 4096;      // 12-bit distance
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;      // kMinMatch + 15
+constexpr std::size_t kHashSize = 1 << 13;
+
+std::size_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 19 & (kHashSize - 1);
+}
+
+}  // namespace
+
+Bytes lzss_compress(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  put_u32(out, static_cast<std::uint32_t>(input.size()));
+
+  // Head of the most recent position for each 3-byte hash (single-probe
+  // chain: enough for text, keeps the encoder O(n)).
+  std::array<std::size_t, kHashSize> head;
+  head.fill(static_cast<std::size_t>(-1));
+
+  std::size_t pos = 0;
+  std::size_t flag_at = 0;  // offset of the current flag byte in `out`
+  int tokens_in_group = 8;  // forces a new flag byte on the first token
+
+  auto begin_token = [&](bool is_match) {
+    if (tokens_in_group == 8) {
+      flag_at = out.size();
+      out.push_back(0);
+      tokens_in_group = 0;
+    }
+    if (is_match) {
+      out[flag_at] |= static_cast<std::uint8_t>(1u << tokens_in_group);
+    }
+    ++tokens_in_group;
+  };
+
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + kMinMatch <= input.size()) {
+      const std::size_t h = hash3(&input[pos]);
+      const std::size_t cand = head[h];
+      if (cand != static_cast<std::size_t>(-1) && cand < pos &&
+          pos - cand <= kWindow) {
+        std::size_t len = 0;
+        const std::size_t limit = std::min(kMaxMatch, input.size() - pos);
+        while (len < limit && input[cand + len] == input[pos + len]) ++len;
+        if (len >= kMinMatch) {
+          best_len = len;
+          best_dist = pos - cand;
+        }
+      }
+      head[h] = pos;
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      const auto dist = static_cast<std::uint16_t>(best_dist - 1);      // 12 bits
+      const auto len = static_cast<std::uint16_t>(best_len - kMinMatch); // 4 bits
+      out.push_back(static_cast<std::uint8_t>(dist & 0xff));
+      out.push_back(static_cast<std::uint8_t>(((dist >> 8) & 0x0f) | (len << 4)));
+      // Index the skipped positions too so later matches can reference them.
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1; p + kMinMatch <= input.size() && p < end; ++p) {
+        head[hash3(&input[p])] = p;
+      }
+      pos = end;
+    } else {
+      begin_token(false);
+      out.push_back(input[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+Bytes lzss_decompress(ByteSpan compressed) {
+  if (compressed.size() < 4) {
+    throw std::invalid_argument("lzss: truncated header");
+  }
+  const std::uint32_t raw_size = get_u32(compressed, 0);
+  Bytes out;
+  out.reserve(raw_size);
+
+  std::size_t pos = 4;
+  std::uint8_t flags = 0;
+  int tokens_left = 0;
+  while (out.size() < raw_size) {
+    if (tokens_left == 0) {
+      if (pos >= compressed.size()) {
+        throw std::invalid_argument("lzss: truncated stream (flags)");
+      }
+      flags = compressed[pos++];
+      tokens_left = 8;
+    }
+    const bool is_match = flags & 1u;
+    flags >>= 1;
+    --tokens_left;
+    if (is_match) {
+      if (pos + 2 > compressed.size()) {
+        throw std::invalid_argument("lzss: truncated match token");
+      }
+      const std::uint8_t lo = compressed[pos];
+      const std::uint8_t hi = compressed[pos + 1];
+      pos += 2;
+      const std::size_t dist = (static_cast<std::size_t>(hi & 0x0f) << 8 | lo) + 1;
+      const std::size_t len = static_cast<std::size_t>(hi >> 4) + kMinMatch;
+      if (dist > out.size()) {
+        throw std::invalid_argument("lzss: match reference before stream start");
+      }
+      for (std::size_t i = 0; i < len && out.size() < raw_size; ++i) {
+        out.push_back(out[out.size() - dist]);
+      }
+    } else {
+      if (pos >= compressed.size()) {
+        throw std::invalid_argument("lzss: truncated literal");
+      }
+      out.push_back(compressed[pos++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mobiweb

@@ -1,0 +1,27 @@
+// LZSS compression.
+//
+// The paper's prototype routes transfers through client/server interceptors
+// "where alternative mechanisms such as compression or ARQ are also
+// implemented" (§4.2), citing eNetwork Web Express-style protocol reduction.
+// This is that compression mechanism: a self-contained byte-oriented LZSS
+// (LZ77 with a literal/match flag bitmap), chosen for tiny memory footprint —
+// the decoder state suits a battery-constrained client.
+//
+// Format: [u32 raw_size][stream]; stream = groups of 8 tokens preceded by a
+// flag byte (bit i set = token i is a match). Literal = 1 byte. Match =
+// 2 bytes: 12-bit distance (1..4096), 4-bit length (3..18).
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace mobiweb {
+
+// Compresses `input`. Output is never catastrophically larger than the input
+// (worst case: 4 + input + input/8 + 1 bytes).
+Bytes lzss_compress(ByteSpan input);
+
+// Decompresses a buffer produced by lzss_compress. Throws
+// std::invalid_argument on malformed input (truncation, bad references).
+Bytes lzss_decompress(ByteSpan compressed);
+
+}  // namespace mobiweb

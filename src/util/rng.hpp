@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour in the repository (channel corruption, synthetic
+// document generation, browsing-session relevance) flows through Rng so that
+// every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace mobiweb {
+
+// SplitMix64: used to expand a user seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** — fast, high-quality generator; the simulator's workhorse.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d6f6269776562ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). Uses rejection sampling to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    MOBIWEB_CHECK_MSG(bound > 0, "next_below: bound must be positive");
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    MOBIWEB_CHECK_MSG(lo <= hi, "next_int: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  // Uniform double in [lo, hi).
+  double next_range(double lo, double hi) {
+    MOBIWEB_CHECK_MSG(lo <= hi, "next_range: empty range");
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Bernoulli trial with success probability p.
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  // Derives an independent child generator; used to give each simulation
+  // repetition its own stream.
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace mobiweb

@@ -1,0 +1,37 @@
+// Plain-text table rendering for the reproduction harnesses: every bench
+// binary prints its figure/table as an aligned ASCII table plus a CSV block
+// that can be piped into a plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mobiweb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+
+  // Aligned, boxed ASCII rendering.
+  [[nodiscard]] std::string render() const;
+
+  // Comma-separated rendering (header + rows).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace mobiweb

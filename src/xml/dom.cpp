@@ -1,0 +1,94 @@
+#include "xml/dom.hpp"
+
+namespace mobiweb::xml {
+
+std::optional<std::string_view> Node::attribute(std::string_view name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+const Node* Node::child(std::string_view name) const {
+  for (const auto& c : children) {
+    if (c.is_element() && c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children) {
+    if (c.is_element() && c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::child_elements() const {
+  std::vector<const Node*> out;
+  for (const auto& c : children) {
+    if (c.is_element()) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+void collect_text(const Node& node, std::string& out) {
+  if (node.is_text()) {
+    out += node.text;
+    return;
+  }
+  for (const auto& c : node.children) collect_text(c, out);
+}
+}  // namespace
+
+std::string Node::text_content() const {
+  std::string out;
+  collect_text(*this, out);
+  return out;
+}
+
+std::vector<const Node*> Node::select(std::string_view path) const {
+  std::vector<const Node*> frontier = {this};
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::string_view step =
+        path.substr(pos, slash == std::string_view::npos ? std::string_view::npos
+                                                         : slash - pos);
+    if (!step.empty()) {
+      std::vector<const Node*> next;
+      for (const Node* node : frontier) {
+        for (const auto& c : node->children) {
+          if (c.is_element() && c.name == step) next.push_back(&c);
+        }
+      }
+      frontier = std::move(next);
+    }
+    if (slash == std::string_view::npos) break;
+    pos = slash + 1;
+  }
+  return frontier;
+}
+
+std::size_t Node::subtree_size() const {
+  std::size_t count = 1;
+  for (const auto& c : children) count += c.subtree_size();
+  return count;
+}
+
+Node make_element(std::string name) {
+  Node n;
+  n.type = NodeType::kElement;
+  n.name = std::move(name);
+  return n;
+}
+
+Node make_text(std::string text) {
+  Node n;
+  n.type = NodeType::kText;
+  n.text = std::move(text);
+  return n;
+}
+
+}  // namespace mobiweb::xml

@@ -1,0 +1,85 @@
+// Value-semantic XML document object model.
+//
+// The paper builds document structure on XML ("a section LOD might be
+// implemented using a pair of <section> and </section> tags"). No external
+// XML library is assumed; src/xml is a self-contained parser + DOM + writer
+// covering the subset the system needs: elements, attributes, character data,
+// CDATA, comments, processing instructions, numeric/named entities, DOCTYPE.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobiweb::xml {
+
+enum class NodeType {
+  kElement,
+  kText,        // character data (entities already resolved)
+  kCData,       // literal CDATA section
+  kComment,
+  kProcessing,  // <?target data?>
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+// One DOM node. Elements own their children by value; the tree is freely
+// copyable and movable with no ownership subtleties.
+struct Node {
+  NodeType type = NodeType::kElement;
+  std::string name;   // element name or PI target; empty for text/comment
+  std::string text;   // character data, comment body, CDATA body or PI data
+  std::vector<Attribute> attributes;  // elements only
+  std::vector<Node> children;         // elements only
+
+  [[nodiscard]] bool is_element() const { return type == NodeType::kElement; }
+  [[nodiscard]] bool is_text() const {
+    return type == NodeType::kText || type == NodeType::kCData;
+  }
+
+  // Attribute value, or nullopt when absent. Element nodes only.
+  [[nodiscard]] std::optional<std::string_view> attribute(std::string_view name) const;
+
+  // First child element with the given name; nullptr when absent.
+  [[nodiscard]] const Node* child(std::string_view name) const;
+
+  // All child elements with the given name.
+  [[nodiscard]] std::vector<const Node*> children_named(std::string_view name) const;
+
+  // All child elements (any name).
+  [[nodiscard]] std::vector<const Node*> child_elements() const;
+
+  // Concatenated character data of this subtree (text + CDATA, depth-first).
+  [[nodiscard]] std::string text_content() const;
+
+  // Simple slash-separated descent: "body/section/para" returns every element
+  // reachable by matching each path step against child-element names.
+  [[nodiscard]] std::vector<const Node*> select(std::string_view path) const;
+
+  // Total number of nodes in this subtree (including this node).
+  [[nodiscard]] std::size_t subtree_size() const;
+
+  bool operator==(const Node&) const = default;
+};
+
+// Parsed document: prolog bits plus the single root element.
+struct Document {
+  std::string xml_version;        // from <?xml version="..."?>; may be empty
+  std::string encoding;           // from the XML declaration; may be empty
+  std::string doctype_name;       // from <!DOCTYPE name ...>; may be empty
+  std::string doctype_subset;     // raw internal subset ("[...]" content)
+  std::vector<Node> prolog_misc;  // comments / PIs before the root
+  Node root;
+};
+
+// Factory helpers used by builders and tests.
+Node make_element(std::string name);
+Node make_text(std::string text);
+
+}  // namespace mobiweb::xml

@@ -1,0 +1,468 @@
+#include "xml/dtd.hpp"
+
+#include <cctype>
+#include <functional>
+
+namespace mobiweb::xml::dtd {
+
+const ElementDecl* Dtd::element(std::string_view name) const {
+  const auto it = elements.find(name);
+  return it == elements.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == ':' || c == '.';
+}
+
+// Recursive-descent parser over declaration text.
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : in_(text) {}
+
+  Dtd run() {
+    Dtd dtd;
+    for (;;) {
+      skip_spaces_and_comments();
+      if (eof()) return dtd;
+      if (looking_at("<!ELEMENT")) {
+        parse_element_decl(dtd);
+      } else if (looking_at("<!ATTLIST")) {
+        parse_attlist_decl(dtd);
+      } else if (looking_at("<!ENTITY") || looking_at("<!NOTATION") ||
+                 looking_at("<?")) {
+        skip_declaration();
+      } else {
+        fail("unexpected content in DTD");
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : in_[pos_]; }
+  [[nodiscard]] bool looking_at(std::string_view s) const {
+    return in_.substr(pos_).starts_with(s);
+  }
+
+  char advance() {
+    if (eof()) fail("unexpected end of DTD");
+    const char c = in_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void expect(std::string_view literal) {
+    if (!looking_at(literal)) fail("expected '" + std::string(literal) + "'");
+    pos_ += literal.size();
+  }
+
+  void skip_spaces() {
+    while (!eof() && is_space(peek())) advance();
+  }
+
+  void skip_spaces_and_comments() {
+    for (;;) {
+      skip_spaces();
+      if (!looking_at("<!--")) return;
+      pos_ += 4;
+      const std::size_t end = in_.find("-->", pos_);
+      if (end == std::string_view::npos) fail("unterminated comment in DTD");
+      pos_ = end + 3;
+    }
+  }
+
+  void skip_declaration() {
+    // Consume to the matching '>' (quotes respected).
+    char quote = '\0';
+    while (!eof()) {
+      const char c = advance();
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '>') {
+        return;
+      }
+    }
+    fail("unterminated declaration");
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("DTD: " + message, line_, 1);
+  }
+
+  std::string parse_name() {
+    if (eof() || !is_name_char(peek())) fail("expected a name");
+    std::string name;
+    while (!eof() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  void parse_element_decl(Dtd& dtd) {
+    expect("<!ELEMENT");
+    skip_spaces();
+    const std::string name = parse_name();
+    skip_spaces();
+    ElementDecl decl;
+    if (looking_at("EMPTY")) {
+      expect("EMPTY");
+      decl.model = ElementDecl::Model::kEmpty;
+    } else if (looking_at("ANY")) {
+      expect("ANY");
+      decl.model = ElementDecl::Model::kAny;
+    } else if (peek() == '(') {
+      // Look ahead for #PCDATA to distinguish mixed from element content.
+      const std::size_t close = find_group_end(pos_);
+      const std::string_view group = in_.substr(pos_, close - pos_);
+      if (group.find("#PCDATA") != std::string_view::npos) {
+        decl.model = ElementDecl::Model::kMixed;
+        parse_mixed(decl);
+      } else {
+        decl.model = ElementDecl::Model::kChildren;
+        decl.content = parse_particle();
+      }
+    } else {
+      fail("bad content model for element '" + name + "'");
+    }
+    skip_spaces();
+    expect(">");
+    if (!dtd.elements.emplace(name, std::move(decl)).second) {
+      fail("duplicate declaration of element '" + name + "'");
+    }
+  }
+
+  // Index just past the matching ')' of the group opening at `at` ('(').
+  std::size_t find_group_end(std::size_t at) const {
+    int depth = 0;
+    for (std::size_t i = at; i < in_.size(); ++i) {
+      if (in_[i] == '(') ++depth;
+      if (in_[i] == ')') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+    }
+    fail("unbalanced parentheses in content model");
+  }
+
+  void parse_mixed(ElementDecl& decl) {
+    expect("(");
+    skip_spaces();
+    expect("#PCDATA");
+    skip_spaces();
+    while (peek() == '|') {
+      advance();
+      skip_spaces();
+      decl.mixed_names.push_back(parse_name());
+      skip_spaces();
+    }
+    expect(")");
+    if (peek() == '*') advance();
+    else if (!decl.mixed_names.empty()) fail("mixed content with names requires ')*'");
+  }
+
+  Particle parse_particle() {
+    Particle p;
+    if (peek() == '(') {
+      advance();
+      skip_spaces();
+      std::vector<Particle> items;
+      items.push_back(parse_particle());
+      skip_spaces();
+      char sep = '\0';
+      while (peek() == ',' || peek() == '|') {
+        const char c = advance();
+        if (sep != '\0' && c != sep) fail("mixed ',' and '|' in one group");
+        sep = c;
+        skip_spaces();
+        items.push_back(parse_particle());
+        skip_spaces();
+      }
+      expect(")");
+      // Even for a single-item group, keep the group node so an occurrence
+      // modifier on the group ("(a*)+") does not clobber the child's own.
+      p.kind = (sep == '|') ? Particle::Kind::kChoice : Particle::Kind::kSeq;
+      p.children = std::move(items);
+    } else {
+      p.kind = Particle::Kind::kName;
+      p.name = parse_name();
+    }
+    switch (peek()) {
+      case '?': advance(); p.occur = Particle::Occur::kOptional; break;
+      case '*': advance(); p.occur = Particle::Occur::kStar; break;
+      case '+': advance(); p.occur = Particle::Occur::kPlus; break;
+      default: break;
+    }
+    return p;
+  }
+
+  void parse_attlist_decl(Dtd& dtd) {
+    expect("<!ATTLIST");
+    skip_spaces();
+    const std::string element = parse_name();
+    skip_spaces();
+    while (peek() != '>') {
+      AttributeDecl attr;
+      attr.name = parse_name();
+      skip_spaces();
+      // Type: a name (CDATA, ID, NMTOKEN, ...) or an enumeration group.
+      if (peek() == '(') {
+        pos_ = find_group_end(pos_);
+      } else {
+        parse_name();
+      }
+      skip_spaces();
+      if (looking_at("#REQUIRED")) {
+        expect("#REQUIRED");
+        attr.required = true;
+      } else if (looking_at("#IMPLIED")) {
+        expect("#IMPLIED");
+      } else if (looking_at("#FIXED")) {
+        expect("#FIXED");
+        skip_spaces();
+        attr.default_value = parse_quoted();
+      } else if (peek() == '"' || peek() == '\'') {
+        attr.default_value = parse_quoted();
+      } else {
+        fail("bad attribute default");
+      }
+      dtd.attributes[element].push_back(std::move(attr));
+      skip_spaces();
+    }
+    expect(">");
+  }
+
+  std::string parse_quoted() {
+    const char quote = advance();
+    if (quote != '"' && quote != '\'') fail("expected quoted value");
+    std::string value;
+    while (!eof() && peek() != quote) value.push_back(advance());
+    expect(std::string_view(&quote, 1));
+    return value;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+// ---- Content-model matching ------------------------------------------------
+
+// Returns every position reachable after matching `p` once starting at `pos`
+// over the child-name sequence. Small inputs: plain backtracking is fine.
+void match_once(const Particle& p, const std::vector<std::string_view>& names,
+                std::size_t pos, std::vector<std::size_t>& out);
+
+// Matching with the particle's occurrence modifier.
+void match(const Particle& p, const std::vector<std::string_view>& names,
+           std::size_t pos, std::vector<std::size_t>& out) {
+  auto push_unique = [&out](std::size_t v) {
+    for (std::size_t existing : out) {
+      if (existing == v) return;
+    }
+    out.push_back(v);
+  };
+
+  switch (p.occur) {
+    case Particle::Occur::kOne: {
+      match_once(p, names, pos, out);
+      break;
+    }
+    case Particle::Occur::kOptional: {
+      push_unique(pos);
+      match_once(p, names, pos, out);
+      break;
+    }
+    case Particle::Occur::kStar:
+    case Particle::Occur::kPlus: {
+      std::vector<std::size_t> frontier = {pos};
+      if (p.occur == Particle::Occur::kStar) push_unique(pos);
+      // Iterate: match one more repetition from every frontier position.
+      while (!frontier.empty()) {
+        std::vector<std::size_t> next;
+        for (const std::size_t f : frontier) {
+          std::vector<std::size_t> step;
+          match_once(p, names, f, step);
+          for (const std::size_t s : step) {
+            if (s == f) continue;  // zero-width repetition: stop
+            bool seen = false;
+            for (std::size_t existing : out) seen |= (existing == s);
+            push_unique(s);
+            if (!seen) next.push_back(s);
+          }
+        }
+        frontier = std::move(next);
+      }
+      break;
+    }
+  }
+}
+
+void match_once(const Particle& p, const std::vector<std::string_view>& names,
+                std::size_t pos, std::vector<std::size_t>& out) {
+  auto push_unique = [&out](std::size_t v) {
+    for (std::size_t existing : out) {
+      if (existing == v) return;
+    }
+    out.push_back(v);
+  };
+
+  switch (p.kind) {
+    case Particle::Kind::kName:
+      if (pos < names.size() && names[pos] == p.name) push_unique(pos + 1);
+      break;
+    case Particle::Kind::kChoice:
+      for (const auto& child : p.children) {
+        std::vector<std::size_t> step;
+        match(child, names, pos, step);
+        for (std::size_t s : step) push_unique(s);
+      }
+      break;
+    case Particle::Kind::kSeq: {
+      std::vector<std::size_t> frontier = {pos};
+      for (const auto& child : p.children) {
+        std::vector<std::size_t> next;
+        for (const std::size_t f : frontier) {
+          match(child, names, f, next);
+        }
+        // Dedupe.
+        std::vector<std::size_t> unique;
+        for (std::size_t v : next) {
+          bool seen = false;
+          for (std::size_t u : unique) seen |= (u == v);
+          if (!seen) unique.push_back(v);
+        }
+        frontier = std::move(unique);
+        if (frontier.empty()) return;
+      }
+      for (std::size_t f : frontier) push_unique(f);
+      break;
+    }
+  }
+}
+
+bool matches_model(const Particle& p, const std::vector<std::string_view>& names) {
+  std::vector<std::size_t> ends;
+  match(p, names, 0, ends);
+  for (std::size_t e : ends) {
+    if (e == names.size()) return true;
+  }
+  return false;
+}
+
+void validate_node(const Node& node, const Dtd& dtd, const std::string& path,
+                   std::vector<Diagnostic>& out) {
+  const ElementDecl* decl = dtd.element(node.name);
+  if (decl == nullptr) {
+    out.push_back({path, "element '" + node.name + "' is not declared"});
+  } else {
+    // Character data / child checks per model.
+    const bool has_text = [&] {
+      for (const auto& c : node.children) {
+        if (c.is_text() &&
+            c.text.find_first_not_of(" \t\r\n") != std::string::npos) {
+          return true;
+        }
+      }
+      return false;
+    }();
+    std::vector<std::string_view> child_names;
+    for (const auto& c : node.children) {
+      if (c.is_element()) child_names.push_back(c.name);
+    }
+
+    switch (decl->model) {
+      case ElementDecl::Model::kEmpty:
+        if (has_text || !child_names.empty()) {
+          out.push_back({path, "element '" + node.name + "' must be EMPTY"});
+        }
+        break;
+      case ElementDecl::Model::kAny:
+        break;
+      case ElementDecl::Model::kMixed:
+        for (const auto& name : child_names) {
+          bool allowed = false;
+          for (const auto& m : decl->mixed_names) allowed |= (m == name);
+          if (!allowed) {
+            out.push_back({path, "element '" + std::string(name) +
+                                     "' not allowed in mixed content of '" +
+                                     node.name + "'"});
+          }
+        }
+        break;
+      case ElementDecl::Model::kChildren:
+        if (has_text) {
+          out.push_back({path, "character data not allowed in '" + node.name + "'"});
+        }
+        if (!matches_model(decl->content, child_names)) {
+          std::string got;
+          for (const auto& name : child_names) {
+            if (!got.empty()) got += ", ";
+            got += name;
+          }
+          out.push_back({path, "children of '" + node.name +
+                                   "' do not match the content model (got: " +
+                                   (got.empty() ? "nothing" : got) + ")"});
+        }
+        break;
+    }
+
+    // Required attributes.
+    const auto attrs_it = dtd.attributes.find(node.name);
+    if (attrs_it != dtd.attributes.end()) {
+      for (const auto& attr : attrs_it->second) {
+        if (attr.required && !node.attribute(attr.name)) {
+          out.push_back({path, "missing required attribute '" + attr.name +
+                                   "' on '" + node.name + "'"});
+        }
+      }
+    }
+  }
+
+  // Recurse with sibling indices in the path.
+  std::map<std::string, int> counters;
+  for (const auto& c : node.children) {
+    if (!c.is_element()) continue;
+    const int idx = counters[c.name]++;
+    validate_node(c, dtd, path + "/" + c.name + "[" + std::to_string(idx) + "]", out);
+  }
+}
+
+}  // namespace
+
+Dtd parse_dtd(std::string_view text) { return DtdParser(text).run(); }
+
+std::vector<Diagnostic> validate(const Node& root, const Dtd& dtd) {
+  std::vector<Diagnostic> out;
+  validate_node(root, dtd, "/" + root.name, out);
+  return out;
+}
+
+std::vector<Diagnostic> validate(const Document& doc, const Dtd& dtd) {
+  return validate(doc.root, dtd);
+}
+
+const Dtd& research_paper_dtd() {
+  static const Dtd dtd = parse_dtd(R"(
+    <!ELEMENT research-paper (title?, abstract?, section*)>
+    <!ELEMENT abstract (para+)>
+    <!ELEMENT section (title?, (para | subsection)*)>
+    <!ELEMENT subsection (title?, (para | subsubsection)*)>
+    <!ELEMENT subsubsection (title?, para*)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT para (#PCDATA | em | b | i | strong)*>
+    <!ELEMENT em (#PCDATA)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT i (#PCDATA)>
+    <!ELEMENT strong (#PCDATA)>
+    <!ATTLIST section id CDATA #IMPLIED>
+    <!ATTLIST research-paper venue CDATA #IMPLIED year CDATA #IMPLIED>
+  )");
+  return dtd;
+}
+
+}  // namespace mobiweb::xml::dtd

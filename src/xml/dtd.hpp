@@ -1,0 +1,83 @@
+// DTD parsing and validation.
+//
+// The paper anchors its LOD abstraction in a DTD: "a section LOD might be
+// implemented using a pair of <section> and </section> tags, where section is
+// defined as an element in an XML DTD for document type research-paper". This
+// module implements the DTD subset a document server needs to sanity-check
+// incoming documents before indexing them:
+//
+//   <!ELEMENT name EMPTY | ANY | (#PCDATA|a|b)* | (children model)>
+//     with sequences (a, b), choices (a | b), groups and ?, *, + occurrence
+//   <!ATTLIST name attr CDATA #REQUIRED | #IMPLIED | "default">
+//
+// Parameter entities, notations and external subsets are out of scope.
+// A ready-made DTD for the paper's research-paper document type is provided
+// as research_paper_dtd().
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"  // ParseError
+
+namespace mobiweb::xml::dtd {
+
+// One particle of an element content model.
+struct Particle {
+  enum class Kind { kName, kSeq, kChoice };
+  enum class Occur { kOne, kOptional, kStar, kPlus };
+
+  Kind kind = Kind::kName;
+  Occur occur = Occur::kOne;
+  std::string name;                 // kName
+  std::vector<Particle> children;   // kSeq / kChoice
+};
+
+struct ElementDecl {
+  enum class Model { kEmpty, kAny, kMixed, kChildren };
+  Model model = Model::kAny;
+  std::vector<std::string> mixed_names;  // allowed elements in (#PCDATA|...)*
+  Particle content;                      // kChildren
+};
+
+struct AttributeDecl {
+  std::string name;
+  bool required = false;
+  std::optional<std::string> default_value;
+};
+
+struct Dtd {
+  std::map<std::string, ElementDecl, std::less<>> elements;
+  std::map<std::string, std::vector<AttributeDecl>, std::less<>> attributes;
+
+  [[nodiscard]] const ElementDecl* element(std::string_view name) const;
+};
+
+// Parses a sequence of declarations (an internal subset or a standalone .dtd
+// text). Throws ParseError on syntax errors.
+Dtd parse_dtd(std::string_view text);
+
+struct Diagnostic {
+  std::string path;     // "/paper/section[1]/para[0]"
+  std::string message;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+// Validates the element tree against the DTD. Reported violations: undeclared
+// elements, children not matching the content model, character data where
+// none is allowed, missing required attributes. Elements with no declaration
+// inside an ANY parent are reported once at their own position.
+std::vector<Diagnostic> validate(const Node& root, const Dtd& dtd);
+std::vector<Diagnostic> validate(const Document& doc, const Dtd& dtd);
+
+// The DTD of the paper's research-paper document type (document structure of
+// §3: abstract + sections > subsections > subsubsections > paragraphs, with
+// titles and inline emphasis).
+const Dtd& research_paper_dtd();
+
+}  // namespace mobiweb::xml::dtd

@@ -1,0 +1,398 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace mobiweb::xml {
+
+ParseError::ParseError(std::string message, std::size_t line, std::size_t column)
+    : std::runtime_error(message + " at line " + std::to_string(line) + ", column " +
+                         std::to_string(column)),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Document parse_document() {
+    Document doc;
+    skip_bom();
+    parse_declaration(doc);
+    // Misc (comments, PIs, whitespace) and an optional DOCTYPE before root.
+    for (;;) {
+      skip_spaces();
+      if (eof()) fail("unexpected end of input before root element");
+      if (!looking_at("<")) fail("content outside of root element");
+      if (looking_at("<!--")) {
+        Node c = parse_comment();
+        if (options_.keep_comments) doc.prolog_misc.push_back(std::move(c));
+      } else if (looking_at("<?")) {
+        doc.prolog_misc.push_back(parse_pi());
+      } else if (looking_at("<!DOCTYPE")) {
+        parse_doctype(doc);
+      } else {
+        break;
+      }
+    }
+    doc.root = parse_element();
+    // Trailing misc only.
+    for (;;) {
+      skip_spaces();
+      if (eof()) break;
+      if (looking_at("<!--")) {
+        parse_comment();
+      } else if (looking_at("<?")) {
+        parse_pi();
+      } else {
+        fail("content after root element");
+      }
+    }
+    return doc;
+  }
+
+  Node parse_root_fragment() {
+    skip_bom();
+    skip_spaces();
+    if (looking_at("<?xml")) {
+      Document tmp;
+      parse_declaration(tmp);
+      skip_spaces();
+    }
+    Node root = parse_element();
+    skip_spaces();
+    if (!eof()) fail("content after fragment element");
+    return root;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= input_.size(); }
+
+  [[nodiscard]] char peek() const {
+    return eof() ? '\0' : input_[pos_];
+  }
+
+  [[nodiscard]] bool looking_at(std::string_view prefix) const {
+    return input_.substr(pos_).starts_with(prefix);
+  }
+
+  char advance() {
+    if (eof()) fail("unexpected end of input");
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(std::string_view literal) {
+    if (!looking_at(literal)) {
+      fail(std::string("expected '") + std::string(literal) + "'");
+    }
+    for (std::size_t i = 0; i < literal.size(); ++i) advance();
+  }
+
+  void skip_spaces() {
+    while (!eof() && is_space(peek())) advance();
+  }
+
+  void skip_bom() {
+    if (input_.substr(pos_).starts_with("\xEF\xBB\xBF")) pos_ += 3;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  std::string parse_name() {
+    if (eof() || !is_name_start(peek())) fail("expected a name");
+    std::string name;
+    name.push_back(advance());
+    while (!eof() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  // Resolves &amp; &lt; &gt; &apos; &quot; &#dd; &#xhh;.
+  std::string parse_entity() {
+    expect("&");
+    std::string entity;
+    while (!eof() && peek() != ';') {
+      entity.push_back(advance());
+      if (entity.size() > 8) fail("entity reference too long");
+    }
+    expect(";");
+    if (entity == "amp") return "&";
+    if (entity == "lt") return "<";
+    if (entity == "gt") return ">";
+    if (entity == "apos") return "'";
+    if (entity == "quot") return "\"";
+    if (!entity.empty() && entity[0] == '#') {
+      unsigned code = 0;
+      const char* begin = entity.data() + 1;
+      const char* end = entity.data() + entity.size();
+      std::from_chars_result res{};
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        res = std::from_chars(begin + 1, end, code, 16);
+      } else {
+        res = std::from_chars(begin, end, code, 10);
+      }
+      if (res.ec != std::errc{} || res.ptr != end || code == 0 || code > 0x10ffff) {
+        fail("invalid character reference '&" + entity + ";'");
+      }
+      return encode_utf8(code);
+    }
+    fail("unknown entity '&" + entity + ";'");
+  }
+
+  static std::string encode_utf8(unsigned code) {
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    if (peek() != '"' && peek() != '\'') fail("expected quoted attribute value");
+    const char quote = advance();
+    std::string value;
+    for (;;) {
+      if (eof()) fail("unterminated attribute value");
+      if (peek() == quote) {
+        advance();
+        return value;
+      }
+      if (peek() == '<') fail("'<' not allowed in attribute value");
+      if (peek() == '&') {
+        value += parse_entity();
+      } else {
+        value.push_back(advance());
+      }
+    }
+  }
+
+  void parse_declaration(Document& doc) {
+    skip_spaces();
+    if (!looking_at("<?xml")) return;
+    Node pi = parse_pi();
+    // Extract version / encoding pseudo-attributes best-effort.
+    doc.xml_version = extract_pseudo_attr(pi.text, "version");
+    doc.encoding = extract_pseudo_attr(pi.text, "encoding");
+  }
+
+  static std::string extract_pseudo_attr(const std::string& data,
+                                         std::string_view key) {
+    const std::size_t at = data.find(key);
+    if (at == std::string::npos) return {};
+    std::size_t p = at + key.size();
+    while (p < data.size() && (is_space(data[p]) || data[p] == '=')) ++p;
+    if (p >= data.size() || (data[p] != '"' && data[p] != '\'')) return {};
+    const char quote = data[p++];
+    const std::size_t end = data.find(quote, p);
+    if (end == std::string::npos) return {};
+    return data.substr(p, end - p);
+  }
+
+  void parse_doctype(Document& doc) {
+    expect("<!DOCTYPE");
+    skip_spaces();
+    doc.doctype_name = parse_name();
+    // Capture the internal subset ("[...]"); skip the external id.
+    int bracket_depth = 0;
+    for (;;) {
+      if (eof()) fail("unterminated DOCTYPE");
+      const char c = advance();
+      if (c == '[') {
+        ++bracket_depth;
+        if (bracket_depth == 1) continue;  // do not record the outer '['
+      }
+      if (c == ']') {
+        --bracket_depth;
+        if (bracket_depth == 0) continue;
+      }
+      if (c == '>' && bracket_depth == 0) return;
+      if (bracket_depth > 0) doc.doctype_subset.push_back(c);
+    }
+  }
+
+  Node parse_comment() {
+    expect("<!--");
+    Node node;
+    node.type = NodeType::kComment;
+    for (;;) {
+      if (eof()) fail("unterminated comment");
+      if (looking_at("-->")) {
+        expect("-->");
+        return node;
+      }
+      if (looking_at("--") && !looking_at("-->")) {
+        fail("'--' not allowed inside a comment");
+      }
+      node.text.push_back(advance());
+    }
+  }
+
+  Node parse_pi() {
+    expect("<?");
+    Node node;
+    node.type = NodeType::kProcessing;
+    node.name = parse_name();
+    skip_spaces();
+    for (;;) {
+      if (eof()) fail("unterminated processing instruction");
+      if (looking_at("?>")) {
+        expect("?>");
+        return node;
+      }
+      node.text.push_back(advance());
+    }
+  }
+
+  Node parse_cdata() {
+    expect("<![CDATA[");
+    Node node;
+    node.type = NodeType::kCData;
+    for (;;) {
+      if (eof()) fail("unterminated CDATA section");
+      if (looking_at("]]>")) {
+        expect("]]>");
+        return node;
+      }
+      node.text.push_back(advance());
+    }
+  }
+
+  Node parse_element() {
+    expect("<");
+    Node element;
+    element.type = NodeType::kElement;
+    element.name = parse_name();
+
+    // Attributes.
+    for (;;) {
+      const bool had_space = !eof() && is_space(peek());
+      skip_spaces();
+      if (eof()) fail("unterminated start tag");
+      if (looking_at("/>")) {
+        expect("/>");
+        return element;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      if (!had_space) fail("expected whitespace before attribute");
+      Attribute attr;
+      attr.name = parse_name();
+      skip_spaces();
+      expect("=");
+      skip_spaces();
+      attr.value = parse_attribute_value();
+      for (const auto& existing : element.attributes) {
+        if (existing.name == attr.name) {
+          fail("duplicate attribute '" + attr.name + "'");
+        }
+      }
+      element.attributes.push_back(std::move(attr));
+    }
+
+    // Content.
+    std::string text;
+    auto flush_text = [&] {
+      if (text.empty()) return;
+      if (options_.strip_whitespace_text) {
+        const bool all_space =
+            text.find_first_not_of(" \t\r\n") == std::string::npos;
+        if (all_space) {
+          text.clear();
+          return;
+        }
+      }
+      element.children.push_back(make_text(std::move(text)));
+      text.clear();
+    };
+
+    for (;;) {
+      if (eof()) fail("unterminated element '" + element.name + "'");
+      if (looking_at("</")) {
+        flush_text();
+        expect("</");
+        const std::string closing = parse_name();
+        if (closing != element.name) {
+          fail("mismatched end tag: expected </" + element.name + ">, got </" +
+               closing + ">");
+        }
+        skip_spaces();
+        expect(">");
+        return element;
+      }
+      if (looking_at("<![CDATA[")) {
+        flush_text();
+        element.children.push_back(parse_cdata());
+      } else if (looking_at("<!--")) {
+        flush_text();
+        Node c = parse_comment();
+        if (options_.keep_comments) element.children.push_back(std::move(c));
+      } else if (looking_at("<?")) {
+        flush_text();
+        element.children.push_back(parse_pi());
+      } else if (peek() == '<') {
+        flush_text();
+        element.children.push_back(parse_element());
+      } else if (peek() == '&') {
+        text += parse_entity();
+      } else {
+        text.push_back(advance());
+      }
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Document parse(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.parse_document();
+}
+
+Node parse_fragment(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.parse_root_fragment();
+}
+
+}  // namespace mobiweb::xml

@@ -1,0 +1,40 @@
+// Recursive-descent XML parser with line/column error reporting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace mobiweb::xml {
+
+// Raised on any well-formedness violation; carries the 1-based source
+// location of the offending character.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t line, std::size_t column);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+struct ParseOptions {
+  // Drop comments from the tree (they carry no information content).
+  bool keep_comments = true;
+  // Drop text nodes that are pure inter-element whitespace.
+  bool strip_whitespace_text = false;
+};
+
+// Parses a complete document (optional XML declaration, optional DOCTYPE,
+// misc, exactly one root element). Throws ParseError.
+Document parse(std::string_view input, const ParseOptions& options = {});
+
+// Parses a bare element fragment (no prolog required). Throws ParseError.
+Node parse_fragment(std::string_view input, const ParseOptions& options = {});
+
+}  // namespace mobiweb::xml

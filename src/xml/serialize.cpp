@@ -1,0 +1,130 @@
+#include "xml/serialize.hpp"
+
+#include <sstream>
+
+namespace mobiweb::xml {
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool has_element_children(const Node& node) {
+  for (const auto& c : node.children) {
+    if (!c.is_text()) return true;
+  }
+  return false;
+}
+
+void write_node(std::ostringstream& os, const Node& node, const WriteOptions& options,
+                int depth) {
+  const bool pretty = !options.indent.empty();
+  auto pad = [&](int d) {
+    if (!pretty) return;
+    for (int i = 0; i < d; ++i) os << options.indent;
+  };
+
+  switch (node.type) {
+    case NodeType::kText:
+      os << escape_text(node.text);
+      return;
+    case NodeType::kCData:
+      os << "<![CDATA[" << node.text << "]]>";
+      return;
+    case NodeType::kComment:
+      os << "<!--" << node.text << "-->";
+      return;
+    case NodeType::kProcessing:
+      os << "<?" << node.name;
+      if (!node.text.empty()) os << ' ' << node.text;
+      os << "?>";
+      return;
+    case NodeType::kElement:
+      break;
+  }
+
+  os << '<' << node.name;
+  for (const auto& attr : node.attributes) {
+    os << ' ' << attr.name << "=\"" << escape_attribute(attr.value) << '"';
+  }
+  if (node.children.empty()) {
+    os << "/>";
+    return;
+  }
+  os << '>';
+
+  // Mixed content (any text child) is written inline to preserve the exact
+  // character data; element-only content can be safely indented.
+  const bool indent_children = pretty && has_element_children(node) &&
+                               !node.children.empty() &&
+                               [&] {
+                                 for (const auto& c : node.children) {
+                                   if (c.is_text()) return false;
+                                 }
+                                 return true;
+                               }();
+
+  for (const auto& c : node.children) {
+    if (indent_children) {
+      os << '\n';
+      pad(depth + 1);
+    }
+    write_node(os, c, options, depth + 1);
+  }
+  if (indent_children) {
+    os << '\n';
+    pad(depth);
+  }
+  os << "</" << node.name << '>';
+}
+
+}  // namespace
+
+std::string write(const Node& node, const WriteOptions& options) {
+  std::ostringstream os;
+  write_node(os, node, options, 0);
+  return os.str();
+}
+
+std::string write(const Document& doc, const WriteOptions& options) {
+  std::ostringstream os;
+  if (options.declaration) {
+    os << "<?xml version=\"" << (doc.xml_version.empty() ? "1.0" : doc.xml_version)
+       << "\"?>";
+    if (!options.indent.empty()) os << '\n';
+  }
+  for (const auto& misc : doc.prolog_misc) {
+    write_node(os, misc, options, 0);
+    if (!options.indent.empty()) os << '\n';
+  }
+  write_node(os, doc.root, options, 0);
+  return os.str();
+}
+
+}  // namespace mobiweb::xml

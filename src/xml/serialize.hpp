@@ -1,0 +1,25 @@
+// XML writer: compact or indented rendering with correct escaping. Round-trip
+// (parse -> write -> parse) preserves the tree; property tests rely on this.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace mobiweb::xml {
+
+struct WriteOptions {
+  // Pretty-print with this indent per depth level; empty string = compact.
+  std::string indent;
+  // Emit an <?xml version="1.0"?> declaration for documents.
+  bool declaration = true;
+};
+
+// Escapes &, <, > (and " in attribute context).
+std::string escape_text(std::string_view text);
+std::string escape_attribute(std::string_view value);
+
+std::string write(const Node& node, const WriteOptions& options = {});
+std::string write(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace mobiweb::xml

@@ -1,0 +1,149 @@
+// Negative binomial analysis and the optimal-N solver (paper §4.1, Figs 2-3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/negbinom.hpp"
+#include "util/rng.hpp"
+
+namespace analysis = mobiweb::analysis;
+using mobiweb::ContractViolation;
+using mobiweb::Rng;
+
+TEST(NegBinom, PmfBaseCase) {
+  // Pr(P = m) = (1 - alpha)^m.
+  EXPECT_NEAR(analysis::negbinom_pmf(5, 5, 0.2), std::pow(0.8, 5), 1e-12);
+  EXPECT_NEAR(analysis::negbinom_pmf(40, 40, 0.1), std::pow(0.9, 40), 1e-12);
+}
+
+TEST(NegBinom, PmfBelowSupportIsZero) {
+  EXPECT_EQ(analysis::negbinom_pmf(4, 5, 0.2), 0.0);
+  EXPECT_EQ(analysis::negbinom_cdf(4, 5, 0.2), 0.0);
+}
+
+TEST(NegBinom, PmfHandComputed) {
+  // Pr(P = m+1) = C(m, m-1) alpha (1-alpha)^m = m * alpha * (1-alpha)^m.
+  const double expect = 3.0 * 0.25 * std::pow(0.75, 3);
+  EXPECT_NEAR(analysis::negbinom_pmf(4, 3, 0.25), expect, 1e-12);
+}
+
+TEST(NegBinom, PmfSumsToOne) {
+  for (const double alpha : {0.1, 0.3, 0.5}) {
+    double sum = 0.0;
+    for (int x = 10; x < 600; ++x) sum += analysis::negbinom_pmf(x, 10, alpha);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(NegBinom, CdfMatchesPmfSum) {
+  double sum = 0.0;
+  for (int x = 7; x <= 30; ++x) {
+    sum += analysis::negbinom_pmf(x, 7, 0.3);
+    EXPECT_NEAR(analysis::negbinom_cdf(x, 7, 0.3), sum, 1e-10) << x;
+  }
+}
+
+TEST(NegBinom, CdfMonotone) {
+  double prev = 0.0;
+  for (int x = 20; x < 200; ++x) {
+    const double c = analysis::negbinom_cdf(x, 20, 0.4);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(NegBinom, AlphaZeroDegenerate) {
+  EXPECT_EQ(analysis::negbinom_cdf(5, 5, 0.0), 1.0);
+  EXPECT_EQ(analysis::optimal_cooked_packets(5, 0.0, 0.95), 5);
+  EXPECT_DOUBLE_EQ(analysis::expected_packets(5, 0.0), 5.0);
+}
+
+TEST(NegBinom, ExpectedPackets) {
+  EXPECT_NEAR(analysis::expected_packets(40, 0.1), 40.0 / 0.9, 1e-12);
+  EXPECT_NEAR(analysis::expected_packets(40, 0.5), 80.0, 1e-12);
+}
+
+TEST(NegBinom, MonteCarloAgreement) {
+  // Simulate the process: draw packets with corruption prob alpha until m
+  // intact; compare the empirical distribution of P against the pmf.
+  const int m = 10;
+  const double alpha = 0.3;
+  Rng rng(50);
+  const int trials = 200000;
+  double mean = 0.0;
+  long within_n = 0;
+  const int n = analysis::optimal_cooked_packets(m, alpha, 0.95);
+  for (int t = 0; t < trials; ++t) {
+    int received = 0;
+    int intact = 0;
+    while (intact < m) {
+      ++received;
+      if (!rng.next_bernoulli(alpha)) ++intact;
+    }
+    mean += received;
+    within_n += (received <= n);
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, analysis::expected_packets(m, alpha), 0.05);
+  const double empirical_success = static_cast<double>(within_n) / trials;
+  EXPECT_GE(empirical_success, 0.95 - 0.01);
+  // n is minimal: n-1 must fall below the target.
+  EXPECT_LT(analysis::negbinom_cdf(n - 1, m, alpha), 0.95);
+  EXPECT_GE(analysis::negbinom_cdf(n, m, alpha), 0.95);
+}
+
+TEST(OptimalN, MinimalityAcrossGrid) {
+  for (const int m : {10, 40, 100}) {
+    for (const double alpha : {0.1, 0.3, 0.5}) {
+      for (const double s : {0.95, 0.99}) {
+        const int n = analysis::optimal_cooked_packets(m, alpha, s);
+        EXPECT_GE(analysis::negbinom_cdf(n, m, alpha), s);
+        EXPECT_LT(analysis::negbinom_cdf(n - 1, m, alpha), s);
+      }
+    }
+  }
+}
+
+TEST(OptimalN, MonotoneInAlphaAndSuccess) {
+  int prev = 0;
+  for (const double alpha : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const int n = analysis::optimal_cooked_packets(50, alpha, 0.95);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+  EXPECT_GE(analysis::optimal_cooked_packets(50, 0.3, 0.99),
+            analysis::optimal_cooked_packets(50, 0.3, 0.95));
+}
+
+TEST(OptimalN, PaperFigure2Anchors) {
+  // Figure 2 shows a near-linear N(M) relationship. Anchor values: at
+  // alpha=0.1, N stays close to M/(1-alpha) plus a small safety margin; at
+  // alpha=0.5 it is a bit above 2M.
+  const int n_01 = analysis::optimal_cooked_packets(40, 0.1, 0.95);
+  EXPECT_GT(n_01, 44);   // above the mean 44.4
+  EXPECT_LT(n_01, 56);
+  const int n_05 = analysis::optimal_cooked_packets(40, 0.5, 0.95);
+  EXPECT_GT(n_05, 80);   // above the mean 80
+  EXPECT_LT(n_05, 105);
+}
+
+TEST(OptimalN, RedundancyRatioDecreasesWithM) {
+  // Relative overhead shrinks as M grows (concentration), the reason Figure 3
+  // shows only mild sensitivity to M.
+  const double g10 = analysis::redundancy_ratio(10, 0.3, 0.95);
+  const double g50 = analysis::redundancy_ratio(50, 0.3, 0.95);
+  const double g100 = analysis::redundancy_ratio(100, 0.3, 0.95);
+  EXPECT_GT(g10, g50);
+  EXPECT_GT(g50, g100);
+  EXPECT_GT(g100, 1.0 / 0.7);  // never below the mean requirement
+}
+
+TEST(OptimalN, GuardsPathologicalInput) {
+  EXPECT_THROW(analysis::optimal_cooked_packets(10, 0.3, 1.0), ContractViolation);
+  EXPECT_THROW(analysis::optimal_cooked_packets(10, 0.3, 0.0), ContractViolation);
+  EXPECT_THROW(analysis::optimal_cooked_packets(0, 0.3, 0.95), ContractViolation);
+  EXPECT_THROW(analysis::optimal_cooked_packets(10, -0.1, 0.95), ContractViolation);
+  EXPECT_THROW(analysis::optimal_cooked_packets(10, 0.999, 0.999999, 100),
+               ContractViolation);  // exceeds max_n
+}

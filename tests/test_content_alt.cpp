@@ -1,0 +1,119 @@
+// Alternative information-content definitions (§6 future work).
+#include <gtest/gtest.h>
+
+#include "doc/content.hpp"
+#include "doc/content_alt.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+
+namespace {
+
+doc::StructuralCharacteristic make(const char* src) {
+  doc::ScGenerator gen;
+  return gen.generate(xml::parse(src));
+}
+
+const char* kDoc = R"(<paper>
+  <section><para>wireless wireless wireless wireless channels</para></section>
+  <section><para>boilerplate footer text</para></section>
+</paper>)";
+
+}  // namespace
+
+TEST(LengthContent, RootIsOneAndAdditive) {
+  const auto sc = make(kDoc);
+  EXPECT_NEAR(doc::length_content(sc, sc.root()), 1.0, 1e-12);
+  double child_sum = 0.0;
+  for (const auto& c : sc.root().children) {
+    child_sum += doc::length_content(sc, c);
+  }
+  EXPECT_NEAR(child_sum, 1.0, 1e-12);
+}
+
+TEST(LengthContent, ProportionalToBytes) {
+  const auto sc = make("<paper><para>aaaa aaaa</para><para>bb</para></paper>");
+  const auto leaves = doc::frontier_at(sc.root(), doc::Lod::kParagraph);
+  ASSERT_EQ(leaves.size(), 2u);
+  const double a = doc::length_content(sc, *leaves[0]);
+  const double b = doc::length_content(sc, *leaves[1]);
+  EXPECT_GT(a, b);
+  EXPECT_NEAR(a / b, 9.0 / 2.0, 1e-9);
+}
+
+TEST(LengthContent, EmptyDocumentIsZero) {
+  const auto sc = make("<paper/>");
+  EXPECT_EQ(doc::length_content(sc, sc.root()), 0.0);
+}
+
+TEST(CorpusStats, DocumentFrequencies) {
+  doc::CorpusStats corpus;
+  corpus.add_document(make("<paper><para>wireless channels</para></paper>"));
+  corpus.add_document(make("<paper><para>wireless cooking</para></paper>"));
+  corpus.add_document(make("<paper><para>cooking recipes</para></paper>"));
+  EXPECT_EQ(corpus.documents(), 3);
+  EXPECT_EQ(corpus.document_frequency("wireless"), 2);
+  EXPECT_EQ(corpus.document_frequency("cook"), 2);
+  EXPECT_EQ(corpus.document_frequency("channel"), 1);
+  EXPECT_EQ(corpus.document_frequency("absent"), 0);
+  // Rarer across the corpus -> higher idf.
+  EXPECT_GT(corpus.idf("channel"), corpus.idf("wireless"));
+  EXPECT_GT(corpus.idf("absent"), corpus.idf("channel"));
+}
+
+TEST(TfIdf, RootNormalizesToOne) {
+  doc::CorpusStats corpus;
+  const auto sc = make(kDoc);
+  corpus.add_document(sc);
+  const doc::TfIdfScorer scorer(sc, corpus);
+  EXPECT_NEAR(scorer.content(sc.root()), 1.0, 1e-12);
+}
+
+TEST(TfIdf, Additive) {
+  doc::CorpusStats corpus;
+  const auto sc = make(kDoc);
+  corpus.add_document(sc);
+  const doc::TfIdfScorer scorer(sc, corpus);
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    if (u.is_leaf() || !u.own_tokens.empty()) return;
+    double child_sum = 0.0;
+    for (const auto& c : u.children) child_sum += scorer.content(c);
+    EXPECT_NEAR(child_sum, scorer.content(u), 1e-12);
+  });
+}
+
+TEST(TfIdf, CorpusCommonTermsDemoted) {
+  // "boilerplate footer text" appears in every corpus document; "wireless"
+  // only in the target. Under plain IC the boilerplate unit can outweigh;
+  // under TF-IDF the distinctive section must win.
+  doc::CorpusStats corpus;
+  const auto target = make(kDoc);
+  corpus.add_document(target);
+  for (int i = 0; i < 6; ++i) {
+    corpus.add_document(make(
+        "<paper><para>boilerplate footer text appears everywhere</para></paper>"));
+  }
+  const doc::TfIdfScorer scorer(target, corpus);
+  const auto leaves = doc::frontier_at(target.root(), doc::Lod::kParagraph);
+  ASSERT_EQ(leaves.size(), 2u);
+  const double wireless_unit = scorer.content(*leaves[0]);
+  const double boilerplate_unit = scorer.content(*leaves[1]);
+  EXPECT_GT(wireless_unit, boilerplate_unit * 1.5);
+
+  // Contrast: the paper's static IC gives the boilerplate unit MORE weight
+  // (its words are rarer within this one document than "wireless" x4).
+  EXPECT_GT(leaves[1]->info_content, leaves[0]->info_content);
+}
+
+TEST(TfIdf, EmptyCorpusDegradesToTf) {
+  doc::CorpusStats corpus;  // no documents
+  const auto sc = make(kDoc);
+  const doc::TfIdfScorer scorer(sc, corpus);
+  // idf is the constant ln(1) + 1 = 1 for every term: content = tf share.
+  const auto leaves = doc::frontier_at(sc.root(), doc::Lod::kParagraph);
+  const double expected =
+      static_cast<double>(leaves[0]->terms.total()) /
+      static_cast<double>(sc.document_terms().total());
+  EXPECT_NEAR(scorer.content(*leaves[0]), expected, 1e-12);
+}

@@ -1,0 +1,249 @@
+// Public facade: Server, search, BrowseSession.
+#include <gtest/gtest.h>
+
+#include "core/mobiweb.hpp"
+
+namespace mw = mobiweb;
+namespace doc = mobiweb::doc;
+
+namespace {
+
+const char* kCachingXml = R"(<paper>
+  <title>Cache Management for Mobile Databases</title>
+  <section><para>caching caching caching strategies for mobile databases and
+  cache invalidation over wireless links</para></section>
+</paper>)";
+
+const char* kBrowsingXml = R"(<paper>
+  <title>Multi-Resolution Browsing</title>
+  <section><para>browsing web documents at multiple resolutions with
+  information content ranking for browsing sessions</para></section>
+</paper>)";
+
+const char* kHtmlPage = R"(<html><head><title>Wireless FAQ</title></head><body>
+<h1>Bandwidth</h1><p>wireless bandwidth is scarce</p>
+<h1>Energy</h1><p>battery energy is limited</p>
+</body></html>)";
+
+mw::Server make_server() {
+  mw::Server server;
+  server.publish_xml("doc://caching", kCachingXml);
+  server.publish_xml("doc://browsing", kBrowsingXml);
+  server.publish_html("doc://faq", kHtmlPage);
+  return server;
+}
+
+}  // namespace
+
+TEST(Server, PublishAndFind) {
+  const mw::Server server = make_server();
+  EXPECT_EQ(server.size(), 3u);
+  ASSERT_NE(server.find("doc://caching"), nullptr);
+  EXPECT_EQ(server.find("doc://nope"), nullptr);
+  EXPECT_EQ(server.urls().size(), 3u);
+}
+
+TEST(Server, RepublishReplaces) {
+  mw::Server server;
+  server.publish_xml("u", "<paper><para>first version</para></paper>");
+  server.publish_xml("u", "<paper><para>second version entirely</para></paper>");
+  EXPECT_EQ(server.size(), 1u);
+  const auto* sc = server.find("u");
+  EXPECT_GT(sc->document_terms().count("version"), 0);
+  EXPECT_EQ(sc->document_terms().count("first"), 0);
+}
+
+TEST(Server, SearchRanksByQueryMass) {
+  const mw::Server server = make_server();
+  const auto hits = server.search("caching mobile");
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].url, "doc://caching");
+  // The FAQ mentions neither word: it must not appear.
+  for (const auto& h : hits) EXPECT_NE(h.url, "doc://faq");
+}
+
+TEST(Server, SearchHandlesInflections) {
+  const mw::Server server = make_server();
+  // "browse" matches "browsing" through the stemmer.
+  const auto hits = server.search("browse");
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].url, "doc://browsing");
+}
+
+TEST(Server, SearchNoMatchesEmpty) {
+  const mw::Server server = make_server();
+  EXPECT_TRUE(server.search("zxcvbnm").empty());
+  EXPECT_TRUE(server.search("").empty());
+}
+
+TEST(Server, HtmlDocumentIndexed) {
+  const mw::Server server = make_server();
+  const auto hits = server.search("battery energy");
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].url, "doc://faq");
+}
+
+TEST(Session, FetchCleanChannelReconstructs) {
+  const mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mw::BrowseSession session(server, cfg);
+  const auto result = session.fetch("doc://caching");
+  EXPECT_TRUE(result.session.completed);
+  EXPECT_FALSE(result.text.empty());
+  EXPECT_NE(result.text.find("caching"), std::string::npos);
+  EXPECT_EQ(result.session.rounds, 1);
+}
+
+TEST(Session, FetchUnknownUrlThrows) {
+  const mw::Server server = make_server();
+  mw::BrowseSession session(server);
+  EXPECT_THROW(session.fetch("doc://missing"), std::out_of_range);
+}
+
+TEST(Session, LossyFetchStillCompletes) {
+  const mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.fixed_gamma = 2.0;
+  cfg.seed = 5;
+  mw::BrowseSession session(server, cfg);
+  const auto result = session.fetch("doc://browsing");
+  EXPECT_TRUE(result.session.completed);
+  EXPECT_NE(result.text.find("browsing"), std::string::npos);
+}
+
+TEST(Session, RelevanceThresholdAborts) {
+  mw::Server server = make_server();
+  // A longer document (many packets) so the abort demonstrably saves frames.
+  std::string long_doc = "<paper>";
+  for (int p = 0; p < 30; ++p) {
+    long_doc += "<para>";
+    for (int w = 0; w < 40; ++w) {
+      long_doc += "term" + std::to_string(p) + "x" + std::to_string(w) + " ";
+    }
+    long_doc += "</para>";
+  }
+  long_doc += "</paper>";
+  server.publish_xml("doc://long", long_doc);
+
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mw::BrowseSession session(server, cfg);
+  mw::FetchOptions opts;
+  opts.relevance_threshold = 0.1;
+  const auto result = session.fetch("doc://long", opts);
+  EXPECT_TRUE(result.session.aborted_irrelevant);
+  EXPECT_LT(result.session.frames_sent, static_cast<long>(result.m));
+}
+
+TEST(Session, QicRankingChangesTransmissionOrder) {
+  mw::Server server;
+  server.publish_xml("doc://two-topics", R"(<paper>
+    <section><para>alpha alpha alpha alpha topic one text body</para></section>
+    <section><para>beta topic two text body</para></section>
+  </paper>)");
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mw::BrowseSession session(server, cfg);
+
+  mw::FetchOptions by_ic;
+  by_ic.rank = doc::RankBy::kIc;
+  const auto ic_result = session.fetch("doc://two-topics", by_ic);
+
+  // Query for whichever paragraph IC ranked second; QIC must flip the order.
+  const bool ic_picked_alpha = ic_result.segments[0].label == "0.0.0";
+  mw::FetchOptions by_qic;
+  by_qic.rank = doc::RankBy::kQic;
+  by_qic.query = ic_picked_alpha ? "beta" : "alpha";
+  const auto qic_result = session.fetch("doc://two-topics", by_qic);
+  EXPECT_NE(ic_result.segments[0].label, qic_result.segments[0].label);
+}
+
+TEST(Session, RenderHookDelivered) {
+  const mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mw::BrowseSession session(server, cfg);
+  mw::FetchOptions opts;
+  int calls = 0;
+  opts.render_hook = [&calls](std::size_t, mw::ByteSpan) { ++calls; };
+  const auto result = session.fetch("doc://caching", opts);
+  EXPECT_EQ(calls, static_cast<int>(result.m));
+}
+
+TEST(Session, AdaptiveGammaLearnsChannel) {
+  const mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.adaptive_gamma = true;
+  cfg.adaptive.initial_gamma = 1.0;  // start with no redundancy
+  cfg.seed = 11;
+  mw::BrowseSession session(server, cfg);
+  const auto first = session.fetch("doc://caching");
+  EXPECT_DOUBLE_EQ(first.gamma, 1.0);
+  // After observing ~30% corruption the controller raises gamma.
+  mw::FetchResult last;
+  for (int i = 0; i < 5; ++i) last = session.fetch("doc://caching");
+  EXPECT_GT(last.gamma, 1.2);
+  EXPECT_NEAR(session.adaptive_gamma().estimated_alpha(), 0.3, 0.15);
+}
+
+TEST(Session, CompressedFetchSavesAirtimeAndReconstructs) {
+  mw::Server server;
+  // Units compress independently: make each paragraph internally repetitive.
+  std::string xmldoc = "<paper>";
+  for (int p = 0; p < 6; ++p) {
+    xmldoc += "<para>";
+    for (int r = 0; r < 12; ++r) {
+      xmldoc += "the wireless channel corrupts packets and the cache recovers "
+                "the wireless channel state for packets again; ";
+    }
+    xmldoc += "</para>";
+  }
+  xmldoc += "</paper>";
+  server.publish_xml("doc://rep", xmldoc);
+
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mw::BrowseSession session(server, cfg);
+
+  mw::FetchOptions plain;
+  const auto raw = session.fetch("doc://rep", plain);
+
+  mw::FetchOptions packed;
+  packed.compress = true;
+  const auto compressed = session.fetch("doc://rep", packed);
+
+  ASSERT_TRUE(raw.session.completed);
+  ASSERT_TRUE(compressed.session.completed);
+  EXPECT_LT(compressed.m, raw.m);  // fewer raw packets on the air
+  EXPECT_LT(compressed.session.response_time, raw.session.response_time);
+  EXPECT_EQ(compressed.text, raw.text);  // identical reconstructed text
+}
+
+TEST(Session, CompressedFetchSurvivesLossyChannel) {
+  mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.fixed_gamma = 2.0;
+  cfg.seed = 9;
+  mw::BrowseSession session(server, cfg);
+  mw::FetchOptions opts;
+  opts.compress = true;
+  const auto r = session.fetch("doc://caching", opts);
+  ASSERT_TRUE(r.session.completed);
+  EXPECT_NE(r.text.find("caching"), std::string::npos);
+}
+
+TEST(Session, ChannelTimeAccumulatesAcrossFetches) {
+  const mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mw::BrowseSession session(server, cfg);
+  session.fetch("doc://caching");
+  const double after_one = session.now();
+  EXPECT_GT(after_one, 0.0);
+  session.fetch("doc://browsing");
+  EXPECT_GT(session.now(), after_one);
+}

@@ -1,0 +1,431 @@
+// Organizational units, recognizer, IC/QIC/MQIC, linearization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "doc/lod.hpp"
+#include "doc/recognizer.hpp"
+#include "doc/unit.hpp"
+#include "text/porter.hpp"
+#include "util/check.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+namespace text = mobiweb::text;
+
+namespace {
+
+// A small paper-like document. Keyword statistics are easy to hand-check:
+// stems are deterministic through the Porter stemmer.
+const char* kXml = R"(<paper>
+  <abstract>
+    <para>mobile web browsing over wireless channels</para>
+  </abstract>
+  <section>
+    <title>Introduction</title>
+    <para>mobile clients browse web documents</para>
+    <para>bandwidth is scarce for mobile clients</para>
+  </section>
+  <section>
+    <subsection>
+      <para>redundancy encoding recovers corrupted packets</para>
+    </subsection>
+    <subsection>
+      <para>caching keeps intact packets across rounds</para>
+    </subsection>
+  </section>
+</paper>)";
+
+doc::StructuralCharacteristic make_sc(const char* source = kXml) {
+  const xml::Document parsed = xml::parse(source);
+  doc::ScGenerator gen;
+  return gen.generate(parsed);
+}
+
+}  // namespace
+
+TEST(Lod, NamesRoundTrip) {
+  for (int i = 0; i < doc::kLodCount; ++i) {
+    const auto lod = static_cast<doc::Lod>(i);
+    EXPECT_EQ(doc::lod_from_name(doc::lod_name(lod)), lod);
+  }
+  EXPECT_FALSE(doc::lod_from_name("bogus").has_value());
+}
+
+TEST(Lod, ElementMapping) {
+  EXPECT_EQ(doc::lod_from_element("section"), doc::Lod::kSection);
+  EXPECT_EQ(doc::lod_from_element("abstract"), doc::Lod::kSection);
+  EXPECT_EQ(doc::lod_from_element("subsection"), doc::Lod::kSubsection);
+  EXPECT_EQ(doc::lod_from_element("para"), doc::Lod::kParagraph);
+  EXPECT_EQ(doc::lod_from_element("p"), doc::Lod::kParagraph);
+  EXPECT_EQ(doc::lod_from_element("research-paper"), doc::Lod::kDocument);
+  EXPECT_FALSE(doc::lod_from_element("em").has_value());
+  EXPECT_FALSE(doc::lod_from_element("title").has_value());
+}
+
+TEST(Lod, Finer) {
+  EXPECT_EQ(doc::finer(doc::Lod::kDocument), doc::Lod::kSection);
+  EXPECT_EQ(doc::finer(doc::Lod::kSubsubsection), doc::Lod::kParagraph);
+  EXPECT_EQ(doc::finer(doc::Lod::kParagraph), doc::Lod::kParagraph);
+}
+
+TEST(Unit, LabelsMatchPaperStyle) {
+  EXPECT_EQ(doc::unit_label({}), "(document)");
+  EXPECT_EQ(doc::unit_label({0}), "0");
+  EXPECT_EQ(doc::unit_label({3, 2, 1}), "3.2.1");
+}
+
+TEST(Recognizer, StructureAndVirtualUnits) {
+  const xml::Document parsed = xml::parse(kXml);
+  const doc::OrgUnit root = doc::recognize(parsed);
+
+  ASSERT_EQ(root.children.size(), 3u);  // abstract + 2 sections
+  const doc::OrgUnit& abstract = root.children[0];
+  EXPECT_EQ(abstract.lod, doc::Lod::kSection);
+  // Paragraph under a section gets wrapped in a virtual subsection.
+  ASSERT_EQ(abstract.children.size(), 1u);
+  EXPECT_EQ(abstract.children[0].lod, doc::Lod::kSubsection);
+  EXPECT_TRUE(abstract.children[0].virtual_unit);
+  ASSERT_EQ(abstract.children[0].children.size(), 1u);
+  EXPECT_EQ(abstract.children[0].children[0].lod, doc::Lod::kParagraph);
+
+  const doc::OrgUnit& intro = root.children[1];
+  EXPECT_EQ(intro.title, "Introduction");
+  ASSERT_EQ(intro.children.size(), 1u);          // one virtual subsection
+  EXPECT_EQ(intro.children[0].children.size(), 2u);  // holding both paragraphs
+
+  const doc::OrgUnit& sec2 = root.children[2];
+  ASSERT_EQ(sec2.children.size(), 2u);  // two real subsections
+  EXPECT_FALSE(sec2.children[0].virtual_unit);
+  // Paragraphs under subsections are NOT wrapped (no virtual subsubsection).
+  EXPECT_EQ(sec2.children[0].children[0].lod, doc::Lod::kParagraph);
+}
+
+TEST(Recognizer, EmphasisMarksTokens) {
+  const xml::Document parsed =
+      xml::parse("<paper><para>plain <em>shiny thing</em> rest</para></paper>");
+  const doc::OrgUnit root = doc::recognize(parsed);
+  // The lone paragraph is wrapped: document -> virtual section -> virtual
+  // subsection -> paragraph. Descend to the leaf.
+  const doc::OrgUnit* leaf = &root;
+  while (!leaf->children.empty()) leaf = &leaf->children[0];
+  const doc::OrgUnit& para = *leaf;
+  ASSERT_EQ(para.lod, doc::Lod::kParagraph);
+  int emphasized = 0;
+  for (const auto& t : para.own_tokens) emphasized += t.emphasized;
+  EXPECT_EQ(emphasized, 2);
+  EXPECT_EQ(para.own_tokens.size(), 4u);
+}
+
+TEST(Recognizer, TitleTokensEmphasized) {
+  const xml::Document parsed =
+      xml::parse("<paper><section><title>Grand Title</title><para>x y</para>"
+                 "</section></paper>");
+  const doc::OrgUnit root = doc::recognize(parsed);
+  const doc::OrgUnit& sec = root.children[0];
+  EXPECT_EQ(sec.title, "Grand Title");
+  ASSERT_EQ(sec.own_tokens.size(), 2u);
+  EXPECT_TRUE(sec.own_tokens[0].emphasized);
+}
+
+TEST(Recognizer, InterleavedTextBecomesVirtualParagraphs) {
+  const xml::Document parsed = xml::parse(
+      "<paper>lead-in text<section><para>body</para></section>trailing</paper>");
+  const doc::OrgUnit root = doc::recognize(parsed);
+  // lead-in -> virtual section (wrapping a paragraph), real section, trailing
+  // -> another virtual section.
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_TRUE(root.children[0].virtual_unit);
+  EXPECT_EQ(root.children[0].lod, doc::Lod::kSection);
+  EXPECT_FALSE(root.children[1].virtual_unit);
+  EXPECT_TRUE(root.children[2].virtual_unit);
+}
+
+TEST(Unit, FrontierAtEachLod) {
+  const xml::Document parsed = xml::parse(kXml);
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(parsed);
+  const doc::OrgUnit& root = sc.root();
+
+  EXPECT_EQ(doc::frontier_at(root, doc::Lod::kDocument).size(), 1u);
+  EXPECT_EQ(doc::frontier_at(root, doc::Lod::kSection).size(), 3u);
+  EXPECT_EQ(doc::frontier_at(root, doc::Lod::kSubsection).size(), 4u);
+  EXPECT_EQ(doc::frontier_at(root, doc::Lod::kParagraph).size(), 5u);
+  // No subsubsections exist: the frontier falls through to paragraphs.
+  EXPECT_EQ(doc::frontier_at(root, doc::Lod::kSubsubsection).size(), 5u);
+}
+
+TEST(Unit, WalkVisitsAllWithPaths) {
+  const xml::Document parsed = xml::parse(kXml);
+  const doc::OrgUnit root = doc::recognize(parsed);
+  std::size_t count = 0;
+  doc::walk(root, [&](const doc::OrgUnit& u, const std::vector<std::size_t>& path) {
+    ++count;
+    EXPECT_EQ(doc::unit_at_path(root, path), &u);
+  });
+  EXPECT_EQ(count, root.subtree_units());
+}
+
+TEST(Weight, Formula) {
+  // Most frequent keyword: weight exactly 1.
+  EXPECT_DOUBLE_EQ(doc::keyword_weight(8, 8), 1.0);
+  // Rarer keywords weigh more: 1 - log2(1/8) = 4.
+  EXPECT_DOUBLE_EQ(doc::keyword_weight(1, 8), 4.0);
+  EXPECT_DOUBLE_EQ(doc::keyword_weight(4, 8), 2.0);
+  EXPECT_THROW(doc::keyword_weight(0, 8), mobiweb::ContractViolation);
+  EXPECT_THROW(doc::keyword_weight(9, 8), mobiweb::ContractViolation);
+}
+
+TEST(Ic, RootIsOne) {
+  const auto sc = make_sc();
+  EXPECT_NEAR(sc.root().info_content, 1.0, 1e-12);
+}
+
+TEST(Ic, AdditiveRule) {
+  const auto sc = make_sc();
+  // Every interior unit's IC equals its own-token contribution plus the sum
+  // of its children's ICs; for units without own tokens it is exactly the
+  // children's sum.
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    if (u.is_leaf()) return;
+    double child_sum = 0.0;
+    for (const auto& c : u.children) child_sum += c.info_content;
+    EXPECT_LE(child_sum, u.info_content + 1e-12);
+    if (u.own_tokens.empty()) {
+      EXPECT_NEAR(child_sum, u.info_content, 1e-12);
+    }
+  });
+}
+
+TEST(Ic, LeavesSumToOneWithoutTitles) {
+  // No titles anywhere -> every keyword lives in a leaf -> leaf ICs sum to 1.
+  const char* no_titles = R"(<paper>
+    <section><para>alpha beta gamma</para><para>delta epsilon</para></section>
+    <section><para>zeta eta theta alpha</para></section>
+  </paper>)";
+  const auto sc = make_sc(no_titles);
+  double leaf_sum = 0.0;
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    if (u.is_leaf()) leaf_sum += u.info_content;
+  });
+  EXPECT_NEAR(leaf_sum, 1.0, 1e-12);
+}
+
+TEST(Ic, HandComputedExample) {
+  // Document: "web web web cache" -> counts: web=3 (norm), cache=1.
+  // w(web) = 1, w(cache) = 1 - log2(1/3) = 1 + log2(3).
+  // denominator = 3*1 + 1*(1+log2(3)).
+  const char* tiny = "<paper><para>web web web</para><para>cache</para></paper>";
+  const auto sc = make_sc(tiny);
+  const double w_cache = 1.0 + std::log2(3.0);
+  const double denom = 3.0 + w_cache;
+  const auto paras = doc::frontier_at(sc.root(), doc::Lod::kParagraph);
+  ASSERT_EQ(paras.size(), 2u);
+  EXPECT_NEAR(paras[0]->info_content, 3.0 / denom, 1e-12);
+  EXPECT_NEAR(paras[1]->info_content, w_cache / denom, 1e-12);
+}
+
+TEST(Ic, EmptyDocumentIsZero) {
+  const auto sc = make_sc("<paper><para></para></paper>");
+  EXPECT_EQ(sc.root().info_content, 0.0);
+  EXPECT_EQ(sc.weighted_total(), 0.0);
+}
+
+TEST(Query, NormalizedThroughSamePipeline) {
+  doc::ScGenerator gen;
+  const auto q = doc::Query::from_text("Browsing the mobile WEB", gen.extractor());
+  // "the" dropped; browsing stemmed.
+  EXPECT_EQ(q.terms().count(text::porter_stem("browsing")), 1);
+  EXPECT_EQ(q.terms().count("mobil"), 1);
+  EXPECT_EQ(q.terms().count("web"), 1);
+  EXPECT_EQ(q.terms().count("the"), 0);
+  EXPECT_EQ(q.total_occurrences(), 3);
+}
+
+TEST(Query, RepeatedWordWeights) {
+  doc::ScGenerator gen;
+  const auto q = doc::Query::from_text("web web cache", gen.extractor());
+  EXPECT_EQ(q.norm(), 2);
+  EXPECT_DOUBLE_EQ(q.weight("web"), 1.0);              // count = norm
+  EXPECT_DOUBLE_EQ(q.weight(text::porter_stem("cache")), 2.0);  // 1 - log2(1/2)
+  EXPECT_DOUBLE_EQ(q.weight("absent"), 0.0);
+}
+
+TEST(Qic, RootIsOneWhenQueryMatches) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("mobile web browsing", gen.extractor()));
+  ASSERT_TRUE(scorer.query_matches());
+  EXPECT_NEAR(scorer.qic(sc.root()), 1.0, 1e-12);
+}
+
+TEST(Qic, ZeroForUnitsWithoutQueryWords) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("caching", gen.extractor()));
+  ASSERT_TRUE(scorer.query_matches());
+  // Section 1 (Introduction) has no "caching": QIC must be 0 there.
+  const auto& intro = sc.root().children[1];
+  EXPECT_EQ(scorer.qic(intro), 0.0);
+  // The subsection that talks about caching concentrates all the QIC mass.
+  const auto& caching_sub = sc.root().children[2].children[1];
+  EXPECT_NEAR(scorer.qic(caching_sub), 1.0, 1e-12);
+}
+
+TEST(Qic, AdditiveRule) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("mobile packets", gen.extractor()));
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    if (u.is_leaf()) return;
+    double child_sum = 0.0;
+    for (const auto& c : u.children) child_sum += scorer.qic(c);
+    EXPECT_LE(child_sum, scorer.qic(u) + 1e-12);
+    if (u.own_tokens.empty()) {
+      EXPECT_NEAR(child_sum, scorer.qic(u), 1e-12);
+    }
+  });
+}
+
+TEST(Qic, NoMatchMeansAllZero) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("quantum entanglement", gen.extractor()));
+  EXPECT_FALSE(scorer.query_matches());
+  EXPECT_EQ(scorer.qic(sc.root()), 0.0);
+}
+
+TEST(Mqic, RootIsOne) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("mobile web", gen.extractor()));
+  EXPECT_NEAR(scorer.mqic(sc.root()), 1.0, 1e-12);
+}
+
+TEST(Mqic, NonZeroWhereQicIsZero) {
+  // Table 1 shows units with QIC = 0 but small nonzero MQIC (e.g. 3.2): the
+  // sum form keeps the static-IC contribution alive.
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("caching", gen.extractor()));
+  const auto& intro = sc.root().children[1];
+  EXPECT_EQ(scorer.qic(intro), 0.0);
+  EXPECT_GT(scorer.mqic(intro), 0.0);
+  EXPECT_LT(scorer.mqic(intro), intro.info_content);
+}
+
+TEST(Mqic, LambdaIsOccurrenceRatio) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const auto q = doc::Query::from_text("mobile web", gen.extractor());
+  const doc::ContentScorer scorer(sc, q);
+  const double expected = static_cast<double>(sc.document_terms().total()) /
+                          static_cast<double>(q.total_occurrences());
+  EXPECT_DOUBLE_EQ(scorer.lambda(), expected);
+}
+
+TEST(Mqic, FallsBackToIcForEmptyQuery) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(sc, doc::Query::from_text("", gen.extractor()));
+  // lambda = 0: MQIC reduces exactly to IC.
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    EXPECT_NEAR(scorer.mqic(u), u.info_content, 1e-12);
+  });
+}
+
+TEST(Rows, LabelsInDocumentOrder) {
+  const auto sc = make_sc();
+  const auto rows = sc.rows();
+  ASSERT_GE(rows.size(), 4u);
+  EXPECT_EQ(rows[0].label, "(document)");
+  EXPECT_EQ(rows[1].label, "0");
+  EXPECT_EQ(rows[2].label, "0.0");
+  EXPECT_EQ(rows[3].label, "0.0.0");
+}
+
+TEST(Linearize, IcOrderDescending) {
+  const auto sc = make_sc();
+  const doc::LinearDocument lin =
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+  ASSERT_EQ(lin.segments.size(), 5u);
+  for (std::size_t i = 1; i < lin.segments.size(); ++i) {
+    EXPECT_GE(lin.segments[i - 1].content, lin.segments[i].content);
+  }
+  // Offsets tile the payload.
+  std::size_t expected_offset = 0;
+  for (const auto& s : lin.segments) {
+    EXPECT_EQ(s.offset, expected_offset);
+    expected_offset += s.size;
+  }
+  EXPECT_EQ(expected_offset, lin.payload.size());
+}
+
+TEST(Linearize, DocumentOrderKeepsSequence) {
+  const auto sc = make_sc();
+  const doc::LinearDocument ranked =
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+  const doc::LinearDocument sequential = doc::linearize(
+      sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kDocumentOrder});
+  EXPECT_EQ(sequential.segments[0].label, "0.0.0");
+  // Same bytes overall, different order (unless IC happens to be sorted).
+  EXPECT_EQ(sequential.payload.size(), ranked.payload.size());
+}
+
+TEST(Linearize, QicOrderPutsQueryUnitFirst) {
+  const auto sc = make_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("caching intact", gen.extractor()));
+  const doc::LinearDocument lin = doc::linearize(
+      sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kQic, .scorer = &scorer});
+  // The caching paragraph is 2.1.0 in document order.
+  EXPECT_EQ(lin.segments[0].label, "2.1.0");
+}
+
+TEST(Linearize, QicWithoutScorerThrows) {
+  const auto sc = make_sc();
+  EXPECT_THROW(
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kQic}),
+      mobiweb::ContractViolation);
+}
+
+TEST(Linearize, ContentOfPrefixMonotone) {
+  const auto sc = make_sc();
+  const doc::LinearDocument lin =
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+  double prev = -1.0;
+  for (std::size_t n = 0; n <= lin.payload.size(); n += 16) {
+    const double c = lin.content_of_prefix(n);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(lin.content_of_prefix(lin.payload.size()), lin.total_content(), 1e-12);
+  EXPECT_EQ(lin.content_of_prefix(0), 0.0);
+}
+
+TEST(Linearize, ContentOfRangeSplitsExactly) {
+  const auto sc = make_sc();
+  const doc::LinearDocument lin =
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+  const std::size_t mid = lin.payload.size() / 2;
+  const double left = lin.content_of_range(0, mid);
+  const double right = lin.content_of_range(mid, lin.payload.size());
+  EXPECT_NEAR(left + right, lin.total_content(), 1e-12);
+}
+
+TEST(Linearize, SectionLodUsesWholeSections) {
+  const auto sc = make_sc();
+  const doc::LinearDocument lin =
+      doc::linearize(sc, {.lod = doc::Lod::kSection, .rank = doc::RankBy::kIc});
+  EXPECT_EQ(lin.segments.size(), 3u);
+}

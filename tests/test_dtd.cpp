@@ -1,0 +1,193 @@
+// DTD parsing and validation.
+#include <gtest/gtest.h>
+
+#include "xml/dtd.hpp"
+#include "xml/parser.hpp"
+
+namespace xml = mobiweb::xml;
+namespace dtd = mobiweb::xml::dtd;
+
+namespace {
+std::vector<dtd::Diagnostic> check(const char* dtd_text, const char* doc_text) {
+  const dtd::Dtd d = dtd::parse_dtd(dtd_text);
+  const xml::Document doc = xml::parse(doc_text, {.strip_whitespace_text = true});
+  return dtd::validate(doc, d);
+}
+}  // namespace
+
+TEST(DtdParse, ElementModels) {
+  const dtd::Dtd d = dtd::parse_dtd(R"(
+    <!ELEMENT a EMPTY>
+    <!ELEMENT b ANY>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA | x | y)*>
+    <!ELEMENT e (x, y?, z*)>
+  )");
+  ASSERT_EQ(d.elements.size(), 5u);
+  EXPECT_EQ(d.element("a")->model, dtd::ElementDecl::Model::kEmpty);
+  EXPECT_EQ(d.element("b")->model, dtd::ElementDecl::Model::kAny);
+  EXPECT_EQ(d.element("c")->model, dtd::ElementDecl::Model::kMixed);
+  EXPECT_TRUE(d.element("c")->mixed_names.empty());
+  EXPECT_EQ(d.element("d")->mixed_names,
+            (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(d.element("e")->model, dtd::ElementDecl::Model::kChildren);
+  EXPECT_EQ(d.element("missing"), nullptr);
+}
+
+TEST(DtdParse, Attlist) {
+  const dtd::Dtd d = dtd::parse_dtd(R"(
+    <!ELEMENT a ANY>
+    <!ATTLIST a id CDATA #REQUIRED
+                kind (x|y) "x"
+                note CDATA #IMPLIED>
+  )");
+  const auto& attrs = d.attributes.at("a");
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_TRUE(attrs[0].required);
+  EXPECT_EQ(attrs[1].default_value, "x");
+  EXPECT_FALSE(attrs[2].required);
+  EXPECT_FALSE(attrs[2].default_value.has_value());
+}
+
+TEST(DtdParse, SkipsEntitiesAndComments) {
+  const dtd::Dtd d = dtd::parse_dtd(R"(
+    <!-- a comment -->
+    <!ENTITY nbsp "&#160;">
+    <!ELEMENT a EMPTY>
+  )");
+  EXPECT_EQ(d.elements.size(), 1u);
+}
+
+TEST(DtdParse, SyntaxErrorsThrow) {
+  EXPECT_THROW(dtd::parse_dtd("<!ELEMENT a"), xml::ParseError);
+  EXPECT_THROW(dtd::parse_dtd("<!ELEMENT a WHAT>"), xml::ParseError);
+  EXPECT_THROW(dtd::parse_dtd("<!ELEMENT a (b,c|d)>"), xml::ParseError);  // mixed seps
+  EXPECT_THROW(dtd::parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>"),
+               xml::ParseError);  // duplicate
+  EXPECT_THROW(dtd::parse_dtd("random junk"), xml::ParseError);
+}
+
+TEST(DtdValidate, ValidSequence) {
+  EXPECT_TRUE(check("<!ELEMENT r (a, b?, c*)>"
+                    "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+                    "<r><a/><c/><c/></r>")
+                  .empty());
+  EXPECT_TRUE(check("<!ELEMENT r (a, b?, c*)>"
+                    "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+                    "<r><a/><b/></r>")
+                  .empty());
+}
+
+TEST(DtdValidate, InvalidSequenceReported) {
+  const auto diags = check(
+      "<!ELEMENT r (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>", "<r><b/><a/></r>");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "/r");
+  EXPECT_NE(diags[0].message.find("content model"), std::string::npos);
+}
+
+TEST(DtdValidate, ChoiceAndRepetition) {
+  const char* d = "<!ELEMENT r (a | b)+><!ELEMENT a EMPTY><!ELEMENT b EMPTY>";
+  EXPECT_TRUE(check(d, "<r><a/></r>").empty());
+  EXPECT_TRUE(check(d, "<r><b/><a/><b/></r>").empty());
+  EXPECT_FALSE(check(d, "<r/>").empty());  // '+' needs at least one
+}
+
+TEST(DtdValidate, NestedGroups) {
+  const char* d =
+      "<!ELEMENT r ((a, b) | c)*><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+      "<!ELEMENT c EMPTY>";
+  EXPECT_TRUE(check(d, "<r/>").empty());
+  EXPECT_TRUE(check(d, "<r><a/><b/><c/><a/><b/></r>").empty());
+  EXPECT_FALSE(check(d, "<r><a/><c/></r>").empty());  // a without b
+}
+
+TEST(DtdValidate, EmptyModel) {
+  const char* d = "<!ELEMENT r EMPTY>";
+  EXPECT_TRUE(check(d, "<r/>").empty());
+  EXPECT_FALSE(check(d, "<r>text</r>").empty());
+}
+
+TEST(DtdValidate, MixedContent) {
+  const char* d = "<!ELEMENT r (#PCDATA | em)*><!ELEMENT em (#PCDATA)>";
+  EXPECT_TRUE(check(d, "<r>hello <em>world</em> again</r>").empty());
+  const auto diags = check(std::string(std::string(d) + "<!ELEMENT b (#PCDATA)>").c_str(),
+                           "<r>x <b>bold</b></r>");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("not allowed in mixed content"),
+            std::string::npos);
+}
+
+TEST(DtdValidate, CharacterDataInElementContent) {
+  const auto diags = check("<!ELEMENT r (a)><!ELEMENT a EMPTY>", "<r>txt<a/></r>");
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("character data"), std::string::npos);
+}
+
+TEST(DtdValidate, UndeclaredElement) {
+  const auto diags = check("<!ELEMENT r ANY>", "<r><mystery/></r>");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "/r/mystery[0]");
+  EXPECT_NE(diags[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(DtdValidate, RequiredAttribute) {
+  const char* d = "<!ELEMENT r ANY><!ATTLIST r id CDATA #REQUIRED>";
+  EXPECT_TRUE(check(d, "<r id=\"1\"/>").empty());
+  const auto diags = check(d, "<r/>");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("required attribute"), std::string::npos);
+}
+
+TEST(DtdValidate, PathsIndexSiblings) {
+  const auto diags = check(
+      "<!ELEMENT r (a*)><!ELEMENT a (b)><!ELEMENT b EMPTY>",
+      "<r><a><b/></a><a/></r>");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "/r/a[1]");
+}
+
+TEST(DtdValidate, GroupOccurrencePreserved) {
+  // (a*)? must still allow many a's — the group wrapper keeps inner '*'.
+  const char* d = "<!ELEMENT r ((a*))?><!ELEMENT a EMPTY>";
+  EXPECT_TRUE(check(d, "<r><a/><a/><a/></r>").empty());
+}
+
+TEST(DtdInternalSubset, CapturedByParser) {
+  const xml::Document doc = xml::parse(
+      "<!DOCTYPE r [ <!ELEMENT r (a)> <!ELEMENT a EMPTY> ]><r><a/></r>");
+  EXPECT_EQ(doc.doctype_name, "r");
+  const dtd::Dtd d = dtd::parse_dtd(doc.doctype_subset);
+  EXPECT_EQ(d.elements.size(), 2u);
+  EXPECT_TRUE(dtd::validate(doc, d).empty());
+}
+
+TEST(ResearchPaperDtd, AcceptsPaperStructure) {
+  const char* paper = R"(<research-paper venue="ICDCS" year="2000">
+    <title>T</title>
+    <abstract><para>A <em>b</em> c</para></abstract>
+    <section><title>S1</title><para>text</para>
+      <subsection><title>SS</title><para>more</para></subsection>
+      <para>trailing</para>
+    </section>
+    <section><para>only paras</para></section>
+  </research-paper>)";
+  const xml::Document doc = xml::parse(paper, {.strip_whitespace_text = true});
+  const auto diags = dtd::validate(doc, dtd::research_paper_dtd());
+  EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags[0].message);
+}
+
+TEST(ResearchPaperDtd, RejectsMisplacedStructure) {
+  // A subsection directly under research-paper violates the model.
+  const xml::Document doc = xml::parse(
+      "<research-paper><subsection><para>x</para></subsection></research-paper>",
+      {.strip_whitespace_text = true});
+  EXPECT_FALSE(dtd::validate(doc, dtd::research_paper_dtd()).empty());
+}
+
+TEST(ResearchPaperDtd, RejectsEmptyAbstract) {
+  const xml::Document doc = xml::parse(
+      "<research-paper><abstract></abstract></research-paper>",
+      {.strip_whitespace_text = true});
+  EXPECT_FALSE(dtd::validate(doc, dtd::research_paper_dtd()).empty());
+}

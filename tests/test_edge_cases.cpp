@@ -1,0 +1,238 @@
+// Edge cases across modules: degenerate documents, odd markup, boundary
+// parameters — inputs a deployed gateway would actually meet.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "channel/error_model.hpp"
+#include "core/mobiweb.hpp"
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "doc/recognizer.hpp"
+#include "html/structurer.hpp"
+#include "sim/experiment.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+namespace sim = mobiweb::sim;
+namespace channel = mobiweb::channel;
+using mobiweb::ContractViolation;
+
+// ---- Degenerate documents ----------------------------------------------------
+
+TEST(EdgeDoc, EmptyRootElement) {
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(xml::parse("<paper/>"));
+  EXPECT_EQ(sc.root().info_content, 0.0);
+  EXPECT_TRUE(sc.root().children.empty());
+  const auto lin = doc::linearize(sc);
+  EXPECT_TRUE(lin.payload.empty());
+}
+
+TEST(EdgeDoc, TitleOnlyDocument) {
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(
+      xml::parse("<paper><title>Just A Title Here</title></paper>"));
+  // All keywords sit on the root: root IC is 1, there are no children.
+  EXPECT_NEAR(sc.root().info_content, 1.0, 1e-12);
+  EXPECT_TRUE(sc.root().children.empty());
+}
+
+TEST(EdgeDoc, StopWordsOnlyDocument) {
+  doc::ScGenerator gen;
+  const auto sc =
+      gen.generate(xml::parse("<paper><para>the and of or but</para></paper>"));
+  EXPECT_EQ(sc.document_terms().total(), 0);
+  EXPECT_EQ(sc.root().info_content, 0.0);
+}
+
+TEST(EdgeDoc, SingleKeyword) {
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(xml::parse("<paper><para>wireless</para></paper>"));
+  EXPECT_EQ(sc.norm(), 1);
+  EXPECT_NEAR(sc.root().info_content, 1.0, 1e-12);
+  // The lone keyword has weight 1 - log2(1/1) = 1.
+  EXPECT_DOUBLE_EQ(sc.weight("wireless"), 1.0);
+}
+
+TEST(EdgeDoc, SubsubsectionDocumentsWork) {
+  const char* src = R"(<paper><section><subsection>
+      <subsubsection><para>deep content here</para></subsubsection>
+      <subsubsection><para>more deep content</para></subsubsection>
+    </subsection></section></paper>)";
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(xml::parse(src));
+  EXPECT_EQ(doc::frontier_at(sc.root(), doc::Lod::kSubsubsection).size(), 2u);
+  EXPECT_EQ(doc::frontier_at(sc.root(), doc::Lod::kParagraph).size(), 2u);
+  EXPECT_NEAR(sc.root().info_content, 1.0, 1e-12);
+}
+
+TEST(EdgeDoc, CDataCountsAsText) {
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(
+      xml::parse("<paper><para><![CDATA[vandermonde matrices & <dispersal>]]></para></paper>"));
+  EXPECT_GT(sc.document_terms().count("vandermond"), 0);
+  EXPECT_GT(sc.document_terms().count("dispers"), 0);
+}
+
+TEST(EdgeDoc, UnicodeBytesSurviveTransmission) {
+  // Non-ASCII text must round-trip bytewise through linearize + transport.
+  mobiweb::Server server;
+  server.publish_xml("u", "<paper><para>na\xC3\xAFve r\xC3\xA9sum\xC3\xA9 "
+                          "\xE6\x97\xA5\xE6\x9C\xAC\xE8\xAA\x9E text</para></paper>");
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mobiweb::BrowseSession session(server, cfg);
+  const auto r = session.fetch("u");
+  EXPECT_NE(r.text.find("na\xC3\xAFve"), std::string::npos);
+  EXPECT_NE(r.text.find("\xE6\x97\xA5\xE6\x9C\xAC\xE8\xAA\x9E"), std::string::npos);
+}
+
+// ---- HTML oddities -----------------------------------------------------------
+
+TEST(EdgeHtml, SkippedHeadingLevels) {
+  // h3 directly after h1 (no h2): the subsubsection gets wrapped into a
+  // virtual subsection, keeping levels contiguous (same rule as the XML
+  // recognizer's virtual units).
+  const auto root = mobiweb::html::structure_html(
+      "<h1>Top</h1><h3>Deep</h3><p>body text</p>");
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& sec = root.children[0];
+  ASSERT_GE(sec.children.size(), 1u);
+  EXPECT_EQ(sec.children[0].lod, doc::Lod::kSubsection);
+  EXPECT_TRUE(sec.children[0].virtual_unit);
+  ASSERT_GE(sec.children[0].children.size(), 1u);
+  EXPECT_EQ(sec.children[0].children[0].lod, doc::Lod::kSubsubsection);
+  EXPECT_EQ(sec.children[0].children[0].title, "Deep");
+}
+
+TEST(EdgeHtml, HeadingAfterDeeperHeadingClosesScope) {
+  const auto root = mobiweb::html::structure_html(
+      "<h1>A</h1><h2>A1</h2><p>x</p><h1>B</h1><p>y</p>");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].title, "A");
+  EXPECT_EQ(root.children[1].title, "B");
+  // B's paragraph must not have leaked into A1.
+  EXPECT_NE(root.children[1].subtree_text().find("y"), std::string::npos);
+}
+
+TEST(EdgeHtml, UnclosedTagsTolerated) {
+  const auto root = mobiweb::html::structure_html(
+      "<h1>Sec<p>para without closings<b>bold run");
+  EXPECT_GE(root.subtree_units(), 2u);
+}
+
+TEST(EdgeHtml, EmptyPage) {
+  const auto root = mobiweb::html::structure_html("");
+  EXPECT_EQ(root.lod, doc::Lod::kDocument);
+  EXPECT_TRUE(root.children.empty());
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(root);
+  EXPECT_EQ(sc.root().info_content, 0.0);
+}
+
+TEST(EdgeHtml, NestedEmphasisCounted) {
+  const auto root = mobiweb::html::structure_html(
+      "<p>plain <b>bold <i>bolditalic</i></b> tail</p>");
+  const doc::OrgUnit* leaf = &root;
+  while (!leaf->children.empty()) leaf = &leaf->children[0];
+  int emphasized = 0;
+  for (const auto& t : leaf->own_tokens) emphasized += t.emphasized;
+  EXPECT_EQ(emphasized, 2);  // "bold", "bolditalic"
+}
+
+// ---- Boundary parameters -----------------------------------------------------
+
+TEST(EdgeSim, GammaOneMeansNoRedundancy) {
+  sim::ExperimentParams p;
+  p.gamma = 1.0;
+  EXPECT_EQ(p.n(), p.m());
+}
+
+TEST(EdgeSim, TinyDocuments) {
+  sim::SyntheticConfig cfg;
+  cfg.doc_size = 256;  // exactly one packet
+  cfg.packet_size = 256;
+  cfg.sections = 1;
+  cfg.subsections_per_section = 1;
+  cfg.paragraphs_per_subsection = 1;
+  EXPECT_EQ(cfg.raw_packets(), 1);
+  mobiweb::Rng rng(1);
+  const auto d = sim::generate_document(cfg, rng);
+  const auto profile = sim::packet_content_profile(d, doc::Lod::kParagraph);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_NEAR(profile[0], 1.0, 1e-12);
+}
+
+TEST(EdgeSim, PacketSizeNotDividingParagraphs) {
+  // 3 paragraphs of ~341.3 bytes over 256-byte packets: fractional overlap
+  // accrual must still sum to 1.
+  sim::SyntheticConfig cfg;
+  cfg.doc_size = 1024;
+  cfg.packet_size = 256;
+  cfg.sections = 1;
+  cfg.subsections_per_section = 1;
+  cfg.paragraphs_per_subsection = 3;
+  mobiweb::Rng rng(2);
+  const auto d = sim::generate_document(cfg, rng);
+  for (const auto lod : {doc::Lod::kDocument, doc::Lod::kParagraph}) {
+    const auto profile = sim::packet_content_profile(d, lod);
+    double sum = 0.0;
+    for (double c : profile) sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(EdgeChannel, GilbertElliottParameterGuards) {
+  EXPECT_THROW(channel::GilbertElliottModel(0.1, 0.0, 0.0, 1.0),
+               ContractViolation);  // p_bad_to_good must be > 0
+  EXPECT_THROW(channel::GilbertElliottModel::with_average_rate(0.5, 4.0, 0.4),
+               ContractViolation);  // alpha >= loss_bad impossible
+  EXPECT_THROW(channel::GilbertElliottModel::with_average_rate(0.1, 0.5),
+               ContractViolation);  // burst < 1 packet
+}
+
+TEST(EdgeChannel, CloneReproducesModel) {
+  channel::GilbertElliottModel ge(0.2, 0.3, 0.01, 0.9);
+  auto clone = ge.clone();
+  EXPECT_NEAR(clone->steady_state_rate(), ge.steady_state_rate(), 1e-12);
+  mobiweb::Rng rng_a(5);
+  mobiweb::Rng rng_b(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ge.next_corrupted(rng_a), clone->next_corrupted(rng_b));
+  }
+}
+
+TEST(EdgeCore, EmptyDocumentCannotBePublishedForFetch) {
+  mobiweb::Server server;
+  server.publish_xml("empty", "<paper/>");
+  mobiweb::BrowseSession session(server);
+  // Linearized payload is empty: the transmitter must refuse rather than
+  // divide by zero somewhere downstream.
+  EXPECT_THROW(session.fetch("empty"), ContractViolation);
+}
+
+TEST(EdgeCore, WhitespaceOnlyQueryBehavesLikeEmpty) {
+  mobiweb::Server server;
+  server.publish_xml("d", "<paper><para>wireless things</para></paper>");
+  const auto hits = server.search("   \t  ");
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(EdgeCore, LodCoarserThanDocumentStructureStillWorks) {
+  mobiweb::Server server;
+  server.publish_xml("flat", "<paper><para>one single paragraph of words "
+                             "about wireless documents</para></paper>");
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mobiweb::BrowseSession session(server, cfg);
+  for (const auto lod : {doc::Lod::kDocument, doc::Lod::kSection,
+                         doc::Lod::kSubsection, doc::Lod::kParagraph}) {
+    mobiweb::FetchOptions opts;
+    opts.lod = lod;
+    const auto r = session.fetch("flat", opts);
+    EXPECT_TRUE(r.session.completed) << doc::lod_name(lod);
+    EXPECT_NE(r.text.find("wireless"), std::string::npos);
+  }
+}

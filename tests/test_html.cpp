@@ -1,0 +1,204 @@
+// HTML tokenizer and structure extraction.
+#include <gtest/gtest.h>
+
+#include "doc/content.hpp"
+#include "html/structurer.hpp"
+#include "html/tokenizer.hpp"
+
+namespace html = mobiweb::html;
+namespace doc = mobiweb::doc;
+
+TEST(HtmlEntities, NamedAndNumeric) {
+  EXPECT_EQ(html::decode_entities("a &amp; b &lt;x&gt;"), "a & b <x>");
+  EXPECT_EQ(html::decode_entities("&#65;&#x42;"), "AB");
+  EXPECT_EQ(html::decode_entities("x&nbsp;y"), "x y");
+}
+
+TEST(HtmlEntities, UnknownKeptLiteral) {
+  EXPECT_EQ(html::decode_entities("&bogus; & alone"), "&bogus; & alone");
+  EXPECT_EQ(html::decode_entities("AT&T"), "AT&T");
+}
+
+TEST(HtmlTokenizer, BasicTags) {
+  const auto toks = html::tokenize("<p>Hello <B>world</B></p>");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].type, html::TokenType::kStartTag);
+  EXPECT_EQ(toks[0].name, "p");
+  EXPECT_EQ(toks[1].text, "Hello ");
+  EXPECT_EQ(toks[2].name, "b");  // lowercased
+  EXPECT_EQ(toks[3].text, "world");
+  EXPECT_EQ(toks[4].type, html::TokenType::kEndTag);
+  EXPECT_EQ(toks[5].type, html::TokenType::kEndTag);
+}
+
+TEST(HtmlTokenizer, Attributes) {
+  const auto toks =
+      html::tokenize("<a HREF=\"http://x\" target=_blank disabled>link</a>");
+  ASSERT_GE(toks.size(), 1u);
+  const auto& a = toks[0];
+  ASSERT_EQ(a.attributes.size(), 3u);
+  EXPECT_EQ(a.attributes[0].name, "href");
+  EXPECT_EQ(a.attributes[0].value, "http://x");
+  EXPECT_EQ(a.attributes[1].name, "target");
+  EXPECT_EQ(a.attributes[1].value, "_blank");
+  EXPECT_EQ(a.attributes[2].name, "disabled");
+  EXPECT_EQ(a.attributes[2].value, "");
+}
+
+TEST(HtmlTokenizer, UnquotedValueBeforeSelfClose) {
+  const auto toks = html::tokenize("<img src=pic.png/>");
+  ASSERT_GE(toks.size(), 1u);
+  ASSERT_EQ(toks[0].attributes.size(), 1u);
+  EXPECT_EQ(toks[0].attributes[0].value, "pic.png");
+  EXPECT_TRUE(toks[0].self_closing);
+}
+
+TEST(HtmlTokenizer, SlashInsideUrlValueKept) {
+  const auto toks = html::tokenize("<a href=http://x/y>z</a>");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].attributes[0].value, "http://x/y");
+}
+
+TEST(HtmlTokenizer, SelfClosingAndVoid) {
+  const auto toks = html::tokenize("a<br/>b<img src='x'>c");
+  // text, br, text, img, text
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_TRUE(toks[1].self_closing);
+  EXPECT_EQ(toks[3].name, "img");
+  EXPECT_TRUE(html::is_void_element("br"));
+  EXPECT_FALSE(html::is_void_element("div"));
+}
+
+TEST(HtmlTokenizer, CommentsAndDoctype) {
+  const auto toks = html::tokenize("<!DOCTYPE html><!-- hi --><p>x</p>");
+  EXPECT_EQ(toks[0].type, html::TokenType::kDoctype);
+  EXPECT_EQ(toks[1].type, html::TokenType::kComment);
+  EXPECT_EQ(toks[1].text, " hi ");
+}
+
+TEST(HtmlTokenizer, ScriptContentIsRawText) {
+  const auto toks =
+      html::tokenize("<script>if (a < b && c > d) { x(); }</script><p>y</p>");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].name, "script");
+  EXPECT_EQ(toks[1].type, html::TokenType::kText);
+  EXPECT_NE(toks[1].text.find("a < b"), std::string::npos);
+  EXPECT_EQ(toks[2].type, html::TokenType::kEndTag);
+}
+
+TEST(HtmlTokenizer, MalformedDegradesToText) {
+  const auto toks = html::tokenize("1 < 2 and 3 > 2 </3");
+  // No tags: everything is text.
+  for (const auto& t : toks) EXPECT_EQ(t.type, html::TokenType::kText);
+}
+
+TEST(HtmlTokenizer, UnterminatedTagAtEof) {
+  const auto toks = html::tokenize("<p class=\"x");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].name, "p");
+}
+
+TEST(HtmlStructurer, HeadingsBecomeUnits) {
+  const char* page = R"(<html><head><title>Page Title</title></head><body>
+    <h1>First Section</h1>
+    <p>alpha one</p>
+    <h2>A Subsection</h2>
+    <p>beta two</p>
+    <h1>Second Section</h1>
+    <p>gamma three</p>
+  </body></html>)";
+  const doc::OrgUnit root = html::structure_html(page);
+  EXPECT_EQ(root.title, "Page Title");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].lod, doc::Lod::kSection);
+  EXPECT_EQ(root.children[0].title, "First Section");
+  EXPECT_EQ(root.children[1].title, "Second Section");
+
+  const doc::OrgUnit& first = root.children[0];
+  // paragraph "alpha one" (wrapped in virtual subsection) + real subsection.
+  ASSERT_EQ(first.children.size(), 2u);
+  EXPECT_TRUE(first.children[0].virtual_unit);
+  EXPECT_EQ(first.children[1].lod, doc::Lod::kSubsection);
+  EXPECT_EQ(first.children[1].title, "A Subsection");
+}
+
+TEST(HtmlStructurer, TextBeforeFirstHeading) {
+  const doc::OrgUnit root =
+      html::structure_html("<p>intro text</p><h1>Later</h1><p>body</p>");
+  ASSERT_EQ(root.children.size(), 2u);
+  // Leading paragraph wrapped in a virtual section.
+  EXPECT_TRUE(root.children[0].virtual_unit);
+  EXPECT_EQ(root.children[0].lod, doc::Lod::kSection);
+  EXPECT_FALSE(root.children[1].virtual_unit);
+}
+
+TEST(HtmlStructurer, EmphasisMarksKeywords) {
+  const doc::OrgUnit root =
+      html::structure_html("<p>plain <b>strong word</b> tail</p>");
+  ASSERT_EQ(root.children.size(), 1u);
+  const doc::OrgUnit* para = &root.children[0];
+  while (!para->children.empty()) para = &para->children[0];
+  int emphasized = 0;
+  for (const auto& t : para->own_tokens) emphasized += t.emphasized;
+  EXPECT_EQ(emphasized, 2);
+}
+
+TEST(HtmlStructurer, ScriptAndStyleIgnored) {
+  const doc::OrgUnit root = html::structure_html(
+      "<script>var invisible = 1;</script><style>.x{}</style><p>visible</p>");
+  std::string all;
+  doc::walk(root, [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    all += u.own_text;
+  });
+  EXPECT_EQ(all.find("invisible"), std::string::npos);
+  EXPECT_NE(all.find("visible"), std::string::npos);
+}
+
+TEST(HtmlStructurer, HeadContentIgnoredExceptTitle) {
+  const doc::OrgUnit root = html::structure_html(
+      "<head><title>T</title><meta name=\"x\" content=\"hidden words\">"
+      "</head><body><p>shown</p></body>");
+  std::string all;
+  doc::walk(root, [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    all += u.own_text;
+  });
+  EXPECT_EQ(all.find("hidden"), std::string::npos);
+  EXPECT_NE(all.find("shown"), std::string::npos);
+  EXPECT_EQ(root.title, "T");
+}
+
+TEST(HtmlStructurer, ListItemsAreParagraphBoundaries) {
+  const doc::OrgUnit root =
+      html::structure_html("<ul><li>first item</li><li>second item</li></ul>");
+  // Two separate paragraph-level leaves.
+  std::size_t leaves = 0;
+  doc::walk(root, [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    if (u.is_leaf() && !u.own_text.empty()) ++leaves;
+  });
+  EXPECT_EQ(leaves, 2u);
+}
+
+TEST(HtmlStructurer, H3MapsToSubsubsection) {
+  const doc::OrgUnit root = html::structure_html(
+      "<h1>S</h1><h2>SS</h2><h3>SSS</h3><p>deep text</p>");
+  const doc::OrgUnit* sec = &root.children[0];
+  ASSERT_EQ(sec->title, "S");
+  const doc::OrgUnit* sub = &sec->children[0];
+  ASSERT_EQ(sub->title, "SS");
+  const doc::OrgUnit* subsub = &sub->children[0];
+  EXPECT_EQ(subsub->lod, doc::Lod::kSubsubsection);
+  EXPECT_EQ(subsub->title, "SSS");
+}
+
+TEST(HtmlStructurer, FeedsScGeneration) {
+  // End-to-end: HTML -> unit tree -> SC with sensible IC.
+  const char* page = R"(<html><body>
+    <h1>Wireless</h1><p>wireless wireless wireless bandwidth</p>
+    <h1>Other</h1><p>cache</p>
+  </body></html>)";
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(html::structure_html(page));
+  EXPECT_NEAR(sc.root().info_content, 1.0, 1e-12);
+  ASSERT_EQ(sc.root().children.size(), 2u);
+  EXPECT_GT(sc.root().children[0].info_content, sc.root().children[1].info_content);
+}

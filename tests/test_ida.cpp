@@ -1,0 +1,270 @@
+// Systematic information dispersal: encode/decode/streaming.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ida/ida.hpp"
+#include "util/rng.hpp"
+
+namespace ida = mobiweb::ida;
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::ContractViolation;
+using mobiweb::Rng;
+
+namespace {
+
+Bytes random_payload(std::size_t size, Rng& rng) {
+  Bytes out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+}  // namespace
+
+TEST(Split, PadsTail) {
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const auto raw = ida::split_payload(ByteSpan(payload), 2);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_EQ(raw[0], (Bytes{1, 2}));
+  EXPECT_EQ(raw[1], (Bytes{3, 4}));
+  EXPECT_EQ(raw[2], (Bytes{5, 0}));
+}
+
+TEST(Split, ExactFit) {
+  const Bytes payload = {1, 2, 3, 4};
+  const auto raw = ida::split_payload(ByteSpan(payload), 2);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(raw[1], (Bytes{3, 4}));
+}
+
+TEST(Split, PacketCount) {
+  EXPECT_EQ(ida::packet_count(10240, 256), 40u);
+  EXPECT_EQ(ida::packet_count(10241, 256), 41u);
+  EXPECT_EQ(ida::packet_count(1, 256), 1u);
+}
+
+TEST(Encoder, SystematicPrefixEqualsRaw) {
+  Rng rng(20);
+  const Bytes payload = random_payload(1000, rng);
+  ida::Encoder enc(4, 9);
+  const auto raw = ida::split_payload(ByteSpan(payload), 250);
+  const auto cooked = enc.encode(raw);
+  ASSERT_EQ(cooked.size(), 9u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cooked[i], raw[i]) << "clear-text packet " << i;
+  }
+}
+
+TEST(Encoder, RejectsBadShapes) {
+  EXPECT_THROW(ida::Encoder(0, 4), ContractViolation);
+  EXPECT_THROW(ida::Encoder(5, 4), ContractViolation);
+  EXPECT_THROW(ida::Encoder(10, 256), ContractViolation);
+  EXPECT_NO_THROW(ida::Encoder(10, 255));
+}
+
+TEST(Encoder, MismatchedPacketSizesThrow) {
+  ida::Encoder enc(2, 3);
+  std::vector<Bytes> raw = {{1, 2}, {3}};
+  EXPECT_THROW(enc.encode(raw), ContractViolation);
+}
+
+TEST(Decoder, AnyMSubsetReconstructs) {
+  Rng rng(21);
+  const std::size_t m = 5;
+  const std::size_t n = 12;
+  const Bytes payload = random_payload(1237, rng);
+  ida::Encoder enc(m, n);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+
+  ida::Decoder dec(m, n);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random m-subset of cooked indices.
+    std::vector<std::size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), 0u);
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(indices[i], indices[rng.next_below(i + 1)]);
+    }
+    std::vector<std::pair<std::size_t, Bytes>> subset;
+    for (std::size_t i = 0; i < m; ++i) {
+      subset.emplace_back(indices[i], cooked[indices[i]]);
+    }
+    EXPECT_EQ(dec.decode_payload(subset, payload.size()), payload);
+  }
+}
+
+TEST(Decoder, RedundancyOnlyReconstructs) {
+  Rng rng(22);
+  const Bytes payload = random_payload(512, rng);
+  ida::Encoder enc(2, 6);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::Decoder dec(2, 6);
+  // Use only the non-systematic packets.
+  const std::vector<std::pair<std::size_t, Bytes>> subset = {{4, cooked[4]},
+                                                             {5, cooked[5]}};
+  EXPECT_EQ(dec.decode_payload(subset, payload.size()), payload);
+}
+
+TEST(Decoder, TooFewPacketsThrows) {
+  Rng rng(23);
+  const Bytes payload = random_payload(512, rng);
+  ida::Encoder enc(2, 4);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::Decoder dec(2, 4);
+  const std::vector<std::pair<std::size_t, Bytes>> one = {{0, cooked[0]}};
+  EXPECT_THROW(dec.decode(one), ContractViolation);
+}
+
+TEST(Decoder, DuplicateIndicesDoNotCount) {
+  Rng rng(24);
+  const Bytes payload = random_payload(512, rng);
+  ida::Encoder enc(2, 4);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::Decoder dec(2, 4);
+  const std::vector<std::pair<std::size_t, Bytes>> dup = {{1, cooked[1]},
+                                                          {1, cooked[1]}};
+  EXPECT_THROW(dec.decode(dup), ContractViolation);
+}
+
+TEST(Decoder, PaperShape40of60) {
+  Rng rng(25);
+  const Bytes payload = random_payload(10240, rng);  // the paper's document
+  ida::Encoder enc(40, 60);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ASSERT_EQ(cooked.size(), 60u);
+  // Drop 20 arbitrary packets (a 33% loss burst), decode from the rest.
+  std::vector<std::pair<std::size_t, Bytes>> kept;
+  for (std::size_t i = 0; i < 60; ++i) {
+    if (i % 3 == 1) continue;  // drop 20
+    kept.emplace_back(i, cooked[i]);
+  }
+  ida::Decoder dec(40, 60);
+  EXPECT_EQ(dec.decode_payload(kept, payload.size()), payload);
+}
+
+TEST(Streaming, ClearPacketsAvailableImmediately) {
+  Rng rng(26);
+  const Bytes payload = random_payload(700, rng);
+  ida::Encoder enc(3, 6);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+
+  ida::StreamingDecoder sd(3, 6, 256, payload.size());
+  EXPECT_FALSE(sd.complete());
+  EXPECT_TRUE(sd.add(1, ByteSpan(cooked[1])));
+  EXPECT_TRUE(sd.has_clear(1));
+  EXPECT_FALSE(sd.has_clear(0));
+  EXPECT_EQ(sd.clear_fraction(), 1.0 / 3.0);
+  const ByteSpan clear = sd.clear_packet(1);
+  EXPECT_TRUE(std::equal(clear.begin(), clear.end(), cooked[1].begin()));
+}
+
+TEST(Streaming, DuplicatesIgnored) {
+  Rng rng(27);
+  const Bytes payload = random_payload(700, rng);
+  ida::Encoder enc(3, 6);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::StreamingDecoder sd(3, 6, 256, payload.size());
+  EXPECT_TRUE(sd.add(4, ByteSpan(cooked[4])));
+  EXPECT_FALSE(sd.add(4, ByteSpan(cooked[4])));
+  EXPECT_EQ(sd.intact_count(), 1u);
+}
+
+TEST(Streaming, CompletesAndReconstructs) {
+  Rng rng(28);
+  const Bytes payload = random_payload(700, rng);
+  ida::Encoder enc(3, 6);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::StreamingDecoder sd(3, 6, 256, payload.size());
+  EXPECT_THROW(sd.reconstruct(), ContractViolation);
+  sd.add(5, ByteSpan(cooked[5]));
+  sd.add(0, ByteSpan(cooked[0]));
+  EXPECT_FALSE(sd.complete());
+  sd.add(3, ByteSpan(cooked[3]));
+  ASSERT_TRUE(sd.complete());
+  EXPECT_EQ(sd.reconstruct(), payload);
+}
+
+TEST(Streaming, ClearPacketAfterCompletionStillServed) {
+  Rng rng(29);
+  const Bytes payload = random_payload(700, rng);
+  ida::Encoder enc(3, 6);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::StreamingDecoder sd(3, 6, 256, payload.size());
+  sd.add(3, ByteSpan(cooked[3]));
+  sd.add(4, ByteSpan(cooked[4]));
+  sd.add(5, ByteSpan(cooked[5]));
+  ASSERT_TRUE(sd.complete());
+  EXPECT_TRUE(sd.add(0, ByteSpan(cooked[0])));
+  EXPECT_TRUE(sd.has_clear(0));
+  const ByteSpan clear = sd.clear_packet(0);
+  EXPECT_TRUE(std::equal(clear.begin(), clear.end(), cooked[0].begin()));
+}
+
+TEST(Streaming, ResetClearsState) {
+  Rng rng(30);
+  const Bytes payload = random_payload(700, rng);
+  ida::Encoder enc(3, 6);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::StreamingDecoder sd(3, 6, 256, payload.size());
+  sd.add(0, ByteSpan(cooked[0]));
+  sd.reset();
+  EXPECT_EQ(sd.intact_count(), 0u);
+  EXPECT_FALSE(sd.has_clear(0));
+  // After reset the same packet is "new" again.
+  EXPECT_TRUE(sd.add(0, ByteSpan(cooked[0])));
+}
+
+TEST(Streaming, RejectsBadInput) {
+  ida::StreamingDecoder sd(3, 6, 256, 700);
+  Bytes wrong_size(100, 0);
+  EXPECT_THROW(sd.add(0, ByteSpan(wrong_size)), ContractViolation);
+  Bytes right_size(256, 0);
+  EXPECT_THROW(sd.add(6, ByteSpan(right_size)), ContractViolation);
+  EXPECT_THROW(ida::StreamingDecoder(3, 6, 256, 1000), ContractViolation);
+}
+
+TEST(Ida, GeneratorCacheReturnsSameObject) {
+  const auto& a = ida::systematic_generator(60, 40);
+  const auto& b = ida::systematic_generator(60, 40);
+  EXPECT_EQ(&a, &b);
+}
+
+// Property sweep: encode -> lose packets -> decode across shapes.
+class IdaRoundTrip : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IdaRoundTrip, LossyRoundTrip) {
+  const auto [m, n, payload_size] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + n));
+  const Bytes payload = random_payload(static_cast<std::size_t>(payload_size), rng);
+  const std::size_t packet_size =
+      (static_cast<std::size_t>(payload_size) + m - 1) / static_cast<std::size_t>(m);
+  ida::Encoder enc(static_cast<std::size_t>(m), static_cast<std::size_t>(n));
+  const auto cooked = enc.encode_payload(ByteSpan(payload), packet_size);
+
+  // Feed packets in a shuffled order, dropping n - m of them.
+  std::vector<std::size_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = order.size() - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.next_below(i + 1)]);
+  }
+  ida::StreamingDecoder sd(static_cast<std::size_t>(m), static_cast<std::size_t>(n),
+                           packet_size, payload.size());
+  for (int i = 0; i < m; ++i) {
+    sd.add(order[static_cast<std::size_t>(i)],
+           ByteSpan(cooked[order[static_cast<std::size_t>(i)]]));
+  }
+  ASSERT_TRUE(sd.complete());
+  EXPECT_EQ(sd.reconstruct(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IdaRoundTrip,
+    ::testing::Values(std::tuple<int, int, int>{1, 1, 17},
+                      std::tuple<int, int, int>{1, 8, 300},
+                      std::tuple<int, int, int>{2, 3, 511},
+                      std::tuple<int, int, int>{7, 11, 2048},
+                      std::tuple<int, int, int>{40, 60, 10240},
+                      std::tuple<int, int, int>{100, 150, 25600},
+                      std::tuple<int, int, int>{100, 255, 25600},
+                      std::tuple<int, int, int>{255, 255, 2550}));

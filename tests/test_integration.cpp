@@ -1,0 +1,209 @@
+// Cross-module integration: the analytic simulator must agree with the real
+// packet/IDA/channel stack, and the negative-binomial analysis must predict
+// the behaviour of both.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/negbinom.hpp"
+#include "channel/channel.hpp"
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "sim/transfer.hpp"
+#include "transmit/receiver.hpp"
+#include "transmit/session.hpp"
+#include "transmit/transmitter.hpp"
+#include "util/rng.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace sim = mobiweb::sim;
+namespace transmit = mobiweb::transmit;
+namespace channel = mobiweb::channel;
+using mobiweb::ByteSpan;
+using mobiweb::Rng;
+
+namespace {
+
+// Error model that replays a fixed corruption pattern (wraps around).
+class ScriptedErrorModel final : public channel::ErrorModel {
+ public:
+  explicit ScriptedErrorModel(std::vector<bool> pattern)
+      : pattern_(std::move(pattern)) {}
+
+  bool next_corrupted(Rng&) override {
+    const bool c = pattern_[pos_ % pattern_.size()];
+    ++pos_;
+    return c;
+  }
+  double steady_state_rate() const override { return 0.0; }
+  std::unique_ptr<channel::ErrorModel> clone() const override {
+    return std::make_unique<ScriptedErrorModel>(pattern_);
+  }
+
+ private:
+  std::vector<bool> pattern_;
+  std::size_t pos_ = 0;
+};
+
+doc::LinearDocument make_document() {
+  std::string src = "<paper>";
+  for (int p = 0; p < 10; ++p) {
+    src += "<para>";
+    for (int w = 0; w < 30; ++w) {
+      src += "w";
+      src += std::to_string(p);
+      src += "t";
+      src += std::to_string(w);
+      src += " ";
+    }
+    src += "</para>";
+  }
+  src += "</paper>";
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(mobiweb::xml::parse(src));
+  return doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+}
+
+// Runs the real stack against a scripted corruption pattern.
+transmit::SessionResult run_real(const doc::LinearDocument& lin,
+                                 const std::vector<bool>& pattern, double gamma,
+                                 bool caching, double relevance) {
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = gamma});
+  transmit::ReceiverConfig rc;
+  rc.doc_id = tx.doc_id();
+  rc.m = tx.m();
+  rc.n = tx.n();
+  rc.packet_size = 128;
+  rc.payload_size = tx.payload_size();
+  rc.caching = caching;
+  transmit::ClientReceiver rx(rc, lin.segments);
+  channel::ChannelConfig cc;
+  channel::WirelessChannel ch(cc, std::make_unique<ScriptedErrorModel>(pattern));
+  transmit::SessionConfig scfg;
+  scfg.relevance_threshold = relevance;
+  transmit::TransferSession session(tx, rx, ch, scfg);
+  return session.run();
+}
+
+// Runs the analytic simulator against the same pattern and document.
+sim::TransferResult run_sim(const doc::LinearDocument& lin,
+                            const std::vector<bool>& pattern, double gamma,
+                            bool caching, double relevance) {
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = gamma});
+  // Per-clear-packet content from the segment map, exactly as the receiver
+  // accounts it.
+  std::vector<double> content(tx.m());
+  for (std::size_t i = 0; i < tx.m(); ++i) {
+    const std::size_t begin = i * 128;
+    const std::size_t end = std::min(begin + 128, tx.payload_size());
+    content[i] = tx.document().content_of_range(begin, end);
+  }
+  sim::TransferConfig cfg;
+  cfg.m = static_cast<int>(tx.m());
+  cfg.n = static_cast<int>(tx.n());
+  cfg.caching = caching;
+  cfg.relevance_threshold = relevance;
+  cfg.max_rounds = 1000;
+  std::size_t pos = 0;
+  return sim::simulate_transfer(content, cfg, [&pattern, &pos] {
+    const bool c = pattern[pos % pattern.size()];
+    ++pos;
+    return c;
+  });
+}
+
+std::vector<bool> random_pattern(double alpha, std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> out(length);
+  for (std::size_t i = 0; i < length; ++i) out[i] = rng.next_bernoulli(alpha);
+  return out;
+}
+
+}  // namespace
+
+TEST(SimVsReal, IdenticalPacketsRoundsAndTermination) {
+  const auto lin = make_document();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const bool caching : {true, false}) {
+      const auto pattern = random_pattern(0.3, 4096, seed);
+      const auto real = run_real(lin, pattern, 1.5, caching, -1.0);
+      const auto simulated = run_sim(lin, pattern, 1.5, caching, -1.0);
+      ASSERT_EQ(real.completed, simulated.completed) << seed;
+      EXPECT_EQ(real.frames_sent, simulated.packets) << seed << " " << caching;
+      EXPECT_EQ(real.rounds, simulated.rounds) << seed << " " << caching;
+    }
+  }
+}
+
+TEST(SimVsReal, IrrelevantAbortAgrees) {
+  const auto lin = make_document();
+  for (std::uint64_t seed = 30; seed <= 45; ++seed) {
+    const auto pattern = random_pattern(0.25, 4096, seed);
+    const auto real = run_real(lin, pattern, 1.5, true, 0.4);
+    const auto simulated = run_sim(lin, pattern, 1.5, true, 0.4);
+    EXPECT_EQ(real.aborted_irrelevant, simulated.aborted_irrelevant) << seed;
+    EXPECT_EQ(real.frames_sent, simulated.packets) << seed;
+    EXPECT_NEAR(real.content_received, simulated.content, 1e-9) << seed;
+  }
+}
+
+TEST(SimVsReal, ResponseTimeProportionalToFrames) {
+  const auto lin = make_document();
+  const auto pattern = random_pattern(0.2, 4096, 50);
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  const double frame_time = static_cast<double>(tx.frame(0).size()) * 8.0 / 19200.0;
+  const auto real = run_real(lin, pattern, 1.5, true, -1.0);
+  EXPECT_NEAR(real.response_time,
+              static_cast<double>(real.frames_sent) * frame_time, 1e-9);
+}
+
+TEST(AnalysisVsSim, SuccessProbabilityMatchesOptimalN) {
+  // The solver's N guarantees >= S single-round success; verify against the
+  // analytic simulator (one round only, no caching).
+  const int m = 30;
+  const double alpha = 0.3;
+  const int n = mobiweb::analysis::optimal_cooked_packets(m, alpha, 0.95);
+  sim::TransferConfig cfg;
+  cfg.m = m;
+  cfg.n = n;
+  cfg.alpha = alpha;
+  cfg.caching = false;
+  cfg.max_rounds = 1;
+  const std::vector<double> content(m, 1.0 / m);
+  Rng rng(51);
+  int ok = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    ok += sim::simulate_transfer(content, cfg, rng).completed;
+  }
+  const double rate = static_cast<double>(ok) / trials;
+  EXPECT_GE(rate, 0.95 - 0.01);
+  // And N-1 cooked packets must miss the target.
+  cfg.n = n - 1;
+  ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    ok += sim::simulate_transfer(content, cfg, rng).completed;
+  }
+  EXPECT_LT(static_cast<double>(ok) / trials, 0.95 + 0.005);
+}
+
+TEST(AnalysisVsReal, ExpectedPacketsMatches) {
+  // E(P) = M / (1 - alpha): measured over the real stack with ample
+  // redundancy so reconstruction always happens in round 1.
+  const auto lin = make_document();
+  transmit::DocumentTransmitter probe(lin, {.packet_size = 128, .gamma = 1.0});
+  const int m = static_cast<int>(probe.m());
+  double total_frames = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto pattern = random_pattern(0.2, 1 << 14, 100 + t);
+    const auto real = run_real(lin, pattern, /*gamma=*/6.0, true, -1.0);
+    ASSERT_TRUE(real.completed);
+    total_frames += static_cast<double>(real.frames_sent);
+  }
+  const double mean = total_frames / trials;
+  EXPECT_NEAR(mean, mobiweb::analysis::expected_packets(m, 0.2), 1.5);
+}

@@ -1,0 +1,112 @@
+// LZSS compression round trips and robustness.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/lzss.hpp"
+#include "util/rng.hpp"
+
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::Rng;
+
+namespace {
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+}  // namespace
+
+TEST(Lzss, EmptyInput) {
+  const Bytes empty;
+  const Bytes compressed = mobiweb::lzss_compress(ByteSpan(empty));
+  EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(compressed)), empty);
+}
+
+TEST(Lzss, TinyInputs) {
+  for (const std::string s : {"a", "ab", "abc", "aaaa", "abcabcabc"}) {
+    const Bytes in = bytes_of(s);
+    const Bytes out = mobiweb::lzss_decompress(
+        ByteSpan(mobiweb::lzss_compress(ByteSpan(in))));
+    EXPECT_EQ(out, in) << s;
+  }
+}
+
+TEST(Lzss, CompressesRepetitiveText) {
+  std::string s;
+  for (int i = 0; i < 200; ++i) s += "the mobile web is weakly connected; ";
+  const Bytes in = bytes_of(s);
+  const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+  EXPECT_LT(compressed.size(), in.size() / 3);
+  EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(compressed)), in);
+}
+
+TEST(Lzss, IncompressibleDataBoundedExpansion) {
+  Rng rng(80);
+  Bytes in(4096);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+  // Worst case: header + input + one flag byte per 8 literals.
+  EXPECT_LE(compressed.size(), 4 + in.size() + in.size() / 8 + 1);
+  EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(compressed)), in);
+}
+
+TEST(Lzss, LongRunsOfOneByte) {
+  const Bytes in(100000, 0x41);
+  const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+  EXPECT_LT(compressed.size(), in.size() / 5);
+  EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(compressed)), in);
+}
+
+TEST(Lzss, OverlappingMatchSemantics) {
+  // "aaaaa..." forces matches whose source overlaps the output being built.
+  const Bytes in = bytes_of("abababababababababababab");
+  EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(mobiweb::lzss_compress(ByteSpan(in)))),
+            in);
+}
+
+TEST(Lzss, TruncatedInputRejected) {
+  const Bytes in = bytes_of("some reasonably long text to compress compress");
+  const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+  for (const std::size_t keep : {0u, 2u, 4u, 6u}) {
+    const Bytes cut(compressed.begin(),
+                    compressed.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(keep, compressed.size())));
+    EXPECT_THROW(mobiweb::lzss_decompress(ByteSpan(cut)), std::invalid_argument);
+  }
+}
+
+TEST(Lzss, BadBackReferenceRejected) {
+  // Hand-build: raw_size 4, one match token referencing before the start.
+  Bytes bad;
+  mobiweb::put_u32(bad, 4);
+  bad.push_back(0x01);  // flags: token 0 is a match
+  bad.push_back(0xff);  // distance low
+  bad.push_back(0x0f);  // distance high (dist = 4096), length = 3
+  EXPECT_THROW(mobiweb::lzss_decompress(ByteSpan(bad)), std::invalid_argument);
+}
+
+class LzssRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzssRandomRoundTrip, MixedContent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Mix of random and repeated chunks, random sizes.
+  Bytes in;
+  const std::size_t target = 1 + rng.next_below(30000);
+  while (in.size() < target) {
+    if (rng.next_bernoulli(0.5) && !in.empty()) {
+      // Repeat an earlier slice.
+      const std::size_t start = rng.next_below(in.size());
+      const std::size_t len = 1 + rng.next_below(64);
+      for (std::size_t i = 0; i < len; ++i) {
+        in.push_back(in[start + (i % (in.size() - start))]);
+      }
+    } else {
+      const std::size_t len = 1 + rng.next_below(64);
+      for (std::size_t i = 0; i < len; ++i) {
+        in.push_back(static_cast<std::uint8_t>(rng.next_below(8) * 31));
+      }
+    }
+  }
+  const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+  EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(compressed)), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzssRandomRoundTrip, ::testing::Range(1, 13));

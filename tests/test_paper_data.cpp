@@ -1,0 +1,105 @@
+// The bundled paper document (bench/data_paper.hpp): DTD validity and the
+// Table-1 invariants the reproduction relies on.
+#include <gtest/gtest.h>
+
+#include "data_paper.hpp"
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "xml/dtd.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+namespace dtd = mobiweb::xml::dtd;
+
+namespace {
+
+doc::StructuralCharacteristic paper_sc() {
+  doc::ScGenerator gen;
+  return gen.generate(xml::parse(mobiweb::bench::kPaperXml));
+}
+
+}  // namespace
+
+TEST(PaperData, ValidAgainstResearchPaperDtd) {
+  const xml::Document parsed =
+      xml::parse(mobiweb::bench::kPaperXml, {.strip_whitespace_text = true});
+  const auto diags = dtd::validate(parsed, dtd::research_paper_dtd());
+  for (const auto& d : diags) {
+    ADD_FAILURE() << d.path << ": " << d.message;
+  }
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(PaperData, StructureMatchesThePaper) {
+  const auto sc = paper_sc();
+  // Abstract (= section 0) + 6 numbered sections.
+  ASSERT_EQ(sc.root().children.size(), 7u);
+  // The abstract holds one virtual subsection holding one paragraph — the
+  // paper's rows 0 / 0.0 / 0.0.0.
+  const auto& abstract = sc.root().children[0];
+  ASSERT_EQ(abstract.children.size(), 1u);
+  EXPECT_TRUE(abstract.children[0].virtual_unit);
+  ASSERT_EQ(abstract.children[0].children.size(), 1u);
+  // Section 3 (multi-resolution) has a virtual subsection (stray paragraphs)
+  // followed by real subsections — the paper's 3.0 / 3.1 / ... labelling.
+  const auto& sec3 = sc.root().children[3];
+  EXPECT_TRUE(sec3.children[0].virtual_unit);
+  EXPECT_GE(sec3.children.size(), 4u);
+  EXPECT_FALSE(sec3.children[1].virtual_unit);
+}
+
+TEST(PaperData, Table1Invariants) {
+  const auto sc = paper_sc();
+  doc::ScGenerator gen;
+  const auto query = doc::Query::from_text("browsing mobile web", gen.extractor());
+  const doc::ContentScorer scorer(sc, query);
+  ASSERT_TRUE(scorer.query_matches());
+
+  // The query words all occur: root QIC normalizes to 1; sections sum to less
+  // (the root title carries query words too).
+  EXPECT_NEAR(scorer.qic(sc.root()), 1.0, 1e-9);
+
+  int zero_qic_units = 0;
+  int units = 0;
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>& p) {
+    if (p.empty()) return;
+    ++units;
+    if (scorer.qic(u) == 0.0) {
+      ++zero_qic_units;
+      // MQIC keeps such units alive (Table 1's 3.2 row behaviour).
+      if (u.info_content > 0) {
+        EXPECT_GT(scorer.mqic(u), 0.0);
+      }
+    }
+  });
+  // The fault-tolerance/encoding material rarely says "browsing mobile web":
+  // a meaningful share of units must have zero QIC, as in Table 1.
+  EXPECT_GT(zero_qic_units, units / 8);
+  EXPECT_LT(zero_qic_units, units);
+}
+
+TEST(PaperData, IntroductionOutranksRelatedWorkForTheQuery) {
+  const auto sc = paper_sc();
+  doc::ScGenerator gen;
+  const doc::ContentScorer scorer(
+      sc, doc::Query::from_text("browsing mobile web", gen.extractor()));
+  const auto& intro = sc.root().children[1];         // Introduction
+  const auto& fault_tolerance = sc.root().children[4];  // FT transmission
+  // The introduction is where the paper talks about browsing the mobile web.
+  EXPECT_GT(scorer.qic(intro), scorer.qic(fault_tolerance));
+  // Static IC tells a different story (the FT section is big and keyword-rich).
+  EXPECT_GT(fault_tolerance.info_content, intro.info_content * 0.8);
+}
+
+TEST(PaperData, TransmissionAtParagraphLodCoversWholePaper) {
+  const auto sc = paper_sc();
+  const auto lin = doc::linearize(sc, {.lod = doc::Lod::kParagraph,
+                                       .rank = doc::RankBy::kIc});
+  EXPECT_GT(lin.segments.size(), 20u);
+  EXPECT_GT(lin.payload.size(), 8000u);   // a real paper-sized document
+  EXPECT_NEAR(lin.content_of_prefix(lin.payload.size()), lin.total_content(), 1e-9);
+  // The paper-shaped document fits the paper's dispersal shape (M <= 255
+  // packets of 256 bytes).
+  EXPECT_LT(lin.payload.size(), 255u * 256u);
+}

@@ -1,0 +1,193 @@
+// User profiles (relevance feedback) and profile-driven prefetching.
+#include <gtest/gtest.h>
+
+#include "core/mobiweb.hpp"
+#include "core/prefetch.hpp"
+#include "doc/profile.hpp"
+
+namespace doc = mobiweb::doc;
+namespace text = mobiweb::text;
+using mobiweb::ContractViolation;
+
+namespace {
+
+text::TermCounts counts(std::initializer_list<std::pair<const char*, long>> init) {
+  text::TermCounts tc;
+  for (const auto& [term, n] : init) tc.add(term, n);
+  return tc;
+}
+
+}  // namespace
+
+TEST(Profile, StartsEmpty) {
+  const doc::UserProfile p;
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.term_weight("anything"), 0.0);
+  EXPECT_EQ(p.score(counts({{"x", 3}})), 0.0);
+}
+
+TEST(Profile, PositiveFeedbackRaisesWeights) {
+  doc::UserProfile p(0.5);
+  p.observe(counts({{"wireless", 3}, {"cache", 1}}), /*relevant=*/true);
+  EXPECT_GT(p.term_weight("wireless"), p.term_weight("cache"));
+  EXPECT_GT(p.term_weight("cache"), 0.0);
+  EXPECT_EQ(p.feedback_count(), 1);
+}
+
+TEST(Profile, NegativeFeedbackLowersWeights) {
+  doc::UserProfile p(0.5);
+  p.observe(counts({{"sports", 4}}), /*relevant=*/false);
+  EXPECT_LT(p.term_weight("sports"), 0.0);
+}
+
+TEST(Profile, WeightsClamped) {
+  doc::UserProfile p(1.0);
+  for (int i = 0; i < 10; ++i) p.observe(counts({{"x", 1}}), true);
+  EXPECT_LE(p.term_weight("x"), 1.0);
+}
+
+TEST(Profile, ScoreSeparatesInterests) {
+  doc::UserProfile p(0.5);
+  for (int i = 0; i < 4; ++i) {
+    p.observe(counts({{"wireless", 2}, {"bandwidth", 1}}), true);
+    p.observe(counts({{"cooking", 2}, {"recipes", 1}}), false);
+  }
+  EXPECT_GT(p.score(counts({{"wireless", 5}, {"link", 1}})), 0.0);
+  EXPECT_LT(p.score(counts({{"cooking", 5}})), 0.0);
+  EXPECT_EQ(p.score(counts({{"astronomy", 5}})), 0.0);
+}
+
+TEST(Profile, DecayShrinksWeights) {
+  doc::UserProfile p(0.5);
+  p.observe(counts({{"x", 1}}), true);
+  const double before = p.term_weight("x");
+  p.decay(0.5);
+  EXPECT_NEAR(p.term_weight("x"), before / 2.0, 1e-12);
+  p.decay(0.0);
+  EXPECT_EQ(p.term_weight("x"), 0.0);
+}
+
+TEST(Profile, TopTermsSorted) {
+  doc::UserProfile p(1.0);
+  p.observe(counts({{"big", 8}, {"mid", 2}}), true);   // big: +0.8, mid: +0.2
+  p.observe(counts({{"bad", 6}}), false);              // bad: -1.0
+  const auto top = p.top_terms(2);
+  ASSERT_EQ(top.size(), 2u);
+  // Sorted by |weight|: bad (-1.0) before big (+0.8); mid dropped by k=2.
+  EXPECT_EQ(top[0].first, "bad");
+  EXPECT_EQ(top[1].first, "big");
+}
+
+TEST(Profile, RejectsBadParameters) {
+  EXPECT_THROW(doc::UserProfile(0.0), ContractViolation);
+  EXPECT_THROW(doc::UserProfile(1.5), ContractViolation);
+  doc::UserProfile p;
+  EXPECT_THROW(p.decay(1.5), ContractViolation);
+}
+
+TEST(Cache, PutGetEvict) {
+  mobiweb::DocumentCache cache;
+  EXPECT_FALSE(cache.contains("u"));
+  cache.put("u", "hello");
+  EXPECT_TRUE(cache.contains("u"));
+  EXPECT_EQ(cache.get("u"), "hello");
+  EXPECT_EQ(cache.bytes(), 5u);
+  cache.put("u", "hi");  // replace updates byte count
+  EXPECT_EQ(cache.bytes(), 2u);
+  cache.evict("u");
+  EXPECT_FALSE(cache.contains("u"));
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(Cache, TrimEvictsLowestScoredFirst) {
+  mobiweb::DocumentCache cache;
+  cache.put("keep", std::string(100, 'a'));
+  cache.put("drop", std::string(100, 'b'));
+  std::map<std::string, double> scores = {{"keep", 0.9}, {"drop", 0.1}};
+  cache.trim(150, scores);
+  EXPECT_TRUE(cache.contains("keep"));
+  EXPECT_FALSE(cache.contains("drop"));
+}
+
+namespace {
+
+mobiweb::Server prefetch_server() {
+  mobiweb::Server server;
+  server.publish_xml("doc://wireless-1", R"(<paper><para>wireless bandwidth
+      wireless channels wireless links for mobile clients</para></paper>)");
+  server.publish_xml("doc://wireless-2", R"(<paper><para>wireless handoff and
+      bandwidth adaptation in cellular networks</para></paper>)");
+  server.publish_xml("doc://cooking", R"(<paper><para>recipes for slow cooking
+      stews and baking bread at home</para></paper>)");
+  return server;
+}
+
+doc::UserProfile wireless_profile(const mobiweb::Server& server) {
+  doc::UserProfile profile(0.5);
+  // The user liked wireless-1 and disliked cooking.
+  profile.observe(server.find("doc://wireless-1")->document_terms(), true);
+  profile.observe(server.find("doc://cooking")->document_terms(), false);
+  return profile;
+}
+
+}  // namespace
+
+TEST(Prefetcher, FetchesHighScoredDocsOnly) {
+  const auto server = prefetch_server();
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mobiweb::BrowseSession session(server, cfg);
+  mobiweb::DocumentCache cache;
+  mobiweb::Prefetcher prefetcher(server, session, cache);
+
+  const auto profile = wireless_profile(server);
+  const auto outcome = prefetcher.run_idle(profile, /*idle_budget_s=*/60.0,
+                                           /*exclude=*/{"doc://wireless-1"});
+  EXPECT_EQ(outcome.fetched, 1);  // wireless-2; cooking scores negative
+  EXPECT_TRUE(cache.contains("doc://wireless-2"));
+  EXPECT_FALSE(cache.contains("doc://cooking"));
+  EXPECT_FALSE(cache.contains("doc://wireless-1"));  // excluded
+  EXPECT_GT(outcome.airtime_used, 0.0);
+}
+
+TEST(Prefetcher, RespectsBudget) {
+  const auto server = prefetch_server();
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mobiweb::BrowseSession session(server, cfg);
+  mobiweb::DocumentCache cache;
+  mobiweb::Prefetcher prefetcher(server, session, cache);
+  const auto profile = wireless_profile(server);
+  // Zero budget: nothing happens.
+  const auto outcome = prefetcher.run_idle(profile, 0.0);
+  EXPECT_EQ(outcome.fetched, 0);
+  EXPECT_EQ(cache.documents(), 0u);
+}
+
+TEST(Prefetcher, SkipsAlreadyCached) {
+  const auto server = prefetch_server();
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mobiweb::BrowseSession session(server, cfg);
+  mobiweb::DocumentCache cache;
+  mobiweb::Prefetcher prefetcher(server, session, cache);
+  const auto profile = wireless_profile(server);
+  prefetcher.run_idle(profile, 60.0);
+  const std::size_t docs = cache.documents();
+  const auto again = prefetcher.run_idle(profile, 60.0);
+  EXPECT_EQ(again.fetched, 0);
+  EXPECT_EQ(cache.documents(), docs);
+}
+
+TEST(Prefetcher, CachedDocumentReadableOffline) {
+  const auto server = prefetch_server();
+  mobiweb::BrowseConfig cfg;
+  cfg.alpha = 0.0;
+  mobiweb::BrowseSession session(server, cfg);
+  mobiweb::DocumentCache cache;
+  mobiweb::Prefetcher prefetcher(server, session, cache);
+  prefetcher.run_idle(wireless_profile(server), 60.0);
+  const auto text = cache.get("doc://wireless-2");
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("handoff"), std::string::npos);
+}

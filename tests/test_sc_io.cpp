@@ -1,0 +1,132 @@
+// SC serialization round trips and compression-enabled linearization.
+#include <gtest/gtest.h>
+
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "doc/sc_io.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+
+namespace {
+
+const char* kXml = R"(<paper>
+  <title>Weakly Connected Browsing</title>
+  <abstract><para>mobile web browsing over wireless channels with caching
+  and redundancy for fault tolerance</para></abstract>
+  <section><title>Body</title>
+    <para>packets cooked packets raw packets dispersal</para>
+    <subsection><para>vandermonde matrices over finite fields</para></subsection>
+  </section>
+</paper>)";
+
+doc::StructuralCharacteristic make_sc() {
+  doc::ScGenerator gen;
+  return gen.generate(xml::parse(kXml));
+}
+
+}  // namespace
+
+TEST(ScIo, RoundTripPreservesStructureAndTerms) {
+  const auto original = make_sc();
+  const std::string serialized = doc::write_sc(original);
+  const auto restored = doc::parse_sc(serialized);
+
+  EXPECT_EQ(restored.norm(), original.norm());
+  EXPECT_NEAR(restored.weighted_total(), original.weighted_total(), 1e-9);
+
+  const auto orig_rows = original.rows();
+  const auto rest_rows = restored.rows();
+  ASSERT_EQ(orig_rows.size(), rest_rows.size());
+  for (std::size_t i = 0; i < orig_rows.size(); ++i) {
+    EXPECT_EQ(rest_rows[i].label, orig_rows[i].label);
+    EXPECT_EQ(rest_rows[i].unit->lod, orig_rows[i].unit->lod);
+    EXPECT_EQ(rest_rows[i].unit->title, orig_rows[i].unit->title);
+    EXPECT_EQ(rest_rows[i].unit->virtual_unit, orig_rows[i].unit->virtual_unit);
+    EXPECT_NEAR(rest_rows[i].unit->info_content, orig_rows[i].unit->info_content,
+                1e-9)
+        << rest_rows[i].label;
+    EXPECT_EQ(rest_rows[i].unit->terms.counts, orig_rows[i].unit->terms.counts);
+  }
+}
+
+TEST(ScIo, QueriesWorkOnRestoredSc) {
+  const auto original = make_sc();
+  const auto restored = doc::parse_sc(doc::write_sc(original));
+  doc::ScGenerator gen;
+  const auto query = doc::Query::from_text("caching packets", gen.extractor());
+  const doc::ContentScorer a(original, query);
+  const doc::ContentScorer b(restored, query);
+  const auto rows_a = original.rows();
+  const auto rows_b = restored.rows();
+  for (std::size_t i = 0; i < rows_a.size(); ++i) {
+    EXPECT_NEAR(a.qic(*rows_a[i].unit), b.qic(*rows_b[i].unit), 1e-9);
+    EXPECT_NEAR(a.mqic(*rows_a[i].unit), b.mqic(*rows_b[i].unit), 1e-9);
+  }
+}
+
+TEST(ScIo, RejectsMalformedInput) {
+  EXPECT_THROW(doc::parse_sc("<nonsense/>"), std::invalid_argument);
+  EXPECT_THROW(doc::parse_sc("<sc></sc>"), std::invalid_argument);
+  EXPECT_THROW(doc::parse_sc("<sc><unit/></sc>"), std::invalid_argument);  // no lod
+  EXPECT_THROW(doc::parse_sc("<sc><unit lod=\"galaxy\"/></sc>"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      doc::parse_sc("<sc><unit lod=\"document\"><terms><t w=\"x\" c=\"-1\"/>"
+                    "</terms></unit></sc>"),
+      std::invalid_argument);
+  EXPECT_THROW(doc::parse_sc("not xml at all"), xml::ParseError);
+}
+
+TEST(ScIo, SerializedFormIsValidXml) {
+  const std::string serialized = doc::write_sc(make_sc());
+  EXPECT_NO_THROW(xml::parse(serialized));
+  EXPECT_NE(serialized.find("<sc"), std::string::npos);
+  EXPECT_NE(serialized.find("lod=\"document\""), std::string::npos);
+}
+
+TEST(CompressedLinearize, ShrinksPayloadAndReassembles) {
+  // Units are compressed independently, so each needs internal redundancy
+  // for the payload to shrink (tiny unique paragraphs would expand slightly).
+  std::string src = "<paper>";
+  for (int p = 0; p < 4; ++p) {
+    src += "<para>";
+    for (int r = 0; r < 10; ++r) {
+      src += "packet " + std::to_string(p) +
+             " over the weakly connected wireless channel again and again; ";
+    }
+    src += "vandermonde</para>";
+  }
+  src += "</paper>";
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(xml::parse(src));
+  const auto raw =
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+  const auto packed = doc::linearize(sc, {.lod = doc::Lod::kParagraph,
+                                          .rank = doc::RankBy::kIc,
+                                          .compress = true});
+  EXPECT_TRUE(packed.compressed_units);
+  EXPECT_LT(packed.payload.size(), raw.payload.size());
+  ASSERT_EQ(packed.segments.size(), raw.segments.size());
+  // Same transmission order and content scores, different byte sizes.
+  for (std::size_t i = 0; i < packed.segments.size(); ++i) {
+    EXPECT_EQ(packed.segments[i].label, raw.segments[i].label);
+    EXPECT_NEAR(packed.segments[i].content, raw.segments[i].content, 1e-12);
+  }
+  const std::string packed_text = doc::reassemble_text(packed);
+  const std::string raw_text = doc::reassemble_text(raw);
+  EXPECT_EQ(packed_text, raw_text);
+  EXPECT_NE(packed_text.find("vandermonde"), std::string::npos);
+}
+
+TEST(CompressedLinearize, DocumentOrderAlsoSupported) {
+  const auto sc = make_sc();
+  const auto packed = doc::linearize(sc, {.lod = doc::Lod::kSection,
+                                          .rank = doc::RankBy::kDocumentOrder,
+                                          .compress = true});
+  EXPECT_EQ(doc::reassemble_text(packed),
+            doc::reassemble_text(doc::linearize(
+                sc, {.lod = doc::Lod::kSection,
+                     .rank = doc::RankBy::kDocumentOrder})));
+}

@@ -1,0 +1,348 @@
+// Simulation harness: synthetic documents, analytic transfers, experiments.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/experiment.hpp"
+#include "sim/synthetic.hpp"
+#include "sim/transfer.hpp"
+
+namespace sim = mobiweb::sim;
+namespace doc = mobiweb::doc;
+using mobiweb::ContractViolation;
+using mobiweb::Rng;
+
+TEST(Synthetic, TableTwoDefaults) {
+  const sim::SyntheticConfig cfg;
+  EXPECT_EQ(cfg.paragraphs(), 20);
+  EXPECT_EQ(cfg.raw_packets(), 40);
+  EXPECT_EQ(cfg.doc_size, 10240u);
+  EXPECT_EQ(cfg.packet_size, 256u);
+  EXPECT_EQ(cfg.skew, 3.0);
+}
+
+TEST(Synthetic, ContentsNormalized) {
+  Rng rng(60);
+  const auto doc = sim::generate_document({}, rng);
+  ASSERT_EQ(doc.paragraph_content.size(), 20u);
+  const double sum = std::accumulate(doc.paragraph_content.begin(),
+                                     doc.paragraph_content.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (double c : doc.paragraph_content) EXPECT_GT(c, 0.0);
+}
+
+TEST(Synthetic, SkewBoundsRatio) {
+  Rng rng(61);
+  sim::SyntheticConfig cfg;
+  cfg.skew = 4.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto doc = sim::generate_document(cfg, rng);
+    const auto [lo, hi] = std::minmax_element(doc.paragraph_content.begin(),
+                                              doc.paragraph_content.end());
+    EXPECT_LE(*hi / *lo, 4.0 + 1e-9);
+  }
+}
+
+TEST(Synthetic, SkewOneIsUniform) {
+  Rng rng(62);
+  sim::SyntheticConfig cfg;
+  cfg.skew = 1.0;
+  const auto doc = sim::generate_document(cfg, rng);
+  for (double c : doc.paragraph_content) EXPECT_NEAR(c, 1.0 / 20.0, 1e-12);
+}
+
+TEST(Profile, SumsToOneAtEveryLod) {
+  Rng rng(63);
+  const auto doc = sim::generate_document({}, rng);
+  for (const auto lod : {doc::Lod::kDocument, doc::Lod::kSection,
+                         doc::Lod::kSubsection, doc::Lod::kParagraph}) {
+    const auto profile = sim::packet_content_profile(doc, lod);
+    ASSERT_EQ(profile.size(), 40u);
+    const double sum = std::accumulate(profile.begin(), profile.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Profile, DocumentLodIsSequential) {
+  Rng rng(64);
+  const auto doc = sim::generate_document({}, rng);
+  const auto profile = sim::packet_content_profile(doc, doc::Lod::kDocument);
+  // 512-byte paragraphs over 256-byte packets: packet 2k and 2k+1 both carry
+  // half of paragraph k, in document order.
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_NEAR(profile[static_cast<std::size_t>(2 * k)],
+                doc.paragraph_content[static_cast<std::size_t>(k)] / 2.0, 1e-12);
+    EXPECT_NEAR(profile[static_cast<std::size_t>(2 * k + 1)],
+                doc.paragraph_content[static_cast<std::size_t>(k)] / 2.0, 1e-12);
+  }
+}
+
+TEST(Profile, ParagraphLodSortedDescending) {
+  Rng rng(65);
+  const auto doc = sim::generate_document({}, rng);
+  const auto profile = sim::packet_content_profile(doc, doc::Lod::kParagraph);
+  for (std::size_t i = 2; i < profile.size(); i += 2) {
+    EXPECT_LE(profile[i], profile[i - 2] + 1e-12);
+  }
+}
+
+TEST(Profile, ParagraphLodDominatesEveryPrefix) {
+  // Sorting individual paragraphs descending is the greedy optimum: its
+  // cumulative content dominates every other unit ordering at every prefix
+  // (rearrangement inequality; packets are paragraph-aligned).
+  Rng rng(66);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto doc = sim::generate_document({}, rng);
+    const auto p_doc = sim::packet_content_profile(doc, doc::Lod::kDocument);
+    const auto p_sec = sim::packet_content_profile(doc, doc::Lod::kSection);
+    const auto p_sub = sim::packet_content_profile(doc, doc::Lod::kSubsection);
+    const auto p_par = sim::packet_content_profile(doc, doc::Lod::kParagraph);
+    double c_doc = 0, c_sec = 0, c_sub = 0, c_par = 0;
+    for (std::size_t k = 0; k < p_doc.size(); ++k) {
+      c_doc += p_doc[k];
+      c_sec += p_sec[k];
+      c_sub += p_sub[k];
+      c_par += p_par[k];
+      EXPECT_GE(c_par, c_sub - 1e-9);
+      EXPECT_GE(c_par, c_sec - 1e-9);
+      EXPECT_GE(c_par, c_doc - 1e-9);
+    }
+  }
+}
+
+TEST(Profile, FinerLodFrontLoadsContentOnAverage) {
+  // Per-document the coarser rankings can be unlucky, but averaged over many
+  // documents the cumulative content at any prefix is ordered paragraph >=
+  // subsection >= section >= document (the multi-resolution property the
+  // paper's Experiment #3 exploits).
+  Rng rng(66);
+  const int docs = 300;
+  const std::size_t m = 40;
+  std::vector<double> avg_doc(m, 0), avg_sec(m, 0), avg_sub(m, 0), avg_par(m, 0);
+  for (int trial = 0; trial < docs; ++trial) {
+    const auto doc = sim::generate_document({}, rng);
+    const auto p_doc = sim::packet_content_profile(doc, doc::Lod::kDocument);
+    const auto p_sec = sim::packet_content_profile(doc, doc::Lod::kSection);
+    const auto p_sub = sim::packet_content_profile(doc, doc::Lod::kSubsection);
+    const auto p_par = sim::packet_content_profile(doc, doc::Lod::kParagraph);
+    double c_doc = 0, c_sec = 0, c_sub = 0, c_par = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      c_doc += p_doc[k];
+      c_sec += p_sec[k];
+      c_sub += p_sub[k];
+      c_par += p_par[k];
+      avg_doc[k] += c_doc;
+      avg_sec[k] += c_sec;
+      avg_sub[k] += c_sub;
+      avg_par[k] += c_par;
+    }
+  }
+  for (std::size_t k = 0; k + 1 < m; ++k) {  // final packet: all equal 1
+    EXPECT_GE(avg_par[k], avg_sub[k] - 1e-9) << k;
+    EXPECT_GE(avg_sub[k], avg_sec[k] - 1e-9) << k;
+    EXPECT_GE(avg_sec[k], avg_doc[k] - 1e-9) << k;
+  }
+}
+
+TEST(Profile, SubsubsectionFallsBackToSubsection) {
+  Rng rng(67);
+  const auto doc = sim::generate_document({}, rng);
+  EXPECT_EQ(sim::packet_content_profile(doc, doc::Lod::kSubsubsection),
+            sim::packet_content_profile(doc, doc::Lod::kSubsection));
+}
+
+namespace {
+sim::TransferConfig base_config() {
+  sim::TransferConfig cfg;
+  cfg.m = 40;
+  cfg.n = 60;
+  cfg.alpha = 0.1;
+  return cfg;
+}
+
+std::vector<double> uniform_content(int m) {
+  return std::vector<double>(static_cast<std::size_t>(m), 1.0 / m);
+}
+}  // namespace
+
+TEST(Transfer, CleanChannelExactlyMPackets) {
+  auto cfg = base_config();
+  cfg.alpha = 0.0;
+  Rng rng(68);
+  const auto r = sim::simulate_transfer(uniform_content(cfg.m), cfg, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.packets, 40);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_NEAR(r.time, 40 * cfg.time_per_packet, 1e-12);
+}
+
+TEST(Transfer, TimePerPacketMatchesPaper) {
+  // 260 bytes at 19.2 kbps = 108.33 ms per cooked packet.
+  const sim::TransferConfig cfg;
+  EXPECT_NEAR(cfg.time_per_packet, 0.108333, 1e-4);
+}
+
+TEST(Transfer, RelevanceAbortUsesClearContent) {
+  auto cfg = base_config();
+  cfg.alpha = 0.0;
+  cfg.relevance_threshold = 0.5;
+  Rng rng(69);
+  const auto r = sim::simulate_transfer(uniform_content(cfg.m), cfg, rng);
+  EXPECT_TRUE(r.aborted_irrelevant);
+  // Uniform content: F = 0.5 is reached exactly at packet 20.
+  EXPECT_EQ(r.packets, 20);
+}
+
+TEST(Transfer, FrontLoadedContentAbortsSooner) {
+  auto cfg = base_config();
+  cfg.alpha = 0.0;
+  cfg.relevance_threshold = 0.5;
+  std::vector<double> front(40, 0.5 / 39.0);
+  front[0] = 0.5;  // half the document in the first packet
+  Rng rng(70);
+  const auto r = sim::simulate_transfer(front, cfg, rng);
+  EXPECT_EQ(r.packets, 1);
+}
+
+TEST(Transfer, StalledRoundsRetransmit) {
+  auto cfg = base_config();
+  cfg.n = 40;  // gamma = 1: any corruption stalls the round
+  cfg.alpha = 0.2;
+  cfg.caching = true;
+  Rng rng(71);
+  const auto r = sim::simulate_transfer(uniform_content(cfg.m), cfg, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.rounds, 1);
+}
+
+TEST(Transfer, CachingBeatsNoCachingOnAverage) {
+  auto cfg = base_config();
+  cfg.alpha = 0.4;
+  Rng rng_a(72);
+  Rng rng_b(72);
+  double cached_time = 0.0;
+  double uncached_time = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    cfg.caching = true;
+    cached_time += sim::simulate_transfer(uniform_content(cfg.m), cfg, rng_a).time;
+    cfg.caching = false;
+    uncached_time += sim::simulate_transfer(uniform_content(cfg.m), cfg, rng_b).time;
+  }
+  EXPECT_LT(cached_time, uncached_time);
+}
+
+TEST(Transfer, GivesUpAfterMaxRounds) {
+  auto cfg = base_config();
+  cfg.n = 40;
+  cfg.alpha = 0.8;  // hopeless without caching
+  cfg.caching = false;
+  cfg.max_rounds = 5;
+  Rng rng(73);
+  const auto r = sim::simulate_transfer(uniform_content(cfg.m), cfg, rng);
+  EXPECT_TRUE(r.gave_up);
+  EXPECT_EQ(r.rounds, 5);
+  EXPECT_EQ(r.packets, 5 * 40);
+}
+
+TEST(Transfer, RequestDelayCharged) {
+  auto cfg = base_config();
+  cfg.n = 40;
+  cfg.alpha = 0.3;
+  cfg.request_delay = 1.0;
+  Rng rng(74);
+  const auto r = sim::simulate_transfer(uniform_content(cfg.m), cfg, rng);
+  ASSERT_GT(r.rounds, 1);
+  const double packet_time = static_cast<double>(r.packets) * cfg.time_per_packet;
+  EXPECT_NEAR(r.time - packet_time, static_cast<double>(r.rounds - 1), 1e-9);
+}
+
+TEST(Transfer, ScriptedSourceHonored) {
+  auto cfg = base_config();
+  cfg.n = 40;
+  // Corrupt exactly the first packet of round 1; everything else intact:
+  // round 1 stalls (39/40 intact), round 2 retransmits and packet 0 completes
+  // the set immediately (with caching).
+  int call = 0;
+  const auto r = sim::simulate_transfer(
+      uniform_content(cfg.m), cfg, [&call] { return call++ == 0; });
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.rounds, 2);
+  EXPECT_EQ(r.packets, 41);
+}
+
+TEST(Transfer, InputValidation) {
+  auto cfg = base_config();
+  Rng rng(75);
+  EXPECT_THROW(sim::simulate_transfer(uniform_content(39), cfg, rng),
+               ContractViolation);
+  cfg.n = 10;  // < m
+  EXPECT_THROW(sim::simulate_transfer(uniform_content(cfg.m), cfg, rng),
+               ContractViolation);
+}
+
+TEST(Experiment, DefaultsMatchTableTwo) {
+  const sim::ExperimentParams p;
+  EXPECT_EQ(p.m(), 40);
+  EXPECT_EQ(p.n(), 60);
+  EXPECT_NEAR(p.time_per_packet(), 260.0 * 8.0 / 19200.0, 1e-12);
+  const std::string desc = sim::describe_parameters(p);
+  EXPECT_NE(desc.find("10240"), std::string::npos);
+  EXPECT_NE(desc.find("19.2"), std::string::npos);
+}
+
+TEST(Experiment, ReproducibleWithSameSeed) {
+  sim::ExperimentParams p;
+  p.repetitions = 3;
+  p.documents_per_session = 20;
+  const auto a = sim::run_browsing_experiment(p);
+  const auto b = sim::run_browsing_experiment(p);
+  EXPECT_EQ(a.response_time.mean, b.response_time.mean);
+  EXPECT_EQ(a.total_packets, b.total_packets);
+}
+
+TEST(Experiment, AllRelevantCleanChannelExactTime) {
+  sim::ExperimentParams p;
+  p.alpha = 0.0;
+  p.irrelevant_fraction = 0.0;
+  p.repetitions = 2;
+  p.documents_per_session = 10;
+  const auto r = sim::run_browsing_experiment(p);
+  // Every document needs exactly M = 40 packets.
+  EXPECT_NEAR(r.response_time.mean, 40 * p.time_per_packet(), 1e-9);
+  EXPECT_EQ(r.stall_fraction, 0.0);
+}
+
+TEST(Experiment, MoreIrrelevantMeansFaster) {
+  sim::ExperimentParams p;
+  p.repetitions = 5;
+  p.documents_per_session = 50;
+  p.irrelevant_fraction = 0.0;
+  const double all_relevant = sim::run_browsing_experiment(p).response_time.mean;
+  p.irrelevant_fraction = 1.0;
+  const double all_irrelevant = sim::run_browsing_experiment(p).response_time.mean;
+  EXPECT_LT(all_irrelevant, all_relevant);
+}
+
+TEST(Experiment, HigherAlphaMeansSlower) {
+  sim::ExperimentParams p;
+  p.repetitions = 5;
+  p.documents_per_session = 50;
+  p.alpha = 0.1;
+  const double low = sim::run_browsing_experiment(p).response_time.mean;
+  p.alpha = 0.4;
+  const double high = sim::run_browsing_experiment(p).response_time.mean;
+  EXPECT_GT(high, low);
+}
+
+TEST(Experiment, ParagraphLodFasterForIrrelevant) {
+  sim::ExperimentParams p;
+  p.repetitions = 10;
+  p.documents_per_session = 100;
+  p.irrelevant_fraction = 1.0;
+  p.relevance_threshold = 0.2;
+  p.lod = doc::Lod::kDocument;
+  const double at_doc = sim::run_browsing_experiment(p).response_time.mean;
+  p.lod = doc::Lod::kParagraph;
+  const double at_para = sim::run_browsing_experiment(p).response_time.mean;
+  EXPECT_LT(at_para, at_doc);
+}

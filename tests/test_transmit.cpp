@@ -1,0 +1,354 @@
+// Transmitter, receiver, transfer session, adaptive gamma.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/negbinom.hpp"
+#include "channel/channel.hpp"
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "transmit/adaptive.hpp"
+#include "transmit/receiver.hpp"
+#include "transmit/session.hpp"
+#include "transmit/transmitter.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+namespace transmit = mobiweb::transmit;
+namespace channel = mobiweb::channel;
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::ContractViolation;
+
+namespace {
+
+doc::LinearDocument make_linear(std::size_t paragraphs = 12,
+                                std::size_t words_per_para = 40) {
+  std::string src = "<paper>";
+  for (std::size_t p = 0; p < paragraphs; ++p) {
+    src += "<para>";
+    for (std::size_t w = 0; w < words_per_para; ++w) {
+      src += "word" + std::to_string(p) + "x" + std::to_string(w) + " ";
+    }
+    src += "</para>";
+  }
+  src += "</paper>";
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(xml::parse(src));
+  return doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+}
+
+channel::WirelessChannel make_channel(double alpha, std::uint64_t seed = 1) {
+  channel::ChannelConfig cfg;
+  cfg.seed = seed;
+  return channel::WirelessChannel(cfg,
+                                  std::make_unique<channel::IidErrorModel>(alpha));
+}
+
+transmit::ReceiverConfig receiver_config(const transmit::DocumentTransmitter& tx,
+                                         bool caching = true) {
+  transmit::ReceiverConfig rc;
+  rc.doc_id = tx.doc_id();
+  rc.m = tx.m();
+  rc.n = tx.n();
+  rc.packet_size = tx.packet_size();
+  rc.payload_size = tx.payload_size();
+  rc.caching = caching;
+  return rc;
+}
+
+}  // namespace
+
+TEST(CookedCount, GammaMath) {
+  EXPECT_EQ(transmit::cooked_count(40, 1.5), 60u);
+  EXPECT_EQ(transmit::cooked_count(40, 1.0), 40u);
+  EXPECT_EQ(transmit::cooked_count(40, 1.01), 41u);  // ceil
+  EXPECT_EQ(transmit::cooked_count(200, 2.0), 255u); // clamped
+  EXPECT_THROW(transmit::cooked_count(40, 0.5), ContractViolation);
+}
+
+TEST(Transmitter, FramesWellFormed) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5,
+                                         .doc_id = 3});
+  EXPECT_EQ(tx.n(), transmit::cooked_count(tx.m(), 1.5));
+  ASSERT_EQ(tx.frames().size(), tx.n());
+  for (std::size_t i = 0; i < tx.n(); ++i) {
+    const auto p = mobiweb::packet::decode(ByteSpan(tx.frame(i)));
+    ASSERT_TRUE(p.has_value()) << i;
+    EXPECT_EQ(p->doc_id, 3);
+    EXPECT_EQ(p->seq, i);
+    EXPECT_EQ(p->total, tx.n());
+    EXPECT_EQ(p->is_clear_text(), i < tx.m());
+    EXPECT_EQ(p->is_last(), i + 1 == tx.n());
+    EXPECT_EQ(p->payload.size(), 128u);
+  }
+}
+
+TEST(Transmitter, ClearTextPrefixMatchesPayload) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5,
+                                         .doc_id = 1});
+  // Concatenating the clear-text packets reproduces the payload (+ padding).
+  Bytes clear;
+  for (std::size_t i = 0; i < tx.m(); ++i) {
+    const auto p = mobiweb::packet::decode(ByteSpan(tx.frame(i)));
+    clear.insert(clear.end(), p->payload.begin(), p->payload.end());
+  }
+  ASSERT_GE(clear.size(), lin.payload.size());
+  EXPECT_TRUE(std::equal(lin.payload.begin(), lin.payload.end(), clear.begin()));
+}
+
+TEST(Transmitter, RejectsOversizedDocument) {
+  doc::LinearDocument huge;
+  huge.payload.assign(256 * 300, 1);  // needs 300 raw packets
+  huge.segments.push_back({"0", 0, huge.payload.size(), 1.0});
+  EXPECT_THROW(
+      transmit::DocumentTransmitter(huge, {.packet_size = 256, .gamma = 1.5}),
+      ContractViolation);
+}
+
+TEST(Session, CleanChannelSendsExactlyM) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  auto ch = make_channel(0.0);
+  transmit::TransferSession session(tx, rx, ch);
+  const auto result = session.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.frames_sent, static_cast<long>(tx.m()));
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_NEAR(result.response_time,
+              static_cast<double>(tx.m()) * ch.transmit_time(tx.frame(0).size()),
+              1e-9);
+  // Reconstruction gives back the exact payload.
+  EXPECT_EQ(rx.reconstruct(), lin.payload);
+}
+
+TEST(Session, LossyChannelRecovers) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 2.0});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  auto ch = make_channel(0.3, 77);
+  transmit::TransferSession session(tx, rx, ch);
+  const auto result = session.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(rx.reconstruct(), lin.payload);
+  EXPECT_GT(result.frames_sent, static_cast<long>(tx.m()));
+}
+
+TEST(Session, CachingSurvivesStalledRounds) {
+  const auto lin = make_linear();
+  // gamma = 1: no redundancy, so a single corruption stalls the round and
+  // forces retransmission; caching should finish in few rounds.
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.0});
+  transmit::ClientReceiver rx(receiver_config(tx, /*caching=*/true), lin.segments);
+  auto ch = make_channel(0.3, 123);
+  transmit::TransferSession session(tx, rx, ch);
+  const auto result = session.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(result.rounds, 1);
+  EXPECT_EQ(rx.reconstruct(), lin.payload);
+}
+
+TEST(Session, NoCachingNeedsAFullCleanRound) {
+  // Small document (few packets) so a clean NoCaching round at alpha = 0.25
+  // happens within a handful of retries.
+  const auto lin = make_linear(4, 20);
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.0});
+
+  auto run_with = [&](bool caching, std::uint64_t seed) {
+    transmit::ClientReceiver rx(receiver_config(tx, caching), lin.segments);
+    auto ch = make_channel(0.25, seed);
+    transmit::TransferSession session(tx, rx, ch);
+    return session.run();
+  };
+  // Across several seeds, NoCaching can never need fewer rounds than Caching
+  // (same corruption pattern per seed).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto with_cache = run_with(true, seed);
+    const auto without_cache = run_with(false, seed);
+    ASSERT_TRUE(with_cache.completed);
+    ASSERT_TRUE(without_cache.completed);
+    EXPECT_LE(with_cache.rounds, without_cache.rounds) << "seed=" << seed;
+  }
+}
+
+TEST(Session, IrrelevantDocumentAbortsEarly) {
+  const auto lin = make_linear(24, 60);
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  auto ch = make_channel(0.0);
+  transmit::SessionConfig cfg;
+  cfg.relevance_threshold = 0.3;
+  transmit::TransferSession session(tx, rx, ch, cfg);
+  const auto result = session.run();
+  EXPECT_TRUE(result.aborted_irrelevant);
+  EXPECT_GE(result.content_received, 0.3);
+  EXPECT_LT(result.frames_sent, static_cast<long>(tx.m()));
+}
+
+TEST(Session, ZeroThresholdAbortsImmediately) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  auto ch = make_channel(0.0);
+  transmit::SessionConfig cfg;
+  cfg.relevance_threshold = 0.0;
+  transmit::TransferSession session(tx, rx, ch, cfg);
+  const auto result = session.run();
+  EXPECT_TRUE(result.aborted_irrelevant);
+  EXPECT_EQ(result.frames_sent, 1);
+}
+
+TEST(Receiver, ContentAccruesWithClearPackets) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  EXPECT_EQ(rx.content_received(), 0.0);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < tx.m(); ++i) {
+    rx.on_frame(ByteSpan(tx.frame(i)));
+    EXPECT_GE(rx.content_received(), prev);
+    prev = rx.content_received();
+  }
+  EXPECT_TRUE(rx.complete());
+  EXPECT_NEAR(rx.content_received(), lin.total_content(), 1e-9);
+}
+
+TEST(Receiver, RedundancyCompletionJumpsToFullContent) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 2.0});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  // Feed only redundancy packets (indices >= m): no clear content until the
+  // decoder completes, then content snaps to the total.
+  for (std::size_t i = tx.m(); i < 2 * tx.m() - 1; ++i) {
+    rx.on_frame(ByteSpan(tx.frame(i)));
+    EXPECT_EQ(rx.content_received(), 0.0);
+  }
+  rx.on_frame(ByteSpan(tx.frame(2 * tx.m() - 1)));
+  EXPECT_TRUE(rx.complete());
+  EXPECT_NEAR(rx.content_received(), lin.total_content(), 1e-9);
+  EXPECT_EQ(rx.reconstruct(), lin.payload);
+}
+
+TEST(Receiver, CorruptedFramesCounted) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  Bytes bad = tx.frame(0);
+  bad[3] ^= 0xff;
+  const auto res = rx.on_frame(ByteSpan(bad));
+  EXPECT_FALSE(res.intact);
+  EXPECT_EQ(rx.frames_corrupted(), 1);
+  EXPECT_EQ(rx.intact_count(), 0u);
+}
+
+TEST(Receiver, ForeignDocIdRejected) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5,
+                                         .doc_id = 9});
+  auto rc = receiver_config(tx);
+  rc.doc_id = 4;  // expecting a different document
+  transmit::ClientReceiver rx(rc, lin.segments);
+  const auto res = rx.on_frame(ByteSpan(tx.frame(0)));
+  EXPECT_FALSE(res.intact);
+}
+
+TEST(Receiver, RenderHookFiresOncePerClearPacket) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  std::vector<std::size_t> rendered;
+  rx.set_render_hook([&](std::size_t idx, ByteSpan) { rendered.push_back(idx); });
+  rx.on_frame(ByteSpan(tx.frame(2)));
+  rx.on_frame(ByteSpan(tx.frame(2)));               // duplicate
+  rx.on_frame(ByteSpan(tx.frame(tx.m())));          // redundancy: no render
+  rx.on_frame(ByteSpan(tx.frame(0)));
+  EXPECT_EQ(rendered, (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(Receiver, RoundEndResetsOnlyWithoutCaching) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+
+  transmit::ClientReceiver cached(receiver_config(tx, true), lin.segments);
+  cached.on_frame(ByteSpan(tx.frame(0)));
+  cached.on_round_end();
+  EXPECT_EQ(cached.intact_count(), 1u);
+
+  transmit::ClientReceiver uncached(receiver_config(tx, false), lin.segments);
+  uncached.on_frame(ByteSpan(tx.frame(0)));
+  EXPECT_GT(uncached.content_received(), 0.0);
+  uncached.on_round_end();
+  EXPECT_EQ(uncached.intact_count(), 0u);
+  EXPECT_EQ(uncached.content_received(), 0.0);
+}
+
+TEST(Session, GivesUpAfterMaxRounds) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.0});
+  transmit::ClientReceiver rx(receiver_config(tx, /*caching=*/false), lin.segments);
+  auto ch = make_channel(0.6, 5);  // nocaching at 60% corruption: hopeless
+  transmit::SessionConfig cfg;
+  cfg.max_rounds = 4;
+  transmit::TransferSession session(tx, rx, ch, cfg);
+  const auto result = session.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 4);
+  EXPECT_EQ(result.frames_sent, 4 * static_cast<long>(tx.n()));
+}
+
+TEST(Session, RequestDelayChargedPerStalledRound) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.0});
+  transmit::ClientReceiver rx(receiver_config(tx, /*caching=*/true), lin.segments);
+  auto ch = make_channel(0.3, 11);
+  transmit::SessionConfig cfg;
+  cfg.request_delay_s = 1.5;
+  transmit::TransferSession session(tx, rx, ch, cfg);
+  const auto result = session.run();
+  ASSERT_TRUE(result.completed);
+  ASSERT_GT(result.rounds, 1);
+  const double frame_time = ch.transmit_time(tx.frame(0).size());
+  const double packet_time = static_cast<double>(result.frames_sent) * frame_time;
+  EXPECT_NEAR(result.response_time - packet_time, 1.5 * (result.rounds - 1), 1e-9);
+}
+
+TEST(AdaptiveGamma, UsesInitialUntilObserved) {
+  transmit::AdaptiveGamma ag({.initial_gamma = 1.7, .target_success = 0.95});
+  EXPECT_FALSE(ag.has_estimate());
+  EXPECT_DOUBLE_EQ(ag.gamma(40), 1.7);
+}
+
+TEST(AdaptiveGamma, TracksObservedRate) {
+  transmit::AdaptiveGamma ag({.initial_gamma = 1.5, .target_success = 0.95,
+                              .ewma_alpha = 0.5});
+  for (int i = 0; i < 20; ++i) ag.observe(0.3);
+  EXPECT_NEAR(ag.estimated_alpha(), 0.3, 1e-6);
+  const double g = ag.gamma(50);
+  // Matches the analytic optimum for alpha = 0.3.
+  EXPECT_NEAR(g, mobiweb::analysis::redundancy_ratio(50, 0.3, 0.95), 1e-9);
+  EXPECT_GT(g, 1.0 / 0.7);
+}
+
+TEST(AdaptiveGamma, CleanChannelDropsToNearOne) {
+  transmit::AdaptiveGamma ag;
+  for (int i = 0; i < 20; ++i) ag.observe(0.0);
+  EXPECT_DOUBLE_EQ(ag.gamma(40), 1.0);
+}
+
+TEST(AdaptiveGamma, ClampsAtMaxGamma) {
+  transmit::AdaptiveGamma ag({.initial_gamma = 1.5, .target_success = 0.99,
+                              .ewma_alpha = 1.0, .max_gamma = 2.5});
+  ag.observe(0.9);
+  EXPECT_DOUBLE_EQ(ag.gamma(40), 2.5);
+}
+
+TEST(AdaptiveGamma, RejectsBadObservations) {
+  transmit::AdaptiveGamma ag;
+  EXPECT_THROW(ag.observe(-0.1), ContractViolation);
+  EXPECT_THROW(ag.observe(1.1), ContractViolation);
+  EXPECT_NO_THROW(ag.observe(1.0));
+}

@@ -1,0 +1,240 @@
+// util: bytes, CRC, RNG, EWMA, stats, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+#include "util/crc.hpp"
+#include "util/ewma.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mw = mobiweb;
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello \0 world";
+  const mw::Bytes b = mw::to_bytes(s);
+  EXPECT_EQ(mw::to_string(mw::ByteSpan(b)), s);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const mw::Bytes b = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(mw::to_hex(mw::ByteSpan(b)), "0001deadbeefff");
+  EXPECT_EQ(mw::from_hex("0001deadbeefff"), b);
+  EXPECT_EQ(mw::from_hex("0001DEADBEEFFF"), b);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW(mw::from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(mw::from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, IntegerRoundTrip) {
+  mw::Bytes b;
+  mw::put_u16(b, 0xbeef);
+  mw::put_u32(b, 0xdeadc0de);
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(mw::get_u16(mw::ByteSpan(b), 0), 0xbeef);
+  EXPECT_EQ(mw::get_u32(mw::ByteSpan(b), 2), 0xdeadc0de);
+}
+
+TEST(Bytes, GetOutOfRangeThrows) {
+  const mw::Bytes b = {1, 2, 3};
+  EXPECT_THROW(mw::get_u32(mw::ByteSpan(b), 0), std::out_of_range);
+  EXPECT_THROW(mw::get_u16(mw::ByteSpan(b), 2), std::out_of_range);
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard check value for "123456789".
+  const mw::Bytes check = mw::to_bytes("123456789");
+  EXPECT_EQ(mw::crc32(mw::ByteSpan(check)), 0xCBF43926u);
+  const mw::Bytes empty;
+  EXPECT_EQ(mw::crc32(mw::ByteSpan(empty)), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const mw::Bytes data = mw::to_bytes("the quick brown fox jumps over the lazy dog");
+  mw::Crc32 inc;
+  inc.update(mw::ByteSpan(data).subspan(0, 10));
+  inc.update(mw::ByteSpan(data).subspan(10));
+  EXPECT_EQ(inc.value(), mw::crc32(mw::ByteSpan(data)));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  mw::Bytes data = mw::to_bytes("some packet payload for corruption detection");
+  const std::uint32_t before = mw::crc32(mw::ByteSpan(data));
+  data[7] ^= 0x01;
+  EXPECT_NE(mw::crc32(mw::ByteSpan(data)), before);
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE check value for "123456789".
+  const mw::Bytes check = mw::to_bytes("123456789");
+  EXPECT_EQ(mw::crc16_ccitt(mw::ByteSpan(check)), 0x29B1);
+}
+
+TEST(Rng, Deterministic) {
+  mw::Rng a(123);
+  mw::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  mw::Rng a(1);
+  mw::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  mw::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  mw::Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), mw::ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  mw::Rng rng(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bernoulli(0.3);
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(Rng, UniformMean) {
+  mw::Rng rng(12);
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_range(1.0, 3.0);
+  EXPECT_NEAR(sum / trials, 2.0, 0.02);
+}
+
+TEST(Rng, ForkIndependent) {
+  mw::Rng parent(13);
+  mw::Rng child1 = parent.fork();
+  mw::Rng child2 = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child1.next_u64() == child2.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Ewma, FirstObservationInitializes) {
+  mw::Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.value_or(42.0), 42.0);
+  e.observe(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, Smoothing) {
+  mw::Ewma e(0.5);
+  e.observe(0.0);
+  e.observe(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.observe(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.75);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  mw::Ewma e(0.25);
+  for (int i = 0; i < 200; ++i) e.observe(0.37);
+  EXPECT_NEAR(e.value(), 0.37, 1e-9);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(mw::Ewma(0.0), mw::ContractViolation);
+  EXPECT_THROW(mw::Ewma(1.5), mw::ContractViolation);
+  EXPECT_NO_THROW(mw::Ewma(1.0));
+}
+
+TEST(Stats, MeanAndStddev) {
+  mw::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  mw::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  mw::RunningStats all;
+  mw::RunningStats a;
+  mw::RunningStats b;
+  mw::Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_range(-5, 5);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, Summarize) {
+  const mw::Summary s = mw::summarize({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  mw::TextTable t({"alpha", "N"});
+  t.add_row({"0.1", "47"});
+  t.add_row({"0.25", "60"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("| alpha |"), std::string::npos);
+  EXPECT_NE(rendered.find("|  0.25 |"), std::string::npos);
+  EXPECT_EQ(t.render_csv(), "alpha,N\n0.1,47\n0.25,60\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  mw::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), mw::ContractViolation);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(mw::TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(mw::TextTable::fmt(1.0, 0), "1");
+}
+
+TEST(Check, MacroThrowsWithContext) {
+  try {
+    MOBIWEB_CHECK_MSG(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const mw::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}

@@ -1,0 +1,215 @@
+// XML parser, DOM and serializer.
+#include <gtest/gtest.h>
+
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/serialize.hpp"
+
+namespace xml = mobiweb::xml;
+
+TEST(XmlParser, MinimalDocument) {
+  const xml::Document doc = xml::parse("<root/>");
+  EXPECT_EQ(doc.root.name, "root");
+  EXPECT_TRUE(doc.root.children.empty());
+}
+
+TEST(XmlParser, Declaration) {
+  const xml::Document doc =
+      xml::parse("<?xml version=\"1.1\" encoding=\"UTF-8\"?><root/>");
+  EXPECT_EQ(doc.xml_version, "1.1");
+  EXPECT_EQ(doc.encoding, "UTF-8");
+}
+
+TEST(XmlParser, Doctype) {
+  const xml::Document doc =
+      xml::parse("<!DOCTYPE research-paper SYSTEM \"paper.dtd\"><research-paper/>");
+  EXPECT_EQ(doc.doctype_name, "research-paper");
+  EXPECT_EQ(doc.root.name, "research-paper");
+}
+
+TEST(XmlParser, DoctypeWithInternalSubset) {
+  const xml::Document doc = xml::parse(
+      "<!DOCTYPE doc [ <!ELEMENT doc (#PCDATA)> ]><doc>x</doc>");
+  EXPECT_EQ(doc.doctype_name, "doc");
+  EXPECT_EQ(doc.root.text_content(), "x");
+}
+
+TEST(XmlParser, NestedElementsAndText) {
+  const xml::Document doc =
+      xml::parse("<a><b>hello</b><c>world</c></a>");
+  ASSERT_EQ(doc.root.children.size(), 2u);
+  EXPECT_EQ(doc.root.children[0].name, "b");
+  EXPECT_EQ(doc.root.children[0].text_content(), "hello");
+  EXPECT_EQ(doc.root.text_content(), "helloworld");
+}
+
+TEST(XmlParser, Attributes) {
+  const xml::Document doc =
+      xml::parse("<a x=\"1\" y='two' z=\"a&amp;b\"/>");
+  EXPECT_EQ(doc.root.attribute("x"), "1");
+  EXPECT_EQ(doc.root.attribute("y"), "two");
+  EXPECT_EQ(doc.root.attribute("z"), "a&b");
+  EXPECT_FALSE(doc.root.attribute("missing").has_value());
+}
+
+TEST(XmlParser, DuplicateAttributeRejected) {
+  EXPECT_THROW(xml::parse("<a x=\"1\" x=\"2\"/>"), xml::ParseError);
+}
+
+TEST(XmlParser, Entities) {
+  const xml::Document doc =
+      xml::parse("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;</a>");
+  EXPECT_EQ(doc.root.text_content(), "<tag> & \"x\" 'y'");
+}
+
+TEST(XmlParser, NumericEntities) {
+  const xml::Document doc = xml::parse("<a>&#65;&#x42;&#x2014;</a>");
+  EXPECT_EQ(doc.root.text_content(), "AB\xE2\x80\x94");
+}
+
+TEST(XmlParser, UnknownEntityRejected) {
+  EXPECT_THROW(xml::parse("<a>&nope;</a>"), xml::ParseError);
+}
+
+TEST(XmlParser, CData) {
+  const xml::Document doc = xml::parse("<a><![CDATA[<not><parsed> & raw]]></a>");
+  ASSERT_EQ(doc.root.children.size(), 1u);
+  EXPECT_EQ(doc.root.children[0].type, xml::NodeType::kCData);
+  EXPECT_EQ(doc.root.text_content(), "<not><parsed> & raw");
+}
+
+TEST(XmlParser, Comments) {
+  const xml::Document doc = xml::parse("<a><!-- note -->text</a>");
+  ASSERT_EQ(doc.root.children.size(), 2u);
+  EXPECT_EQ(doc.root.children[0].type, xml::NodeType::kComment);
+  EXPECT_EQ(doc.root.children[0].text, " note ");
+
+  xml::ParseOptions drop;
+  drop.keep_comments = false;
+  const xml::Document doc2 = xml::parse("<a><!-- note -->text</a>", drop);
+  ASSERT_EQ(doc2.root.children.size(), 1u);
+  EXPECT_EQ(doc2.root.children[0].type, xml::NodeType::kText);
+}
+
+TEST(XmlParser, ProcessingInstruction) {
+  const xml::Document doc = xml::parse("<a><?target some data?></a>");
+  ASSERT_EQ(doc.root.children.size(), 1u);
+  EXPECT_EQ(doc.root.children[0].type, xml::NodeType::kProcessing);
+  EXPECT_EQ(doc.root.children[0].name, "target");
+  EXPECT_EQ(doc.root.children[0].text, "some data");
+}
+
+TEST(XmlParser, MismatchedTagsRejected) {
+  EXPECT_THROW(xml::parse("<a><b></a></b>"), xml::ParseError);
+}
+
+TEST(XmlParser, UnterminatedRejected) {
+  EXPECT_THROW(xml::parse("<a><b>"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a attr="), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a><!-- no end"), xml::ParseError);
+}
+
+TEST(XmlParser, ContentAfterRootRejected) {
+  EXPECT_THROW(xml::parse("<a/>text"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a/><b/>"), xml::ParseError);
+  EXPECT_NO_THROW(xml::parse("<a/><!-- trailing comment -->"));
+}
+
+TEST(XmlParser, ErrorCarriesLocation) {
+  try {
+    xml::parse("<a>\n  <b>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const xml::ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_GT(e.column(), 0u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(XmlParser, WhitespaceStripOption) {
+  xml::ParseOptions opts;
+  opts.strip_whitespace_text = true;
+  const xml::Document doc = xml::parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>", opts);
+  EXPECT_EQ(doc.root.children.size(), 2u);
+}
+
+TEST(XmlParser, Utf8Bom) {
+  const xml::Document doc = xml::parse("\xEF\xBB\xBF<root/>");
+  EXPECT_EQ(doc.root.name, "root");
+}
+
+TEST(XmlParser, Fragment) {
+  const xml::Node node = xml::parse_fragment("  <item id=\"3\">v</item>  ");
+  EXPECT_EQ(node.name, "item");
+  EXPECT_EQ(node.attribute("id"), "3");
+}
+
+TEST(XmlDom, ChildLookups) {
+  const xml::Document doc = xml::parse(
+      "<doc><section>a</section><section>b</section><other/></doc>");
+  EXPECT_EQ(doc.root.child("section")->text_content(), "a");
+  EXPECT_EQ(doc.root.children_named("section").size(), 2u);
+  EXPECT_EQ(doc.root.child_elements().size(), 3u);
+  EXPECT_EQ(doc.root.child("nope"), nullptr);
+}
+
+TEST(XmlDom, SelectPath) {
+  const xml::Document doc = xml::parse(
+      "<doc><body><sec><p>one</p><p>two</p></sec><sec><p>three</p></sec></body></doc>");
+  const auto ps = doc.root.select("body/sec/p");
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[2]->text_content(), "three");
+  EXPECT_TRUE(doc.root.select("body/nope/p").empty());
+}
+
+TEST(XmlDom, SubtreeSize) {
+  const xml::Document doc = xml::parse("<a><b><c/></b>text</a>");
+  // a + b + c + text node
+  EXPECT_EQ(doc.root.subtree_size(), 4u);
+}
+
+TEST(XmlSerialize, EscapesText) {
+  xml::Node n = xml::make_element("a");
+  n.children.push_back(xml::make_text("x < y & z > w"));
+  EXPECT_EQ(xml::write(n), "<a>x &lt; y &amp; z &gt; w</a>");
+}
+
+TEST(XmlSerialize, EscapesAttributes) {
+  xml::Node n = xml::make_element("a");
+  n.attributes.push_back({"q", "say \"hi\" & <go>"});
+  EXPECT_EQ(xml::write(n), "<a q=\"say &quot;hi&quot; &amp; &lt;go&gt;\"/>");
+}
+
+TEST(XmlSerialize, RoundTripPreservesTree) {
+  const std::string source =
+      "<paper year=\"2000\"><abstract><para>A &amp; B</para></abstract>"
+      "<section><title>Intro</title><para>Mobile <em>web</em> text.</para>"
+      "</section><!--note--><![CDATA[raw <stuff>]]></paper>";
+  const xml::Document first = xml::parse(source);
+  const std::string written = xml::write(first);
+  const xml::Document second = xml::parse(written);
+  EXPECT_EQ(first.root, second.root);
+}
+
+TEST(XmlSerialize, PrettyPrint) {
+  const xml::Document doc = xml::parse("<a><b><c/></b><d/></a>");
+  xml::WriteOptions opts;
+  opts.indent = "  ";
+  opts.declaration = false;
+  const std::string pretty = xml::write(doc, opts);
+  EXPECT_NE(pretty.find("\n  <b>"), std::string::npos);
+  EXPECT_NE(pretty.find("\n    <c/>"), std::string::npos);
+  // Pretty output still parses back to the same tree when whitespace is
+  // stripped.
+  xml::ParseOptions popts;
+  popts.strip_whitespace_text = true;
+  EXPECT_EQ(xml::parse(pretty, popts).root, doc.root);
+}
+
+TEST(XmlSerialize, DocumentDeclaration) {
+  const xml::Document doc = xml::parse("<a/>");
+  EXPECT_EQ(xml::write(doc), "<?xml version=\"1.0\"?><a/>");
+  xml::WriteOptions opts;
+  opts.declaration = false;
+  EXPECT_EQ(xml::write(doc, opts), "<a/>");
+}
