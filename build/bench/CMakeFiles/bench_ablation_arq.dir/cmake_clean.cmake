@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arq.dir/bench_ablation_arq.cpp.o"
+  "CMakeFiles/bench_ablation_arq.dir/bench_ablation_arq.cpp.o.d"
+  "bench_ablation_arq"
+  "bench_ablation_arq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

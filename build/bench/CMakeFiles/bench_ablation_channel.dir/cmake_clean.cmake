@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_channel.dir/bench_ablation_channel.cpp.o"
+  "CMakeFiles/bench_ablation_channel.dir/bench_ablation_channel.cpp.o.d"
+  "bench_ablation_channel"
+  "bench_ablation_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

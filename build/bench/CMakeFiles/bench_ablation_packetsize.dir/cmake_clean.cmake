@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_packetsize.dir/bench_ablation_packetsize.cpp.o"
+  "CMakeFiles/bench_ablation_packetsize.dir/bench_ablation_packetsize.cpp.o.d"
+  "bench_ablation_packetsize"
+  "bench_ablation_packetsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_packetsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_coding.dir/bench_micro_coding.cpp.o"
+  "CMakeFiles/bench_micro_coding.dir/bench_micro_coding.cpp.o.d"
+  "bench_micro_coding"
+  "bench_micro_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_throughput.cpp" "bench/CMakeFiles/bench_throughput.dir/bench_throughput.cpp.o" "gcc" "bench/CMakeFiles/bench_throughput.dir/bench_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mobiweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mobiweb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mobiweb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transmit/CMakeFiles/mobiweb_transmit.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/mobiweb_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiweb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/mobiweb_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/mobiweb_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mobiweb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mobiweb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mobiweb_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ida/CMakeFiles/mobiweb_ida.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/mobiweb_gf256.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mobiweb_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

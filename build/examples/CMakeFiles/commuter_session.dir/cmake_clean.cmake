@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commuter_session.dir/commuter_session.cpp.o"
+  "CMakeFiles/commuter_session.dir/commuter_session.cpp.o.d"
+  "commuter_session"
+  "commuter_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commuter_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_browser.dir/mobile_browser.cpp.o"
+  "CMakeFiles/mobile_browser.dir/mobile_browser.cpp.o.d"
+  "mobile_browser"
+  "mobile_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

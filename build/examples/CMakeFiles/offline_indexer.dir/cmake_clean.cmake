@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_indexer.dir/offline_indexer.cpp.o"
+  "CMakeFiles/offline_indexer.dir/offline_indexer.cpp.o.d"
+  "offline_indexer"
+  "offline_indexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_indexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

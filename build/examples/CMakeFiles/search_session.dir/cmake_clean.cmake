@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_session.dir/search_session.cpp.o"
+  "CMakeFiles/search_session.dir/search_session.cpp.o.d"
+  "search_session"
+  "search_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_analysis.dir/negbinom.cpp.o"
+  "CMakeFiles/mobiweb_analysis.dir/negbinom.cpp.o.d"
+  "libmobiweb_analysis.a"
+  "libmobiweb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_broadcast.dir/broadcast.cpp.o"
+  "CMakeFiles/mobiweb_broadcast.dir/broadcast.cpp.o.d"
+  "libmobiweb_broadcast.a"
+  "libmobiweb_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_channel.dir/channel.cpp.o"
+  "CMakeFiles/mobiweb_channel.dir/channel.cpp.o.d"
+  "CMakeFiles/mobiweb_channel.dir/error_model.cpp.o"
+  "CMakeFiles/mobiweb_channel.dir/error_model.cpp.o.d"
+  "libmobiweb_channel.a"
+  "libmobiweb_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_core.dir/mobiweb.cpp.o"
+  "CMakeFiles/mobiweb_core.dir/mobiweb.cpp.o.d"
+  "CMakeFiles/mobiweb_core.dir/prefetch.cpp.o"
+  "CMakeFiles/mobiweb_core.dir/prefetch.cpp.o.d"
+  "libmobiweb_core.a"
+  "libmobiweb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

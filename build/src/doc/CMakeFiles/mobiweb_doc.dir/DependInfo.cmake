@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/content.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/content.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/content.cpp.o.d"
+  "/root/repo/src/doc/content_alt.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/content_alt.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/content_alt.cpp.o.d"
+  "/root/repo/src/doc/linear.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/linear.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/linear.cpp.o.d"
+  "/root/repo/src/doc/lod.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/lod.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/lod.cpp.o.d"
+  "/root/repo/src/doc/profile.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/profile.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/profile.cpp.o.d"
+  "/root/repo/src/doc/recognizer.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/recognizer.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/recognizer.cpp.o.d"
+  "/root/repo/src/doc/sc_io.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/sc_io.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/sc_io.cpp.o.d"
+  "/root/repo/src/doc/unit.cpp" "src/doc/CMakeFiles/mobiweb_doc.dir/unit.cpp.o" "gcc" "src/doc/CMakeFiles/mobiweb_doc.dir/unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/mobiweb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mobiweb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

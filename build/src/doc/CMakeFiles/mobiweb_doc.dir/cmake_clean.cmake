@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_doc.dir/content.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/content.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/content_alt.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/content_alt.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/linear.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/linear.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/lod.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/lod.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/profile.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/profile.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/recognizer.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/recognizer.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/sc_io.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/sc_io.cpp.o.d"
+  "CMakeFiles/mobiweb_doc.dir/unit.cpp.o"
+  "CMakeFiles/mobiweb_doc.dir/unit.cpp.o.d"
+  "libmobiweb_doc.a"
+  "libmobiweb_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_gf256.dir/gf256.cpp.o"
+  "CMakeFiles/mobiweb_gf256.dir/gf256.cpp.o.d"
+  "CMakeFiles/mobiweb_gf256.dir/matrix.cpp.o"
+  "CMakeFiles/mobiweb_gf256.dir/matrix.cpp.o.d"
+  "libmobiweb_gf256.a"
+  "libmobiweb_gf256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

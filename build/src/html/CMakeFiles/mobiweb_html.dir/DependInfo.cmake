@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/structurer.cpp" "src/html/CMakeFiles/mobiweb_html.dir/structurer.cpp.o" "gcc" "src/html/CMakeFiles/mobiweb_html.dir/structurer.cpp.o.d"
+  "/root/repo/src/html/tokenizer.cpp" "src/html/CMakeFiles/mobiweb_html.dir/tokenizer.cpp.o" "gcc" "src/html/CMakeFiles/mobiweb_html.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/mobiweb_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/mobiweb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/mobiweb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

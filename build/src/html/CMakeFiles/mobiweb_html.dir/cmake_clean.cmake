@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_html.dir/structurer.cpp.o"
+  "CMakeFiles/mobiweb_html.dir/structurer.cpp.o.d"
+  "CMakeFiles/mobiweb_html.dir/tokenizer.cpp.o"
+  "CMakeFiles/mobiweb_html.dir/tokenizer.cpp.o.d"
+  "libmobiweb_html.a"
+  "libmobiweb_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

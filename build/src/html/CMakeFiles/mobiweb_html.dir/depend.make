@@ -1,0 +1,2 @@
+# Empty dependencies file for mobiweb_html.
+# This may be replaced when dependencies are built.

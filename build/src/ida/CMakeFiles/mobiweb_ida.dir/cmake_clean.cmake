@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_ida.dir/ida.cpp.o"
+  "CMakeFiles/mobiweb_ida.dir/ida.cpp.o.d"
+  "libmobiweb_ida.a"
+  "libmobiweb_ida.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_ida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mobiweb_ida.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_packet.dir/packet.cpp.o"
+  "CMakeFiles/mobiweb_packet.dir/packet.cpp.o.d"
+  "libmobiweb_packet.a"
+  "libmobiweb_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

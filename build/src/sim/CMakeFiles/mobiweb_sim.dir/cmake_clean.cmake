@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_sim.dir/experiment.cpp.o"
+  "CMakeFiles/mobiweb_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/mobiweb_sim.dir/synthetic.cpp.o"
+  "CMakeFiles/mobiweb_sim.dir/synthetic.cpp.o.d"
+  "CMakeFiles/mobiweb_sim.dir/transfer.cpp.o"
+  "CMakeFiles/mobiweb_sim.dir/transfer.cpp.o.d"
+  "libmobiweb_sim.a"
+  "libmobiweb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

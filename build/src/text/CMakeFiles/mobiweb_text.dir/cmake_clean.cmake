@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_text.dir/keywords.cpp.o"
+  "CMakeFiles/mobiweb_text.dir/keywords.cpp.o.d"
+  "CMakeFiles/mobiweb_text.dir/porter.cpp.o"
+  "CMakeFiles/mobiweb_text.dir/porter.cpp.o.d"
+  "CMakeFiles/mobiweb_text.dir/stopwords.cpp.o"
+  "CMakeFiles/mobiweb_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/mobiweb_text.dir/tokenize.cpp.o"
+  "CMakeFiles/mobiweb_text.dir/tokenize.cpp.o.d"
+  "libmobiweb_text.a"
+  "libmobiweb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmobiweb_text.a"
+)

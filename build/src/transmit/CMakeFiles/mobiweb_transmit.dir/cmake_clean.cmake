@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_transmit.dir/adaptive.cpp.o"
+  "CMakeFiles/mobiweb_transmit.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mobiweb_transmit.dir/arq.cpp.o"
+  "CMakeFiles/mobiweb_transmit.dir/arq.cpp.o.d"
+  "CMakeFiles/mobiweb_transmit.dir/receiver.cpp.o"
+  "CMakeFiles/mobiweb_transmit.dir/receiver.cpp.o.d"
+  "CMakeFiles/mobiweb_transmit.dir/session.cpp.o"
+  "CMakeFiles/mobiweb_transmit.dir/session.cpp.o.d"
+  "CMakeFiles/mobiweb_transmit.dir/transmitter.cpp.o"
+  "CMakeFiles/mobiweb_transmit.dir/transmitter.cpp.o.d"
+  "libmobiweb_transmit.a"
+  "libmobiweb_transmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_transmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_util.dir/bytes.cpp.o"
+  "CMakeFiles/mobiweb_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mobiweb_util.dir/crc.cpp.o"
+  "CMakeFiles/mobiweb_util.dir/crc.cpp.o.d"
+  "CMakeFiles/mobiweb_util.dir/lzss.cpp.o"
+  "CMakeFiles/mobiweb_util.dir/lzss.cpp.o.d"
+  "CMakeFiles/mobiweb_util.dir/stats.cpp.o"
+  "CMakeFiles/mobiweb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mobiweb_util.dir/table.cpp.o"
+  "CMakeFiles/mobiweb_util.dir/table.cpp.o.d"
+  "libmobiweb_util.a"
+  "libmobiweb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiweb_xml.dir/dom.cpp.o"
+  "CMakeFiles/mobiweb_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/mobiweb_xml.dir/dtd.cpp.o"
+  "CMakeFiles/mobiweb_xml.dir/dtd.cpp.o.d"
+  "CMakeFiles/mobiweb_xml.dir/parser.cpp.o"
+  "CMakeFiles/mobiweb_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/mobiweb_xml.dir/serialize.cpp.o"
+  "CMakeFiles/mobiweb_xml.dir/serialize.cpp.o.d"
+  "libmobiweb_xml.a"
+  "libmobiweb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiweb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_content_alt.dir/test_content_alt.cpp.o"
+  "CMakeFiles/test_content_alt.dir/test_content_alt.cpp.o.d"
+  "test_content_alt"
+  "test_content_alt.pdb"
+  "test_content_alt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_content_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

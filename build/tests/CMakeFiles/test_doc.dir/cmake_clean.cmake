@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doc.dir/test_doc.cpp.o"
+  "CMakeFiles/test_doc.dir/test_doc.cpp.o.d"
+  "test_doc"
+  "test_doc.pdb"
+  "test_doc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

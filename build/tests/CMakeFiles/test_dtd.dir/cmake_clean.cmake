@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtd.dir/test_dtd.cpp.o"
+  "CMakeFiles/test_dtd.dir/test_dtd.cpp.o.d"
+  "test_dtd"
+  "test_dtd.pdb"
+  "test_dtd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_html.dir/test_html.cpp.o"
+  "CMakeFiles/test_html.dir/test_html.cpp.o.d"
+  "test_html"
+  "test_html.pdb"
+  "test_html[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ida.cpp" "tests/CMakeFiles/test_ida.dir/test_ida.cpp.o" "gcc" "tests/CMakeFiles/test_ida.dir/test_ida.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ida/CMakeFiles/mobiweb_ida.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf256/CMakeFiles/mobiweb_gf256.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

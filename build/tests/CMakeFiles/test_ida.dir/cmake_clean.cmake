@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ida.dir/test_ida.cpp.o"
+  "CMakeFiles/test_ida.dir/test_ida.cpp.o.d"
+  "test_ida"
+  "test_ida.pdb"
+  "test_ida[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_data.dir/test_paper_data.cpp.o"
+  "CMakeFiles/test_paper_data.dir/test_paper_data.cpp.o.d"
+  "test_paper_data"
+  "test_paper_data.pdb"
+  "test_paper_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

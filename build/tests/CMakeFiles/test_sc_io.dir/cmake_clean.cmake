@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc_io.dir/test_sc_io.cpp.o"
+  "CMakeFiles/test_sc_io.dir/test_sc_io.cpp.o.d"
+  "test_sc_io"
+  "test_sc_io.pdb"
+  "test_sc_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transmit.dir/test_transmit.cpp.o"
+  "CMakeFiles/test_transmit.dir/test_transmit.cpp.o.d"
+  "test_transmit"
+  "test_transmit.pdb"
+  "test_transmit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

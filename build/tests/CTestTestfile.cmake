@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_gf256[1]_include.cmake")
+include("/root/repo/build/tests/test_ida[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")
+include("/root/repo/build/tests/test_doc[1]_include.cmake")
+include("/root/repo/build/tests/test_html[1]_include.cmake")
+include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_transmit[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_lzss[1]_include.cmake")
+include("/root/repo/build/tests/test_dtd[1]_include.cmake")
+include("/root/repo/build/tests/test_arq[1]_include.cmake")
+include("/root/repo/build/tests/test_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_sc_io[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_data[1]_include.cmake")
+include("/root/repo/build/tests/test_broadcast[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_reproduction[1]_include.cmake")
+include("/root/repo/build/tests/test_content_alt[1]_include.cmake")
