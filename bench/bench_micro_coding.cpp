@@ -1,7 +1,20 @@
 // Micro-benchmarks: GF(2^8) kernels, IDA encode/decode, CRC, packet framing.
 // These quantify the client/server CPU cost of the fault-tolerant encoding —
 // relevant because the paper targets battery-constrained mobile devices.
+//
+// Two modes:
+//   * default — google-benchmark suite (per-kernel BM_GfMulAddRow/<name>
+//     entries report bytes_per_second for each coding kernel);
+//   * --json[=PATH] — self-timed sweep printing machine-readable JSON
+//     (kernel name -> MB/s, plus IDA encode/decode throughput) to stdout or
+//     PATH, for the bench trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "gf256/gf256.hpp"
 #include "gf256/matrix.hpp"
@@ -26,18 +39,24 @@ Bytes random_bytes(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-void BM_GfMulAddRow(benchmark::State& state) {
+std::vector<gf::Kernel> benchable_kernels() {
+  std::vector<gf::Kernel> ks = {gf::Kernel::kScalar, gf::Kernel::kMulTable,
+                                gf::Kernel::kSplitNibble};
+  if (gf::kernel_available(gf::Kernel::kSimd)) ks.push_back(gf::Kernel::kSimd);
+  return ks;
+}
+
+void BM_GfMulAddRow(benchmark::State& state, gf::Kernel kernel) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const Bytes in = random_bytes(n, 1);
   Bytes out = random_bytes(n, 2);
   for (auto _ : state) {
-    gf::mul_add_row(out.data(), in.data(), 0x57, n);
+    gf::mul_add_row(out.data(), in.data(), 0x57, n, kernel);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_GfMulAddRow)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_MatrixInverse(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -59,6 +78,20 @@ void BM_IdaEncode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 10240);
 }
 BENCHMARK(BM_IdaEncode);
+
+void BM_IdaEncodeParallel(benchmark::State& state) {
+  // Same shape, forced through the thread-pool sharded path.
+  const Bytes payload = random_bytes(10240, 3);
+  const ida::Encoder enc(40, 60);
+  (void)ida::systematic_generator(60, 40);
+  const std::size_t prev = ida::set_parallel_threshold(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_payload(ByteSpan(payload), 256));
+  }
+  ida::set_parallel_threshold(prev);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 10240);
+}
+BENCHMARK(BM_IdaEncodeParallel);
 
 void BM_IdaDecodeWorstCase(benchmark::State& state) {
   // Decode from redundancy-only packets (full matrix inversion + multiply).
@@ -114,4 +147,115 @@ void BM_PacketEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketEncodeDecode);
 
+void register_kernel_benchmarks() {
+  for (const gf::Kernel k : benchable_kernels()) {
+    const std::string name = std::string("BM_GfMulAddRow/") + gf::kernel_name(k);
+    benchmark::RegisterBenchmark(name.c_str(), BM_GfMulAddRow, k)
+        ->Arg(256)
+        ->Arg(4096)
+        ->Arg(65536);
+  }
+}
+
+// ---- self-timed JSON mode ----
+
+// MB/s (1e6 bytes) of mul_add_row over `row_bytes` rows with kernel `k`,
+// measured over ~0.25 s of wall time.
+double measure_mul_add_mbps(gf::Kernel k, std::size_t row_bytes) {
+  const Bytes in = random_bytes(row_bytes, 11);
+  Bytes out = random_bytes(row_bytes, 12);
+  gf::mul_add_row(out.data(), in.data(), 0x57, row_bytes, k);  // warm tables
+  using Clock = std::chrono::steady_clock;
+  const auto budget = std::chrono::milliseconds(250);
+  const auto start = Clock::now();
+  std::size_t bytes = 0;
+  do {
+    for (int rep = 0; rep < 64; ++rep) {
+      gf::mul_add_row(out.data(), in.data(), 0x57, row_bytes, k);
+      benchmark::DoNotOptimize(out.data());
+    }
+    bytes += 64 * row_bytes;
+  } while (Clock::now() - start < budget);
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(bytes) / 1e6 / secs;
+}
+
+template <typename Fn>
+double measure_payload_mbps(std::size_t payload_bytes, Fn&& op) {
+  using Clock = std::chrono::steady_clock;
+  const auto budget = std::chrono::milliseconds(250);
+  const auto start = Clock::now();
+  std::size_t bytes = 0;
+  do {
+    op();
+    bytes += payload_bytes;
+  } while (Clock::now() - start < budget);
+  const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(bytes) / 1e6 / secs;
+}
+
+int emit_json(const char* path) {
+  const std::size_t row_bytes = 4096;
+  const Bytes payload = random_bytes(10240, 13);
+  const ida::Encoder enc(40, 60);
+  const ida::Decoder dec(40, 60);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  std::vector<std::pair<std::size_t, Bytes>> redundancy;
+  for (std::size_t i = 20; i < 60; ++i) redundancy.emplace_back(i, cooked[i]);
+
+  std::string json = "{\n  \"bench\": \"micro_coding\",\n";
+  json += "  \"row_bytes\": " + std::to_string(row_bytes) + ",\n";
+  json += "  \"active_kernel\": \"" +
+          std::string(gf::kernel_name(gf::resolve_kernel(gf::active_kernel()))) +
+          "\",\n";
+  json += "  \"mul_add_row_mbps\": {";
+  bool first = true;
+  for (const gf::Kernel k : benchable_kernels()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %.1f", first ? "" : ", ",
+                  gf::kernel_name(k), measure_mul_add_mbps(k, row_bytes));
+    json += buf;
+    first = false;
+  }
+  json += "},\n";
+
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "  \"ida_encode_mbps\": %.1f,\n",
+                measure_payload_mbps(payload.size(), [&] {
+                  benchmark::DoNotOptimize(enc.encode_payload(ByteSpan(payload), 256));
+                }));
+  json += buf;
+  std::snprintf(buf, sizeof buf, "  \"ida_decode_mbps\": %.1f\n",
+                measure_payload_mbps(payload.size(), [&] {
+                  benchmark::DoNotOptimize(
+                      dec.decode_payload(redundancy, payload.size()));
+                }));
+  json += buf;
+  json += "}\n";
+
+  if (path != nullptr && path[0] != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_micro_coding: cannot open %s\n", path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return emit_json(nullptr);
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return emit_json(argv[i] + 7);
+  }
+  register_kernel_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,19 @@
 #include "gf256/gf256.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MOBIWEB_GF_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define MOBIWEB_GF_NEON 1
+#include <arm_neon.h>
+#endif
+
 namespace mobiweb::gf {
 
 namespace detail {
@@ -13,12 +27,61 @@ Elem pow(Elem a, unsigned e) {
   if (e == 0) return 1;
   if (a == 0) return 0;
   const auto& t = detail::tables();
-  const unsigned l = (static_cast<unsigned>(t.log_[a]) * e) % 255u;
+  // Reduce the exponent first: the multiplicative group has order 255, and
+  // log_[a] * e overflows 32 bits for e beyond ~16.9M.
+  const unsigned l = (static_cast<unsigned>(t.log_[a]) * (e % 255u)) % 255u;
   return t.exp_[l];
 }
 
-void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
-  if (c == 0) return;
+namespace {
+
+// Per-coefficient lookup tables for the fast kernels, built lazily: the
+// simulator only ever touches the coefficients of the generator shapes in
+// use, so materialising all 256 rows up front would be wasted work.
+//
+//   full[c][x]          = c * x                     (kMulTable)
+//   nib[c].lo[x & 0xf]  = c * x for the low nibble  (kSplitNibble / kSimd)
+//   nib[c].hi[x >> 4]   = c * (x << 4)
+//
+// c*x = lo[x & 0xf] ^ hi[x >> 4] by distributivity over GF(2) addition.
+struct alignas(16) NibbleTables {
+  Elem lo[16];
+  Elem hi[16];
+};
+
+struct CoeffTables {
+  std::array<std::array<Elem, 256>, 256> full;
+  std::array<NibbleTables, 256> nib;
+  std::array<std::once_flag, 256> once;
+
+  void build(Elem c) {
+    call_once(once[c], [this, c] {
+      auto& row = full[c];
+      for (unsigned x = 0; x < 256; ++x) {
+        row[x] = mul(c, static_cast<Elem>(x));
+      }
+      for (unsigned x = 0; x < 16; ++x) {
+        nib[c].lo[x] = row[x];
+        nib[c].hi[x] = row[x << 4];
+      }
+    });
+  }
+};
+
+CoeffTables& coeff_tables() {
+  static CoeffTables t;
+  return t;
+}
+
+const NibbleTables& nibble_tables(Elem c) {
+  auto& t = coeff_tables();
+  t.build(c);
+  return t.nib[c];
+}
+
+// ---- scalar kernels ----
+
+void mul_add_row_scalar(Elem* out, const Elem* in, Elem c, std::size_t n) {
   const auto& t = detail::tables();
   const std::uint16_t lc = t.log_[c];
   for (std::size_t i = 0; i < n; ++i) {
@@ -29,17 +92,263 @@ void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
   }
 }
 
-void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
-  if (c == 0) {
-    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
-    return;
-  }
+void mul_row_scalar(Elem* out, const Elem* in, Elem c, std::size_t n) {
   const auto& t = detail::tables();
   const std::uint16_t lc = t.log_[c];
   for (std::size_t i = 0; i < n; ++i) {
     const Elem x = in[i];
     out[i] = (x == 0) ? 0 : t.exp_[lc + t.log_[x]];
   }
+}
+
+// ---- per-coefficient full-table kernels, 8x unrolled ----
+
+void mul_add_row_table(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  const Elem* t = mul_table(c);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    out[i + 0] ^= t[in[i + 0]];
+    out[i + 1] ^= t[in[i + 1]];
+    out[i + 2] ^= t[in[i + 2]];
+    out[i + 3] ^= t[in[i + 3]];
+    out[i + 4] ^= t[in[i + 4]];
+    out[i + 5] ^= t[in[i + 5]];
+    out[i + 6] ^= t[in[i + 6]];
+    out[i + 7] ^= t[in[i + 7]];
+  }
+  for (; i < n; ++i) out[i] ^= t[in[i]];
+}
+
+void mul_row_table(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  const Elem* t = mul_table(c);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    out[i + 0] = t[in[i + 0]];
+    out[i + 1] = t[in[i + 1]];
+    out[i + 2] = t[in[i + 2]];
+    out[i + 3] = t[in[i + 3]];
+    out[i + 4] = t[in[i + 4]];
+    out[i + 5] = t[in[i + 5]];
+    out[i + 6] = t[in[i + 6]];
+    out[i + 7] = t[in[i + 7]];
+  }
+  for (; i < n; ++i) out[i] = t[in[i]];
+}
+
+// ---- split-nibble kernels (portable; the loop body is branch-free and
+// narrow enough for the compiler to autovectorize) ----
+
+void mul_add_row_nibble(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  const NibbleTables& t = nibble_tables(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] ^= static_cast<Elem>(t.lo[x & 0x0f] ^ t.hi[x >> 4]);
+  }
+}
+
+void mul_row_nibble(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  const NibbleTables& t = nibble_tables(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] = static_cast<Elem>(t.lo[x & 0x0f] ^ t.hi[x >> 4]);
+  }
+}
+
+// ---- SIMD split-nibble kernels ----
+
+#if defined(MOBIWEB_GF_X86)
+
+bool simd_supported() { return __builtin_cpu_supports("ssse3") != 0; }
+
+__attribute__((target("ssse3"))) void mul_add_row_simd(Elem* out, const Elem* in,
+                                                       Elem c, std::size_t n) {
+  const NibbleTables& t = nibble_tables(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(x, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
+    const __m128i prod = _mm_xor_si128(pl, ph);
+    __m128i* o = reinterpret_cast<__m128i*>(out + i);
+    _mm_storeu_si128(o, _mm_xor_si128(_mm_loadu_si128(o), prod));
+  }
+  for (; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] ^= static_cast<Elem>(t.lo[x & 0x0f] ^ t.hi[x >> 4]);
+  }
+}
+
+__attribute__((target("ssse3"))) void mul_row_simd(Elem* out, const Elem* in,
+                                                   Elem c, std::size_t n) {
+  const NibbleTables& t = nibble_tables(c);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(x, mask));
+    const __m128i ph =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(x, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), _mm_xor_si128(pl, ph));
+  }
+  for (; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] = static_cast<Elem>(t.lo[x & 0x0f] ^ t.hi[x >> 4]);
+  }
+}
+
+#elif defined(MOBIWEB_GF_NEON)
+
+bool simd_supported() { return true; }  // NEON is baseline on aarch64
+
+void mul_add_row_simd(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  const NibbleTables& t = nibble_tables(c);
+  const uint8x16_t lo = vld1q_u8(t.lo);
+  const uint8x16_t hi = vld1q_u8(t.hi);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t x = vld1q_u8(in + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(x, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(x, 4));
+    vst1q_u8(out + i, veorq_u8(vld1q_u8(out + i), veorq_u8(pl, ph)));
+  }
+  for (; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] ^= static_cast<Elem>(t.lo[x & 0x0f] ^ t.hi[x >> 4]);
+  }
+}
+
+void mul_row_simd(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  const NibbleTables& t = nibble_tables(c);
+  const uint8x16_t lo = vld1q_u8(t.lo);
+  const uint8x16_t hi = vld1q_u8(t.hi);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t x = vld1q_u8(in + i);
+    const uint8x16_t pl = vqtbl1q_u8(lo, vandq_u8(x, mask));
+    const uint8x16_t ph = vqtbl1q_u8(hi, vshrq_n_u8(x, 4));
+    vst1q_u8(out + i, veorq_u8(pl, ph));
+  }
+  for (; i < n; ++i) {
+    const Elem x = in[i];
+    out[i] = static_cast<Elem>(t.lo[x & 0x0f] ^ t.hi[x >> 4]);
+  }
+}
+
+#else
+
+bool simd_supported() { return false; }
+
+void mul_add_row_simd(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  mul_add_row_nibble(out, in, c, n);
+}
+
+void mul_row_simd(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  mul_row_nibble(out, in, c, n);
+}
+
+#endif
+
+// ---- kernel selection ----
+
+Kernel parse_kernel_env() {
+  const char* v = std::getenv("MOBIWEB_GF_KERNEL");
+  if (v == nullptr || v[0] == '\0') return Kernel::kAuto;
+  const std::string_view s(v);
+  for (Kernel k : {Kernel::kScalar, Kernel::kMulTable, Kernel::kSplitNibble,
+                   Kernel::kSimd, Kernel::kAuto}) {
+    if (s == kernel_name(k) && kernel_available(k)) return k;
+  }
+  return Kernel::kAuto;  // unknown or unavailable names fall back silently
+}
+
+std::atomic<Kernel>& kernel_state() {
+  static std::atomic<Kernel> state{parse_kernel_env()};
+  return state;
+}
+
+}  // namespace
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kMulTable: return "multable";
+    case Kernel::kSplitNibble: return "splitnibble";
+    case Kernel::kSimd: return "simd";
+    case Kernel::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
+bool kernel_available(Kernel k) {
+  return k != Kernel::kSimd || simd_supported();
+}
+
+Kernel resolve_kernel(Kernel k) {
+  if (k != Kernel::kAuto) return k;
+  return simd_supported() ? Kernel::kSimd : Kernel::kMulTable;
+}
+
+Kernel active_kernel() { return kernel_state().load(std::memory_order_relaxed); }
+
+void set_kernel(Kernel k) {
+  MOBIWEB_CHECK_MSG(kernel_available(k), "set_kernel: kernel not supported on this CPU");
+  kernel_state().store(k, std::memory_order_relaxed);
+}
+
+const Elem* mul_table(Elem c) {
+  auto& t = coeff_tables();
+  t.build(c);
+  return t.full[c].data();
+}
+
+void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k) {
+  if (c == 0 || n == 0) return;
+  if (c == 1) {
+    // Identity coefficient — common in systematic decodes where clear-text
+    // packets map straight through. Plain xor in every kernel.
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= in[i];
+    return;
+  }
+  switch (resolve_kernel(k)) {
+    case Kernel::kScalar: mul_add_row_scalar(out, in, c, n); break;
+    case Kernel::kMulTable: mul_add_row_table(out, in, c, n); break;
+    case Kernel::kSplitNibble: mul_add_row_nibble(out, in, c, n); break;
+    default: mul_add_row_simd(out, in, c, n); break;
+  }
+}
+
+void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k) {
+  if (n == 0) return;
+  if (c == 0) {
+    std::memset(out, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(out, in, n);
+    return;
+  }
+  switch (resolve_kernel(k)) {
+    case Kernel::kScalar: mul_row_scalar(out, in, c, n); break;
+    case Kernel::kMulTable: mul_row_table(out, in, c, n); break;
+    case Kernel::kSplitNibble: mul_row_nibble(out, in, c, n); break;
+    default: mul_row_simd(out, in, c, n); break;
+  }
+}
+
+void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  mul_add_row(out, in, c, n, active_kernel());
+}
+
+void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n) {
+  mul_row(out, in, c, n, active_kernel());
 }
 
 }  // namespace mobiweb::gf

@@ -4,9 +4,17 @@
 // built on Rabin's Information Dispersal Algorithm). Multiplication and
 // division use log/antilog tables generated at static-init time from the
 // primitive element 0x02 of the AES-like polynomial 0x11d.
+//
+// The row kernels (`mul_add_row` / `mul_row`) — the inner loop of every
+// encode/decode — come in several implementations selected at runtime via
+// `Kernel`: the original scalar log/exp loop, a per-coefficient 256-entry
+// multiplication table, a split-nibble (two 16-entry tables) form, and a SIMD
+// split-nibble form using pshufb (SSSE3) or tbl (NEON) where the hardware
+// supports it. All kernels produce byte-identical output.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/check.hpp"
@@ -69,10 +77,44 @@ inline Elem div(Elem a, Elem b) {
 // a^e with e >= 0 (0^0 defined as 1).
 Elem pow(Elem a, unsigned e);
 
+// Row-kernel implementations. kAuto resolves to the fastest kernel available
+// on this CPU (kSimd where SSSE3/NEON is present, else kMulTable).
+enum class Kernel : std::uint8_t {
+  kScalar,       // branch-per-byte log/exp lookups (the original seed kernel)
+  kMulTable,     // lazily-built 256-entry per-coefficient table, 8x unrolled
+  kSplitNibble,  // two 16-entry low/high nibble tables, autovectorizable
+  kSimd,         // split-nibble via pshufb/tbl; requires kernel_available()
+  kAuto,
+};
+
+// Short stable name: "scalar", "multable", "splitnibble", "simd", "auto".
+const char* kernel_name(Kernel k);
+
+// True when `k` can execute on this CPU (kSimd needs SSSE3 or NEON; the
+// portable kernels and kAuto are always available).
+bool kernel_available(Kernel k);
+
+// The concrete kernel `k` dispatches to (resolves kAuto; never returns kAuto).
+Kernel resolve_kernel(Kernel k);
+
+// Process-wide kernel used by the two-argument row ops below. Initialised
+// from the MOBIWEB_GF_KERNEL environment variable when set (one of the
+// kernel_name() strings), else kAuto. set_kernel is thread-safe.
+Kernel active_kernel();
+void set_kernel(Kernel k);
+
+// 256-byte table t with t[x] = c * x, lazily built and cached per coefficient.
+const Elem* mul_table(Elem c);
+
 // out[i] ^= c * in[i] over a row of bytes — the inner loop of encode/decode.
 void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n);
 
 // out[i] = c * in[i].
 void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n);
+
+// Same row ops with an explicit kernel, so tests and benchmarks can force a
+// path. `k` must satisfy kernel_available(k).
+void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k);
+void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k);
 
 }  // namespace mobiweb::gf

@@ -1,13 +1,43 @@
 #include "ida/ida.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mobiweb::ida {
+
+namespace {
+
+std::atomic<std::size_t> g_parallel_threshold{kDefaultParallelThreshold};
+
+// Runs fn(lo, hi) over row range [begin, end), sharded across the global
+// pool when the total matrix work is large enough to amortise the handoff.
+void for_each_row_range(std::size_t begin, std::size_t end,
+                        std::size_t work_per_row,
+                        const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t rows = end - begin;
+  if (rows >= 2 && rows * work_per_row >= parallel_threshold()) {
+    ThreadPool::global().parallel_for(begin, end, 1, fn);
+  } else if (rows > 0) {
+    fn(begin, end);
+  }
+}
+
+}  // namespace
+
+std::size_t parallel_threshold() {
+  return g_parallel_threshold.load(std::memory_order_relaxed);
+}
+
+std::size_t set_parallel_threshold(std::size_t byte_multiplies) {
+  return g_parallel_threshold.exchange(byte_multiplies,
+                                       std::memory_order_relaxed);
+}
 
 const gf::Matrix& systematic_generator(std::size_t n, std::size_t m) {
   static std::mutex mu;
@@ -58,12 +88,16 @@ std::vector<Bytes> Encoder::encode(const std::vector<Bytes>& raw) const {
   std::vector<Bytes> cooked(n_);
   // Systematic prefix: plain copies, no field arithmetic.
   for (std::size_t i = 0; i < m_; ++i) cooked[i] = raw[i];
-  for (std::size_t i = m_; i < n_; ++i) {
-    cooked[i].assign(size, 0);
-    for (std::size_t j = 0; j < m_; ++j) {
-      gf::mul_add_row(cooked[i].data(), raw[j].data(), g.at(i, j), size);
+  // Redundancy rows are independent dot products over the shared raw packets,
+  // so they shard across threads without changing a single output byte.
+  for_each_row_range(m_, n_, m_ * size, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      cooked[i].assign(size, 0);
+      for (std::size_t j = 0; j < m_; ++j) {
+        gf::mul_add_row(cooked[i].data(), raw[j].data(), g.at(i, j), size);
+      }
     }
-  }
+  });
   return cooked;
 }
 
@@ -83,12 +117,23 @@ Decoder::Decoder(std::size_t m, std::size_t n) : m_(m), n_(n) {
 
 std::vector<Bytes> Decoder::decode(
     const std::vector<std::pair<std::size_t, Bytes>>& cooked) const {
-  // Gather the first m distinct indices.
+  // Validate the whole input up front: a bad index or a mixed-size payload
+  // must surface as a ContractViolation here, never as a silently singular
+  // submatrix or an out-of-bounds row read further down.
+  MOBIWEB_CHECK_MSG(!cooked.empty(), "Decoder::decode: no packets supplied");
+  const std::size_t size = cooked.front().second.size();
+  MOBIWEB_CHECK_MSG(size >= 1, "Decoder::decode: empty packets");
+  for (const auto& [idx, data] : cooked) {
+    MOBIWEB_CHECK_MSG(idx < n_, "Decoder::decode: cooked index out of range");
+    MOBIWEB_CHECK_MSG(data.size() == size, "Decoder::decode: packet sizes differ");
+  }
+
+  // Gather the first m distinct indices; duplicates carry no new information
+  // and are skipped (they must not count toward the m required packets).
   std::vector<std::size_t> indices;
   std::vector<const Bytes*> payloads;
   std::vector<bool> seen(n_, false);
   for (const auto& [idx, data] : cooked) {
-    MOBIWEB_CHECK_MSG(idx < n_, "Decoder::decode: cooked index out of range");
     if (seen[idx]) continue;
     seen[idx] = true;
     indices.push_back(idx);
@@ -98,11 +143,6 @@ std::vector<Bytes> Decoder::decode(
   MOBIWEB_CHECK_MSG(indices.size() == m_,
                     "Decoder::decode: need at least m distinct intact packets");
 
-  const std::size_t size = payloads.front()->size();
-  for (const Bytes* p : payloads) {
-    MOBIWEB_CHECK_MSG(p->size() == size, "Decoder::decode: packet sizes differ");
-  }
-
   const gf::Matrix& g = systematic_generator(n_, m_);
   const gf::Matrix sub = g.select_rows(indices);
   const gf::Matrix inv = sub.inverse();
@@ -110,12 +150,15 @@ std::vector<Bytes> Decoder::decode(
                     "Decoder::decode: sub-generator singular (corrupt indices?)");
 
   std::vector<Bytes> raw(m_);
-  for (std::size_t i = 0; i < m_; ++i) {
-    raw[i].assign(size, 0);
-    for (std::size_t j = 0; j < m_; ++j) {
-      gf::mul_add_row(raw[i].data(), payloads[j]->data(), inv.at(i, j), size);
+  // Like encode: output rows are independent, so shard them across the pool.
+  for_each_row_range(0, m_, m_ * size, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      raw[i].assign(size, 0);
+      for (std::size_t j = 0; j < m_; ++j) {
+        gf::mul_add_row(raw[i].data(), payloads[j]->data(), inv.at(i, j), size);
+      }
     }
-  }
+  });
   return raw;
 }
 

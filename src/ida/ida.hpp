@@ -30,6 +30,16 @@ namespace mobiweb::ida {
 // times. Thread-safe.
 const gf::Matrix& systematic_generator(std::size_t n, std::size_t m);
 
+// Encode/decode shard their independent output rows across the global
+// ThreadPool when the matrix work (rows to compute x m x packet bytes,
+// i.e. byte-multiplies) reaches this threshold; smaller jobs run serially.
+// Sharding never changes output bytes — rows are computed independently.
+// `set_parallel_threshold` returns the previous value (0 forces the parallel
+// path for any size; handy in tests and benchmarks). Thread-safe.
+inline constexpr std::size_t kDefaultParallelThreshold = 1u << 18;
+std::size_t parallel_threshold();
+std::size_t set_parallel_threshold(std::size_t byte_multiplies);
+
 // Number of raw packets needed to carry `payload_size` bytes at `packet_size`.
 std::size_t packet_count(std::size_t payload_size, std::size_t packet_size);
 

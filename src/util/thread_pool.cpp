@@ -1,0 +1,128 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace mobiweb {
+
+// A batch stays on the pool queue until every shard has been claimed; any
+// number of workers (plus the submitting thread) pump shards from it
+// concurrently via the `next` ticket counter.
+struct ThreadPool::Batch {
+  std::size_t total = 0;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr err;
+
+  void pump() {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= total) return;
+      try {
+        fn(shard);
+      } catch (...) {
+        std::scoped_lock lock(mu);
+        if (!err) err = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::scoped_lock lock(mu);  // pairs with the waiter's predicate check
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;  // the caller participates in every batch
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    auto batch = queue_.front();
+    if (batch->next.load(std::memory_order_relaxed) >= batch->total) {
+      queue_.pop_front();  // fully claimed; remaining shards finish elsewhere
+      continue;
+    }
+    lock.unlock();
+    batch->pump();
+    lock.lock();
+    if (!queue_.empty() && queue_.front() == batch) queue_.pop_front();
+  }
+}
+
+void ThreadPool::run(std::size_t shards,
+                     const std::function<void(std::size_t)>& fn) {
+  MOBIWEB_CHECK_MSG(static_cast<bool>(fn), "ThreadPool::run: empty function");
+  if (shards == 0) return;
+  if (shards == 1 || workers_.empty()) {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->total = shards;
+  batch->fn = fn;
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(batch);
+  }
+  cv_.notify_all();
+  batch->pump();
+  {
+    std::unique_lock lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->total;
+    });
+  }
+  if (batch->err) std::rethrow_exception(batch->err);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t per_chunk = std::max<std::size_t>(min_chunk, 1);
+  const std::size_t shards =
+      std::min(concurrency(), (count + per_chunk - 1) / per_chunk);
+  const std::size_t chunk = (count + shards - 1) / shards;
+  run(shards, [&](std::size_t s) {
+    const std::size_t lo = begin + s * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  // Leaked intentionally: joining workers during static destruction can
+  // deadlock with other exit-time teardown, and a static pointer keeps the
+  // allocation reachable for leak checkers.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace mobiweb

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for sharding CPU-heavy coding loops.
+//
+// The IDA encode/decode row loops are embarrassingly parallel: every output
+// row is an independent dot product over the same read-only inputs. The pool
+// runs a batch of shards across its workers with the calling thread
+// participating, so a 1-worker (or 0-worker) pool degrades gracefully to
+// serial execution rather than deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mobiweb {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency - 1 (the caller participates in
+  // every batch, so the pool only needs the *extra* threads).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Worker threads owned by the pool (0 on single-core machines).
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  // Degree of parallelism a batch can reach: workers + the calling thread.
+  [[nodiscard]] std::size_t concurrency() const { return workers_.size() + 1; }
+
+  // Runs fn(shard) for every shard in [0, shards), blocking until all
+  // complete. The calling thread executes shards too. If any shard throws,
+  // the first exception is rethrown after the batch drains.
+  void run(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
+  // Splits [begin, end) into at most concurrency() contiguous chunks of at
+  // least min_chunk elements and runs fn(lo, hi) for each.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t min_chunk,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Shared process-wide pool used by the coding stack.
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mobiweb

@@ -95,6 +95,43 @@ TEST(Gf256, PowZeroExponentIsOne) {
   EXPECT_EQ(gf::pow(37, 0), 1);
 }
 
+namespace {
+// Square-and-multiply oracle: no log tables, no modular exponent reduction,
+// so it cannot share the overflow bug pow() once had.
+gf::Elem pow_oracle(gf::Elem a, unsigned e) {
+  gf::Elem result = 1;
+  gf::Elem base = a;
+  while (e != 0) {
+    if (e & 1u) result = gf::mul(result, base);
+    base = gf::mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+}  // namespace
+
+TEST(Gf256, PowLargeExponentsMatchOracle) {
+  // Regression: log_[a] * e used to be computed in 32 bits, overflowing for
+  // e beyond ~16.9M and silently returning a wrong field element.
+  const unsigned exponents[] = {16'900'000u,    16'912'790u,  100'000'000u,
+                                2'147'483'647u, 4'000'000'000u, 4'294'967'295u};
+  for (unsigned e : exponents) {
+    for (int a = 0; a < 256; a += 5) {
+      const auto elem = static_cast<gf::Elem>(a);
+      EXPECT_EQ(gf::pow(elem, e), pow_oracle(elem, e)) << "a=" << a << " e=" << e;
+    }
+  }
+}
+
+TEST(Gf256, PowRandomExponentsMatchOracle) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<gf::Elem>(rng.next_below(256));
+    const auto e = static_cast<unsigned>(rng.next_u64());
+    EXPECT_EQ(gf::pow(a, e), pow_oracle(a, e)) << "a=" << int(a) << " e=" << e;
+  }
+}
+
 TEST(Gf256, MulAddRow) {
   const std::vector<gf::Elem> in = {1, 2, 3, 0, 255};
   std::vector<gf::Elem> out = {10, 20, 30, 40, 50};

@@ -1,0 +1,271 @@
+// Cross-kernel equivalence for the GF(2^8) row kernels, and the parallel
+// IDA encode/decode path. Every kernel must produce byte-identical output:
+// the dispatch layer (and the MOBIWEB_GF_KERNEL override) would otherwise
+// let a fast path silently corrupt cooked packets.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gf256/gf256.hpp"
+#include "ida/ida.hpp"
+#include "util/rng.hpp"
+
+namespace gf = mobiweb::gf;
+namespace ida = mobiweb::ida;
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::ContractViolation;
+using mobiweb::Rng;
+
+namespace {
+
+std::vector<gf::Kernel> available_kernels() {
+  std::vector<gf::Kernel> ks = {gf::Kernel::kScalar, gf::Kernel::kMulTable,
+                                gf::Kernel::kSplitNibble};
+  if (gf::kernel_available(gf::Kernel::kSimd)) ks.push_back(gf::Kernel::kSimd);
+  ks.push_back(gf::Kernel::kAuto);
+  return ks;
+}
+
+Bytes random_bytes(std::size_t n, Rng& rng) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+// Restores the previous threshold on scope exit so tests never leak the
+// forced-parallel setting into other suites.
+class ParallelThresholdGuard {
+ public:
+  explicit ParallelThresholdGuard(std::size_t t)
+      : previous_(ida::set_parallel_threshold(t)) {}
+  ~ParallelThresholdGuard() { ida::set_parallel_threshold(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+}  // namespace
+
+TEST(GfKernels, NamesAndAvailability) {
+  EXPECT_STREQ(gf::kernel_name(gf::Kernel::kScalar), "scalar");
+  EXPECT_STREQ(gf::kernel_name(gf::Kernel::kMulTable), "multable");
+  EXPECT_STREQ(gf::kernel_name(gf::Kernel::kSplitNibble), "splitnibble");
+  EXPECT_STREQ(gf::kernel_name(gf::Kernel::kSimd), "simd");
+  EXPECT_STREQ(gf::kernel_name(gf::Kernel::kAuto), "auto");
+  EXPECT_TRUE(gf::kernel_available(gf::Kernel::kScalar));
+  EXPECT_TRUE(gf::kernel_available(gf::Kernel::kMulTable));
+  EXPECT_TRUE(gf::kernel_available(gf::Kernel::kSplitNibble));
+  EXPECT_TRUE(gf::kernel_available(gf::Kernel::kAuto));
+}
+
+TEST(GfKernels, AutoResolvesToConcreteAvailableKernel) {
+  const gf::Kernel k = gf::resolve_kernel(gf::Kernel::kAuto);
+  EXPECT_NE(k, gf::Kernel::kAuto);
+  EXPECT_TRUE(gf::kernel_available(k));
+  EXPECT_EQ(gf::resolve_kernel(gf::Kernel::kScalar), gf::Kernel::kScalar);
+}
+
+TEST(GfKernels, SetKernelRoundTrip) {
+  const gf::Kernel before = gf::active_kernel();
+  gf::set_kernel(gf::Kernel::kSplitNibble);
+  EXPECT_EQ(gf::active_kernel(), gf::Kernel::kSplitNibble);
+  gf::set_kernel(before);
+  EXPECT_EQ(gf::active_kernel(), before);
+}
+
+TEST(GfKernels, MulTableMatchesMul) {
+  for (int c : {0, 1, 2, 7, 0x53, 0x8e, 255}) {
+    const gf::Elem* t = gf::mul_table(static_cast<gf::Elem>(c));
+    for (int x = 0; x < 256; ++x) {
+      ASSERT_EQ(t[x], gf::mul(static_cast<gf::Elem>(c), static_cast<gf::Elem>(x)))
+          << "c=" << c << " x=" << x;
+    }
+  }
+}
+
+TEST(GfKernels, MulAddRowIdenticalAcrossKernels) {
+  Rng rng(40);
+  const std::size_t lengths[] = {0, 1, 7, 8, 9, 15, 16, 17, 31, 100, 4096};
+  const int coefficients[] = {0, 1, 2, 3, 0x1d, 0x57, 0x8e, 0xfe, 0xff};
+  for (const std::size_t n : lengths) {
+    for (const int c : coefficients) {
+      const Bytes in = random_bytes(n, rng);
+      const Bytes base = random_bytes(n, rng);
+      Bytes expect = base;
+      gf::mul_add_row(expect.data(), in.data(), static_cast<gf::Elem>(c), n,
+                      gf::Kernel::kScalar);
+      for (const gf::Kernel k : available_kernels()) {
+        Bytes out = base;
+        gf::mul_add_row(out.data(), in.data(), static_cast<gf::Elem>(c), n, k);
+        ASSERT_EQ(out, expect) << "kernel=" << gf::kernel_name(k) << " n=" << n
+                               << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(GfKernels, MulRowIdenticalAcrossKernels) {
+  Rng rng(41);
+  const std::size_t lengths[] = {0, 1, 7, 8, 9, 16, 17, 100, 4096};
+  const int coefficients[] = {0, 1, 2, 0x57, 0x8e, 0xff};
+  for (const std::size_t n : lengths) {
+    for (const int c : coefficients) {
+      const Bytes in = random_bytes(n, rng);
+      Bytes expect(n, 0xaa);
+      gf::mul_row(expect.data(), in.data(), static_cast<gf::Elem>(c), n,
+                  gf::Kernel::kScalar);
+      for (const gf::Kernel k : available_kernels()) {
+        Bytes out(n, 0x55);  // different fill: result must not depend on out
+        gf::mul_row(out.data(), in.data(), static_cast<gf::Elem>(c), n, k);
+        ASSERT_EQ(out, expect) << "kernel=" << gf::kernel_name(k) << " n=" << n
+                               << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(GfKernels, RowsWithZeroBytesIdenticalAcrossKernels) {
+  // Zero input bytes exercise the scalar kernel's x==0 branch against the
+  // branch-free table kernels.
+  Rng rng(42);
+  Bytes in = random_bytes(1024, rng);
+  for (std::size_t i = 0; i < in.size(); i += 3) in[i] = 0;
+  const Bytes base = random_bytes(1024, rng);
+  Bytes expect = base;
+  gf::mul_add_row(expect.data(), in.data(), 0x39, in.size(), gf::Kernel::kScalar);
+  for (const gf::Kernel k : available_kernels()) {
+    Bytes out = base;
+    gf::mul_add_row(out.data(), in.data(), 0x39, in.size(), k);
+    ASSERT_EQ(out, expect) << "kernel=" << gf::kernel_name(k);
+  }
+}
+
+TEST(GfKernels, AliasedInOutIdenticalAcrossKernels) {
+  // out == in is element-wise for both ops, so every kernel must permit it:
+  //   mul_add_row: out[i] ^= c * out[i]  == (c ^ 1) * out[i]
+  //   mul_row:     out[i]  = c * out[i]
+  Rng rng(43);
+  for (const std::size_t n : {1u, 9u, 100u, 4096u}) {
+    const Bytes base = random_bytes(n, rng);
+    for (const int c : {0, 1, 0x57, 0xff}) {
+      Bytes expect = base;
+      gf::mul_add_row(expect.data(), expect.data(), static_cast<gf::Elem>(c), n,
+                      gf::Kernel::kScalar);
+      for (const gf::Kernel k : available_kernels()) {
+        Bytes buf = base;
+        gf::mul_add_row(buf.data(), buf.data(), static_cast<gf::Elem>(c), n, k);
+        ASSERT_EQ(buf, expect) << "mul_add kernel=" << gf::kernel_name(k);
+      }
+      expect = base;
+      gf::mul_row(expect.data(), expect.data(), static_cast<gf::Elem>(c), n,
+                  gf::Kernel::kScalar);
+      for (const gf::Kernel k : available_kernels()) {
+        Bytes buf = base;
+        gf::mul_row(buf.data(), buf.data(), static_cast<gf::Elem>(c), n, k);
+        ASSERT_EQ(buf, expect) << "mul_row kernel=" << gf::kernel_name(k);
+      }
+    }
+  }
+}
+
+TEST(GfKernels, RandomizedRowsAllKernelsAgree) {
+  Rng rng(44);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.next_below(600);
+    const auto c = static_cast<gf::Elem>(rng.next_below(256));
+    const Bytes in = random_bytes(n, rng);
+    const Bytes base = random_bytes(n, rng);
+    Bytes expect = base;
+    gf::mul_add_row(expect.data(), in.data(), c, n, gf::Kernel::kScalar);
+    for (const gf::Kernel k : available_kernels()) {
+      Bytes out = base;
+      gf::mul_add_row(out.data(), in.data(), c, n, k);
+      ASSERT_EQ(out, expect) << "kernel=" << gf::kernel_name(k) << " trial="
+                             << trial;
+    }
+  }
+}
+
+TEST(IdaParallel, EncodeIdenticalToSerial) {
+  Rng rng(45);
+  const Bytes payload = random_bytes(10240, rng);
+  const ida::Encoder enc(40, 60);
+  ParallelThresholdGuard serial(static_cast<std::size_t>(-1));
+  const auto cooked_serial = enc.encode_payload(ByteSpan(payload), 256);
+  {
+    ParallelThresholdGuard parallel(0);
+    const auto cooked_parallel = enc.encode_payload(ByteSpan(payload), 256);
+    EXPECT_EQ(cooked_parallel, cooked_serial);
+  }
+}
+
+TEST(IdaParallel, DecodeIdenticalToSerial) {
+  Rng rng(46);
+  const Bytes payload = random_bytes(10240, rng);
+  const ida::Encoder enc(40, 80);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  std::vector<std::pair<std::size_t, Bytes>> redundancy;
+  for (std::size_t i = 40; i < 80; ++i) redundancy.emplace_back(i, cooked[i]);
+  const ida::Decoder dec(40, 80);
+  ParallelThresholdGuard serial(static_cast<std::size_t>(-1));
+  const auto raw_serial = dec.decode(redundancy);
+  {
+    ParallelThresholdGuard parallel(0);
+    const auto raw_parallel = dec.decode(redundancy);
+    EXPECT_EQ(raw_parallel, raw_serial);
+    EXPECT_EQ(dec.decode_payload(redundancy, payload.size()), payload);
+  }
+}
+
+TEST(IdaParallel, StreamingReconstructThroughParallelPath) {
+  ParallelThresholdGuard parallel(0);
+  Rng rng(47);
+  const Bytes payload = random_bytes(10240, rng);
+  const ida::Encoder enc(40, 60);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+
+  // Shuffled arrival with losses: drop a third, feed the rest.
+  std::vector<std::size_t> order(60);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = order.size() - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.next_below(i + 1)]);
+  }
+  ida::StreamingDecoder sd(40, 60, 256, payload.size());
+  for (std::size_t i = 0; i < 40; ++i) {
+    sd.add(order[i], ByteSpan(cooked[order[i]]));
+  }
+  ASSERT_TRUE(sd.complete());
+  EXPECT_EQ(sd.reconstruct(), payload);
+}
+
+TEST(IdaParallel, EveryKernelRoundTripsThroughEncodeDecode) {
+  ParallelThresholdGuard parallel(0);
+  Rng rng(48);
+  const Bytes payload = random_bytes(5000, rng);
+  const gf::Kernel before = gf::active_kernel();
+  for (const gf::Kernel k : available_kernels()) {
+    gf::set_kernel(k);
+    const ida::Encoder enc(20, 30);
+    const auto cooked = enc.encode_payload(ByteSpan(payload), 250);
+    std::vector<std::pair<std::size_t, Bytes>> kept;
+    for (std::size_t i = 0; i < 30; i += 3) kept.emplace_back(i, cooked[i]);
+    for (std::size_t i = 1; i < 30 && kept.size() < 20; i += 3) {
+      kept.emplace_back(i, cooked[i]);
+    }
+    const ida::Decoder dec(20, 30);
+    EXPECT_EQ(dec.decode_payload(kept, payload.size()), payload)
+        << "kernel=" << gf::kernel_name(k);
+  }
+  gf::set_kernel(before);
+}
+
+TEST(IdaParallel, ThresholdSetterReturnsPrevious) {
+  const std::size_t def = ida::parallel_threshold();
+  const std::size_t prev = ida::set_parallel_threshold(12345);
+  EXPECT_EQ(prev, def);
+  EXPECT_EQ(ida::parallel_threshold(), 12345u);
+  ida::set_parallel_threshold(prev);
+  EXPECT_EQ(ida::parallel_threshold(), def);
+}

@@ -127,6 +127,52 @@ TEST(Decoder, DuplicateIndicesDoNotCount) {
   EXPECT_THROW(dec.decode(dup), ContractViolation);
 }
 
+TEST(Decoder, IndexOutOfRangeThrows) {
+  Rng rng(31);
+  const Bytes payload = random_payload(512, rng);
+  ida::Encoder enc(2, 4);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::Decoder dec(2, 4);
+  const std::vector<std::pair<std::size_t, Bytes>> bad = {{0, cooked[0]},
+                                                          {4, cooked[1]}};
+  EXPECT_THROW(dec.decode(bad), ContractViolation);
+}
+
+TEST(Decoder, MixedPacketSizesThrow) {
+  Rng rng(32);
+  const Bytes payload = random_payload(512, rng);
+  ida::Encoder enc(2, 4);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::Decoder dec(2, 4);
+  // A short (truncated) payload must be rejected even when enough well-sized
+  // packets are present — never silently decoded against a ragged matrix.
+  Bytes truncated(cooked[1].begin(), cooked[1].begin() + 100);
+  const std::vector<std::pair<std::size_t, Bytes>> mixed = {
+      {0, cooked[0]}, {1, std::move(truncated)}, {2, cooked[2]}};
+  EXPECT_THROW(dec.decode(mixed), ContractViolation);
+}
+
+TEST(Decoder, EmptyPacketsThrow) {
+  ida::Decoder dec(2, 4);
+  EXPECT_THROW(dec.decode({}), ContractViolation);
+  const std::vector<std::pair<std::size_t, Bytes>> empties = {{0, Bytes{}},
+                                                              {1, Bytes{}}};
+  EXPECT_THROW(dec.decode(empties), ContractViolation);
+}
+
+TEST(Decoder, DuplicatesPlusEnoughDistinctStillDecode) {
+  Rng rng(33);
+  const Bytes payload = random_payload(512, rng);
+  ida::Encoder enc(2, 4);
+  const auto cooked = enc.encode_payload(ByteSpan(payload), 256);
+  ida::Decoder dec(2, 4);
+  // The duplicate must be skipped (not fed to the submatrix twice, which
+  // would make it singular); the later distinct packet completes the decode.
+  const std::vector<std::pair<std::size_t, Bytes>> dup_then_ok = {
+      {3, cooked[3]}, {3, cooked[3]}, {1, cooked[1]}};
+  EXPECT_EQ(dec.decode_payload(dup_then_ok, payload.size()), payload);
+}
+
 TEST(Decoder, PaperShape40of60) {
   Rng rng(25);
   const Bytes payload = random_payload(10240, rng);  // the paper's document

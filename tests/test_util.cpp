@@ -1,7 +1,9 @@
 // util: bytes, CRC, RNG, EWMA, stats, table.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/check.hpp"
@@ -10,6 +12,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mw = mobiweb;
 
@@ -237,4 +240,66 @@ TEST(Check, MacroThrowsWithContext) {
     EXPECT_NE(what.find("1 == 2"), std::string::npos);
     EXPECT_NE(what.find("math is broken"), std::string::npos);
   }
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPool, RunsEveryShardExactlyOnce) {
+  mw::ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(100, [&](std::size_t s) { hits[s].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsSerially) {
+  mw::ThreadPool pool(0);  // may resolve to 0 extra threads on 1-core hosts
+  std::atomic<int> sum{0};
+  pool.run(10, [&](std::size_t s) { sum.fetch_add(static_cast<int>(s)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ZeroShardsIsNoop) {
+  mw::ThreadPool pool(2);
+  pool.run(0, [](std::size_t) { FAIL() << "shard ran"; });
+}
+
+TEST(ThreadPool, ParallelForCoversRangeOnce) {
+  mw::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 16, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  mw::ThreadPool pool(2);
+  pool.parallel_for(5, 5, 1, [](std::size_t, std::size_t) { FAIL() << "ran"; });
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  mw::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run(50,
+               [](std::size_t s) {
+                 if (s == 17) throw std::runtime_error("shard 17 failed");
+               }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  mw::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.run(8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&mw::ThreadPool::global(), &mw::ThreadPool::global());
+  EXPECT_GE(mw::ThreadPool::global().concurrency(), 1u);
 }
