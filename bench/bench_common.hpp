@@ -4,10 +4,15 @@
 // regenerates, (b) an aligned ASCII table, and (c) a CSV block for plotting.
 // Set MOBIWEB_FAST=1 to cut repetitions (quick smoke runs); default settings
 // match the paper (50 repetitions x 200 documents).
+// Every bench also accepts --json[=PATH] (see json_request): a self-timed
+// machine-readable run printing one JSON object to stdout (and PATH when
+// given), following bench_micro_coding's convention.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
 
 #include "util/table.hpp"
@@ -36,6 +41,32 @@ inline void print_header(const std::string& artifact, const std::string& summary
 inline void print_table(const std::string& caption, const TextTable& table) {
   std::printf("\n-- %s --\n%s", caption.c_str(), table.render().c_str());
   std::printf("csv:\n%s", table.render_csv().c_str());
+}
+
+// Scans argv for --json or --json=PATH. Returns nullopt when absent, the
+// (possibly empty) output path when present.
+inline std::optional<std::string> json_request(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return std::string();
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return std::string(argv[i] + 7);
+  }
+  return std::nullopt;
+}
+
+// Prints `json` to stdout and, when `path` is non-empty, to `path` as well.
+// Returns the process exit code.
+inline int emit_json(const std::string& json, const std::string& path) {
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
 }
 
 }  // namespace mobiweb::bench

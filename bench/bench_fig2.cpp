@@ -1,21 +1,38 @@
 // Figure 2: "Number of cooked packets needed" — minimal N versus raw packets
 // M for failure probabilities alpha = 0.1..0.5, at success rates S = 95% and
 // S = 99% (two panels).
+//
+// --json[=PATH] additionally runs one traced transfer per alpha at the
+// paper's document shape (M = 40, N from the S = 95% panel) and emits the
+// per-round session traces plus the aggregated metrics registry, so the
+// analytic N can be compared against observed round counts.
+#include <string>
+#include <vector>
+
 #include "analysis/negbinom.hpp"
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/transfer.hpp"
+#include "util/rng.hpp"
 
+using mobiweb::Rng;
 using mobiweb::TextTable;
 namespace analysis = mobiweb::analysis;
 namespace bench = mobiweb::bench;
+namespace obs = mobiweb::obs;
+namespace sim = mobiweb::sim;
 
 namespace {
+
+constexpr double kAlphas[] = {0.1, 0.2, 0.3, 0.4, 0.5};
 
 void panel(double success, const char* label) {
   TextTable table({"M", "alpha=0.1", "alpha=0.2", "alpha=0.3", "alpha=0.4",
                    "alpha=0.5"});
   for (int m = 10; m <= 100; m += 10) {
     std::vector<std::string> row = {std::to_string(m)};
-    for (const double alpha : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    for (const double alpha : kAlphas) {
       row.push_back(std::to_string(analysis::optimal_cooked_packets(m, alpha, success)));
     }
     table.add_row(std::move(row));
@@ -23,9 +40,62 @@ void panel(double success, const char* label) {
   bench::print_table(std::string("Figure 2") + label, table);
 }
 
+std::string panel_json(double success) {
+  std::string json = "{";
+  for (int m = 10; m <= 100; m += 10) {
+    if (m > 10) json += ", ";
+    json += "\"" + std::to_string(m) + "\": [";
+    bool first = true;
+    for (const double alpha : kAlphas) {
+      if (!first) json += ", ";
+      json += std::to_string(analysis::optimal_cooked_packets(m, alpha, success));
+      first = false;
+    }
+    json += "]";
+  }
+  json += "}";
+  return json;
+}
+
+int run_json_mode(const std::string& path) {
+  std::string json = "{\n  \"bench\": \"fig2\",\n";
+  json += "  \"alphas\": [0.1, 0.2, 0.3, 0.4, 0.5],\n";
+  json += "  \"n_required\": {\"s95\": " + panel_json(0.95) +
+          ",\n                 \"s99\": " + panel_json(0.99) + "},\n";
+
+  // Empirical check: one traced document transfer per alpha with the N the
+  // S = 95% panel prescribes for M = 40. Most sessions should finish in one
+  // round; the traces record how close the analytic bound runs.
+  obs::MetricsRegistry registry;
+  json += "  \"sessions\": [\n";
+  bool first = true;
+  for (const double alpha : kAlphas) {
+    sim::TransferConfig cfg;
+    cfg.m = 40;
+    cfg.n = analysis::optimal_cooked_packets(40, alpha, 0.95);
+    cfg.alpha = alpha;
+    obs::SessionTrace trace;
+    trace.set_label("alpha=" + TextTable::fmt(alpha, 1));
+    cfg.trace = &trace;
+    const std::vector<double> profile(40, 1.0 / 40.0);
+    Rng rng(2026 + static_cast<std::uint64_t>(alpha * 10));
+    (void)sim::simulate_transfer(profile, cfg, rng);
+    obs::aggregate_trace(trace, registry);
+    if (!first) json += ",\n";
+    json += "    " + trace.to_json();
+    first = false;
+  }
+  json += "\n  ],\n";
+  json += "  \"metrics\": " + registry.to_json() + "\n}\n";
+  return bench::emit_json(json, path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto path = bench::json_request(argc, argv)) {
+    return run_json_mode(*path);
+  }
   bench::print_header(
       "Figure 2 — cooked packets N required vs raw packets M",
       "N = min{n : Pr(P <= n) >= S} under the negative binomial of §4.1.\n"

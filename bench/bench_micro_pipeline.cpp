@@ -2,16 +2,28 @@
 // structuring, Porter stemming, SC generation, QIC scoring. These bound how
 // fast a proxy/gateway can index documents and answer queries (the paper
 // notes "the computational overhead of QIC is quite low").
+//
+// BM_TransferSession/* additionally measure a full document transfer over a
+// lossy channel with the observability sinks detached, attached, and
+// attached with full event capture — the no-op-sink run is the overhead
+// guarantee DESIGN.md makes for the obs layer.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 
+#include "channel/channel.hpp"
+#include "channel/error_model.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
 #include "doc/recognizer.hpp"
 #include "html/structurer.hpp"
+#include "obs/trace.hpp"
 #include "text/porter.hpp"
 #include "text/tokenize.hpp"
+#include "transmit/receiver.hpp"
+#include "transmit/session.hpp"
+#include "transmit/transmitter.hpp"
 #include "xml/parser.hpp"
 #include "xml/serialize.hpp"
 
@@ -107,5 +119,52 @@ void BM_Linearize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Linearize);
+
+// mode 0: no trace attached (the zero-cost guarantee), 1: trace with round
+// summaries only, 2: trace with the full per-frame event log.
+void BM_TransferSession(benchmark::State& state) {
+  namespace channel = mobiweb::channel;
+  namespace transmit = mobiweb::transmit;
+  namespace obs = mobiweb::obs;
+  const int mode = static_cast<int>(state.range(0));
+
+  const doc::ScGenerator gen;
+  const auto sc = gen.generate(mobiweb::xml::parse(bench::kPaperXml));
+  doc::LinearDocument linear =
+      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+  transmit::TransmitterConfig tc;
+  tc.packet_size = 256;
+  tc.gamma = 1.5;
+  tc.doc_id = 1;
+  const transmit::DocumentTransmitter tx(std::move(linear), tc);
+
+  transmit::ReceiverConfig rc;
+  rc.doc_id = 1;
+  rc.m = tx.m();
+  rc.n = tx.n();
+  rc.packet_size = tc.packet_size;
+  rc.payload_size = tx.payload_size();
+
+  obs::SessionTrace trace;
+  trace.capture_events(mode == 2);
+
+  for (auto _ : state) {
+    channel::ChannelConfig cc;
+    cc.seed = 99;
+    channel::WirelessChannel ch(cc, std::make_unique<channel::IidErrorModel>(0.2));
+    transmit::ClientReceiver rx(rc, tx.document().segments);
+    transmit::SessionConfig scfg;
+    if (mode != 0) {
+      trace.clear();
+      scfg.trace = &trace;
+    }
+    transmit::TransferSession session(tx, rx, ch, scfg);
+    benchmark::DoNotOptimize(session.run());
+  }
+}
+BENCHMARK(BM_TransferSession)
+    ->Arg(0)   // no-op sink
+    ->Arg(1)   // round summaries
+    ->Arg(2);  // full event capture
 
 }  // namespace

@@ -80,7 +80,7 @@ const DocumentInfo& BroadcastServer::info(std::uint16_t doc_id) const {
 
 ListenResult listen_for(const BroadcastServer& server, std::uint16_t doc_id,
                         std::size_t start_offset, channel::WirelessChannel& channel,
-                        int max_cycles) {
+                        int max_cycles, obs::SessionTrace* trace) {
   const auto& cycle = server.cycle();
   MOBIWEB_CHECK_MSG(!cycle.empty(), "listen_for: empty cycle");
   const DocumentInfo& info = server.info(doc_id);
@@ -89,26 +89,55 @@ ListenResult listen_for(const BroadcastServer& server, std::uint16_t doc_id,
 
   ListenResult result;
   const double start = channel.now();
+  double last_arrival = start;
+  if (trace != nullptr) trace->session_start(start);
   const std::size_t total = cycle.size();
   const std::size_t limit = total * static_cast<std::size_t>(max_cycles);
   for (std::size_t k = 0; k < limit; ++k) {
     const std::size_t idx = (start_offset + k) % total;
+    if (trace != nullptr && idx == start_offset) {
+      // Each pass over the full cycle is one "round" of the broadcast.
+      trace->round_start(static_cast<int>(k / total) + 1, channel.now());
+    }
     const auto delivery = channel.send(ByteSpan(cycle[idx]));
     ++result.frames_heard;
+    last_arrival = delivery.arrive_time;
     const auto decoded = packet::decode(ByteSpan(delivery.frame));
-    if (!decoded || decoded->doc_id != doc_id) continue;
-    ++result.frames_of_doc;
-    if (decoded->payload.size() != info.packet_size || decoded->seq >= info.n) {
+    if (!decoded) {
+      // CRC failure: the frame may have belonged to any document.
+      ++result.frames_corrupted;
+      if (trace != nullptr) trace->frame_corrupted(last_arrival);
       continue;
     }
-    decoder.add(decoded->seq, ByteSpan(decoded->payload));
+    if (decoded->doc_id != doc_id) {
+      if (trace != nullptr) trace->frame_foreign(last_arrival);
+      continue;
+    }
+    ++result.frames_of_doc;
+    if (decoded->payload.size() != info.packet_size || decoded->seq >= info.n) {
+      if (trace != nullptr) trace->frame_foreign(last_arrival);
+      continue;
+    }
+    const bool newly_useful = decoder.add(decoded->seq, ByteSpan(decoded->payload));
+    if (trace != nullptr) {
+      if (newly_useful) {
+        trace->frame_intact(decoded->seq, last_arrival, decoder.clear_fraction());
+      } else {
+        trace->frame_duplicate(decoded->seq, last_arrival);
+      }
+    }
     if (decoder.complete()) {
       result.completed = true;
       result.payload = decoder.reconstruct();
+      if (trace != nullptr) trace->decode_complete(last_arrival);
       break;
     }
   }
   result.time = channel.now() - start;
+  if (trace != nullptr) {
+    if (!result.completed) trace->give_up(last_arrival);
+    trace->session_end(last_arrival, decoder.clear_fraction());
+  }
   return result;
 }
 

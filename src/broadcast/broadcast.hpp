@@ -21,6 +21,7 @@
 #include "channel/channel.hpp"
 #include "doc/linear.hpp"
 #include "ida/ida.hpp"
+#include "obs/trace.hpp"
 #include "packet/packet.hpp"
 #include "util/bytes.hpp"
 
@@ -75,16 +76,20 @@ class BroadcastServer {
 
 struct ListenResult {
   bool completed = false;
-  long frames_heard = 0;     // frames that went by while tuned in
-  long frames_of_doc = 0;    // frames of the wanted document among them
-  double time = 0.0;         // listening time until reconstruction
-  Bytes payload;             // reconstructed document payload
+  long frames_heard = 0;      // frames that went by while tuned in
+  long frames_of_doc = 0;     // intact frames of the wanted document
+  long frames_corrupted = 0;  // frames that failed CRC while tuned in
+  double time = 0.0;          // listening time until reconstruction
+  Bytes payload;              // reconstructed document payload
 };
 
 // One listener: tunes in at frame `start_offset` of the cycle and listens
 // until its document is reconstructable (or `max_cycles` full cycles pass).
+// A corrupted frame cannot be attributed to any document (the header is
+// untrustworthy), so frames_of_doc counts only intact frames of `doc_id`;
+// intact frames of other documents are "foreign" in the trace.
 ListenResult listen_for(const BroadcastServer& server, std::uint16_t doc_id,
                         std::size_t start_offset, channel::WirelessChannel& channel,
-                        int max_cycles = 50);
+                        int max_cycles = 50, obs::SessionTrace* trace = nullptr);
 
 }  // namespace mobiweb::broadcast

@@ -1,5 +1,8 @@
 #include "channel/channel.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.hpp"
 
 namespace mobiweb::channel {
@@ -24,11 +27,21 @@ WirelessChannel::Delivery WirelessChannel::send(ByteSpan frame) {
   d.arrive_time = clock_ + config_.propagation_delay_s;
   d.corrupted = errors_->next_corrupted(rng_);
   if (d.corrupted) {
-    // Flip a handful of bytes so the CRC check fails with near-certainty;
-    // xor with a nonzero mask guarantees the byte actually changes.
-    const std::size_t flips = 1 + d.frame.size() / 64;
-    for (std::size_t i = 0; i < flips; ++i) {
+    // Flip a handful of bytes so the CRC check fails: each flipped position
+    // is distinct and each mask nonzero, so the delivered frame is guaranteed
+    // to differ from the original (two flips landing on the same byte with
+    // the same mask used to cancel out, letting a frame counted as corrupted
+    // sail through packet::decode).
+    const std::size_t flips =
+        std::min(d.frame.size(), 1 + d.frame.size() / 64);
+    std::vector<std::size_t> flipped;
+    flipped.reserve(flips);
+    while (flipped.size() < flips) {
       const std::size_t pos = rng_.next_below(d.frame.size());
+      if (std::find(flipped.begin(), flipped.end(), pos) != flipped.end()) {
+        continue;
+      }
+      flipped.push_back(pos);
       const auto mask = static_cast<std::uint8_t>(1 + rng_.next_below(255));
       d.frame[pos] ^= mask;
     }
@@ -36,7 +49,22 @@ WirelessChannel::Delivery WirelessChannel::send(ByteSpan frame) {
   ++stats_.frames_sent;
   if (d.corrupted) ++stats_.frames_corrupted;
   stats_.bytes_sent += frame.size();
+  if (metric_sent_ != nullptr) {
+    metric_sent_->inc();
+    if (d.corrupted) metric_corrupted_->inc();
+    metric_bytes_->inc(static_cast<long>(frame.size()));
+  }
   return d;
+}
+
+void WirelessChannel::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_sent_ = metric_corrupted_ = metric_bytes_ = nullptr;
+    return;
+  }
+  metric_sent_ = &registry->counter("channel.frames_sent");
+  metric_corrupted_ = &registry->counter("channel.frames_corrupted");
+  metric_bytes_ = &registry->counter("channel.bytes_sent");
 }
 
 void WirelessChannel::advance(double seconds) {

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "channel/error_model.hpp"
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +62,11 @@ class WirelessChannel {
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] const ErrorModel& errors() const { return *errors_; }
 
+  // Mirrors ChannelStats into `channel.*` counters of `registry` from now on.
+  // Counter references are resolved once here, so the per-frame cost with a
+  // collector attached is three increments; nullptr detaches (the default).
+  void set_metrics(obs::MetricsRegistry* registry);
+
   void reset_clock() { clock_ = 0.0; }
 
  private:
@@ -69,6 +75,9 @@ class WirelessChannel {
   Rng rng_;
   double clock_ = 0.0;
   ChannelStats stats_;
+  obs::Counter* metric_sent_ = nullptr;
+  obs::Counter* metric_corrupted_ = nullptr;
+  obs::Counter* metric_bytes_ = nullptr;
 };
 
 }  // namespace mobiweb::channel

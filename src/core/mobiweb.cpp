@@ -79,6 +79,11 @@ BrowseSession::BrowseSession(const Server& server, BrowseConfig config)
       cc, std::make_unique<channel::IidErrorModel>(config_.alpha));
 }
 
+void BrowseSession::attach_collector(obs::Collector* collector) {
+  collector_ = collector;
+  channel_->set_metrics(collector != nullptr ? &collector->metrics() : nullptr);
+}
+
 FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& options) {
   const doc::StructuralCharacteristic* sc = server_->find(url);
   if (sc == nullptr) {
@@ -125,11 +130,14 @@ FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& optio
 
   transmit::SessionConfig scfg;
   scfg.relevance_threshold = options.relevance_threshold;
+  obs::SessionTrace* trace = nullptr;
+  if (collector_ != nullptr) {
+    trace = &collector_->begin_trace(std::string(url));
+    scfg.trace = trace;
+  }
   transmit::TransferSession session(transmitter, receiver, *channel_, scfg);
 
   FetchResult result;
-  const long corrupted_before = channel_->stats().frames_corrupted;
-  const long sent_before = channel_->stats().frames_sent;
   result.session = session.run();
   result.m = transmitter.m();
   result.n = transmitter.n();
@@ -143,12 +151,13 @@ FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& optio
     result.text = doc::reassemble_text(reconstructed);
   }
 
-  // Feed the observed corruption rate back into the adaptive controller.
-  const long sent = channel_->stats().frames_sent - sent_before;
-  const long corrupted = channel_->stats().frames_corrupted - corrupted_before;
-  if (sent > 0) {
-    adaptive_.observe(static_cast<double>(corrupted) / static_cast<double>(sent));
+  // Feed the corruption rate the *client* observed back into the adaptive
+  // controller — the receiver's estimate excludes foreign frames, so a shared
+  // channel cannot skew gamma.
+  if (receiver.frames_seen() > 0) {
+    adaptive_.observe(receiver.observed_corruption_rate());
   }
+  if (trace != nullptr) collector_->finish_trace(*trace);
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "channel/channel.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
+#include "obs/trace.hpp"
 #include "transmit/adaptive.hpp"
 #include "transmit/receiver.hpp"
 #include "transmit/session.hpp"
@@ -126,11 +127,19 @@ class BrowseSession {
   [[nodiscard]] const transmit::AdaptiveGamma& adaptive_gamma() const { return adaptive_; }
   [[nodiscard]] double now() const { return channel_->now(); }
 
+  // Attaches an observability collector: every subsequent fetch records a
+  // SessionTrace labelled with its URL, aggregates it into the collector's
+  // metrics, and the channel feeds the collector's counters. nullptr
+  // detaches (the default — fetches then run with no-op sinks).
+  void attach_collector(obs::Collector* collector);
+  [[nodiscard]] obs::Collector* collector() const { return collector_; }
+
  private:
   const Server* server_;
   BrowseConfig config_;
   std::unique_ptr<channel::WirelessChannel> channel_;
   transmit::AdaptiveGamma adaptive_;
+  obs::Collector* collector_ = nullptr;
   std::uint16_t next_doc_id_ = 1;
 };
 

@@ -80,6 +80,7 @@ PrefetchOutcome Prefetcher::run_idle(const doc::UserProfile& profile,
                    });
 
   const double start = session_->now();
+  long failed = 0;
   for (const auto& candidate : candidates) {
     if (outcome.fetched >= static_cast<int>(config_.max_documents_per_idle)) break;
     if (session_->now() - start >= idle_budget_s) break;
@@ -90,10 +91,29 @@ PrefetchOutcome Prefetcher::run_idle(const doc::UserProfile& profile,
     if (r.session.completed) {
       cache_->put(candidate.url, r.text);
       ++outcome.fetched;
+    } else {
+      ++failed;
     }
   }
   outcome.airtime_used = session_->now() - start;
+  if (metrics_ != nullptr) {
+    metrics_->counter("prefetch.runs").inc();
+    metrics_->counter("prefetch.fetched").inc(outcome.fetched);
+    metrics_->counter("prefetch.failed").inc(failed);
+    metrics_->gauge("prefetch.cache_documents")
+        .set(static_cast<double>(cache_->documents()));
+    metrics_->gauge("prefetch.cache_bytes")
+        .set(static_cast<double>(cache_->bytes()));
+    metrics_
+        ->histogram("prefetch.airtime_s",
+                    {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0})
+        .observe(outcome.airtime_used);
+  }
   return outcome;
+}
+
+void Prefetcher::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
 }
 
 }  // namespace mobiweb

@@ -17,6 +17,7 @@
 
 #include "core/mobiweb.hpp"
 #include "doc/profile.hpp"
+#include "obs/metrics.hpp"
 
 namespace mobiweb {
 
@@ -62,11 +63,18 @@ class Prefetcher {
   PrefetchOutcome run_idle(const doc::UserProfile& profile, double idle_budget_s,
                            const std::set<std::string>& exclude = {});
 
+  // Publishes prefetch activity into `registry` (counters
+  // prefetch.runs / prefetch.fetched / prefetch.failed, gauges
+  // prefetch.cache_documents / prefetch.cache_bytes, histogram
+  // prefetch.airtime_s). nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   const Server* server_;
   BrowseSession* session_;
   DocumentCache* cache_;
   PrefetchConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace mobiweb

@@ -1,0 +1,98 @@
+// Transmit-layer metrics: counters, gauges and fixed-bucket histograms,
+// grouped in a MetricsRegistry with JSON export (the same machine-readable
+// convention as `bench_micro_coding --json`).
+//
+// Design constraints (see DESIGN.md §"Observability"):
+//   * zero cost when unused — every instrumented component holds a plain
+//     pointer that defaults to nullptr, so the uninstrumented hot path pays
+//     one predictable branch and nothing else;
+//   * no locking — a registry belongs to one simulation/session thread, like
+//     every other stateful object in this repository;
+//   * stable iteration order (std::map) so JSON output is diffable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobiweb::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(long delta = 1) { value_ += delta; }
+  [[nodiscard]] long value() const { return value_; }
+
+ private:
+  long value_ = 0;
+};
+
+// Last-written (or accumulated) scalar.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of the
+// finite buckets (must be strictly increasing); one implicit overflow bucket
+// catches everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] long count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+  // bucket_counts().size() == upper_bounds().size() + 1 (overflow last).
+  [[nodiscard]] const std::vector<long>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<long> counts_;
+  long count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Lookup-or-create by name. References stay valid for the registry's
+  // lifetime (node-based map), so hot paths can cache them.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `upper_bounds` is consulted only when the histogram is first created.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {"buckets": [...],
+  //  "counts": [...], "count": c, "sum": s, "min": lo, "max": hi}}}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mobiweb::obs

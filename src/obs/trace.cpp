@@ -1,0 +1,273 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace mobiweb::obs {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kSessionStart: return "session_start";
+    case Event::kRoundStart: return "round_start";
+    case Event::kFrameSent: return "frame_sent";
+    case Event::kFrameIntact: return "frame_intact";
+    case Event::kFrameCorrupted: return "frame_corrupted";
+    case Event::kFrameDuplicate: return "frame_duplicate";
+    case Event::kFrameForeign: return "frame_foreign";
+    case Event::kRetransmitRequest: return "retransmit_request";
+    case Event::kRoundEnd: return "round_end";
+    case Event::kDecodeComplete: return "decode_complete";
+    case Event::kAbortIrrelevant: return "abort_irrelevant";
+    case Event::kGiveUp: return "give_up";
+    case Event::kSessionEnd: return "session_end";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void SessionTrace::clear() {
+  events_.clear();
+  rounds_.clear();
+  start_time_ = end_time_ = final_content_ = 0.0;
+  completed_ = aborted_ = gave_up_ = false;
+}
+
+void SessionTrace::push(Event type, double time, long seq, double value) {
+  if (!capture_events_) return;
+  events_.push_back(TraceEvent{type, time,
+                               rounds_.empty() ? 0 : rounds_.back().round, seq,
+                               value});
+}
+
+RoundSummary& SessionTrace::round_at(double time) {
+  if (rounds_.empty()) {
+    // Frame recorded before any explicit round_start: open round 1.
+    rounds_.push_back(RoundSummary{.round = 1, .start_time = time,
+                                   .end_time = time});
+  }
+  return rounds_.back();
+}
+
+void SessionTrace::session_start(double time) {
+  start_time_ = end_time_ = time;
+  push(Event::kSessionStart, time, -1, 0.0);
+}
+
+void SessionTrace::round_start(int round, double time) {
+  rounds_.push_back(RoundSummary{.round = round, .start_time = time,
+                                 .end_time = time});
+  push(Event::kRoundStart, time, -1, 0.0);
+}
+
+void SessionTrace::frame_sent(long seq, double time) {
+  RoundSummary& r = round_at(time);
+  ++r.frames_sent;
+  r.end_time = time;
+  push(Event::kFrameSent, time, seq, 0.0);
+}
+
+void SessionTrace::frame_intact(long seq, double time, double content) {
+  RoundSummary& r = round_at(time);
+  ++r.frames_intact;
+  r.end_time = time;
+  r.content_end = content;
+  push(Event::kFrameIntact, time, seq, content);
+}
+
+void SessionTrace::frame_corrupted(double time) {
+  RoundSummary& r = round_at(time);
+  ++r.frames_corrupted;
+  r.end_time = time;
+  push(Event::kFrameCorrupted, time, -1, 0.0);
+}
+
+void SessionTrace::frame_duplicate(long seq, double time) {
+  RoundSummary& r = round_at(time);
+  ++r.frames_duplicate;
+  r.end_time = time;
+  push(Event::kFrameDuplicate, time, seq, 0.0);
+}
+
+void SessionTrace::frame_foreign(double time) {
+  RoundSummary& r = round_at(time);
+  ++r.frames_foreign;
+  r.end_time = time;
+  push(Event::kFrameForeign, time, -1, 0.0);
+}
+
+void SessionTrace::retransmit_request(double time, long pending) {
+  push(Event::kRetransmitRequest, time, -1, static_cast<double>(pending));
+}
+
+void SessionTrace::round_end(double time) {
+  if (!rounds_.empty()) rounds_.back().end_time = time;
+  push(Event::kRoundEnd, time, -1, 0.0);
+}
+
+void SessionTrace::decode_complete(double time) {
+  completed_ = true;
+  push(Event::kDecodeComplete, time, -1, 0.0);
+}
+
+void SessionTrace::abort_irrelevant(double time, double content) {
+  aborted_ = true;
+  push(Event::kAbortIrrelevant, time, -1, content);
+}
+
+void SessionTrace::give_up(double time) {
+  gave_up_ = true;
+  push(Event::kGiveUp, time, -1, 0.0);
+}
+
+void SessionTrace::session_end(double time, double content) {
+  end_time_ = time;
+  final_content_ = content;
+  if (!rounds_.empty()) {
+    // Close a round that terminated mid-flight (complete/abort).
+    rounds_.back().end_time = time;
+    rounds_.back().content_end = content;
+  }
+  push(Event::kSessionEnd, time, -1, content);
+}
+
+long SessionTrace::frames_sent() const {
+  long total = 0;
+  for (const auto& r : rounds_) total += r.frames_sent;
+  return total;
+}
+
+std::string SessionTrace::to_json() const {
+  std::string out = "{\"label\": \"";
+  for (const char c : label_) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\", \"completed\": ";
+  out += completed_ ? "true" : "false";
+  out += ", \"aborted_irrelevant\": ";
+  out += aborted_ ? "true" : "false";
+  out += ", \"gave_up\": ";
+  out += gave_up_ ? "true" : "false";
+  out += ", \"response_time\": ";
+  append_number(out, response_time());
+  out += ", \"final_content\": ";
+  append_number(out, final_content_);
+  out += ", \"rounds\": [";
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    const RoundSummary& r = rounds_[i];
+    if (i) out += ", ";
+    out += "{\"round\": " + std::to_string(r.round);
+    out += ", \"start\": ";
+    append_number(out, r.start_time);
+    out += ", \"end\": ";
+    append_number(out, r.end_time);
+    out += ", \"sent\": " + std::to_string(r.frames_sent);
+    out += ", \"intact\": " + std::to_string(r.frames_intact);
+    out += ", \"corrupted\": " + std::to_string(r.frames_corrupted);
+    out += ", \"duplicate\": " + std::to_string(r.frames_duplicate);
+    out += ", \"foreign\": " + std::to_string(r.frames_foreign);
+    out += ", \"content\": ";
+    append_number(out, r.content_end);
+    out += "}";
+  }
+  out += "]";
+  if (capture_events_) {
+    out += ", \"events\": [";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const TraceEvent& e = events_[i];
+      if (i) out += ", ";
+      out += std::string("{\"type\": \"") + event_name(e.type) + "\", \"t\": ";
+      append_number(out, e.time);
+      out += ", \"round\": " + std::to_string(e.round);
+      out += ", \"seq\": " + std::to_string(e.seq);
+      out += ", \"value\": ";
+      append_number(out, e.value);
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+std::vector<double> latency_buckets() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 60.0};
+}
+
+std::vector<double> frame_count_buckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 255};
+}
+
+std::vector<double> round_buckets() {
+  return {1, 2, 3, 4, 6, 8, 12, 16, 25};
+}
+
+std::vector<double> content_buckets() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+}  // namespace
+
+void aggregate_trace(const SessionTrace& trace, MetricsRegistry& registry) {
+  registry.counter("session.count").inc();
+  if (trace.completed()) registry.counter("session.completed").inc();
+  if (trace.aborted_irrelevant()) registry.counter("session.aborted_irrelevant").inc();
+  if (trace.gave_up()) registry.counter("session.gave_up").inc();
+
+  registry.histogram("session.response_time_s", latency_buckets())
+      .observe(trace.response_time());
+  registry.histogram("session.rounds", round_buckets())
+      .observe(static_cast<double>(trace.rounds().size()));
+  registry.histogram("session.final_content", content_buckets())
+      .observe(trace.final_content());
+
+  long intact = 0;
+  long corrupted = 0;
+  long duplicate = 0;
+  long foreign = 0;
+  for (const RoundSummary& r : trace.rounds()) {
+    intact += r.frames_intact;
+    corrupted += r.frames_corrupted;
+    duplicate += r.frames_duplicate;
+    foreign += r.frames_foreign;
+    registry.histogram("round.latency_s", latency_buckets()).observe(r.latency());
+    registry.histogram("round.frames_intact", frame_count_buckets())
+        .observe(static_cast<double>(r.frames_intact));
+    registry.histogram("round.frames_corrupted", frame_count_buckets())
+        .observe(static_cast<double>(r.frames_corrupted));
+    registry.histogram("round.content_progress", content_buckets())
+        .observe(r.content_end);
+  }
+  registry.counter("frames.sent").inc(trace.frames_sent());
+  registry.counter("frames.intact").inc(intact);
+  registry.counter("frames.corrupted").inc(corrupted);
+  registry.counter("frames.duplicate").inc(duplicate);
+  registry.counter("frames.foreign").inc(foreign);
+}
+
+SessionTrace& Collector::begin_trace(std::string label) {
+  traces_.emplace_back(std::move(label));
+  return traces_.back();
+}
+
+std::string Collector::to_json() const {
+  std::string out = "{\"metrics\": " + metrics_.to_json() + ", \"traces\": [";
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    if (i) out += ", ";
+    out += traces_[i].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mobiweb::obs

@@ -41,19 +41,40 @@ ExperimentResult run_browsing_experiment(const ExperimentParams& params) {
   const long total_docs = static_cast<long>(params.repetitions) *
                           static_cast<long>(params.documents_per_session);
 
+  // One reusable trace feeding the registry; cleared per document.
+  obs::SessionTrace trace;
+  if (params.metrics != nullptr) transfer.trace = &trace;
+
   for (int rep = 0; rep < params.repetitions; ++rep) {
     Rng rng = master.fork();
+    // Clone per repetition: repetitions must be independent experiments even
+    // for stateful (burst) models.
+    std::unique_ptr<channel::ErrorModel> model;
+    if (params.error_model != nullptr) model = params.error_model->clone();
     RunningStats per_doc;
     for (int d = 0; d < params.documents_per_session; ++d) {
       const SyntheticDocument document = generate_document(params.document, rng);
       const std::vector<double> profile = packet_content_profile(document, params.lod);
       transfer.relevance_threshold =
           (d < irrelevant_docs) ? params.relevance_threshold : -1.0;
-      const TransferResult r = simulate_transfer(profile, transfer, rng);
+      TransferResult r;
+      if (model != nullptr) {
+        // Each document visit is an independent link: a burst in progress at
+        // the end of one document must not bleed into the next.
+        model->reset();
+        r = simulate_transfer(profile, transfer,
+                              [&] { return model->next_corrupted(rng); });
+      } else {
+        r = simulate_transfer(profile, transfer, rng);
+      }
       per_doc.add(r.time);
       out.total_packets += r.packets;
       if (r.rounds > 1) ++stalled;
       if (r.gave_up) ++gave_up;
+      if (params.metrics != nullptr) {
+        obs::aggregate_trace(trace, *params.metrics);
+        trace.clear();
+      }
     }
     session_means.add(per_doc.mean());
   }

@@ -11,7 +11,10 @@
 #include <cstdint>
 #include <string>
 
+#include "channel/error_model.hpp"
 #include "doc/lod.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/synthetic.hpp"
 #include "sim/transfer.hpp"
 #include "util/stats.hpp"
@@ -33,6 +36,14 @@ struct ExperimentParams {
   int repetitions = 50;
   int max_rounds = 25;
   std::uint64_t seed = 42;
+  // Optional burst/error model replacing the iid `alpha` draw. Cloned once
+  // per repetition and reset() between documents, so one document's burst
+  // state cannot leak into the next (each document visit is an independent
+  // link in the paper's setup).
+  const channel::ErrorModel* error_model = nullptr;
+  // Optional metrics sink: every document transfer is traced and aggregated
+  // here (see obs::aggregate_trace for the series produced).
+  obs::MetricsRegistry* metrics = nullptr;
 
   [[nodiscard]] int m() const { return document.raw_packets(); }
   [[nodiscard]] int n() const;  // ceil(gamma * m)

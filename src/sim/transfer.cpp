@@ -24,38 +24,59 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
   std::vector<bool> seen(static_cast<std::size_t>(config.n), false);
   int intact = 0;
   double content = 0.0;
+  obs::SessionTrace* trace = config.trace;
+  double clock = 0.0;
+  if (trace != nullptr) trace->session_start(clock);
 
   const auto finish = [&](double received) {
     result.content = received;
     result.time = static_cast<double>(result.packets) * config.time_per_packet +
                   static_cast<double>(result.rounds - 1) * config.request_delay;
+    if (trace != nullptr) trace->session_end(clock, received);
   };
 
   for (result.rounds = 1; result.rounds <= config.max_rounds; ++result.rounds) {
+    if (trace != nullptr) trace->round_start(result.rounds, clock);
     for (int i = 0; i < config.n; ++i) {
       ++result.packets;
+      clock += config.time_per_packet;
+      if (trace != nullptr) trace->frame_sent(i, clock);
       const bool corrupted = next_corrupted();
-      if (!corrupted && !seen[static_cast<std::size_t>(i)]) {
+      if (corrupted) {
+        if (trace != nullptr) trace->frame_corrupted(clock);
+      } else if (!seen[static_cast<std::size_t>(i)]) {
         seen[static_cast<std::size_t>(i)] = true;
         ++intact;
         if (i < config.m) content += clear_content[static_cast<std::size_t>(i)];
+        if (trace != nullptr) {
+          trace->frame_intact(i, clock,
+                              (intact >= config.m) ? total_content : content);
+        }
+      } else if (trace != nullptr) {
+        trace->frame_duplicate(i, clock);
       }
-      const double received = (intact >= config.m) ? total_content : content;
-      if (relevance_check && received >= config.relevance_threshold) {
-        // Condition 3 (§4.2): the user judges the document irrelevant.
-        result.aborted_irrelevant = true;
-        result.completed = intact >= config.m;
-        finish(received);
+      // As in TransferSession: condition 1 (reconstruction) takes precedence
+      // over condition 3 when the same packet triggers both.
+      if (intact >= config.m) {
+        result.completed = true;
+        if (trace != nullptr) trace->decode_complete(clock);
+        finish(total_content);
         return result;
       }
-      if (intact >= config.m) {
-        // Condition 1: enough cooked packets to reconstruct.
-        result.completed = true;
-        finish(total_content);
+      if (relevance_check && content >= config.relevance_threshold) {
+        // Condition 3 (§4.2): the user judges the document irrelevant.
+        result.aborted_irrelevant = true;
+        if (trace != nullptr) trace->abort_irrelevant(clock, content);
+        finish(content);
         return result;
       }
     }
     // Condition 2 without reconstruction: stalled round; retransmit.
+    if (trace != nullptr) {
+      trace->round_end(clock);
+      trace->retransmit_request(clock);
+    }
+    clock += config.request_delay;
     if (!config.caching) {
       std::fill(seen.begin(), seen.end(), false);
       intact = 0;
@@ -66,7 +87,9 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
   result.rounds = config.max_rounds;
   result.gave_up = true;
   result.completed = false;
-  finish((intact >= config.m) ? total_content : content);
+  clock -= config.request_delay;  // no request follows the final round
+  if (trace != nullptr) trace->give_up(clock);
+  finish(content);
   return result;
 }
 
@@ -94,32 +117,46 @@ TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
   std::vector<bool> seen(static_cast<std::size_t>(config.m), false);
   int received = 0;
   double content = 0.0;
+  obs::SessionTrace* trace = config.trace;
+  double clock = 0.0;
+  if (trace != nullptr) trace->session_start(clock);
 
   const auto finish = [&] {
     result.content = content;
     result.time = static_cast<double>(result.packets) * config.time_per_packet +
                   static_cast<double>(result.rounds - 1) * config.request_delay;
+    if (trace != nullptr) trace->session_end(clock, content);
   };
 
   std::vector<int> pending(static_cast<std::size_t>(config.m));
   for (int i = 0; i < config.m; ++i) pending[static_cast<std::size_t>(i)] = i;
 
   for (result.rounds = 1; result.rounds <= config.max_rounds; ++result.rounds) {
+    if (trace != nullptr) trace->round_start(result.rounds, clock);
     for (const int i : pending) {
       ++result.packets;
-      if (!next_corrupted() && !seen[static_cast<std::size_t>(i)]) {
+      clock += config.time_per_packet;
+      if (trace != nullptr) trace->frame_sent(i, clock);
+      if (next_corrupted()) {
+        if (trace != nullptr) trace->frame_corrupted(clock);
+      } else if (!seen[static_cast<std::size_t>(i)]) {
         seen[static_cast<std::size_t>(i)] = true;
         ++received;
         content += clear_content[static_cast<std::size_t>(i)];
+        if (trace != nullptr) trace->frame_intact(i, clock, content);
+      } else if (trace != nullptr) {
+        trace->frame_duplicate(i, clock);
       }
-      if (relevance_check && content >= config.relevance_threshold) {
-        result.aborted_irrelevant = true;
-        result.completed = received >= config.m;
+      // Completion wins over the relevance abort (see ArqSession).
+      if (received >= config.m) {
+        result.completed = true;
+        if (trace != nullptr) trace->decode_complete(clock);
         finish();
         return result;
       }
-      if (received >= config.m) {
-        result.completed = true;
+      if (relevance_check && content >= config.relevance_threshold) {
+        result.aborted_irrelevant = true;
+        if (trace != nullptr) trace->abort_irrelevant(clock, content);
         finish();
         return result;
       }
@@ -128,11 +165,18 @@ TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
     for (int i = 0; i < config.m; ++i) {
       if (!seen[static_cast<std::size_t>(i)]) missing.push_back(i);
     }
+    if (trace != nullptr) {
+      trace->round_end(clock);
+      trace->retransmit_request(clock, static_cast<long>(missing.size()));
+    }
+    clock += config.request_delay;
     pending = std::move(missing);
   }
 
   result.rounds = config.max_rounds;
   result.gave_up = true;
+  clock -= config.request_delay;
+  if (trace != nullptr) trace->give_up(clock);
   finish();
   return result;
 }

@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mobiweb::sim {
@@ -22,6 +23,9 @@ struct TransferConfig {
   double time_per_packet = 260.0 * 8.0 / 19200.0;  // (s_p + O) * 8 / B
   double request_delay = 0.0;        // added per stalled round
   int max_rounds = 25;               // cap for hopeless (alpha, gamma) combos
+  // Optional per-session event trace, on the simulator's analytic clock
+  // (packets * time_per_packet + stalls * request_delay). nullptr = no-op.
+  obs::SessionTrace* trace = nullptr;
 };
 
 struct TransferResult {

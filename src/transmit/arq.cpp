@@ -19,30 +19,52 @@ ArqSession::ArqSession(const DocumentTransmitter& transmitter,
 SessionResult ArqSession::run() {
   SessionResult result;
   const double start = channel_->now();
+  // As in TransferSession: the user waits for the terminating frame to
+  // *arrive*, so propagation delay counts towards the response time.
+  double last_arrival = start;
   const bool relevance_check = config_.relevance_threshold >= 0.0;
   const std::size_t m = transmitter_->m();
+  obs::SessionTrace* trace = config_.trace;
+  if (trace != nullptr) {
+    receiver_->set_trace(trace);
+    trace->session_start(start);
+  }
 
   // Sequence numbers still outstanding; round 1 sends everything.
   std::vector<std::size_t> pending(m);
   for (std::size_t i = 0; i < m; ++i) pending[i] = i;
 
   for (result.rounds = 1; result.rounds <= config_.max_rounds; ++result.rounds) {
+    if (trace != nullptr) trace->round_start(result.rounds, channel_->now());
     for (const std::size_t seq : pending) {
       const auto delivery = channel_->send(ByteSpan(transmitter_->frame(seq)));
       ++result.frames_sent;
-      receiver_->on_frame(ByteSpan(delivery.frame));
-      if (relevance_check &&
-          receiver_->content_received() >= config_.relevance_threshold) {
-        result.aborted_irrelevant = true;
-        result.completed = receiver_->complete();
-        result.content_received = receiver_->content_received();
-        result.response_time = channel_->now() - start;
-        return result;
+      last_arrival = delivery.arrive_time;
+      if (trace != nullptr) {
+        trace->frame_sent(static_cast<long>(seq), delivery.arrive_time);
       }
+      receiver_->on_frame(ByteSpan(delivery.frame), delivery.arrive_time);
+      // Completion wins over the relevance abort when both trip on the same
+      // frame (with gamma = 1 the last missing packet does exactly that).
       if (receiver_->complete()) {
         result.completed = true;
         result.content_received = receiver_->content_received();
-        result.response_time = channel_->now() - start;
+        result.response_time = last_arrival - start;
+        if (trace != nullptr) {
+          trace->decode_complete(last_arrival);
+          trace->session_end(last_arrival, result.content_received);
+        }
+        return result;
+      }
+      if (relevance_check &&
+          receiver_->content_received() >= config_.relevance_threshold) {
+        result.aborted_irrelevant = true;
+        result.content_received = receiver_->content_received();
+        result.response_time = last_arrival - start;
+        if (trace != nullptr) {
+          trace->abort_irrelevant(last_arrival, result.content_received);
+          trace->session_end(last_arrival, result.content_received);
+        }
         return result;
       }
     }
@@ -52,6 +74,11 @@ SessionResult ArqSession::run() {
       if (!receiver_->has_packet(i)) missing.push_back(i);
     }
     MOBIWEB_CHECK_MSG(!missing.empty(), "ArqSession: incomplete but nothing missing");
+    if (trace != nullptr) {
+      trace->round_end(channel_->now());
+      trace->retransmit_request(channel_->now(),
+                                static_cast<long>(missing.size()));
+    }
     pending = std::move(missing);
     if (config_.feedback_delay_s > 0.0) channel_->advance(config_.feedback_delay_s);
   }
@@ -59,7 +86,11 @@ SessionResult ArqSession::run() {
   result.rounds = config_.max_rounds;
   result.completed = receiver_->complete();
   result.content_received = receiver_->content_received();
-  result.response_time = channel_->now() - start;
+  result.response_time = last_arrival - start;
+  if (trace != nullptr) {
+    trace->give_up(last_arrival);
+    trace->session_end(last_arrival, result.content_received);
+  }
   return result;
 }
 

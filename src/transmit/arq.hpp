@@ -23,6 +23,8 @@ struct ArqConfig {
   // Time for the client's NACK to reach the server (charged per extra round).
   double feedback_delay_s = 0.0;
   int max_rounds = 1000;
+  // Optional per-session event trace (see SessionConfig::trace).
+  obs::SessionTrace* trace = nullptr;
 };
 
 // Drives one document transfer with selective repeat. The transmitter must

@@ -21,22 +21,42 @@ double ClientReceiver::packet_content(std::size_t raw_index) const {
   return content_map_.content_of_range(begin, end);
 }
 
-FrameResult ClientReceiver::on_frame(ByteSpan frame) {
+FrameResult ClientReceiver::on_frame(ByteSpan frame, double arrive_time) {
   ++frames_seen_;
   FrameResult result;
   const auto decoded = packet::decode(frame);
-  if (!decoded || decoded->doc_id != config_.doc_id ||
-      decoded->total != config_.n || decoded->seq >= config_.n ||
-      decoded->payload.size() != config_.packet_size) {
+  if (!decoded) {
+    // CRC failure (or truncation): genuinely corrupted on the air.
     ++frames_corrupted_;
-    return result;  // corrupted or foreign frame: discard
+    result.corrupted = true;
+    if (trace_ != nullptr) trace_->frame_corrupted(arrive_time);
+    return result;
+  }
+  if (decoded->doc_id != config_.doc_id || decoded->total != config_.n ||
+      decoded->seq >= config_.n ||
+      decoded->payload.size() != config_.packet_size) {
+    // Intact frame of some other transfer (shared channel / stale doc_id):
+    // not corruption, so it must not feed the corruption-rate estimate.
+    ++frames_foreign_;
+    result.foreign = true;
+    if (trace_ != nullptr) trace_->frame_foreign(arrive_time);
+    return result;
   }
   result.intact = true;
   const std::size_t index = decoded->seq;
+  result.seq = static_cast<long>(index);
   result.newly_useful = decoder_.add(index, ByteSpan(decoded->payload));
   if (result.newly_useful && index < config_.m) {
     clear_content_ += packet_content(index);
     if (render_hook_) render_hook_(index, ByteSpan(decoded->payload));
+  }
+  if (trace_ != nullptr) {
+    // content_received() already includes this frame here.
+    if (result.newly_useful) {
+      trace_->frame_intact(result.seq, arrive_time, content_received());
+    } else {
+      trace_->frame_duplicate(result.seq, arrive_time);
+    }
   }
   return result;
 }

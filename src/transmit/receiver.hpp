@@ -16,6 +16,7 @@
 
 #include "doc/linear.hpp"
 #include "ida/ida.hpp"
+#include "obs/trace.hpp"
 #include "packet/packet.hpp"
 #include "util/bytes.hpp"
 
@@ -32,8 +33,11 @@ struct ReceiverConfig {
 };
 
 struct FrameResult {
-  bool intact = false;        // CRC passed and header consistent
+  bool intact = false;        // CRC passed and header consistent for this doc
   bool newly_useful = false;  // not a duplicate of an already-held packet
+  bool corrupted = false;     // failed CRC / undecodable frame
+  bool foreign = false;       // decodable but belongs to another document
+  long seq = -1;              // cooked-packet index when intact
 };
 
 class ClientReceiver {
@@ -48,7 +52,15 @@ class ClientReceiver {
   using RenderHook = std::function<void(std::size_t raw_index, ByteSpan bytes)>;
   void set_render_hook(RenderHook hook) { render_hook_ = std::move(hook); }
 
-  FrameResult on_frame(ByteSpan frame);
+  // Attaches a per-session event trace; nullptr (the default) is the no-op
+  // sink and costs one branch per frame. Sessions install their configured
+  // trace here before the first frame.
+  void set_trace(obs::SessionTrace* trace) { trace_ = trace; }
+
+  // `arrive_time` is the channel-clock arrival of the frame, used only to
+  // timestamp trace events (pass the Delivery's arrive_time; defaults to 0
+  // for direct/untimed feeding in tests).
+  FrameResult on_frame(ByteSpan frame, double arrive_time = 0.0);
 
   // Information content received so far: the sum over clear-text raw packets
   // of the content their byte ranges carry, or the full document content once
@@ -72,7 +84,21 @@ class ClientReceiver {
 
   [[nodiscard]] const std::vector<doc::Segment>& segments() const { return segments_; }
   [[nodiscard]] long frames_seen() const { return frames_seen_; }
+  // Frames that failed CRC / were undecodable. Foreign frames (intact but for
+  // another document, e.g. on a shared broadcast channel) are counted
+  // separately so they cannot pollute the corruption-rate estimate fed back
+  // to AdaptiveGamma.
   [[nodiscard]] long frames_corrupted() const { return frames_corrupted_; }
+  [[nodiscard]] long frames_foreign() const { return frames_foreign_; }
+
+  // Corrupted fraction of the frames addressed to this receiver (foreign
+  // frames excluded) — the client-side estimate of the channel's alpha.
+  [[nodiscard]] double observed_corruption_rate() const {
+    const long own = frames_seen_ - frames_foreign_;
+    return own > 0 ? static_cast<double>(frames_corrupted_) /
+                         static_cast<double>(own)
+                   : 0.0;
+  }
 
  private:
   [[nodiscard]] double packet_content(std::size_t raw_index) const;
@@ -82,9 +108,11 @@ class ClientReceiver {
   doc::LinearDocument content_map_;  // segments only; payload stays empty
   ida::StreamingDecoder decoder_;
   RenderHook render_hook_;
+  obs::SessionTrace* trace_ = nullptr;
   double clear_content_ = 0.0;
   long frames_seen_ = 0;
   long frames_corrupted_ = 0;
+  long frames_foreign_ = 0;
   double total_content_ = 0.0;
 };
 

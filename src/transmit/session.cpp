@@ -16,42 +16,73 @@ TransferSession::TransferSession(const DocumentTransmitter& transmitter,
 SessionResult TransferSession::run() {
   SessionResult result;
   const double start = channel_->now();
+  // Termination is measured at the client: the arrival time of the last
+  // frame, which (unlike channel_->now(), the depart clock) includes the
+  // configured propagation delay.
+  double last_arrival = start;
   const bool relevance_check = config_.relevance_threshold >= 0.0;
+  obs::SessionTrace* trace = config_.trace;
+  if (trace != nullptr) {
+    receiver_->set_trace(trace);
+    trace->session_start(start);
+  }
 
   for (result.rounds = 1; result.rounds <= config_.max_rounds; ++result.rounds) {
+    if (trace != nullptr) trace->round_start(result.rounds, channel_->now());
     for (std::size_t i = 0; i < transmitter_->n(); ++i) {
       channel::WirelessChannel::Delivery d = channel_->send(
           ByteSpan(transmitter_->frame(i)));
       ++result.frames_sent;
-      receiver_->on_frame(ByteSpan(d.frame));
+      last_arrival = d.arrive_time;
+      if (trace != nullptr) trace->frame_sent(static_cast<long>(i), d.arrive_time);
+      receiver_->on_frame(ByteSpan(d.frame), d.arrive_time);
 
+      // Condition 1 before condition 3: a document whose decoder completes on
+      // this very frame (content jumps to the total) is a completed download,
+      // not an irrelevance abort, even when the jump crosses the threshold.
+      if (receiver_->complete()) {
+        result.completed = true;
+        result.content_received = receiver_->content_received();
+        result.response_time = last_arrival - start;
+        if (trace != nullptr) {
+          trace->decode_complete(last_arrival);
+          trace->session_end(last_arrival, result.content_received);
+        }
+        return result;
+      }
       if (relevance_check &&
           receiver_->content_received() >= config_.relevance_threshold) {
         // Condition 3: the user hits "stop" — enough content to judge.
         result.aborted_irrelevant = true;
-        result.completed = receiver_->complete();
         result.content_received = receiver_->content_received();
-        result.response_time = channel_->now() - start;
-        return result;
-      }
-      if (receiver_->complete()) {
-        // Condition 1: M intact cooked packets — reconstruct and stop.
-        result.completed = true;
-        result.content_received = receiver_->content_received();
-        result.response_time = channel_->now() - start;
+        result.response_time = last_arrival - start;
+        if (trace != nullptr) {
+          trace->abort_irrelevant(last_arrival, result.content_received);
+          trace->session_end(last_arrival, result.content_received);
+        }
         return result;
       }
     }
     // Condition 2 reached without reconstruction: stalled round.
+    if (trace != nullptr) trace->round_end(channel_->now());
     receiver_->on_round_end();
-    if (config_.request_delay_s > 0.0) channel_->advance(config_.request_delay_s);
+    if (config_.request_delay_s > 0.0) {
+      channel_->advance(config_.request_delay_s);
+      if (trace != nullptr) trace->retransmit_request(channel_->now());
+    } else if (trace != nullptr) {
+      trace->retransmit_request(channel_->now());
+    }
   }
 
   // Gave up after max_rounds (pathological channel).
   result.rounds = config_.max_rounds;
   result.completed = receiver_->complete();
   result.content_received = receiver_->content_received();
-  result.response_time = channel_->now() - start;
+  result.response_time = last_arrival - start;
+  if (trace != nullptr) {
+    trace->give_up(last_arrival);
+    trace->session_end(last_arrival, result.content_received);
+  }
   return result;
 }
 

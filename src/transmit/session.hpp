@@ -13,6 +13,7 @@
 #pragma once
 
 #include "channel/channel.hpp"
+#include "obs/trace.hpp"
 #include "transmit/receiver.hpp"
 #include "transmit/transmitter.hpp"
 
@@ -28,10 +29,15 @@ struct SessionConfig {
   double request_delay_s = 0.0;
   // Safety valve against alpha ~ 1 pathologies.
   int max_rounds = 1000;
+  // Optional per-session event trace; the session installs it into the
+  // receiver for the duration of run(). nullptr = no-op sink.
+  obs::SessionTrace* trace = nullptr;
 };
 
 struct SessionResult {
-  double response_time = 0.0;    // channel time from start to termination
+  // Channel time from start to the *arrival* of the terminating frame, so a
+  // configured propagation delay is part of what the user waits for.
+  double response_time = 0.0;
   int rounds = 0;                // 1 = no stall
   long frames_sent = 0;
   bool completed = false;        // document reconstructable at the client

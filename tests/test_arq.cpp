@@ -6,6 +6,7 @@
 #include "channel/channel.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
+#include "obs/trace.hpp"
 #include "sim/transfer.hpp"
 #include "transmit/arq.hpp"
 #include "xml/parser.hpp"
@@ -97,6 +98,66 @@ TEST(ArqReal, RelevanceAbort) {
   const auto r = session.run();
   EXPECT_TRUE(r.aborted_irrelevant);
   EXPECT_LT(r.frames_sent, static_cast<long>(s.tx.m()));
+}
+
+TEST(ArqReal, CompletionOnFinalFrameBeatsRelevanceAbort) {
+  // Regression: with the threshold checked before completion, a document
+  // whose last missing packet pushed the content to the threshold on the
+  // frame that also completed it was misfiled as an irrelevance abort.
+  const auto lin = make_linear();
+  Rig s(lin, 0.0, 1);
+  transmit::ArqConfig cfg;
+  cfg.relevance_threshold = lin.total_content();  // met only on the last frame
+  transmit::ArqSession session(s.tx, s.rx, s.ch, cfg);
+  const auto r = session.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.aborted_irrelevant);
+  EXPECT_EQ(r.frames_sent, static_cast<long>(s.tx.m()));
+}
+
+TEST(ArqReal, ResponseTimeIncludesPropagationDelay) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.0});
+  transmit::ClientReceiver rx({.doc_id = tx.doc_id(), .m = tx.m(), .n = tx.n(),
+                               .packet_size = 128,
+                               .payload_size = tx.payload_size(), .caching = true},
+                              lin.segments);
+  channel::ChannelConfig cc;
+  cc.propagation_delay_s = 0.5;
+  channel::WirelessChannel ch(cc, std::make_unique<channel::IidErrorModel>(0.0));
+  transmit::ArqSession session(tx, rx, ch);
+  const auto r = session.run();
+  ASSERT_TRUE(r.completed);
+  const double frame_time = ch.transmit_time(tx.frame(0).size());
+  EXPECT_NEAR(r.response_time,
+              static_cast<double>(tx.m()) * frame_time + 0.5, 1e-9);
+}
+
+TEST(ArqReal, TraceRecordsNackSizes) {
+  const auto lin = make_linear();
+  Rig s(lin, 0.3, 7);
+  mobiweb::obs::SessionTrace trace;
+  trace.capture_events(true);
+  transmit::ArqConfig cfg;
+  cfg.trace = &trace;
+  transmit::ArqSession session(s.tx, s.rx, s.ch, cfg);
+  const auto r = session.run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.rounds, 1);
+  EXPECT_EQ(static_cast<int>(trace.rounds().size()), r.rounds);
+  EXPECT_EQ(trace.frames_sent(), r.frames_sent);
+  // Every retransmit request carries the NACK size; it can never grow.
+  long prev = static_cast<long>(s.tx.m());
+  int requests = 0;
+  for (const auto& e : trace.events()) {
+    if (e.type != mobiweb::obs::Event::kRetransmitRequest) continue;
+    ++requests;
+    const long pending = static_cast<long>(e.value);
+    EXPECT_GT(pending, 0);
+    EXPECT_LE(pending, prev);
+    prev = pending;
+  }
+  EXPECT_EQ(requests, r.rounds - 1);
 }
 
 TEST(ArqReal, RequiresNoRedundancy) {

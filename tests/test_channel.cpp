@@ -3,6 +3,7 @@
 
 #include "channel/channel.hpp"
 #include "channel/error_model.hpp"
+#include "obs/metrics.hpp"
 #include "packet/packet.hpp"
 
 namespace channel = mobiweb::channel;
@@ -130,6 +131,49 @@ TEST(Channel, CorruptionFlipsBytesAndCrcCatchesIt) {
     delivered_intact += packet::decode(ByteSpan(d.frame)).has_value();
   }
   EXPECT_EQ(delivered_intact, 0);
+}
+
+TEST(Channel, CorruptedDeliveriesAlwaysFailDecode) {
+  // Regression: corruption used to draw byte positions with replacement, so
+  // two flips could land on the same byte with the same mask and cancel out —
+  // a frame counted as corrupted would then sail through packet::decode. The
+  // small frame (64 bytes -> two flips) maximises the collision odds; sweep
+  // enough seeded frames that the old code reliably produced at least one.
+  const Bytes frame = packet::encode({.doc_id = 1, .seq = 0, .total = 1,
+                                      .flags = 0, .payload = Bytes(52, 0x5a)});
+  ASSERT_EQ(frame.size(), 64u);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    channel::ChannelConfig cfg;
+    cfg.seed = seed;
+    channel::WirelessChannel ch(
+        cfg, std::make_unique<channel::IidErrorModel>(1.0 - 1e-9));
+    for (int i = 0; i < 1000; ++i) {
+      const auto d = ch.send(ByteSpan(frame));
+      ASSERT_TRUE(d.corrupted);
+      ASSERT_NE(d.frame, frame) << "seed=" << seed << " frame=" << i;
+      ASSERT_FALSE(packet::decode(ByteSpan(d.frame)).has_value())
+          << "seed=" << seed << " frame=" << i;
+    }
+  }
+}
+
+TEST(Channel, MetricsCountersTrackStats) {
+  mobiweb::obs::MetricsRegistry registry;
+  channel::ChannelConfig cfg;
+  cfg.seed = 17;
+  channel::WirelessChannel ch(cfg, std::make_unique<channel::IidErrorModel>(0.5));
+  const Bytes frame(100, 0x22);
+  ch.set_metrics(&registry);
+  for (int i = 0; i < 64; ++i) ch.send(ByteSpan(frame));
+  EXPECT_EQ(registry.counter("channel.frames_sent").value(), 64);
+  EXPECT_EQ(registry.counter("channel.frames_corrupted").value(),
+            ch.stats().frames_corrupted);
+  EXPECT_EQ(registry.counter("channel.bytes_sent").value(), 6400);
+  // Detach: the channel keeps counting its own stats but the registry stops.
+  ch.set_metrics(nullptr);
+  ch.send(ByteSpan(frame));
+  EXPECT_EQ(registry.counter("channel.frames_sent").value(), 64);
+  EXPECT_EQ(ch.stats().frames_sent, 65);
 }
 
 TEST(Channel, ObservedRateTracksAlpha) {

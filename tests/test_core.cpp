@@ -247,3 +247,34 @@ TEST(Session, ChannelTimeAccumulatesAcrossFetches) {
   session.fetch("doc://browsing");
   EXPECT_GT(session.now(), after_one);
 }
+
+TEST(Session, CollectorTracesEveryFetch) {
+  const mw::Server server = make_server();
+  mw::BrowseConfig cfg;
+  cfg.alpha = 0.3;
+  cfg.fixed_gamma = 2.0;
+  cfg.seed = 5;
+  mw::BrowseSession session(server, cfg);
+  mw::obs::Collector collector;
+  session.attach_collector(&collector);
+  ASSERT_EQ(session.collector(), &collector);
+  const auto a = session.fetch("doc://caching");
+  const auto b = session.fetch("doc://browsing");
+  ASSERT_EQ(collector.traces().size(), 2u);
+  EXPECT_EQ(collector.traces()[0].label(), "doc://caching");
+  EXPECT_EQ(collector.traces()[1].label(), "doc://browsing");
+  EXPECT_EQ(collector.traces()[0].frames_sent(), a.session.frames_sent);
+  EXPECT_NEAR(collector.traces()[1].response_time(), b.session.response_time,
+              1e-9);
+  // Channel counters and per-session aggregates land in the same registry.
+  EXPECT_EQ(collector.metrics().counter("session.count").value(), 2);
+  EXPECT_EQ(collector.metrics().counter("channel.frames_sent").value(),
+            a.session.frames_sent + b.session.frames_sent);
+  const std::string json = collector.to_json();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("doc://browsing"), std::string::npos);
+  // Detaching restores the untraced path.
+  session.attach_collector(nullptr);
+  session.fetch("doc://faq");
+  EXPECT_EQ(collector.traces().size(), 2u);
+}

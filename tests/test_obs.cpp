@@ -1,0 +1,217 @@
+// Observability stack: metrics primitives, session traces, aggregation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace obs = mobiweb::obs;
+using mobiweb::ContractViolation;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Histogram, BucketEdgesAreInclusive) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0: upper edge is inclusive
+  h.observe(1.5);   // bucket 1
+  h.observe(10.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_EQ(h.bucket_counts()[1], 1);
+  EXPECT_EQ(h.bucket_counts()[2], 0);
+  EXPECT_EQ(h.bucket_counts()[3], 1);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 13.0 / 4.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), ContractViolation);
+}
+
+TEST(Registry, LookupOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  obs::Counter& a = r.counter("frames.sent");
+  obs::Counter& b = r.counter("frames.sent");
+  EXPECT_EQ(&a, &b);
+  a.inc(7);
+  EXPECT_EQ(r.counter("frames.sent").value(), 7);
+  EXPECT_FALSE(r.empty());
+  // Histogram bounds are consulted only on first creation.
+  obs::Histogram& h1 = r.histogram("lat", {1.0, 2.0});
+  obs::Histogram& h2 = r.histogram("lat", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(Registry, FindReturnsNullForMissing) {
+  obs::MetricsRegistry r;
+  EXPECT_EQ(r.find_counter("nope"), nullptr);
+  EXPECT_EQ(r.find_gauge("nope"), nullptr);
+  EXPECT_EQ(r.find_histogram("nope"), nullptr);
+  r.counter("yes").inc();
+  ASSERT_NE(r.find_counter("yes"), nullptr);
+  EXPECT_EQ(r.find_counter("yes")->value(), 1);
+}
+
+TEST(Registry, JsonContainsAllSeries) {
+  obs::MetricsRegistry r;
+  r.counter("frames.sent").inc(3);
+  r.gauge("cache.bytes").set(1024.0);
+  r.histogram("latency_s", {0.5, 1.0}).observe(0.25);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"frames.sent\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.bytes\": 1024"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+namespace {
+
+// A two-round session: round 1 sends three frames (one corrupted, one intact,
+// one duplicate), stalls, and requests a retransmit; round 2 completes.
+void record_session(obs::SessionTrace& t) {
+  t.session_start(0.0);
+  t.round_start(1, 0.0);
+  t.frame_sent(0, 0.1);
+  t.frame_intact(0, 0.1, 0.5);
+  t.frame_sent(1, 0.2);
+  t.frame_corrupted(0.2);
+  t.frame_sent(0, 0.3);
+  t.frame_duplicate(0, 0.3);
+  t.round_end(0.3);
+  t.retransmit_request(0.3, 1);
+  t.round_start(2, 0.8);
+  t.frame_sent(1, 0.9);
+  t.frame_intact(1, 0.9, 1.0);
+  t.decode_complete(0.9);
+  t.session_end(0.9, 1.0);
+}
+
+}  // namespace
+
+TEST(SessionTrace, RoundSummariesAlwaysMaintained) {
+  obs::SessionTrace t("demo");
+  record_session(t);
+  EXPECT_TRUE(t.events().empty());  // event capture is opt-in
+  ASSERT_EQ(t.rounds().size(), 2u);
+  const obs::RoundSummary& r1 = t.rounds()[0];
+  EXPECT_EQ(r1.round, 1);
+  EXPECT_EQ(r1.frames_sent, 3);
+  EXPECT_EQ(r1.frames_intact, 1);
+  EXPECT_EQ(r1.frames_corrupted, 1);
+  EXPECT_EQ(r1.frames_duplicate, 1);
+  EXPECT_NEAR(r1.latency(), 0.3, 1e-12);
+  EXPECT_NEAR(r1.content_end, 0.5, 1e-12);
+  const obs::RoundSummary& r2 = t.rounds()[1];
+  EXPECT_EQ(r2.frames_sent, 1);
+  EXPECT_EQ(r2.frames_intact, 1);
+  EXPECT_TRUE(t.completed());
+  EXPECT_FALSE(t.gave_up());
+  EXPECT_EQ(t.frames_sent(), 4);
+  EXPECT_NEAR(t.response_time(), 0.9, 1e-12);
+  EXPECT_NEAR(t.final_content(), 1.0, 1e-12);
+}
+
+TEST(SessionTrace, EventCaptureRecordsEverything) {
+  obs::SessionTrace t;
+  t.capture_events(true);
+  record_session(t);
+  EXPECT_FALSE(t.events().empty());
+  int retransmits = 0;
+  for (const auto& e : t.events()) {
+    if (e.type == obs::Event::kRetransmitRequest) {
+      ++retransmits;
+      EXPECT_DOUBLE_EQ(e.value, 1.0);
+    }
+  }
+  EXPECT_EQ(retransmits, 1);
+}
+
+TEST(SessionTrace, ClearKeepsLabelAndCaptureMode) {
+  obs::SessionTrace t("alpha=0.3");
+  t.capture_events(true);
+  record_session(t);
+  t.clear();
+  EXPECT_EQ(t.label(), "alpha=0.3");
+  EXPECT_TRUE(t.rounds().empty());
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_FALSE(t.completed());
+  record_session(t);
+  EXPECT_FALSE(t.events().empty());  // capture mode survived the clear
+}
+
+TEST(SessionTrace, JsonHasLabelRoundsAndOutcome) {
+  obs::SessionTrace t("demo");
+  record_session(t);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"label\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"completed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\""), std::string::npos);
+  EXPECT_EQ(json.find("\"events\""), std::string::npos);  // not captured
+  obs::SessionTrace captured;
+  captured.capture_events(true);
+  record_session(captured);
+  EXPECT_NE(captured.to_json().find("\"events\""), std::string::npos);
+}
+
+TEST(AggregateTrace, FoldsIntoStandardSeries) {
+  obs::SessionTrace t;
+  record_session(t);
+  obs::MetricsRegistry r;
+  obs::aggregate_trace(t, r);
+  EXPECT_EQ(r.counter("session.count").value(), 1);
+  EXPECT_EQ(r.counter("session.completed").value(), 1);
+  EXPECT_EQ(r.counter("session.gave_up").value(), 0);
+  EXPECT_EQ(r.counter("frames.sent").value(), 4);
+  EXPECT_EQ(r.counter("frames.intact").value(), 2);
+  EXPECT_EQ(r.counter("frames.corrupted").value(), 1);
+  EXPECT_EQ(r.counter("frames.duplicate").value(), 1);
+  const obs::Histogram* rt = r.find_histogram("session.response_time_s");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->count(), 1);
+  EXPECT_NEAR(rt->sum(), 0.9, 1e-12);
+  const obs::Histogram* rounds = r.find_histogram("session.rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_NEAR(rounds->sum(), 2.0, 1e-12);
+  const obs::Histogram* lat = r.find_histogram("round.latency_s");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 2);
+}
+
+TEST(Collector, GathersTracesAndMetricsTogether) {
+  obs::Collector c;
+  for (int i = 0; i < 3; ++i) {
+    obs::SessionTrace& t = c.begin_trace("doc" + std::to_string(i));
+    record_session(t);
+    c.finish_trace(t);
+  }
+  EXPECT_EQ(c.traces().size(), 3u);
+  EXPECT_EQ(c.metrics().counter("session.count").value(), 3);
+  const std::string json = c.to_json();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+  EXPECT_NE(json.find("\"doc2\""), std::string::npos);
+}

@@ -346,3 +346,106 @@ TEST(Experiment, ParagraphLodFasterForIrrelevant) {
   const double at_para = sim::run_browsing_experiment(p).response_time.mean;
   EXPECT_LT(at_para, at_doc);
 }
+
+TEST(Transfer, CompletionBeatsRelevanceAbort) {
+  // Regression (mirrors the real session): the relevance threshold must not
+  // swallow a transfer that completes on the same packet. Corrupt all m
+  // clear-text packets; the redundancy packets complete the decode with the
+  // accumulated clear content still 0.
+  sim::TransferConfig cfg;
+  cfg.m = 4;
+  cfg.n = 8;
+  cfg.relevance_threshold = 0.5;
+  const std::vector<bool> pattern = {true, true, true, true,
+                                     false, false, false, false};
+  std::size_t pos = 0;
+  const std::vector<double> content(4, 0.25);
+  const auto r =
+      sim::simulate_transfer(content, cfg, [&] { return pattern[pos++]; });
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.aborted_irrelevant);
+  EXPECT_EQ(r.packets, 8);
+  EXPECT_NEAR(r.content, 1.0, 1e-12);
+}
+
+TEST(Transfer, TraceMirrorsResult) {
+  sim::TransferConfig cfg;
+  cfg.m = 4;
+  cfg.n = 6;
+  cfg.max_rounds = 10;
+  cfg.request_delay = 0.5;
+  mobiweb::obs::SessionTrace trace;
+  trace.capture_events(true);
+  cfg.trace = &trace;
+  // Round 1 all corrupted, round 2 clean: completes on its 4th packet.
+  const std::vector<bool> pattern = {true, true, true, true, true, true,
+                                     false, false, false, false};
+  std::size_t pos = 0;
+  const std::vector<double> content(4, 0.25);
+  const auto r =
+      sim::simulate_transfer(content, cfg, [&] { return pattern[pos++]; });
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.rounds, 2);
+  ASSERT_EQ(trace.rounds().size(), 2u);
+  EXPECT_EQ(trace.rounds()[0].frames_sent, 6);
+  EXPECT_EQ(trace.rounds()[0].frames_corrupted, 6);
+  EXPECT_EQ(trace.rounds()[1].frames_intact, 4);
+  EXPECT_TRUE(trace.completed());
+  EXPECT_FALSE(trace.gave_up());
+  EXPECT_EQ(trace.frames_sent(), r.packets);
+  EXPECT_NEAR(trace.response_time(), r.time, 1e-9);
+  EXPECT_NEAR(trace.final_content(), r.content, 1e-12);
+}
+
+TEST(Experiment, BurstStateResetsBetweenDocuments) {
+  // A Gilbert-Elliott channel with a near-absorbing bad state: once a
+  // transfer falls into the burst it never gets out, so that document gives
+  // up. The runner must reset() the model between documents — without the
+  // reset the first burst would poison every later document of the session
+  // and the gave-up fraction would approach 1.
+  const mobiweb::channel::GilbertElliottModel model(0.01, 1e-9, 0.0, 1.0);
+  sim::ExperimentParams p;
+  p.repetitions = 3;
+  p.documents_per_session = 30;
+  p.irrelevant_fraction = 0.0;
+  p.max_rounds = 5;
+  p.error_model = &model;
+  const auto r = sim::run_browsing_experiment(p);
+  EXPECT_GT(r.gave_up_fraction, 0.0);   // some documents do hit a burst
+  EXPECT_LT(r.gave_up_fraction, 0.9);   // ...but bursts don't leak across docs
+}
+
+TEST(Experiment, ErrorModelDefaultsEquivalentToAlpha) {
+  // An explicit iid model must reproduce the built-in alpha path draw for
+  // draw (same rng stream, same decisions).
+  sim::ExperimentParams p;
+  p.repetitions = 2;
+  p.documents_per_session = 20;
+  p.alpha = 0.3;
+  const auto builtin = sim::run_browsing_experiment(p);
+  const mobiweb::channel::IidErrorModel iid(0.3);
+  p.error_model = &iid;
+  const auto external = sim::run_browsing_experiment(p);
+  EXPECT_EQ(builtin.total_packets, external.total_packets);
+  EXPECT_EQ(builtin.response_time.mean, external.response_time.mean);
+}
+
+TEST(Experiment, MetricsAggregateEveryDocument) {
+  sim::ExperimentParams p;
+  p.repetitions = 2;
+  p.documents_per_session = 10;
+  p.alpha = 0.0;
+  p.irrelevant_fraction = 0.0;
+  mobiweb::obs::MetricsRegistry registry;
+  p.metrics = &registry;
+  const auto r = sim::run_browsing_experiment(p);
+  EXPECT_EQ(registry.counter("session.count").value(), 20);
+  EXPECT_EQ(registry.counter("session.completed").value(), 20);
+  EXPECT_EQ(registry.counter("session.gave_up").value(), 0);
+  EXPECT_EQ(registry.counter("frames.sent").value(), r.total_packets);
+  EXPECT_EQ(registry.counter("frames.corrupted").value(), 0);
+  const auto* hist = registry.find_histogram("session.response_time_s");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 20);
+  EXPECT_NEAR(hist->sum() / 20.0, r.response_time.mean, 1e-9);
+}

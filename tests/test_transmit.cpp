@@ -1,12 +1,15 @@
 // Transmitter, receiver, transfer session, adaptive gamma.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "analysis/negbinom.hpp"
 #include "channel/channel.hpp"
+#include "channel/error_model.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
+#include "obs/trace.hpp"
 #include "transmit/adaptive.hpp"
 #include "transmit/receiver.hpp"
 #include "transmit/session.hpp"
@@ -14,12 +17,14 @@
 #include "xml/parser.hpp"
 
 namespace doc = mobiweb::doc;
+namespace obs = mobiweb::obs;
 namespace xml = mobiweb::xml;
 namespace transmit = mobiweb::transmit;
 namespace channel = mobiweb::channel;
 using mobiweb::Bytes;
 using mobiweb::ByteSpan;
 using mobiweb::ContractViolation;
+using mobiweb::Rng;
 
 namespace {
 
@@ -57,6 +62,26 @@ transmit::ReceiverConfig receiver_config(const transmit::DocumentTransmitter& tx
   rc.caching = caching;
   return rc;
 }
+
+// Corrupts exactly the first `corrupt_first` packets sent, then goes clean —
+// lets tests script where in a session the losses fall.
+class ScriptedErrorModel final : public channel::ErrorModel {
+ public:
+  explicit ScriptedErrorModel(long corrupt_first) : remaining_(corrupt_first) {}
+
+  bool next_corrupted(Rng&) override {
+    if (remaining_ <= 0) return false;
+    --remaining_;
+    return true;
+  }
+  [[nodiscard]] double steady_state_rate() const override { return 0.0; }
+  [[nodiscard]] std::unique_ptr<channel::ErrorModel> clone() const override {
+    return std::make_unique<ScriptedErrorModel>(remaining_);
+  }
+
+ private:
+  long remaining_;
+};
 
 }  // namespace
 
@@ -241,8 +266,12 @@ TEST(Receiver, CorruptedFramesCounted) {
   bad[3] ^= 0xff;
   const auto res = rx.on_frame(ByteSpan(bad));
   EXPECT_FALSE(res.intact);
+  EXPECT_TRUE(res.corrupted);
+  EXPECT_FALSE(res.foreign);
   EXPECT_EQ(rx.frames_corrupted(), 1);
+  EXPECT_EQ(rx.frames_foreign(), 0);
   EXPECT_EQ(rx.intact_count(), 0u);
+  EXPECT_DOUBLE_EQ(rx.observed_corruption_rate(), 1.0);
 }
 
 TEST(Receiver, ForeignDocIdRejected) {
@@ -254,6 +283,30 @@ TEST(Receiver, ForeignDocIdRejected) {
   transmit::ClientReceiver rx(rc, lin.segments);
   const auto res = rx.on_frame(ByteSpan(tx.frame(0)));
   EXPECT_FALSE(res.intact);
+  EXPECT_TRUE(res.foreign);
+  EXPECT_FALSE(res.corrupted);
+  // A frame of another transfer is not corruption: it must not leak into the
+  // corruption counters that feed the adaptive-gamma estimate.
+  EXPECT_EQ(rx.frames_corrupted(), 0);
+  EXPECT_EQ(rx.frames_foreign(), 1);
+  EXPECT_DOUBLE_EQ(rx.observed_corruption_rate(), 0.0);
+}
+
+TEST(Receiver, CorruptionRateIgnoresForeignFrames) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter own(lin, {.packet_size = 128, .gamma = 1.5,
+                                          .doc_id = 1});
+  transmit::DocumentTransmitter other(lin, {.packet_size = 128, .gamma = 1.5,
+                                            .doc_id = 2});
+  transmit::ClientReceiver rx(receiver_config(own), lin.segments);
+  Bytes bad = own.frame(0);
+  bad[5] ^= 0x42;
+  rx.on_frame(ByteSpan(bad));                // corrupted (own)
+  rx.on_frame(ByteSpan(own.frame(1)));       // intact
+  rx.on_frame(ByteSpan(other.frame(0)));     // foreign
+  rx.on_frame(ByteSpan(other.frame(1)));     // foreign
+  // 1 corrupted of 2 own frames; the 2 foreign frames are excluded.
+  EXPECT_DOUBLE_EQ(rx.observed_corruption_rate(), 0.5);
 }
 
 TEST(Receiver, RenderHookFiresOncePerClearPacket) {
@@ -314,6 +367,85 @@ TEST(Session, RequestDelayChargedPerStalledRound) {
   const double frame_time = ch.transmit_time(tx.frame(0).size());
   const double packet_time = static_cast<double>(result.frames_sent) * frame_time;
   EXPECT_NEAR(result.response_time - packet_time, 1.5 * (result.rounds - 1), 1e-9);
+}
+
+TEST(Session, CompletionOnFinalFrameBeatsRelevanceAbort) {
+  // Regression: the relevance threshold used to be checked before completion,
+  // so a document whose decoder completed on its final frame (content jumping
+  // from 0 to the total, across the threshold) was misfiled as an
+  // irrelevance abort. Corrupt exactly the m clear-text packets: content
+  // stays 0 until the redundancy packets alone complete the decode.
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 2.0});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  channel::ChannelConfig cc;
+  channel::WirelessChannel ch(
+      cc, std::make_unique<ScriptedErrorModel>(static_cast<long>(tx.m())));
+  transmit::SessionConfig cfg;
+  cfg.relevance_threshold = 0.5;
+  transmit::TransferSession session(tx, rx, ch, cfg);
+  const auto result = session.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.aborted_irrelevant);
+  EXPECT_EQ(result.frames_sent, static_cast<long>(2 * tx.m()));
+  EXPECT_NEAR(result.content_received, lin.total_content(), 1e-9);
+}
+
+TEST(Session, ResponseTimeIncludesPropagationDelay) {
+  // Regression: response_time was taken from the channel's depart clock, so
+  // a configured propagation delay never reached the accounting even though
+  // the user cannot have seen the final frame before it arrived.
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  channel::ChannelConfig cc;
+  cc.propagation_delay_s = 0.25;
+  channel::WirelessChannel ch(cc, std::make_unique<channel::IidErrorModel>(0.0));
+  transmit::TransferSession session(tx, rx, ch);
+  const auto result = session.run();
+  ASSERT_TRUE(result.completed);
+  const double frame_time = ch.transmit_time(tx.frame(0).size());
+  EXPECT_NEAR(result.response_time,
+              static_cast<double>(tx.m()) * frame_time + 0.25, 1e-9);
+}
+
+TEST(Session, TraceRecordsRoundsAndOutcome) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.0});
+  transmit::ClientReceiver rx(receiver_config(tx, /*caching=*/true), lin.segments);
+  auto ch = make_channel(0.3, 123);
+  obs::SessionTrace trace;
+  trace.capture_events(true);
+  transmit::SessionConfig cfg;
+  cfg.trace = &trace;
+  transmit::TransferSession session(tx, rx, ch, cfg);
+  const auto result = session.run();
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(trace.completed());
+  EXPECT_FALSE(trace.aborted_irrelevant());
+  EXPECT_EQ(static_cast<int>(trace.rounds().size()), result.rounds);
+  EXPECT_EQ(trace.frames_sent(), result.frames_sent);
+  EXPECT_NEAR(trace.response_time(), result.response_time, 1e-9);
+  long intact = 0;
+  long corrupted = 0;
+  for (const auto& round : trace.rounds()) {
+    intact += round.frames_intact;
+    corrupted += round.frames_corrupted;
+  }
+  EXPECT_EQ(intact, static_cast<long>(rx.intact_count()));
+  EXPECT_EQ(corrupted, rx.frames_corrupted());
+  EXPECT_FALSE(trace.events().empty());
+  EXPECT_NE(trace.to_json().find("\"rounds\""), std::string::npos);
+}
+
+TEST(Session, NoTraceLeavesReceiverSinkDetached) {
+  const auto lin = make_linear();
+  transmit::DocumentTransmitter tx(lin, {.packet_size = 128, .gamma = 1.5});
+  transmit::ClientReceiver rx(receiver_config(tx), lin.segments);
+  auto ch = make_channel(0.1, 7);
+  transmit::TransferSession session(tx, rx, ch);
+  const auto result = session.run();  // must not crash on any event path
+  EXPECT_TRUE(result.completed);
 }
 
 TEST(AdaptiveGamma, UsesInitialUntilObserved) {
