@@ -43,6 +43,11 @@ long parse_long(std::string_view s, const char* what) {
   return value;
 }
 
+// Term counts come off the wire; norm/weighted-total computations sum them,
+// so absurd counts must be rejected before they can overflow a long. 10^12
+// occurrences of one term is far beyond any real document.
+constexpr long kMaxTermCount = 1'000'000'000'000L;
+
 OrgUnit node_to_unit(const xml::Node& node) {
   if (node.name != "unit") {
     throw std::invalid_argument("sc_io: expected <unit>, got <" + node.name + ">");
@@ -66,6 +71,9 @@ OrgUnit node_to_unit(const xml::Node& node) {
         if (!w || !c) throw std::invalid_argument("sc_io: <t> missing w/c");
         const long count = parse_long(*c, "term count");
         if (count <= 0) throw std::invalid_argument("sc_io: non-positive term count");
+        if (count > kMaxTermCount) {
+          throw std::invalid_argument("sc_io: term count out of range");
+        }
         unit.terms.add(std::string(*w), count);
       }
     } else if (child.name == "unit") {

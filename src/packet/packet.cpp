@@ -1,10 +1,13 @@
 #include "packet/packet.hpp"
 
+#include "util/check.hpp"
 #include "util/crc.hpp"
 
 namespace mobiweb::packet {
 
 Bytes encode(const Packet& packet) {
+  MOBIWEB_CHECK_MSG(packet.payload.size() <= kMaxPayloadSize,
+                    "packet::encode: payload exceeds kMaxPayloadSize");
   Bytes out;
   out.reserve(frame_size(packet.payload.size()));
   put_u16(out, packet.doc_id);
@@ -19,6 +22,7 @@ Bytes encode(const Packet& packet) {
 
 std::optional<Packet> decode(ByteSpan frame) {
   if (frame.size() < kFramingOverhead) return std::nullopt;
+  if (frame.size() > frame_size(kMaxPayloadSize)) return std::nullopt;
   const std::size_t body = frame.size() - kTrailerSize;
   const std::uint32_t stated = get_u32(frame, body);
   const std::uint32_t actual = crc32(frame.subspan(0, body));

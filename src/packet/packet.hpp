@@ -35,6 +35,11 @@ inline constexpr std::size_t kFramingOverhead = kHeaderSize + kTrailerSize;
 inline constexpr std::uint16_t kFlagClearText = 1u << 0;
 inline constexpr std::uint16_t kFlagLast = 1u << 1;
 
+// Upper bound on a cooked packet's payload. Frames on the 19.2 kbps channel
+// carry a few hundred bytes; anything beyond this is a forged or corrupt
+// length and is rejected before any allocation happens.
+inline constexpr std::size_t kMaxPayloadSize = 1u << 16;
+
 struct Packet {
   std::uint16_t doc_id = 0;
   std::uint16_t seq = 0;

@@ -93,6 +93,13 @@ Bytes lzss_decompress(ByteSpan compressed) {
     throw std::invalid_argument("lzss: truncated header");
   }
   const std::uint32_t raw_size = get_u32(compressed, 0);
+  // Every stream byte expands to at most kMaxMatch output bytes (a 2-byte
+  // match token yields <= 18; a literal yields 1; flag bytes yield 0), so a
+  // header claiming more is forged. Rejecting it here keeps the allocation
+  // below bounded by the actual input size instead of an attacker's u32.
+  if (raw_size > (compressed.size() - 4) * kMaxMatch) {
+    throw std::invalid_argument("lzss: raw size exceeds maximum expansion");
+  }
   Bytes out;
   out.reserve(raw_size);
 

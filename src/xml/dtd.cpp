@@ -165,9 +165,17 @@ class DtdParser {
     else if (!decl.mixed_names.empty()) fail("mixed content with names requires ')*'");
   }
 
+  // Content-model groups recurse; hostile "((((((..." must be rejected with
+  // a ParseError before the parser (and the Particle tree it builds) blows
+  // the stack.
+  static constexpr std::size_t kMaxGroupDepth = 64;
+
   Particle parse_particle() {
     Particle p;
     if (peek() == '(') {
+      if (++group_depth_ > kMaxGroupDepth) {
+        fail("content model group nesting too deep");
+      }
       advance();
       skip_spaces();
       std::vector<Particle> items;
@@ -183,6 +191,7 @@ class DtdParser {
         skip_spaces();
       }
       expect(")");
+      --group_depth_;
       // Even for a single-item group, keep the group node so an occurrence
       // modifier on the group ("(a*)+") does not clobber the child's own.
       p.kind = (sep == '|') ? Particle::Kind::kChoice : Particle::Kind::kSeq;
@@ -248,6 +257,7 @@ class DtdParser {
   std::string_view in_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
+  std::size_t group_depth_ = 0;
 };
 
 // ---- Content-model matching ------------------------------------------------

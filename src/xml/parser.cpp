@@ -32,6 +32,7 @@ class Parser {
   Document parse_document() {
     Document doc;
     skip_bom();
+    check_utf8();
     parse_declaration(doc);
     // Misc (comments, PIs, whitespace) and an optional DOCTYPE before root.
     for (;;) {
@@ -67,6 +68,7 @@ class Parser {
 
   Node parse_root_fragment() {
     skip_bom();
+    check_utf8();
     skip_spaces();
     if (looking_at("<?xml")) {
       Document tmp;
@@ -115,6 +117,63 @@ class Parser {
 
   void skip_bom() {
     if (input_.substr(pos_).starts_with("\xEF\xBB\xBF")) pos_ += 3;
+  }
+
+  // Validates the whole input as UTF-8 once, up front; reports the first bad
+  // byte with its source position. O(n), so parsing stays linear overall.
+  void check_utf8() {
+    if (!options_.require_utf8) return;
+    std::size_t line = 1;
+    std::size_t column = 1;
+    std::size_t i = pos_;
+    while (i < input_.size()) {
+      const auto b0 = static_cast<unsigned char>(input_[i]);
+      std::size_t len = 0;
+      unsigned min_code = 0;
+      unsigned code = 0;
+      if (b0 < 0x80) {
+        if (input_[i] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+        ++i;
+        continue;
+      } else if ((b0 & 0xe0) == 0xc0) {
+        len = 2;
+        min_code = 0x80;
+        code = b0 & 0x1f;
+      } else if ((b0 & 0xf0) == 0xe0) {
+        len = 3;
+        min_code = 0x800;
+        code = b0 & 0x0f;
+      } else if ((b0 & 0xf8) == 0xf0) {
+        len = 4;
+        min_code = 0x10000;
+        code = b0 & 0x07;
+      } else {
+        throw ParseError("invalid UTF-8 byte", line, column);
+      }
+      if (i + len > input_.size()) {
+        throw ParseError("truncated UTF-8 sequence", line, column);
+      }
+      for (std::size_t k = 1; k < len; ++k) {
+        const auto bk = static_cast<unsigned char>(input_[i + k]);
+        if ((bk & 0xc0) != 0x80) {
+          throw ParseError("invalid UTF-8 continuation byte", line, column);
+        }
+        code = (code << 6) | (bk & 0x3f);
+      }
+      // Overlong forms, surrogate halves and out-of-range code points are all
+      // signs of a hostile or mis-encoded document.
+      if (code < min_code || code > 0x10ffff ||
+          (code >= 0xd800 && code <= 0xdfff)) {
+        throw ParseError("invalid UTF-8 code point", line, column);
+      }
+      i += len;
+      ++column;
+    }
   }
 
   [[noreturn]] void fail(const std::string& message) const {
@@ -236,6 +295,7 @@ class Parser {
         if (bracket_depth == 1) continue;  // do not record the outer '['
       }
       if (c == ']') {
+        if (bracket_depth == 0) fail("stray ']' in DOCTYPE");
         --bracket_depth;
         if (bracket_depth == 0) continue;
       }
@@ -292,6 +352,15 @@ class Parser {
   }
 
   Node parse_element() {
+    if (++depth_ > options_.max_depth) {
+      fail("maximum element nesting depth exceeded");
+    }
+    Node element = parse_element_body();
+    --depth_;
+    return element;
+  }
+
+  Node parse_element_body() {
     expect("<");
     Node element;
     element.type = NodeType::kElement;
@@ -381,6 +450,7 @@ class Parser {
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t column_ = 1;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

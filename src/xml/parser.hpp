@@ -28,6 +28,13 @@ struct ParseOptions {
   bool keep_comments = true;
   // Drop text nodes that are pure inter-element whitespace.
   bool strip_whitespace_text = false;
+  // Maximum element nesting depth. The parser (and the value-semantic DOM it
+  // builds) recurses per level, so hostile documents like "<a><a><a>..." must
+  // be rejected with a ParseError before they exhaust the stack.
+  std::size_t max_depth = 200;
+  // Reject byte sequences that are not well-formed UTF-8 (XML documents on
+  // the wire are UTF-8 here; mojibake would otherwise silently mis-parse).
+  bool require_utf8 = true;
 };
 
 // Parses a complete document (optional XML declaration, optional DOCTYPE,

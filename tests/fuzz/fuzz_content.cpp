@@ -1,0 +1,100 @@
+// Fuzz target: differential check of the content-scoring schemes. Any XML
+// document the parser accepts is run through the SC generator, and then all
+// three information-content definitions — the paper's log-weighted IC
+// (doc/content), the length share and the TF-IDF scheme (doc/content_alt) —
+// must agree on the shared contract: normalized to 1 at the root, additive
+// over the tree, every unit in [0, 1]. The query-based QIC/MQIC scores are
+// held to their §3.2 invariants on the same document.
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+#include "doc/content.hpp"
+#include "doc/content_alt.hpp"
+#include "fuzz_input.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+namespace xml = mobiweb::xml;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  xml::Document parsed;
+  try {
+    parsed = xml::parse(text);
+  } catch (const xml::ParseError&) {
+    return 0;
+  }
+
+  const doc::ScGenerator gen;
+  const doc::StructuralCharacteristic sc = gen.generate(parsed);
+  const bool has_terms = sc.document_terms().total() > 0;
+
+  // Paper IC: root 1 (non-empty), additive, in range.
+  if (has_terms) {
+    MOBIWEB_FUZZ_ASSERT(std::fabs(sc.root().info_content - 1.0) < 1e-9,
+                        "IC root not normalized");
+  }
+  doc::walk(sc.root(), [](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    MOBIWEB_FUZZ_ASSERT(u.info_content >= -1e-12 && u.info_content <= 1.0 + 1e-9,
+                        "IC out of range");
+    double child_sum = 0.0;
+    for (const auto& c : u.children) child_sum += c.info_content;
+    MOBIWEB_FUZZ_ASSERT(child_sum <= u.info_content + 1e-9,
+                        "children IC exceeds parent");
+  });
+
+  // Length content: same contract, different definition.
+  const double root_length = doc::length_content(sc, sc.root());
+  if (has_terms) {
+    MOBIWEB_FUZZ_ASSERT(std::fabs(root_length - 1.0) < 1e-9,
+                        "length content root not normalized");
+  }
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    const double lc = doc::length_content(sc, u);
+    MOBIWEB_FUZZ_ASSERT(lc >= -1e-12 && lc <= 1.0 + 1e-9,
+                        "length content out of range");
+    double child_sum = 0.0;
+    for (const auto& c : u.children) child_sum += doc::length_content(sc, c);
+    MOBIWEB_FUZZ_ASSERT(child_sum <= lc + 1e-9,
+                        "children length content exceeds parent");
+  });
+
+  // TF-IDF content against a corpus containing this very document.
+  doc::CorpusStats corpus;
+  corpus.add_document(sc);
+  const doc::TfIdfScorer tfidf(sc, corpus);
+  if (has_terms) {
+    MOBIWEB_FUZZ_ASSERT(std::fabs(tfidf.content(sc.root()) - 1.0) < 1e-9,
+                        "tf-idf root not normalized");
+  }
+  doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+    const double tc = tfidf.content(u);
+    MOBIWEB_FUZZ_ASSERT(tc >= -1e-12 && tc <= 1.0 + 1e-9,
+                        "tf-idf content out of range");
+  });
+
+  // QIC/MQIC with a query drawn from the document's own most frequent term
+  // (guaranteed hit when terms exist) — §3.2 normalization invariants.
+  if (has_terms) {
+    const auto sorted = sc.document_terms().sorted();
+    const doc::Query query = doc::Query::from_terms(
+        [&] {
+          mobiweb::text::TermCounts t;
+          t.add(sorted.front().first, 1);
+          return t;
+        }());
+    const doc::ContentScorer scorer(sc, query);
+    doc::walk(sc.root(), [&](const doc::OrgUnit& u, const std::vector<std::size_t>&) {
+      const double q = scorer.qic(u);
+      const double mq = scorer.mqic(u);
+      MOBIWEB_FUZZ_ASSERT(q >= -1e-12 && q <= 1.0 + 1e-9, "QIC out of range");
+      MOBIWEB_FUZZ_ASSERT(mq >= -1e-12 && mq <= 1.0 + 1e-9, "MQIC out of range");
+    });
+    MOBIWEB_FUZZ_ASSERT(std::fabs(scorer.mqic(sc.root()) - 1.0) < 1e-9,
+                        "MQIC root not normalized");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Corpus-regression driver: compiles any LLVMFuzzerTestOneInput harness into
+// a plain executable that replays files (or whole directories of files) given
+// on the command line. This is how tier-1 CI exercises the seed corpora on
+// every build, with no clang/libFuzzer requirement — the same harness source
+// links against -fsanitize=fuzzer when MOBIWEB_FUZZ is ON.
+//
+// Exit status: 0 after replaying at least one input; 2 when no inputs were
+// found (a wrong corpus path must fail loudly, not pass vacuously). A crash
+// or escaping exception in the harness terminates with the offending file
+// named on stderr.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      inputs.push_back(arg);
+    } else {
+      std::fprintf(stderr, "fuzz replay: no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "fuzz replay: no corpus inputs found\n");
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  for (const auto& path : inputs) {
+    const std::vector<std::uint8_t> data = read_file(path);
+    try {
+      LLVMFuzzerTestOneInput(data.data(), data.size());
+    } catch (...) {
+      std::fprintf(stderr, "fuzz replay: harness threw on %s\n", path.c_str());
+      throw;  // terminate with a nonzero exit so ctest records the failure
+    }
+  }
+  std::printf("fuzz replay: %zu inputs ok\n", inputs.size());
+  return 0;
+}

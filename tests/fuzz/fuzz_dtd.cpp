@@ -1,0 +1,34 @@
+// Fuzz target: the DTD parser and validator — the document server's schema
+// surface. Malformed declaration text must raise xml::ParseError; an accepted
+// DTD must be usable: validating a small fixed document against it must
+// terminate without crashing, and validating the same tree twice must be
+// deterministic.
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_input.hpp"
+#include "xml/dtd.hpp"
+#include "xml/parser.hpp"
+
+namespace xml = mobiweb::xml;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 14)) return 0;  // content-model matching is backtracking
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  xml::dtd::Dtd dtd;
+  try {
+    dtd = xml::dtd::parse_dtd(text);
+  } catch (const xml::ParseError&) {
+    return 0;
+  }
+
+  static const xml::Document kDoc = xml::parse(
+      "<research-paper><title>t</title><abstract><para>a</para></abstract>"
+      "<section><title>s</title><para>p <em>e</em></para>"
+      "<subsection><para>q</para></subsection></section></research-paper>");
+  const auto first = xml::dtd::validate(kDoc, dtd);
+  const auto second = xml::dtd::validate(kDoc, dtd);
+  MOBIWEB_FUZZ_ASSERT(first == second, "validation is not deterministic");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fuzz target: the HTML tokenizer and structurer on arbitrary tag soup.
+// Both are documented never to throw — malformed markup degrades to text the
+// way browsers degrade it — so *any* escaping exception is a finding. The
+// structurer's output must stay a well-formed organizational-unit tree:
+// monotonically deepening LODs, bounded by the paragraph level.
+#include <cstdint>
+#include <string_view>
+
+#include "doc/lod.hpp"
+#include "doc/unit.hpp"
+#include "fuzz_input.hpp"
+#include "html/structurer.hpp"
+#include "html/tokenizer.hpp"
+
+namespace html = mobiweb::html;
+namespace doc = mobiweb::doc;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 18)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  // Entity decoding never grows the input: every entity form is at least as
+  // long as its replacement and other bytes pass through one-for-one.
+  const std::string decoded = html::decode_entities(text);
+  MOBIWEB_FUZZ_ASSERT(decoded.size() <= text.size(),
+                      "decode_entities grew the input");
+
+  const auto tokens = html::tokenize(text);
+  for (const auto& token : tokens) {
+    if (token.type == html::TokenType::kStartTag ||
+        token.type == html::TokenType::kEndTag) {
+      MOBIWEB_FUZZ_ASSERT(!token.name.empty(), "tag token with empty name");
+    }
+  }
+
+  const doc::OrgUnit root = html::structure_html(text);
+  MOBIWEB_FUZZ_ASSERT(root.lod == doc::Lod::kDocument,
+                      "structurer root is not a document unit");
+  doc::walk(root, [](const doc::OrgUnit& unit, const std::vector<std::size_t>& path) {
+    MOBIWEB_FUZZ_ASSERT(path.size() <= 4,
+                        "unit tree deeper than document..paragraph");
+    for (const auto& child : unit.children) {
+      MOBIWEB_FUZZ_ASSERT(static_cast<int>(child.lod) > static_cast<int>(unit.lod),
+                          "child unit does not deepen the LOD");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fuzz target: the IDA erasure-coding pipeline with arbitrary share subsets,
+// plus the serial-vs-parallel differential oracle. The provider picks a
+// shape (m, n, packet_size), a payload, and a permutation of cooked-packet
+// indices; the harness checks that
+//
+//   * serial and row-sharded parallel encode/decode produce identical bytes;
+//   * ANY m distinct cooked packets reconstruct the payload exactly;
+//   * the streaming decoder reaches the same payload through out-of-order,
+//     duplicated arrivals;
+//   * fewer than m distinct packets is rejected with ContractViolation.
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "fuzz_input.hpp"
+#include "ida/ida.hpp"
+#include "util/check.hpp"
+
+namespace ida = mobiweb::ida;
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::ContractViolation;
+using mobiweb::fuzz::FuzzInput;
+
+namespace {
+
+// Runs fn with the parallel path forced off, then forced on, and checks both
+// produce the same result. Restores the threshold afterwards.
+template <typename Fn>
+auto serial_vs_parallel(Fn&& fn) {
+  const std::size_t old = ida::set_parallel_threshold(static_cast<std::size_t>(-1));
+  auto serial = fn();
+  ida::set_parallel_threshold(0);
+  auto parallel = fn();
+  ida::set_parallel_threshold(old);
+  MOBIWEB_FUZZ_ASSERT(serial == parallel,
+                      "serial and parallel paths produced different bytes");
+  return serial;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  FuzzInput in(data, size);
+
+  const std::size_t m = in.take_in_range(1, 12);
+  const std::size_t n = m + in.take_in_range(0, 12);
+  const std::size_t packet_size = in.take_in_range(1, 48);
+  const std::size_t payload_size =
+      in.take_in_range((m - 1) * packet_size + 1, m * packet_size);
+  const Bytes payload = in.take_bytes(payload_size);
+
+  const ida::Encoder enc(m, n);
+  const std::vector<Bytes> cooked = serial_vs_parallel(
+      [&] { return enc.encode_payload(ByteSpan(payload), packet_size); });
+  MOBIWEB_FUZZ_ASSERT(cooked.size() == n, "encoder produced wrong share count");
+  for (std::size_t i = 0; i < m; ++i) {
+    // Systematic prefix: clear-text shares are the raw packets themselves.
+    const std::size_t begin = i * packet_size;
+    for (std::size_t k = 0; k < packet_size; ++k) {
+      const std::uint8_t expect =
+          begin + k < payload.size() ? payload[begin + k] : 0;
+      MOBIWEB_FUZZ_ASSERT(cooked[i][k] == expect,
+                          "systematic share differs from raw payload");
+    }
+  }
+
+  // Fisher–Yates permutation of the cooked indices, driven by the provider.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[in.take_index(i + 1)]);
+  }
+
+  std::vector<std::pair<std::size_t, Bytes>> kept;
+  for (std::size_t i = 0; i < m; ++i) kept.emplace_back(order[i], cooked[order[i]]);
+  // Duplicates must be ignored, not counted toward the m required shares.
+  if (in.take_bool() && !kept.empty()) kept.push_back(kept.front());
+
+  const ida::Decoder dec(m, n);
+  const Bytes decoded = serial_vs_parallel(
+      [&] { return dec.decode_payload(kept, payload.size()); });
+  MOBIWEB_FUZZ_ASSERT(decoded == payload,
+                      "decode from an arbitrary m-subset lost the payload");
+
+  // Streaming decoder: same shares, arbitrary arrival order with duplicates.
+  ida::StreamingDecoder stream(m, n, packet_size, payload.size());
+  for (const auto& [index, bytes] : kept) {
+    stream.add(index, ByteSpan(bytes));
+    if (in.take_bool()) stream.add(index, ByteSpan(bytes));  // duplicate
+  }
+  MOBIWEB_FUZZ_ASSERT(stream.complete(), "m distinct shares did not complete");
+  MOBIWEB_FUZZ_ASSERT(stream.reconstruct() == payload,
+                      "streaming reconstruction differs");
+
+  // Starvation: m - 1 distinct shares must be rejected, never mis-decode.
+  if (m > 1) {
+    std::vector<std::pair<std::size_t, Bytes>> starved(kept.begin(),
+                                                       kept.begin() + (m - 1));
+    bool rejected = false;
+    try {
+      (void)dec.decode_payload(starved, payload.size());
+    } catch (const ContractViolation&) {
+      rejected = true;
+    }
+    MOBIWEB_FUZZ_ASSERT(rejected, "decode accepted fewer than m shares");
+  }
+  return 0;
+}

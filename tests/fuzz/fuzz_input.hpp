@@ -1,0 +1,89 @@
+// Shared structured-input provider for the fuzz harnesses.
+//
+// Every harness under tests/fuzz/ carves its typed inputs (sizes, indices,
+// payload bytes) out of the raw fuzzer byte buffer through this one reader —
+// a small FuzzedDataProvider. Keeping the decoding convention uniform means
+// seed corpora stay meaningful across harness revisions and a minimizer can
+// shrink inputs without breaking their structure.
+//
+// Exhaustion is not an error: a drained provider hands out zeros, so every
+// byte string decodes to *some* structured input and the fuzzer never wastes
+// executions on "too short" rejects.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mobiweb::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool empty() const { return pos_ >= size_; }
+
+  std::uint8_t take_byte() { return empty() ? 0 : data_[pos_++]; }
+
+  bool take_bool() { return (take_byte() & 1) != 0; }
+
+  // Value in [lo, hi], consuming just enough bytes to cover the span. The
+  // modulo bias is irrelevant for fuzzing purposes.
+  std::uint64_t take_in_range(std::uint64_t lo, std::uint64_t hi) {
+    if (lo >= hi) return lo;
+    const std::uint64_t span = hi - lo + 1;
+    std::uint64_t value = 0;
+    std::uint64_t covered = 1;
+    while (covered != 0 && covered < span) {
+      value = (value << 8) | take_byte();
+      covered <<= 8;
+    }
+    return lo + value % span;
+  }
+
+  std::size_t take_index(std::size_t bound) {  // in [0, bound); bound >= 1
+    return static_cast<std::size_t>(take_in_range(0, bound - 1));
+  }
+
+  // Exactly n bytes, zero-padded once the buffer drains.
+  std::vector<std::uint8_t> take_bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n, 0);
+    const std::size_t have = n < remaining() ? n : remaining();
+    for (std::size_t i = 0; i < have; ++i) out[i] = data_[pos_ + i];
+    pos_ += have;
+    return out;
+  }
+
+  std::vector<std::uint8_t> take_remaining() { return take_bytes(remaining()); }
+
+  std::string take_string(std::size_t max_len) {
+    const std::size_t n =
+        static_cast<std::size_t>(take_in_range(0, max_len < remaining() ? max_len : remaining()));
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<char>(take_byte()));
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mobiweb::fuzz
+
+// Oracle check: a failed condition is a finding, not a malformed input —
+// abort so both libFuzzer and the corpus-replay driver flag it.
+#define MOBIWEB_FUZZ_ASSERT(cond, msg)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "fuzz oracle failed: %s (%s at %s:%d)\n", msg,  \
+                   #cond, __FILE__, __LINE__);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)

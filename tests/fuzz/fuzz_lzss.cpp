@@ -1,0 +1,41 @@
+// Fuzz target: LZSS — the compression interceptor's decode path takes bytes
+// straight off the wire. Mode 0 feeds arbitrary bytes to the decompressor
+// (std::invalid_argument is the only acceptable rejection; whatever it
+// accepts must survive a compress→decompress round trip). Mode 1 checks the
+// compress→decompress identity and the documented worst-case bound on
+// arbitrary payloads.
+#include <cstdint>
+#include <stdexcept>
+
+#include "fuzz_input.hpp"
+#include "util/lzss.hpp"
+
+using mobiweb::Bytes;
+using mobiweb::ByteSpan;
+using mobiweb::fuzz::FuzzInput;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 18)) return 0;
+  FuzzInput in(data, size);
+
+  if (in.take_bool()) {
+    const Bytes stream = in.take_remaining();
+    Bytes plain;
+    try {
+      plain = mobiweb::lzss_decompress(ByteSpan(stream));
+    } catch (const std::invalid_argument&) {
+      return 0;
+    }
+    const Bytes recompressed = mobiweb::lzss_compress(ByteSpan(plain));
+    MOBIWEB_FUZZ_ASSERT(mobiweb::lzss_decompress(ByteSpan(recompressed)) == plain,
+                        "recompression of accepted output lost bytes");
+  } else {
+    const Bytes plain = in.take_remaining();
+    const Bytes packed = mobiweb::lzss_compress(ByteSpan(plain));
+    MOBIWEB_FUZZ_ASSERT(packed.size() <= 4 + plain.size() + plain.size() / 8 + 1,
+                        "compression exceeded its worst-case bound");
+    MOBIWEB_FUZZ_ASSERT(mobiweb::lzss_decompress(ByteSpan(packed)) == plain,
+                        "compress/decompress round trip lost bytes");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fuzz target: doc::parse_sc — the client's structural-characteristic
+// metadata surface. Contract: malformed input raises xml::ParseError (bad
+// XML) or std::invalid_argument (schema violation); accepted SCs must round
+// trip through write_sc/parse_sc preserving every unit's label, term index
+// and (recomputed) information content.
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "doc/content.hpp"
+#include "doc/sc_io.hpp"
+#include "fuzz_input.hpp"
+#include "xml/parser.hpp"
+
+namespace doc = mobiweb::doc;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 18)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  doc::StructuralCharacteristic sc;
+  try {
+    sc = doc::parse_sc(text);
+  } catch (const mobiweb::xml::ParseError&) {
+    return 0;
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+
+  // Static IC invariants on whatever tree was accepted.
+  if (sc.document_terms().total() > 0) {
+    MOBIWEB_FUZZ_ASSERT(std::fabs(sc.root().info_content - 1.0) < 1e-9,
+                        "root IC of a non-empty SC is not 1");
+  }
+  doc::walk(sc.root(), [](const doc::OrgUnit& unit, const std::vector<std::size_t>&) {
+    MOBIWEB_FUZZ_ASSERT(unit.info_content >= -1e-12, "negative IC");
+    MOBIWEB_FUZZ_ASSERT(unit.info_content <= 1.0 + 1e-9, "IC above 1");
+  });
+
+  // Round trip: what we accepted must serialize and parse back identically.
+  doc::StructuralCharacteristic restored;
+  try {
+    restored = doc::parse_sc(doc::write_sc(sc));
+  } catch (...) {
+    MOBIWEB_FUZZ_ASSERT(false, "write_sc output failed to reparse");
+  }
+  const auto a = sc.rows();
+  const auto b = restored.rows();
+  MOBIWEB_FUZZ_ASSERT(a.size() == b.size(), "round trip changed the unit count");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    MOBIWEB_FUZZ_ASSERT(a[i].label == b[i].label, "round trip changed a label");
+    MOBIWEB_FUZZ_ASSERT(
+        std::fabs(a[i].unit->info_content - b[i].unit->info_content) < 1e-9,
+        "round trip changed an IC");
+    MOBIWEB_FUZZ_ASSERT(a[i].unit->terms.counts == b[i].unit->terms.counts,
+                        "round trip changed a term index");
+  }
+  return 0;
+}

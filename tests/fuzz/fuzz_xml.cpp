@@ -1,0 +1,55 @@
+// Fuzz target: xml::parse on arbitrary bytes — the proxy's document-ingest
+// surface. A ParseError is the correct answer for malformed input; anything
+// else that escapes (crash, other exception type) is a finding. Accepted
+// documents must additionally survive the serialize→reparse round trip with
+// an identical tree, and serialization must be a fixed point.
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz_input.hpp"
+#include "xml/parser.hpp"
+#include "xml/serialize.hpp"
+
+namespace xml = mobiweb::xml;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return 0;  // depth/size limits are tested; RAM is not
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  xml::Document doc;
+  try {
+    doc = xml::parse(text);
+  } catch (const xml::ParseError&) {
+    // Malformed input must also be rejected consistently by the lenient
+    // option combinations, never crash them.
+    try {
+      (void)xml::parse(text, {.keep_comments = false, .strip_whitespace_text = true});
+    } catch (const xml::ParseError&) {
+    }
+    try {
+      (void)xml::parse_fragment(text);
+    } catch (const xml::ParseError&) {
+    }
+    return 0;
+  }
+
+  // Round-trip oracle: write → parse must succeed and reproduce the tree.
+  const std::string written = xml::write(doc);
+  xml::Document again;
+  try {
+    again = xml::parse(written);
+  } catch (const xml::ParseError&) {
+    MOBIWEB_FUZZ_ASSERT(false, "serialized document failed to reparse");
+  }
+  MOBIWEB_FUZZ_ASSERT(again.root == doc.root, "round trip changed the tree");
+  MOBIWEB_FUZZ_ASSERT(xml::write(again) == written,
+                      "serialization is not a fixed point");
+
+  // Option variants on well-formed input must also succeed.
+  try {
+    (void)xml::parse(text, {.keep_comments = false, .strip_whitespace_text = true});
+  } catch (const xml::ParseError&) {
+    MOBIWEB_FUZZ_ASSERT(false, "strict parse accepted but lenient options rejected");
+  }
+  return 0;
+}

@@ -191,3 +191,29 @@ TEST(ResearchPaperDtd, RejectsEmptyAbstract) {
       {.strip_whitespace_text = true});
   EXPECT_FALSE(dtd::validate(doc, dtd::research_paper_dtd()).empty());
 }
+
+TEST(DtdHardening, DeepGroupNestingRejected) {
+  // 500 nested groups would exhaust parse_particle's recursion without the
+  // depth guard.
+  std::string decl = "<!ELEMENT a ";
+  for (int i = 0; i < 500; ++i) decl += '(';
+  decl += 'b';
+  for (int i = 0; i < 500; ++i) decl += ')';
+  decl += '>';
+  try {
+    dtd::parse_dtd(decl);
+    FAIL() << "expected ParseError";
+  } catch (const xml::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+}
+
+TEST(DtdHardening, ModestGroupNestingAccepted) {
+  std::string decl = "<!ELEMENT a ";
+  for (int i = 0; i < 32; ++i) decl += '(';
+  decl += 'b';
+  for (int i = 0; i < 32; ++i) decl += ')';
+  decl += '>';
+  const dtd::Dtd parsed = dtd::parse_dtd(decl);
+  EXPECT_NE(parsed.element("a"), nullptr);
+}

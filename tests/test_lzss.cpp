@@ -110,3 +110,25 @@ TEST_P(LzssRandomRoundTrip, MixedContent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LzssRandomRoundTrip, ::testing::Range(1, 13));
+
+TEST(LzssHardening, ForgedRawSizeRejectedBeforeAllocation) {
+  // An attacker-controlled header claiming a ~4GB payload must be rejected by
+  // the max-expansion bound (each stream byte yields at most 18 output
+  // bytes), not die trying to reserve the claimed size.
+  Bytes compressed = mobiweb::lzss_compress(ByteSpan(bytes_of("abcabcabc")));
+  compressed[0] = 0xff;
+  compressed[1] = 0xff;
+  compressed[2] = 0xff;
+  compressed[3] = 0xff;
+  EXPECT_THROW(mobiweb::lzss_decompress(ByteSpan(compressed)),
+               std::invalid_argument);
+}
+
+TEST(LzssHardening, PlausibleOverstatedRawSizeStillRejected) {
+  // raw_size within the expansion bound but not matching the stream is caught
+  // by the final length check rather than producing short output silently.
+  Bytes compressed = mobiweb::lzss_compress(ByteSpan(bytes_of("hello")));
+  compressed[0] = static_cast<std::uint8_t>(compressed[0] + 1);
+  EXPECT_THROW(mobiweb::lzss_decompress(ByteSpan(compressed)),
+               std::invalid_argument);
+}

@@ -1,6 +1,7 @@
 // Observability stack: metrics primitives, session traces, aggregation.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -214,4 +215,92 @@ TEST(Collector, GathersTracesAndMetricsTogether) {
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
   EXPECT_NE(json.find("\"traces\""), std::string::npos);
   EXPECT_NE(json.find("\"doc2\""), std::string::npos);
+}
+
+// ---- Aggregation edge cases ----
+
+TEST(AggregateTrace, EmptyTraceStillCounts) {
+  // A trace that recorded nothing (no session_start, no rounds) aggregates to
+  // one session with zero frames and no round histograms.
+  obs::SessionTrace trace;
+  obs::MetricsRegistry registry;
+  obs::aggregate_trace(trace, registry);
+  EXPECT_EQ(registry.counter("session.count").value(), 1);
+  EXPECT_EQ(registry.counter("session.completed").value(), 0);
+  EXPECT_EQ(registry.counter("frames.sent").value(), 0);
+  ASSERT_NE(registry.find_histogram("session.rounds"), nullptr);
+  EXPECT_EQ(registry.find_histogram("session.rounds")->count(), 1);
+  EXPECT_DOUBLE_EQ(registry.find_histogram("session.rounds")->sum(), 0.0);
+  EXPECT_EQ(registry.find_histogram("round.latency_s"), nullptr);
+}
+
+TEST(AggregateTrace, ZeroRoundSession) {
+  // A session that starts and immediately ends (e.g. instant abort) has no
+  // rounds; response time still lands in the latency histogram.
+  obs::SessionTrace trace;
+  trace.session_start(1.0);
+  trace.abort_irrelevant(1.5, 0.0);
+  trace.session_end(1.5, 0.0);
+  obs::MetricsRegistry registry;
+  obs::aggregate_trace(trace, registry);
+  EXPECT_EQ(registry.counter("session.aborted_irrelevant").value(), 1);
+  EXPECT_EQ(registry.counter("session.completed").value(), 0);
+  ASSERT_NE(registry.find_histogram("session.response_time_s"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_histogram("session.response_time_s")->sum(), 0.5);
+  EXPECT_EQ(registry.find_histogram("round.frames_intact"), nullptr);
+}
+
+TEST(AggregateTrace, FrameCountersSumAcrossRounds) {
+  obs::SessionTrace trace;
+  trace.session_start(0.0);
+  trace.round_start(0, 0.0);
+  trace.frame_sent(0, 0.1);
+  trace.frame_intact(0, 0.1, 0.4);
+  trace.frame_sent(1, 0.2);
+  trace.frame_corrupted(0.2);
+  trace.round_end(0.3);
+  trace.round_start(1, 0.3);
+  trace.frame_sent(1, 0.4);
+  trace.frame_duplicate(1, 0.4);
+  trace.round_end(0.5);
+  trace.decode_complete(0.5);
+  trace.session_end(0.5, 1.0);
+  obs::MetricsRegistry registry;
+  obs::aggregate_trace(trace, registry);
+  EXPECT_EQ(registry.counter("frames.sent").value(), 3);
+  EXPECT_EQ(registry.counter("frames.intact").value(), 1);
+  EXPECT_EQ(registry.counter("frames.corrupted").value(), 1);
+  EXPECT_EQ(registry.counter("frames.duplicate").value(), 1);
+  EXPECT_EQ(registry.counter("session.completed").value(), 1);
+  ASSERT_NE(registry.find_histogram("round.latency_s"), nullptr);
+  EXPECT_EQ(registry.find_histogram("round.latency_s")->count(), 2);
+}
+
+TEST(Histogram, OverflowBucketCatchesEverythingAboveLastEdge) {
+  obs::Histogram h({1.0, 10.0});
+  h.observe(10.0000001);
+  h.observe(1e12);
+  h.observe(std::numeric_limits<double>::max());
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 0);
+  EXPECT_EQ(h.bucket_counts()[1], 0);
+  EXPECT_EQ(h.bucket_counts()[2], 3);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.max(), std::numeric_limits<double>::max());
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstCreation) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& first = registry.histogram("h", {1.0, 2.0});
+  obs::Histogram& again = registry.histogram("h", {99.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, FindOnEmptyRegistryReturnsNull) {
+  obs::MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.find_counter("nope"), nullptr);
+  EXPECT_EQ(registry.find_gauge("nope"), nullptr);
+  EXPECT_EQ(registry.find_histogram("nope"), nullptr);
 }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "packet/packet.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace packet = mobiweb::packet;
@@ -107,4 +108,32 @@ TEST(Packet, PaperOverheadDocumented) {
   // from here rather than hard-coding.
   EXPECT_EQ(packet::kFramingOverhead, 12u);
   EXPECT_EQ(packet::frame_size(256), 268u);
+}
+
+TEST(PacketHardening, OversizedFrameRejectedBeforeAllocation) {
+  // A frame longer than frame_size(kMaxPayloadSize) implies a payload above
+  // the protocol cap; decode refuses it without touching the contents.
+  const Bytes huge(packet::frame_size(packet::kMaxPayloadSize) + 1, 0x5a);
+  EXPECT_FALSE(packet::decode(ByteSpan(huge)).has_value());
+}
+
+TEST(PacketHardening, MaxPayloadRoundTrips) {
+  packet::Packet p;
+  p.doc_id = 3;
+  p.seq = 0;
+  p.total = 1;
+  p.payload.assign(packet::kMaxPayloadSize, 0xcd);
+  const Bytes frame = packet::encode(p);
+  const auto decoded = packet::decode(ByteSpan(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, p.payload);
+}
+
+TEST(PacketHardening, EncodeRefusesPayloadAboveCap) {
+  packet::Packet p;
+  p.doc_id = 3;
+  p.seq = 0;
+  p.total = 1;
+  p.payload.assign(packet::kMaxPayloadSize + 1, 0x00);
+  EXPECT_THROW(packet::encode(p), mobiweb::ContractViolation);
 }

@@ -12,7 +12,9 @@
 #include "ida/ida.hpp"
 #include "sim/synthetic.hpp"
 #include "sim/transfer.hpp"
+#include "util/lzss.hpp"
 #include "util/rng.hpp"
+#include "xml/dtd.hpp"
 #include "xml/parser.hpp"
 #include "xml/serialize.hpp"
 
@@ -280,6 +282,150 @@ TEST(SyntheticProperties, ProfileAlwaysNormalizedAcrossSkews) {
         const auto p = sim::packet_content_profile(d, lod);
         EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-9);
       }
+    }
+  }
+}
+
+// ---- DTD round-trip properties ----
+
+namespace {
+
+namespace dtd = mobiweb::xml::dtd;
+
+// Random content-model particle tree. Groups hold 1-3 children; choice groups
+// are forced to hold at least two, since "(a)" canonically parses as a
+// sequence.
+dtd::Particle random_particle(Rng& rng, int depth) {
+  dtd::Particle p;
+  const char* kNames[] = {"title", "para", "em", "section", "subsection"};
+  if (depth == 0 || rng.next_bernoulli(0.55)) {
+    p.kind = dtd::Particle::Kind::kName;
+    p.name = kNames[rng.next_below(std::size(kNames))];
+  } else {
+    const bool choice = rng.next_bernoulli(0.5);
+    p.kind = choice ? dtd::Particle::Kind::kChoice : dtd::Particle::Kind::kSeq;
+    const std::size_t kids = (choice ? 2 : 1) + rng.next_below(2);
+    for (std::size_t i = 0; i < kids; ++i) {
+      p.children.push_back(random_particle(rng, depth - 1));
+    }
+  }
+  switch (rng.next_below(4)) {
+    case 1: p.occur = dtd::Particle::Occur::kOptional; break;
+    case 2: p.occur = dtd::Particle::Occur::kStar; break;
+    case 3: p.occur = dtd::Particle::Occur::kPlus; break;
+    default: break;
+  }
+  return p;
+}
+
+// Canonical DTD syntax for a particle; the inverse of parse_particle.
+std::string print_particle(const dtd::Particle& p) {
+  std::string out;
+  if (p.kind == dtd::Particle::Kind::kName) {
+    out = p.name;
+  } else {
+    const char* sep = p.kind == dtd::Particle::Kind::kChoice ? " | " : ", ";
+    out = "(";
+    for (std::size_t i = 0; i < p.children.size(); ++i) {
+      if (i) out += sep;
+      out += print_particle(p.children[i]);
+    }
+    out += ")";
+  }
+  switch (p.occur) {
+    case dtd::Particle::Occur::kOptional: out += '?'; break;
+    case dtd::Particle::Occur::kStar: out += '*'; break;
+    case dtd::Particle::Occur::kPlus: out += '+'; break;
+    case dtd::Particle::Occur::kOne: break;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(DtdProperties, RandomContentModelsRoundTripThroughParser) {
+  // print -> parse -> print is a fixed point for arbitrary particle trees:
+  // the parser preserves group structure, separators and occurrence
+  // modifiers exactly.
+  Rng rng(2026);
+  for (int i = 0; i < 300; ++i) {
+    dtd::Particle root = random_particle(rng, 3);
+    if (root.kind == dtd::Particle::Kind::kName) {
+      // Top-level content models are always parenthesized groups.
+      dtd::Particle wrap;
+      wrap.kind = dtd::Particle::Kind::kSeq;
+      wrap.children.push_back(std::move(root));
+      root = std::move(wrap);
+    }
+    const std::string model = print_particle(root);
+    const dtd::Dtd parsed = dtd::parse_dtd("<!ELEMENT root " + model + ">");
+    const dtd::ElementDecl* decl = parsed.element("root");
+    ASSERT_NE(decl, nullptr) << model;
+    ASSERT_EQ(decl->model, dtd::ElementDecl::Model::kChildren) << model;
+    EXPECT_EQ(print_particle(decl->content), model);
+  }
+}
+
+TEST(DtdProperties, ParsedModelsValidateTheirOwnSimplestDocument) {
+  // A pure-sequence model of required names accepts exactly that sequence.
+  Rng rng(77);
+  const char* kNames[] = {"title", "para", "section"};
+  for (int i = 0; i < 100; ++i) {
+    std::string model = "(";
+    std::string doc_body;
+    std::string decls;
+    const std::size_t kids = 1 + rng.next_below(3);
+    for (std::size_t k = 0; k < kids; ++k) {
+      const char* name = kNames[rng.next_below(std::size(kNames))];
+      if (k) model += ", ";
+      model += name;
+      doc_body += std::string("<") + name + "/>";
+    }
+    model += ")";
+    for (const char* name : kNames) {
+      decls += std::string("<!ELEMENT ") + name + " EMPTY>";
+    }
+    const dtd::Dtd d =
+        dtd::parse_dtd("<!ELEMENT root " + model + ">" + decls);
+    const xml::Document doc = xml::parse("<root>" + doc_body + "</root>");
+    EXPECT_TRUE(dtd::validate(doc, d).empty()) << model;
+  }
+}
+
+// ---- LZSS round-trip properties ----
+
+TEST(LzssProperties, PureRandomBytesRoundTrip) {
+  // Incompressible input is the worst case for the match finder; identity
+  // must hold and the stream must stay within the documented worst-case
+  // expansion (header + flag byte per 8 literals).
+  Rng rng(31337);
+  for (int i = 0; i < 60; ++i) {
+    Bytes in;
+    const std::size_t n = rng.next_below(4096);
+    in.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      in.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+    EXPECT_LE(compressed.size(), 4 + n + n / 8 + 1);
+    EXPECT_EQ(mobiweb::lzss_decompress(ByteSpan(compressed)), in);
+  }
+}
+
+TEST(LzssProperties, SmallAlphabetRandomBytesRoundTrip) {
+  // Highly repetitive random strings exercise the match path heavily.
+  Rng rng(4242);
+  for (int i = 0; i < 60; ++i) {
+    Bytes in;
+    const std::size_t n = rng.next_below(8192);
+    for (std::size_t b = 0; b < n; ++b) {
+      in.push_back(static_cast<std::uint8_t>(rng.next_below(3)));
+    }
+    const Bytes compressed = mobiweb::lzss_compress(ByteSpan(in));
+    const Bytes out = mobiweb::lzss_decompress(ByteSpan(compressed));
+    EXPECT_EQ(out, in);
+    if (n > 64) {
+      EXPECT_LT(compressed.size(), in.size());
     }
   }
 }

@@ -130,3 +130,16 @@ TEST(CompressedLinearize, DocumentOrderAlsoSupported) {
                 sc, {.lod = doc::Lod::kSection,
                      .rank = doc::RankBy::kDocumentOrder})));
 }
+
+TEST(ScIoHardening, AbsurdTermCountRejected) {
+  // A forged count near LONG_MAX would overflow the accumulated totals; the
+  // reader bounds counts before accepting them.
+  EXPECT_THROW(doc::parse_sc("<sc><unit label=\"r\" lod=\"0\">"
+                             "<term count=\"9223372036854775807\">x</term>"
+                             "</unit></sc>"),
+               std::invalid_argument);
+  EXPECT_THROW(doc::parse_sc("<sc><unit label=\"r\" lod=\"0\">"
+                             "<term count=\"1000000000001\">x</term>"
+                             "</unit></sc>"),
+               std::invalid_argument);
+}

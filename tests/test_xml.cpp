@@ -213,3 +213,93 @@ TEST(XmlSerialize, DocumentDeclaration) {
   opts.declaration = false;
   EXPECT_EQ(xml::write(doc, opts), "<a/>");
 }
+
+// ---- Hardening against hostile input (see DESIGN.md §Testing) ----
+
+TEST(XmlHardening, DeepNestingRejected) {
+  // 10k nested elements would exhaust the recursive-descent stack without the
+  // depth guard; with it, parsing fails with a structured error instead.
+  std::string deep;
+  for (int i = 0; i < 10000; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < 10000; ++i) deep += "</d>";
+  try {
+    xml::parse(deep);
+    FAIL() << "expected ParseError";
+  } catch (const xml::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting depth"), std::string::npos);
+  }
+}
+
+TEST(XmlHardening, MaxDepthIsConfigurable) {
+  const std::string three = "<a><b><c/></b></a>";
+  xml::ParseOptions opts;
+  opts.max_depth = 2;
+  EXPECT_THROW(xml::parse(three, opts), xml::ParseError);
+  opts.max_depth = 3;
+  EXPECT_EQ(xml::parse(three, opts).root.name, "a");
+}
+
+TEST(XmlHardening, TruncatedTagRejected) {
+  EXPECT_THROW(xml::parse("<a"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a x"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a x=\"1"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a></a"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a><"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a>x</"), xml::ParseError);
+}
+
+TEST(XmlHardening, UnterminatedEntityRejected) {
+  EXPECT_THROW(xml::parse("<a>&amp</a>"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a>&#65</a>"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a>&"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<a b=\"&quot\"/>"), xml::ParseError);
+}
+
+TEST(XmlHardening, InvalidUtf8Rejected) {
+  // Bare continuation byte, truncated sequence, overlong encoding, surrogate
+  // half, and out-of-range code point must all fail with a structured error
+  // before any tree is built.
+  const char* bad[] = {
+      "<a>\x80</a>",              // continuation byte with no lead
+      "<a>\xc3</a>",              // truncated two-byte sequence
+      "<a>\xc0\xaf</a>",          // overlong '/'
+      "<a>\xe0\x80\xaf</a>",      // overlong three-byte form
+      "<a>\xed\xa0\x80</a>",      // UTF-16 surrogate half U+D800
+      "<a>\xf4\x90\x80\x80</a>",  // above U+10FFFF
+  };
+  for (const char* doc : bad) {
+    EXPECT_THROW(xml::parse(doc), xml::ParseError) << doc;
+  }
+}
+
+TEST(XmlHardening, InvalidUtf8ErrorCarriesLocation) {
+  try {
+    xml::parse("<a>ok</a>\n<!-- \xff -->");
+    FAIL() << "expected ParseError";
+  } catch (const xml::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("UTF-8"), std::string::npos);
+  }
+}
+
+TEST(XmlHardening, Utf8CheckCanBeDisabled) {
+  // Legacy Latin-1 payloads parse when the caller opts out of validation.
+  xml::ParseOptions opts;
+  opts.require_utf8 = false;
+  const xml::Document doc = xml::parse("<a>caf\xe9</a>", opts);
+  EXPECT_EQ(doc.root.text_content(), "caf\xe9");
+}
+
+TEST(XmlHardening, ValidMultibyteUtf8Accepted) {
+  // 2-, 3- and 4-byte sequences at the edges of their ranges.
+  const xml::Document doc =
+      xml::parse("<a>\xc2\x80 \xe1\x88\xb4 \xf0\x90\x8d\x88</a>");
+  EXPECT_EQ(doc.root.text_content().size(), 11u);
+}
+
+TEST(XmlHardening, StrayDoctypeBracketRejected) {
+  // A ']' with no matching '[' used to drive the bracket depth negative.
+  EXPECT_THROW(xml::parse("<!DOCTYPE a ]> <a/>"), xml::ParseError);
+  EXPECT_THROW(xml::parse("<!DOCTYPE a [ ]]> <a/>"), xml::ParseError);
+}
