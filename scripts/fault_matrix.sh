@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Fault-injection matrix: sweeps outage duty-cycle × feedback-loss probability
+# through bench_outage and collects one JSON result per cell.
+#
+# Every cell runs under a hard wall-clock cap (`timeout`), so a regression
+# that re-introduces a hang in the resilient session driver fails the sweep
+# loudly instead of wedging CI. Results land in <build>/fault-matrix/ as
+# duty<d>_loss<l>.json for offline comparison across commits.
+#
+# Usage:
+#   scripts/fault_matrix.sh [build-dir] [per-cell-cap-seconds]
+#
+#   scripts/fault_matrix.sh                 # ./build, 120s per cell
+#   scripts/fault_matrix.sh build-rel 60    # existing build dir, tighter cap
+#
+# The sweep runs with MOBIWEB_FAST=1 (reduced document count); unset FAST=1
+# below for a full-size sweep.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+CAP=${2:-120}
+FAST=1
+
+DUTIES="0.0 0.2 0.4 0.6"
+LOSSES="0.0 0.3 0.7"
+
+if [ ! -x "$BUILD/bench/bench_outage" ]; then
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" -j --target bench_outage
+fi
+
+OUT="$BUILD/fault-matrix"
+mkdir -p "$OUT"
+
+failures=0
+for duty in $DUTIES; do
+  for loss in $LOSSES; do
+    cell="$OUT/duty${duty}_loss${loss}.json"
+    echo "== duty=$duty feedback-loss=$loss (cap ${CAP}s) =="
+    if MOBIWEB_FAST=$FAST timeout "$CAP" \
+        "$BUILD/bench/bench_outage" \
+        --duty="$duty" --feedback-loss="$loss" --json="$cell"; then
+      echo "   -> $cell"
+    else
+      status=$?
+      if [ "$status" -eq 124 ]; then
+        echo "FAIL: cell duty=$duty loss=$loss exceeded ${CAP}s wall clock" >&2
+      else
+        echo "FAIL: cell duty=$duty loss=$loss exited with status $status" >&2
+      fi
+      failures=$((failures + 1))
+    fi
+  done
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "fault matrix: $failures cell(s) failed" >&2
+  exit 1
+fi
+echo "fault matrix: all cells completed under the ${CAP}s cap; results in $OUT"

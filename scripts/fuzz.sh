@@ -22,7 +22,7 @@ set -eu
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 DURATION=${1:-60}
 [ $# -gt 0 ] && shift
-TARGETS=${*:-fuzz_xml fuzz_html fuzz_sc fuzz_dtd fuzz_packet fuzz_ida fuzz_lzss fuzz_gf fuzz_content}
+TARGETS=${*:-fuzz_xml fuzz_html fuzz_sc fuzz_dtd fuzz_packet fuzz_ida fuzz_lzss fuzz_gf fuzz_content fuzz_fault_schedule}
 
 corpus_for() {
   case "$1" in
@@ -35,6 +35,7 @@ corpus_for() {
     fuzz_lzss) echo lzss ;;
     fuzz_gf) echo gf ;;
     fuzz_content) echo content ;;
+    fuzz_fault_schedule) echo fault_schedule ;;
     *) echo "unknown fuzz target: $1" >&2; exit 2 ;;
   esac
 }

@@ -1,0 +1,113 @@
+// Link-availability (outage) models for the wireless channel.
+//
+// The paper's client is *weakly connected* (§1): besides per-packet
+// corruption, the link itself goes away — the client drives into a tunnel,
+// the fade lasts seconds, not packets. An OutageModel answers "is the link up
+// at channel time t?"; the WirelessChannel composes it with the per-packet
+// ErrorModel, so a frame can be lost outright (never arrives) rather than
+// merely corrupted (arrives and fails CRC).
+//
+// Two concrete models:
+//   * MarkovOutageModel — continuous-time on/off renewal process with
+//     exponential up/down dwell times (the time-domain analogue of the
+//     Gilbert-Elliott packet model);
+//   * FaultSchedule — a deterministic, scriptable list of outage windows, for
+//     replayable tests and the fault-injection matrix.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobiweb::channel {
+
+class OutageModel {
+ public:
+  virtual ~OutageModel() = default;
+
+  // Whether the link is up at channel time `time` (seconds). Queries must be
+  // non-decreasing in time (the channel clock never runs backward); repeated
+  // queries at the same time return the same answer.
+  virtual bool link_up(double time, Rng& rng) = 0;
+
+  // Restores the initial state (start of a browsing session).
+  virtual void reset() {}
+
+  // Long-run fraction of time the link is *down* (for reporting and for
+  // benches that equalize outage duty-cycle across conditions).
+  [[nodiscard]] virtual double outage_fraction() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<OutageModel> clone() const = 0;
+};
+
+// Continuous-time on/off fades: the link alternates between an Up state with
+// mean dwell `mean_up_s` and a Down state with mean dwell `mean_down_s`,
+// both exponentially distributed. Starts Up; transition times are drawn
+// lazily as the queried time crosses them.
+class MarkovOutageModel final : public OutageModel {
+ public:
+  MarkovOutageModel(double mean_up_s, double mean_down_s);
+
+  // Convenience: a model whose long-run outage fraction is `duty` with mean
+  // outage duration `mean_down_s` (so mean_up_s = mean_down_s*(1-duty)/duty).
+  static MarkovOutageModel with_duty_cycle(double duty, double mean_down_s);
+
+  bool link_up(double time, Rng& rng) override;
+  void reset() override;
+  [[nodiscard]] double outage_fraction() const override;
+  [[nodiscard]] std::unique_ptr<OutageModel> clone() const override;
+
+  [[nodiscard]] double mean_up_s() const { return mean_up_s_; }
+  [[nodiscard]] double mean_down_s() const { return mean_down_s_; }
+
+ private:
+  double mean_up_s_;
+  double mean_down_s_;
+  bool up_ = true;
+  double next_transition_ = -1.0;  // < 0: not yet drawn
+};
+
+// Deterministic scripted outage windows: the link is down during every
+// half-open interval [begin, end). Windows are normalized on construction
+// (sorted, overlaps merged, empty windows dropped), so replays are exact and
+// order-independent.
+class FaultSchedule final : public OutageModel {
+ public:
+  struct Window {
+    double begin = 0.0;
+    double end = 0.0;
+  };
+
+  // Throws ContractViolation on non-finite or negative times, or end < begin.
+  explicit FaultSchedule(std::vector<Window> outages);
+  FaultSchedule() = default;  // always up
+
+  // Parses a schedule string: comma/semicolon/whitespace-separated
+  // "begin-end" windows in seconds, e.g. "0.5-1.25, 4-4.75". Untrusted-input
+  // safe: negative times are clamped to 0, empty windows (end <= begin after
+  // clamping) are dropped, overlaps merge; returns nullopt on malformed
+  // numbers, non-finite values, trailing garbage, or more than kMaxWindows
+  // windows. An empty/blank string is a valid schedule with no outages.
+  static std::optional<FaultSchedule> parse(std::string_view text);
+  static constexpr std::size_t kMaxWindows = 1024;
+
+  // "begin-end,begin-end" round-trippable through parse().
+  [[nodiscard]] std::string to_string() const;
+
+  bool link_up(double time, Rng& rng) override;
+  [[nodiscard]] double outage_fraction() const override;  // over [0, last end)
+  [[nodiscard]] std::unique_ptr<OutageModel> clone() const override;
+
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+  [[nodiscard]] double total_outage_s() const;
+
+ private:
+  std::vector<Window> windows_;  // sorted, disjoint, begin < end
+};
+
+}  // namespace mobiweb::channel

@@ -5,6 +5,7 @@
 
 #include "doc/recognizer.hpp"
 #include "html/structurer.hpp"
+#include "util/lzss.hpp"
 #include "xml/parser.hpp"
 
 namespace mobiweb {
@@ -75,8 +76,11 @@ BrowseSession::BrowseSession(const Server& server, BrowseConfig config)
   cc.bandwidth_bps = config_.bandwidth_bps;
   cc.propagation_delay_s = config_.propagation_delay_s;
   cc.seed = config_.seed;
+  cc.feedback_loss_rate = config_.feedback_loss_rate;
+  cc.feedback_delay_s = config_.feedback_delay_s;
   channel_ = std::make_unique<channel::WirelessChannel>(
       cc, std::make_unique<channel::IidErrorModel>(config_.alpha));
+  if (config_.outage != nullptr) channel_->set_outage(config_.outage->clone());
 }
 
 void BrowseSession::attach_collector(obs::Collector* collector) {
@@ -128,17 +132,31 @@ FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& optio
   transmit::ClientReceiver receiver(rc, transmitter.document().segments);
   if (options.render_hook) receiver.set_render_hook(options.render_hook);
 
-  transmit::SessionConfig scfg;
-  scfg.relevance_threshold = options.relevance_threshold;
   obs::SessionTrace* trace = nullptr;
-  if (collector_ != nullptr) {
-    trace = &collector_->begin_trace(std::string(url));
-    scfg.trace = trace;
-  }
-  transmit::TransferSession session(transmitter, receiver, *channel_, scfg);
+  if (collector_ != nullptr) trace = &collector_->begin_trace(std::string(url));
 
   FetchResult result;
-  result.session = session.run();
+  const bool compressed_units = transmitter.document().compressed_units;
+  if (config_.resilient) {
+    transmit::ResilientConfig rcfg;
+    rcfg.relevance_threshold = options.relevance_threshold;
+    rcfg.retry = config_.retry;
+    rcfg.trace = trace;
+    transmit::ResilientSession session(transmitter, receiver, *channel_, rcfg);
+    transmit::ResilientResult rr = session.run();
+    result.session = rr.session;
+    result.partial = std::move(rr.partial);
+    result.request_attempts = rr.request_attempts;
+    result.timeouts = rr.timeouts;
+    result.outages_ridden = rr.outages_ridden;
+    result.backoff_total_s = rr.backoff_total_s;
+  } else {
+    transmit::SessionConfig scfg;
+    scfg.relevance_threshold = options.relevance_threshold;
+    scfg.trace = trace;
+    transmit::TransferSession session(transmitter, receiver, *channel_, scfg);
+    result.session = session.run();
+  }
   result.m = transmitter.m();
   result.n = transmitter.n();
   result.gamma = gamma;
@@ -147,8 +165,20 @@ FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& optio
     doc::LinearDocument reconstructed;
     reconstructed.payload = receiver.reconstruct();
     reconstructed.segments = transmitter.document().segments;
-    reconstructed.compressed_units = transmitter.document().compressed_units;
+    reconstructed.compressed_units = compressed_units;
     result.text = doc::reassemble_text(reconstructed);
+  } else if (!result.partial.empty()) {
+    // Degraded delivery: render what is already fully clear, in rank order.
+    // Units crossed the air individually (possibly compressed), so they
+    // decompress independently — a missing unit cannot corrupt its neighbors.
+    for (const transmit::PartialUnit& unit : result.partial.units) {
+      if (compressed_units) {
+        const Bytes raw = lzss_decompress(ByteSpan(unit.bytes));
+        result.text.append(raw.begin(), raw.end());
+      } else {
+        result.text.append(unit.bytes.begin(), unit.bytes.end());
+      }
+    }
   }
 
   // Feed the corruption rate the *client* observed back into the adaptive

@@ -26,11 +26,13 @@
 #include <vector>
 
 #include "channel/channel.hpp"
+#include "channel/outage.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
 #include "obs/trace.hpp"
 #include "transmit/adaptive.hpp"
 #include "transmit/receiver.hpp"
+#include "transmit/resilient.hpp"
 #include "transmit/session.hpp"
 #include "transmit/transmitter.hpp"
 
@@ -88,6 +90,22 @@ struct BrowseConfig {
   bool adaptive_gamma = false;
   double fixed_gamma = 1.5;
   transmit::AdaptiveGammaConfig adaptive;
+  // Weak-connectivity fault injection. `outage` (cloned into the channel, so
+  // the caller's model is untouched) makes the link fade on/off: frames sent
+  // while it is down are lost outright. The feedback knobs make the back
+  // channel lossy/slow — retransmission requests are dropped with
+  // `feedback_loss_rate` (or when the link is down) and otherwise cost
+  // `feedback_delay_s` of one-way latency.
+  const channel::OutageModel* outage = nullptr;
+  double feedback_loss_rate = 0.0;
+  double feedback_delay_s = 0.0;
+  // When true, fetch() drives transfers through a ResilientSession: timed-out
+  // retransmission requests are retried with exponential backoff + jitter,
+  // outages suspend the session (resuming from the receiver's packet cache),
+  // and exhausting `retry` degrades gracefully into FetchResult::partial
+  // instead of hanging or returning nothing.
+  bool resilient = false;
+  transmit::RetryPolicy retry;
 };
 
 struct FetchOptions {
@@ -105,13 +123,23 @@ struct FetchOptions {
 
 struct FetchResult {
   transmit::SessionResult session;
-  // Reconstructed document text (empty unless the transfer completed).
+  // Reconstructed document text. Full document when the transfer completed;
+  // for a resilient fetch that ended Degraded/GaveUp, the renderable prefix
+  // assembled from `partial` (decompressed when the units were compressed).
   std::string text;
   // The transmission plan actually used.
   std::size_t m = 0;
   std::size_t n = 0;
   double gamma = 0.0;
   std::vector<doc::Segment> segments;
+  // Degraded-mode delivery (resilient fetches): every unit that is already
+  // fully renderable from clear-text packets, in transmission (rank) order.
+  transmit::PartialDocument partial;
+  // Resilient-driver effort counters (zero for plain fetches).
+  int request_attempts = 0;
+  int timeouts = 0;
+  int outages_ridden = 0;
+  double backoff_total_s = 0.0;
 };
 
 // A client browsing documents from one Server over one wireless channel.

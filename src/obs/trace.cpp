@@ -13,10 +13,16 @@ const char* event_name(Event e) {
     case Event::kFrameCorrupted: return "frame_corrupted";
     case Event::kFrameDuplicate: return "frame_duplicate";
     case Event::kFrameForeign: return "frame_foreign";
+    case Event::kFrameLost: return "frame_lost";
     case Event::kRetransmitRequest: return "retransmit_request";
     case Event::kRoundEnd: return "round_end";
+    case Event::kOutageBegin: return "outage_begin";
+    case Event::kOutageEnd: return "outage_end";
+    case Event::kBackoff: return "backoff";
+    case Event::kResume: return "resume";
     case Event::kDecodeComplete: return "decode_complete";
     case Event::kAbortIrrelevant: return "abort_irrelevant";
+    case Event::kDegraded: return "degraded";
     case Event::kGiveUp: return "give_up";
     case Event::kSessionEnd: return "session_end";
   }
@@ -37,7 +43,9 @@ void SessionTrace::clear() {
   events_.clear();
   rounds_.clear();
   start_time_ = end_time_ = final_content_ = 0.0;
-  completed_ = aborted_ = gave_up_ = false;
+  completed_ = aborted_ = gave_up_ = degraded_ = false;
+  outage_count_ = backoff_count_ = 0;
+  backoff_total_s_ = 0.0;
 }
 
 void SessionTrace::push(Event type, double time, long seq, double value) {
@@ -103,9 +111,33 @@ void SessionTrace::frame_foreign(double time) {
   push(Event::kFrameForeign, time, -1, 0.0);
 }
 
+void SessionTrace::frame_lost(double time) {
+  RoundSummary& r = round_at(time);
+  ++r.frames_lost;
+  r.end_time = time;
+  push(Event::kFrameLost, time, -1, 0.0);
+}
+
 void SessionTrace::retransmit_request(double time, long pending) {
   push(Event::kRetransmitRequest, time, -1, static_cast<double>(pending));
 }
+
+void SessionTrace::outage_begin(double time) {
+  ++outage_count_;
+  push(Event::kOutageBegin, time, -1, 0.0);
+}
+
+void SessionTrace::outage_end(double time, double duration_s) {
+  push(Event::kOutageEnd, time, -1, duration_s);
+}
+
+void SessionTrace::backoff(double time, double wait_s) {
+  ++backoff_count_;
+  backoff_total_s_ += wait_s;
+  push(Event::kBackoff, time, -1, wait_s);
+}
+
+void SessionTrace::resume(double time) { push(Event::kResume, time, -1, 0.0); }
 
 void SessionTrace::round_end(double time) {
   if (!rounds_.empty()) rounds_.back().end_time = time;
@@ -120,6 +152,11 @@ void SessionTrace::decode_complete(double time) {
 void SessionTrace::abort_irrelevant(double time, double content) {
   aborted_ = true;
   push(Event::kAbortIrrelevant, time, -1, content);
+}
+
+void SessionTrace::degraded(double time, double content) {
+  degraded_ = true;
+  push(Event::kDegraded, time, -1, content);
 }
 
 void SessionTrace::give_up(double time) {
@@ -156,6 +193,16 @@ std::string SessionTrace::to_json() const {
   out += aborted_ ? "true" : "false";
   out += ", \"gave_up\": ";
   out += gave_up_ ? "true" : "false";
+  out += ", \"degraded\": ";
+  out += degraded_ ? "true" : "false";
+  if (outage_count_ > 0) {
+    out += ", \"outages\": " + std::to_string(outage_count_);
+  }
+  if (backoff_count_ > 0) {
+    out += ", \"backoffs\": " + std::to_string(backoff_count_);
+    out += ", \"backoff_total_s\": ";
+    append_number(out, backoff_total_s_);
+  }
   out += ", \"response_time\": ";
   append_number(out, response_time());
   out += ", \"final_content\": ";
@@ -174,6 +221,7 @@ std::string SessionTrace::to_json() const {
     out += ", \"corrupted\": " + std::to_string(r.frames_corrupted);
     out += ", \"duplicate\": " + std::to_string(r.frames_duplicate);
     out += ", \"foreign\": " + std::to_string(r.frames_foreign);
+    out += ", \"lost\": " + std::to_string(r.frames_lost);
     out += ", \"content\": ";
     append_number(out, r.content_end);
     out += "}";
@@ -223,6 +271,15 @@ void aggregate_trace(const SessionTrace& trace, MetricsRegistry& registry) {
   if (trace.completed()) registry.counter("session.completed").inc();
   if (trace.aborted_irrelevant()) registry.counter("session.aborted_irrelevant").inc();
   if (trace.gave_up()) registry.counter("session.gave_up").inc();
+  if (trace.degraded()) registry.counter("session.degraded").inc();
+  if (trace.outage_count() > 0) {
+    registry.counter("session.outages").inc(trace.outage_count());
+  }
+  if (trace.backoff_count() > 0) {
+    registry.counter("session.backoffs").inc(trace.backoff_count());
+    registry.histogram("session.backoff_total_s", latency_buckets())
+        .observe(trace.backoff_total_s());
+  }
 
   registry.histogram("session.response_time_s", latency_buckets())
       .observe(trace.response_time());
@@ -235,11 +292,13 @@ void aggregate_trace(const SessionTrace& trace, MetricsRegistry& registry) {
   long corrupted = 0;
   long duplicate = 0;
   long foreign = 0;
+  long lost = 0;
   for (const RoundSummary& r : trace.rounds()) {
     intact += r.frames_intact;
     corrupted += r.frames_corrupted;
     duplicate += r.frames_duplicate;
     foreign += r.frames_foreign;
+    lost += r.frames_lost;
     registry.histogram("round.latency_s", latency_buckets()).observe(r.latency());
     registry.histogram("round.frames_intact", frame_count_buckets())
         .observe(static_cast<double>(r.frames_intact));
@@ -253,6 +312,7 @@ void aggregate_trace(const SessionTrace& trace, MetricsRegistry& registry) {
   registry.counter("frames.corrupted").inc(corrupted);
   registry.counter("frames.duplicate").inc(duplicate);
   registry.counter("frames.foreign").inc(foreign);
+  registry.counter("frames.lost").inc(lost);
 }
 
 SessionTrace& Collector::begin_trace(std::string label) {

@@ -33,10 +33,16 @@ enum class Event : std::uint8_t {
   kFrameCorrupted,
   kFrameDuplicate,
   kFrameForeign,
+  kFrameLost,          // swallowed by a link outage, never arrived
   kRetransmitRequest,
   kRoundEnd,
+  kOutageBegin,        // client observed the link go dead
+  kOutageEnd,          // link back; value = outage duration so far observed
+  kBackoff,            // client backed off before re-requesting; value = wait
+  kResume,             // transfer resumed from the intact-packet cache
   kDecodeComplete,
   kAbortIrrelevant,
+  kDegraded,           // retry budget/deadline exhausted: partial delivery
   kGiveUp,
   kSessionEnd,
 };
@@ -60,6 +66,7 @@ struct RoundSummary {
   long frames_corrupted = 0;  // failed CRC / undecodable
   long frames_duplicate = 0;  // intact but already held
   long frames_foreign = 0;    // intact but for another document
+  long frames_lost = 0;       // lost to a link outage (never arrived)
   double content_end = 0.0;   // information content when the round closed
 
   [[nodiscard]] double latency() const { return end_time - start_time; }
@@ -88,10 +95,16 @@ class SessionTrace {
   void frame_corrupted(double time);
   void frame_duplicate(long seq, double time);
   void frame_foreign(double time);
+  void frame_lost(double time);
   void retransmit_request(double time, long pending = -1);
   void round_end(double time);
+  void outage_begin(double time);
+  void outage_end(double time, double duration_s);
+  void backoff(double time, double wait_s);
+  void resume(double time);
   void decode_complete(double time);
   void abort_irrelevant(double time, double content);
+  void degraded(double time, double content);
   void give_up(double time);
   void session_end(double time, double content);
 
@@ -101,6 +114,10 @@ class SessionTrace {
   [[nodiscard]] bool completed() const { return completed_; }
   [[nodiscard]] bool aborted_irrelevant() const { return aborted_; }
   [[nodiscard]] bool gave_up() const { return gave_up_; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] int outage_count() const { return outage_count_; }
+  [[nodiscard]] int backoff_count() const { return backoff_count_; }
+  [[nodiscard]] double backoff_total_s() const { return backoff_total_s_; }
   [[nodiscard]] double start_time() const { return start_time_; }
   [[nodiscard]] double end_time() const { return end_time_; }
   [[nodiscard]] double response_time() const { return end_time_ - start_time_; }
@@ -125,6 +142,10 @@ class SessionTrace {
   bool completed_ = false;
   bool aborted_ = false;
   bool gave_up_ = false;
+  bool degraded_ = false;
+  int outage_count_ = 0;
+  int backoff_count_ = 0;
+  double backoff_total_s_ = 0.0;
 };
 
 // Folds one finished trace into the standard transmit histograms/counters of

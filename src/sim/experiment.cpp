@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "channel/outage.hpp"
 #include "util/check.hpp"
 
 namespace mobiweb::sim {
@@ -19,6 +20,12 @@ ExperimentResult run_browsing_experiment(const ExperimentParams& params) {
   MOBIWEB_CHECK_MSG(params.irrelevant_fraction >= 0.0 &&
                         params.irrelevant_fraction <= 1.0,
                     "experiment: I in [0,1]");
+  MOBIWEB_CHECK_MSG(params.outage_duty >= 0.0 && params.outage_duty < 1.0,
+                    "experiment: outage_duty in [0,1)");
+  MOBIWEB_CHECK_MSG(params.outage_duty == 0.0 || params.mean_outage_s > 0.0,
+                    "experiment: mean_outage_s > 0 when outages enabled");
+  MOBIWEB_CHECK_MSG(params.feedback_loss >= 0.0 && params.feedback_loss < 1.0,
+                    "experiment: feedback_loss in [0,1)");
 
   TransferConfig transfer;
   transfer.m = params.m();
@@ -51,16 +58,33 @@ ExperimentResult run_browsing_experiment(const ExperimentParams& params) {
     // for stateful (burst) models.
     std::unique_ptr<channel::ErrorModel> model;
     if (params.error_model != nullptr) model = params.error_model->clone();
+    std::unique_ptr<channel::MarkovOutageModel> outage;
+    if (params.outage_duty > 0.0) {
+      outage = std::make_unique<channel::MarkovOutageModel>(
+          channel::MarkovOutageModel::with_duty_cycle(params.outage_duty,
+                                                      params.mean_outage_s));
+      transfer.link_up = [&outage, &rng](double now) {
+        return outage->link_up(now, rng);
+      };
+    }
+    if (params.feedback_loss > 0.0) {
+      transfer.feedback_lost = [&rng, &params] {
+        return rng.next_bernoulli(params.feedback_loss);
+      };
+    }
     RunningStats per_doc;
     for (int d = 0; d < params.documents_per_session; ++d) {
       const SyntheticDocument document = generate_document(params.document, rng);
       const std::vector<double> profile = packet_content_profile(document, params.lod);
       transfer.relevance_threshold =
           (d < irrelevant_docs) ? params.relevance_threshold : -1.0;
+      // Each document visit is an independent link: a fade in progress at the
+      // end of one document must not bleed into the next (the analytic clock
+      // also restarts at 0 per document, so the outage state must too).
+      if (outage != nullptr) outage->reset();
       TransferResult r;
       if (model != nullptr) {
-        // Each document visit is an independent link: a burst in progress at
-        // the end of one document must not bleed into the next.
+        // Same isolation for burst-error state.
         model->reset();
         r = simulate_transfer(profile, transfer,
                               [&] { return model->next_corrupted(rng); });
@@ -110,7 +134,10 @@ std::string describe_parameters(const ExperimentParams& p) {
      << "documents per session            = " << p.documents_per_session << "\n"
      << "repetitions                      = " << p.repetitions << "\n"
      << "LOD                              = " << lod_name(p.lod) << "\n"
-     << "caching                          = " << (p.caching ? "yes" : "no") << "\n";
+     << "caching                          = " << (p.caching ? "yes" : "no") << "\n"
+     << "outage duty cycle                = " << p.outage_duty * 100.0 << "%\n"
+     << "mean outage duration             = " << p.mean_outage_s << " s\n"
+     << "feedback loss probability        = " << p.feedback_loss << "\n";
   return os.str();
 }
 

@@ -41,6 +41,16 @@ struct ExperimentParams {
   // state cannot leak into the next (each document visit is an independent
   // link in the paper's setup).
   const channel::ErrorModel* error_model = nullptr;
+  // Weak-connectivity fault injection. outage_duty > 0 drives a Markov on/off
+  // link (MarkovOutageModel::with_duty_cycle) whose down-state swallows frames
+  // outright: `outage_duty` is the long-run fraction of time the link is down
+  // and `mean_outage_s` the mean length of one fade. Like the error model, the
+  // outage process is reset between documents (independent link per visit).
+  double outage_duty = 0.0;     // 0 = link always up
+  double mean_outage_s = 5.0;   // mean down-dwell when outage_duty > 0
+  // iid drop probability for each retransmission request on the back channel
+  // (each drop costs one extra request_delay; see sim::TransferConfig).
+  double feedback_loss = 0.0;
   // Optional metrics sink: every document transfer is traced and aggregated
   // here (see obs::aggregate_trace for the series produced).
   obs::MetricsRegistry* metrics = nullptr;

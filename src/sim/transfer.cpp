@@ -24,6 +24,7 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
   std::vector<bool> seen(static_cast<std::size_t>(config.n), false);
   int intact = 0;
   double content = 0.0;
+  double stall_delay = 0.0;  // feedback time actually charged (incl. retries)
   obs::SessionTrace* trace = config.trace;
   double clock = 0.0;
   if (trace != nullptr) trace->session_start(clock);
@@ -31,7 +32,7 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
   const auto finish = [&](double received) {
     result.content = received;
     result.time = static_cast<double>(result.packets) * config.time_per_packet +
-                  static_cast<double>(result.rounds - 1) * config.request_delay;
+                  stall_delay;
     if (trace != nullptr) trace->session_end(clock, received);
   };
 
@@ -41,6 +42,12 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
       ++result.packets;
       clock += config.time_per_packet;
       if (trace != nullptr) trace->frame_sent(i, clock);
+      if (config.link_up && !config.link_up(clock)) {
+        // Lost to a dead link: airtime burned, nothing delivered, and the
+        // corruption model never sees the packet.
+        if (trace != nullptr) trace->frame_lost(clock);
+        continue;
+      }
       const bool corrupted = next_corrupted();
       if (corrupted) {
         if (trace != nullptr) trace->frame_corrupted(clock);
@@ -72,11 +79,19 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
       }
     }
     // Condition 2 without reconstruction: stalled round; retransmit.
-    if (trace != nullptr) {
-      trace->round_end(clock);
-      trace->retransmit_request(clock);
+    if (trace != nullptr) trace->round_end(clock);
+    if (result.rounds == config.max_rounds) break;  // giving up: no request
+    // The retransmission request crosses the (possibly lossy) back channel;
+    // each dropped request costs one request_delay — the client's timeout —
+    // before the retry. A reliable channel (no hook) charges exactly one.
+    int tries = 1;
+    if (config.feedback_lost) {
+      while (tries < kMaxFeedbackTries && config.feedback_lost()) ++tries;
     }
-    clock += config.request_delay;
+    if (trace != nullptr) trace->retransmit_request(clock);
+    const double stall = static_cast<double>(tries) * config.request_delay;
+    clock += stall;
+    stall_delay += stall;
     if (!config.caching) {
       std::fill(seen.begin(), seen.end(), false);
       intact = 0;
@@ -84,10 +99,11 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
     }
   }
 
+  // Gave up while stalled: report the receiver's state as it stood when the
+  // final round closed (no trailing cache flush, no trailing request).
   result.rounds = config.max_rounds;
   result.gave_up = true;
   result.completed = false;
-  clock -= config.request_delay;  // no request follows the final round
   if (trace != nullptr) trace->give_up(clock);
   finish(content);
   return result;
@@ -117,6 +133,7 @@ TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
   std::vector<bool> seen(static_cast<std::size_t>(config.m), false);
   int received = 0;
   double content = 0.0;
+  double stall_delay = 0.0;
   obs::SessionTrace* trace = config.trace;
   double clock = 0.0;
   if (trace != nullptr) trace->session_start(clock);
@@ -124,7 +141,7 @@ TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
   const auto finish = [&] {
     result.content = content;
     result.time = static_cast<double>(result.packets) * config.time_per_packet +
-                  static_cast<double>(result.rounds - 1) * config.request_delay;
+                  stall_delay;
     if (trace != nullptr) trace->session_end(clock, content);
   };
 
@@ -137,6 +154,10 @@ TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
       ++result.packets;
       clock += config.time_per_packet;
       if (trace != nullptr) trace->frame_sent(i, clock);
+      if (config.link_up && !config.link_up(clock)) {
+        if (trace != nullptr) trace->frame_lost(clock);
+        continue;
+      }
       if (next_corrupted()) {
         if (trace != nullptr) trace->frame_corrupted(clock);
       } else if (!seen[static_cast<std::size_t>(i)]) {
@@ -161,21 +182,27 @@ TransferResult simulate_arq_transfer(const std::vector<double>& clear_content,
         return result;
       }
     }
+    if (trace != nullptr) trace->round_end(clock);
+    if (result.rounds == config.max_rounds) break;  // giving up: no NACK
     std::vector<int> missing;
     for (int i = 0; i < config.m; ++i) {
       if (!seen[static_cast<std::size_t>(i)]) missing.push_back(i);
     }
+    int tries = 1;
+    if (config.feedback_lost) {
+      while (tries < kMaxFeedbackTries && config.feedback_lost()) ++tries;
+    }
     if (trace != nullptr) {
-      trace->round_end(clock);
       trace->retransmit_request(clock, static_cast<long>(missing.size()));
     }
-    clock += config.request_delay;
+    const double stall = static_cast<double>(tries) * config.request_delay;
+    clock += stall;
+    stall_delay += stall;
     pending = std::move(missing);
   }
 
   result.rounds = config.max_rounds;
   result.gave_up = true;
-  clock -= config.request_delay;
   if (trace != nullptr) trace->give_up(clock);
   finish();
   return result;

@@ -23,10 +23,23 @@ struct TransferConfig {
   double time_per_packet = 260.0 * 8.0 / 19200.0;  // (s_p + O) * 8 / B
   double request_delay = 0.0;        // added per stalled round
   int max_rounds = 25;               // cap for hopeless (alpha, gamma) combos
+  // Optional link-availability hook (fault injection): called with the
+  // analytic clock after each packet's airtime; false = the packet was lost
+  // to a link outage (airtime charged, nothing received). nullptr = link
+  // always up. Mirrors channel::OutageModel on the analytic path.
+  std::function<bool(double now)> link_up;
+  // Optional back-channel loss draw: true = this retransmission request was
+  // dropped, costing one extra request_delay (the client's timeout) before
+  // the retry. Retries are capped (kMaxFeedbackTries) so a pathological
+  // always-lost hook cannot hang the simulator. nullptr = reliable feedback.
+  std::function<bool()> feedback_lost;
   // Optional per-session event trace, on the simulator's analytic clock
   // (packets * time_per_packet + stalls * request_delay). nullptr = no-op.
   obs::SessionTrace* trace = nullptr;
 };
+
+// Bound on back-channel retries per stalled round in the analytic simulator.
+inline constexpr int kMaxFeedbackTries = 64;
 
 struct TransferResult {
   double time = 0.0;

@@ -1,6 +1,7 @@
 #include "transmit/adaptive.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "analysis/negbinom.hpp"
 #include "util/check.hpp"
@@ -17,11 +18,16 @@ AdaptiveGamma::AdaptiveGamma(AdaptiveGammaConfig config)
 }
 
 void AdaptiveGamma::observe(double corruption_rate) {
-  MOBIWEB_CHECK_MSG(corruption_rate >= 0.0 && corruption_rate <= 1.0,
-                    "AdaptiveGamma::observe: rate in [0,1]");
-  // Rates at/above 1 would make the negative binomial degenerate; clamp just
-  // under so a fully dead round still pushes the estimate up hard.
-  estimate_.observe(std::min(corruption_rate, 0.99));
+  // The observation arrives over the (now lossy, outage-prone) feedback
+  // channel, so garbage is reachable in production, not just in tests: a
+  // mangled report can carry NaN, a negative value, or a rate >= 1. Hostile
+  // or degenerate inputs must not poison the EWMA or trip a contract check —
+  // drop what carries no information and clamp the rest.
+  if (std::isnan(corruption_rate)) return;  // no information: ignore
+  // Rates at/above 1 (including +inf) would make the negative binomial
+  // degenerate; clamp just under so a fully dead round still pushes the
+  // estimate up hard. Negative rates clamp to a clean channel.
+  estimate_.observe(std::clamp(corruption_rate, 0.0, 0.99));
 }
 
 double AdaptiveGamma::gamma(int m) const {
@@ -29,6 +35,9 @@ double AdaptiveGamma::gamma(int m) const {
   if (!estimate_.initialized()) return config_.initial_gamma;
   const double alpha = std::clamp(estimate_.value(), 0.0, 0.99);
   const double g = analysis::redundancy_ratio(m, alpha, config_.target_success);
+  // A non-finite ratio (numerically degenerate alpha) must still yield a
+  // usable redundancy: assume the worst and send the maximum.
+  if (!std::isfinite(g)) return config_.max_gamma;
   return std::clamp(g, 1.0, config_.max_gamma);
 }
 

@@ -24,6 +24,9 @@ class AdaptiveGamma {
   explicit AdaptiveGamma(AdaptiveGammaConfig config = {});
 
   // Records an observed corruption rate (corrupted / sent) for one transfer.
+  // The report crosses the lossy feedback channel, so degenerate values are
+  // tolerated rather than rejected: NaN is ignored, anything else is clamped
+  // into [0, 0.99] before feeding the EWMA.
   void observe(double corruption_rate);
 
   // γ to use for the next document of `m` raw packets.

@@ -34,19 +34,26 @@ SessionResult ArqSession::run() {
   std::vector<std::size_t> pending(m);
   for (std::size_t i = 0; i < m; ++i) pending[i] = i;
 
-  for (result.rounds = 1; result.rounds <= config_.max_rounds; ++result.rounds) {
-    if (trace != nullptr) trace->round_start(result.rounds, channel_->now());
+  for (int round = 1; round <= config_.max_rounds; ++round) {
+    result.rounds = round;
+    if (trace != nullptr) trace->round_start(round, channel_->now());
     for (const std::size_t seq : pending) {
       const auto delivery = channel_->send(ByteSpan(transmitter_->frame(seq)));
       ++result.frames_sent;
-      last_arrival = delivery.arrive_time;
       if (trace != nullptr) {
         trace->frame_sent(static_cast<long>(seq), delivery.arrive_time);
       }
+      if (delivery.lost) {
+        // Swallowed by a link outage; nothing reached the client.
+        if (trace != nullptr) trace->frame_lost(delivery.arrive_time);
+        continue;
+      }
+      last_arrival = delivery.arrive_time;
       receiver_->on_frame(ByteSpan(delivery.frame), delivery.arrive_time);
       // Completion wins over the relevance abort when both trip on the same
       // frame (with gamma = 1 the last missing packet does exactly that).
       if (receiver_->complete()) {
+        result.status = SessionStatus::kCompleted;
         result.completed = true;
         result.content_received = receiver_->content_received();
         result.response_time = last_arrival - start;
@@ -58,6 +65,7 @@ SessionResult ArqSession::run() {
       }
       if (relevance_check &&
           receiver_->content_received() >= config_.relevance_threshold) {
+        result.status = SessionStatus::kAbortedIrrelevant;
         result.aborted_irrelevant = true;
         result.content_received = receiver_->content_received();
         result.response_time = last_arrival - start;
@@ -68,6 +76,8 @@ SessionResult ArqSession::run() {
         return result;
       }
     }
+    if (trace != nullptr) trace->round_end(channel_->now());
+    if (round == config_.max_rounds) break;  // giving up: no further NACK
     // Collect the NACK list for the next round.
     std::vector<std::size_t> missing;
     for (std::size_t i = 0; i < m; ++i) {
@@ -75,7 +85,6 @@ SessionResult ArqSession::run() {
     }
     MOBIWEB_CHECK_MSG(!missing.empty(), "ArqSession: incomplete but nothing missing");
     if (trace != nullptr) {
-      trace->round_end(channel_->now());
       trace->retransmit_request(channel_->now(),
                                 static_cast<long>(missing.size()));
     }
@@ -83,8 +92,7 @@ SessionResult ArqSession::run() {
     if (config_.feedback_delay_s > 0.0) channel_->advance(config_.feedback_delay_s);
   }
 
-  result.rounds = config_.max_rounds;
-  result.completed = receiver_->complete();
+  result.status = SessionStatus::kGaveUp;
   result.content_received = receiver_->content_received();
   result.response_time = last_arrival - start;
   if (trace != nullptr) {

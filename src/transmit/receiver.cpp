@@ -72,4 +72,54 @@ void ClientReceiver::on_round_end() {
   clear_content_ = 0.0;
 }
 
+PartialDocument ClientReceiver::partial_document() const {
+  PartialDocument out;
+  const std::size_t ps = config_.packet_size;
+  if (decoder_.complete()) {
+    const Bytes payload = decoder_.reconstruct();
+    for (const doc::Segment& seg : segments_) {
+      if (seg.offset + seg.size > payload.size()) continue;  // defensive
+      PartialUnit unit;
+      unit.segment = seg;
+      unit.bytes.assign(payload.begin() + static_cast<std::ptrdiff_t>(seg.offset),
+                        payload.begin() +
+                            static_cast<std::ptrdiff_t>(seg.offset + seg.size));
+      out.content += seg.content;
+      out.units.push_back(std::move(unit));
+    }
+    out.clear_packets = config_.m;
+    out.complete = true;
+    return out;
+  }
+  for (std::size_t raw = 0; raw < config_.m; ++raw) {
+    if (decoder_.has_clear(raw)) ++out.clear_packets;
+  }
+  for (const doc::Segment& seg : segments_) {
+    if (seg.size == 0) continue;  // nothing displayable
+    if (seg.offset + seg.size > config_.payload_size) continue;  // defensive
+    const std::size_t first = seg.offset / ps;
+    const std::size_t last = (seg.offset + seg.size - 1) / ps;
+    bool renderable = true;
+    for (std::size_t raw = first; raw <= last && renderable; ++raw) {
+      renderable = decoder_.has_clear(raw);
+    }
+    if (!renderable) continue;
+    PartialUnit unit;
+    unit.segment = seg;
+    unit.bytes.reserve(seg.size);
+    for (std::size_t raw = first; raw <= last; ++raw) {
+      const ByteSpan packet = decoder_.clear_packet(raw);
+      const std::size_t begin =
+          raw == first ? seg.offset - raw * ps : 0;
+      const std::size_t end =
+          raw == last ? seg.offset + seg.size - raw * ps : ps;
+      unit.bytes.insert(unit.bytes.end(), packet.begin() + begin,
+                        packet.begin() + end);
+    }
+    out.content += seg.content;
+    out.units.push_back(std::move(unit));
+  }
+  return out;
+}
+
 }  // namespace mobiweb::transmit

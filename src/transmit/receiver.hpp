@@ -32,6 +32,26 @@ struct ReceiverConfig {
   bool caching = true;
 };
 
+// What the client can hand to the user when a transfer ends without full
+// reconstruction (degraded-mode delivery): every organizational unit whose
+// bytes are already readable in clear text — the systematic prefix plus any
+// unit completed from the intact-packet cache. Units appear in transmission
+// (i.e. ranked, highest-IC-first) order, so the most informative content
+// survives a broken link.
+struct PartialUnit {
+  doc::Segment segment;  // unit map entry (label, payload range, content)
+  Bytes bytes;           // the unit's payload bytes as transmitted
+};
+
+struct PartialDocument {
+  std::vector<PartialUnit> units;
+  double content = 0.0;        // information content the units carry
+  std::size_t clear_packets = 0;  // clear-text raw packets held at assembly
+  bool complete = false;       // whole document was reconstructable
+
+  [[nodiscard]] bool empty() const { return units.empty(); }
+};
+
 struct FrameResult {
   bool intact = false;        // CRC passed and header consistent for this doc
   bool newly_useful = false;  // not a duplicate of an already-held packet
@@ -76,6 +96,12 @@ class ClientReceiver {
 
   // Reconstructs the document payload; requires complete().
   [[nodiscard]] Bytes reconstruct() const { return decoder_.reconstruct(); }
+
+  // Assembles the degraded-mode deliverable from whatever is decodable right
+  // now: every unit all of whose covering raw packets are readable in clear
+  // text (or the whole document when complete()). Safe to call at any point
+  // of a transfer, including after give-up.
+  [[nodiscard]] PartialDocument partial_document() const;
 
   // Signals the end of a (possibly stalled) round. Without caching the packet
   // buffer and content accounting reset — the default HTTP "reload" be-

@@ -1,0 +1,151 @@
+#include "transmit/resilient.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mobiweb::transmit {
+
+ResilientSession::ResilientSession(const DocumentTransmitter& transmitter,
+                                   ClientReceiver& receiver,
+                                   channel::WirelessChannel& channel,
+                                   ResilientConfig config)
+    : transmitter_(&transmitter), receiver_(&receiver), channel_(&channel),
+      config_(config), jitter_rng_(config.jitter_seed) {
+  const RetryPolicy& rp = config_.retry;
+  MOBIWEB_CHECK_MSG(config_.max_rounds >= 1, "ResilientSession: max_rounds >= 1");
+  MOBIWEB_CHECK_MSG(rp.retry_budget >= 1, "ResilientSession: retry_budget >= 1");
+  MOBIWEB_CHECK_MSG(rp.initial_timeout_s >= 0.0,
+                    "ResilientSession: initial_timeout_s >= 0");
+  MOBIWEB_CHECK_MSG(rp.backoff_multiplier >= 1.0,
+                    "ResilientSession: backoff_multiplier >= 1");
+  MOBIWEB_CHECK_MSG(rp.max_backoff_s >= rp.initial_timeout_s,
+                    "ResilientSession: max_backoff_s >= initial_timeout_s");
+  MOBIWEB_CHECK_MSG(rp.jitter >= 0.0, "ResilientSession: jitter >= 0");
+}
+
+ResilientResult ResilientSession::run() {
+  ResilientResult out;
+  SessionResult& result = out.session;
+  const double start = channel_->now();
+  double last_arrival = start;
+  const bool relevance_check = config_.relevance_threshold >= 0.0;
+  const RetryPolicy& rp = config_.retry;
+  obs::SessionTrace* trace = config_.trace;
+  if (trace != nullptr) {
+    receiver_->set_trace(trace);
+    trace->session_start(start);
+  }
+
+  double backoff = rp.initial_timeout_s;
+
+  const auto deadline_exceeded = [&] {
+    return rp.deadline_s >= 0.0 && channel_->now() - start >= rp.deadline_s;
+  };
+  // One client wait: current backoff stretched by the jitter draw, advancing
+  // the channel clock (nothing is on the air while the client holds off).
+  const auto wait_one_backoff = [&] {
+    const double wait =
+        backoff * (1.0 + rp.jitter * jitter_rng_.next_double());
+    if (wait > 0.0) channel_->advance(wait);
+    out.backoff_total_s += wait;
+    if (trace != nullptr) trace->backoff(channel_->now(), wait);
+    backoff = std::min(backoff * rp.backoff_multiplier, rp.max_backoff_s);
+  };
+  const auto finish = [&](SessionStatus status) -> ResilientResult {
+    result.status = status;
+    result.completed = status == SessionStatus::kCompleted;
+    result.aborted_irrelevant = status == SessionStatus::kAbortedIrrelevant;
+    result.content_received = receiver_->content_received();
+    result.response_time = last_arrival - start;
+    out.partial = receiver_->partial_document();
+    if (trace != nullptr) {
+      switch (status) {
+        case SessionStatus::kCompleted:
+          trace->decode_complete(last_arrival);
+          break;
+        case SessionStatus::kAbortedIrrelevant:
+          trace->abort_irrelevant(last_arrival, result.content_received);
+          break;
+        case SessionStatus::kDegraded:
+          trace->degraded(channel_->now(), result.content_received);
+          break;
+        case SessionStatus::kGaveUp:
+          trace->give_up(last_arrival);
+          break;
+      }
+      trace->session_end(channel_->now(), result.content_received);
+    }
+    return out;
+  };
+
+  for (int round = 1; round <= config_.max_rounds; ++round) {
+    result.rounds = round;
+    if (trace != nullptr) trace->round_start(round, channel_->now());
+    for (std::size_t i = 0; i < transmitter_->n(); ++i) {
+      channel::WirelessChannel::Delivery d =
+          channel_->send(ByteSpan(transmitter_->frame(i)));
+      ++result.frames_sent;
+      if (trace != nullptr) trace->frame_sent(static_cast<long>(i), d.arrive_time);
+      if (d.lost) {
+        if (trace != nullptr) trace->frame_lost(d.arrive_time);
+        continue;
+      }
+      last_arrival = d.arrive_time;
+      receiver_->on_frame(ByteSpan(d.frame), d.arrive_time);
+      // Same precedence as TransferSession: reconstruction beats the
+      // relevance abort when one frame trips both.
+      if (receiver_->complete()) return finish(SessionStatus::kCompleted);
+      if (relevance_check &&
+          receiver_->content_received() >= config_.relevance_threshold) {
+        return finish(SessionStatus::kAbortedIrrelevant);
+      }
+    }
+    if (trace != nullptr) trace->round_end(channel_->now());
+    if (round == config_.max_rounds) break;  // give up: no further request
+    receiver_->on_round_end();
+
+    // Suspend-on-outage: when the link is observably dead, re-requesting is
+    // futile — hold off (with backoff, consuming retry budget so a link that
+    // never returns still terminates) until it comes back, then resume from
+    // whatever the cache kept.
+    if (!channel_->link_up_now()) {
+      const double outage_started = channel_->now();
+      if (trace != nullptr) trace->outage_begin(outage_started);
+      while (!channel_->link_up_now()) {
+        if (out.request_attempts >= rp.retry_budget || deadline_exceeded()) {
+          return finish(SessionStatus::kDegraded);
+        }
+        ++out.request_attempts;
+        wait_one_backoff();
+      }
+      ++out.outages_ridden;
+      if (trace != nullptr) {
+        trace->outage_end(channel_->now(), channel_->now() - outage_started);
+        trace->resume(channel_->now());
+      }
+      backoff = rp.initial_timeout_s;  // link is back: start fresh
+    }
+
+    // Re-request until one message survives the lossy back channel. A
+    // dropped request is indistinguishable from a slow server, so the client
+    // waits its timeout and retries with exponential backoff + jitter.
+    for (;;) {
+      if (out.request_attempts >= rp.retry_budget || deadline_exceeded()) {
+        return finish(SessionStatus::kDegraded);
+      }
+      ++out.request_attempts;
+      if (channel_->send_feedback()) {
+        if (trace != nullptr) trace->retransmit_request(channel_->now());
+        backoff = rp.initial_timeout_s;
+        break;
+      }
+      ++out.timeouts;
+      wait_one_backoff();
+    }
+  }
+
+  return finish(SessionStatus::kGaveUp);
+}
+
+}  // namespace mobiweb::transmit

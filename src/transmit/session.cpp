@@ -13,6 +13,16 @@ TransferSession::TransferSession(const DocumentTransmitter& transmitter,
   MOBIWEB_CHECK_MSG(config_.max_rounds >= 1, "TransferSession: max_rounds >= 1");
 }
 
+const char* status_name(SessionStatus s) {
+  switch (s) {
+    case SessionStatus::kCompleted: return "completed";
+    case SessionStatus::kAbortedIrrelevant: return "aborted_irrelevant";
+    case SessionStatus::kDegraded: return "degraded";
+    case SessionStatus::kGaveUp: return "gave_up";
+  }
+  return "unknown";
+}
+
 SessionResult TransferSession::run() {
   SessionResult result;
   const double start = channel_->now();
@@ -27,20 +37,28 @@ SessionResult TransferSession::run() {
     trace->session_start(start);
   }
 
-  for (result.rounds = 1; result.rounds <= config_.max_rounds; ++result.rounds) {
-    if (trace != nullptr) trace->round_start(result.rounds, channel_->now());
+  for (int round = 1; round <= config_.max_rounds; ++round) {
+    result.rounds = round;
+    if (trace != nullptr) trace->round_start(round, channel_->now());
     for (std::size_t i = 0; i < transmitter_->n(); ++i) {
       channel::WirelessChannel::Delivery d = channel_->send(
           ByteSpan(transmitter_->frame(i)));
       ++result.frames_sent;
-      last_arrival = d.arrive_time;
       if (trace != nullptr) trace->frame_sent(static_cast<long>(i), d.arrive_time);
+      if (d.lost) {
+        // Link outage: the frame never reached the client; only the airtime
+        // passed. The client's clock still moved, but nothing arrived.
+        if (trace != nullptr) trace->frame_lost(d.arrive_time);
+        continue;
+      }
+      last_arrival = d.arrive_time;
       receiver_->on_frame(ByteSpan(d.frame), d.arrive_time);
 
       // Condition 1 before condition 3: a document whose decoder completes on
       // this very frame (content jumps to the total) is a completed download,
       // not an irrelevance abort, even when the jump crosses the threshold.
       if (receiver_->complete()) {
+        result.status = SessionStatus::kCompleted;
         result.completed = true;
         result.content_received = receiver_->content_received();
         result.response_time = last_arrival - start;
@@ -53,6 +71,7 @@ SessionResult TransferSession::run() {
       if (relevance_check &&
           receiver_->content_received() >= config_.relevance_threshold) {
         // Condition 3: the user hits "stop" — enough content to judge.
+        result.status = SessionStatus::kAbortedIrrelevant;
         result.aborted_irrelevant = true;
         result.content_received = receiver_->content_received();
         result.response_time = last_arrival - start;
@@ -65,18 +84,17 @@ SessionResult TransferSession::run() {
     }
     // Condition 2 reached without reconstruction: stalled round.
     if (trace != nullptr) trace->round_end(channel_->now());
+    if (round == config_.max_rounds) break;  // giving up: no further request
     receiver_->on_round_end();
-    if (config_.request_delay_s > 0.0) {
-      channel_->advance(config_.request_delay_s);
-      if (trace != nullptr) trace->retransmit_request(channel_->now());
-    } else if (trace != nullptr) {
-      trace->retransmit_request(channel_->now());
-    }
+    if (config_.request_delay_s > 0.0) channel_->advance(config_.request_delay_s);
+    if (trace != nullptr) trace->retransmit_request(channel_->now());
   }
 
-  // Gave up after max_rounds (pathological channel).
-  result.rounds = config_.max_rounds;
-  result.completed = receiver_->complete();
+  // Gave up after max_rounds (pathological channel). `result.rounds` is the
+  // loop counter — the rounds actually transmitted — and the receiver's state
+  // is reported as it stood when the final round closed (the round-end cache
+  // flush that a NoCaching reload would do must not erase what the user saw).
+  result.status = SessionStatus::kGaveUp;
   result.content_received = receiver_->content_received();
   result.response_time = last_arrival - start;
   if (trace != nullptr) {

@@ -12,6 +12,8 @@
 // HTTP reload) or reusing the receiver's cache of intact packets (Caching).
 #pragma once
 
+#include <cstdint>
+
 #include "channel/channel.hpp"
 #include "obs/trace.hpp"
 #include "transmit/receiver.hpp"
@@ -34,14 +36,26 @@ struct SessionConfig {
   obs::SessionTrace* trace = nullptr;
 };
 
+// How a transfer session terminated.
+enum class SessionStatus : std::uint8_t {
+  kCompleted,         // document reconstructable at the client
+  kAbortedIrrelevant, // user judged the document irrelevant and hit "stop"
+  kDegraded,          // retry budget / deadline exhausted; partial delivery
+  kGaveUp,            // max_rounds exhausted without reconstruction
+};
+
+[[nodiscard]] const char* status_name(SessionStatus s);
+
 struct SessionResult {
   // Channel time from start to the *arrival* of the terminating frame, so a
   // configured propagation delay is part of what the user waits for.
   double response_time = 0.0;
   int rounds = 0;                // 1 = no stall
   long frames_sent = 0;
-  bool completed = false;        // document reconstructable at the client
-  bool aborted_irrelevant = false;
+  SessionStatus status = SessionStatus::kGaveUp;
+  // Legacy views of `status`, kept in sync for existing callers.
+  bool completed = false;        // status == kCompleted
+  bool aborted_irrelevant = false;  // status == kAbortedIrrelevant
   double content_received = 0.0;
 };
 

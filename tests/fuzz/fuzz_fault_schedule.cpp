@@ -1,0 +1,152 @@
+// Fuzz target: FaultSchedule — the fault-injection matrix and the sim CLI
+// hand operator-typed schedule strings to FaultSchedule::parse, so the parser
+// must reject arbitrary bytes gracefully (nullopt, never a crash or a
+// ContractViolation). Mode 0 feeds raw bytes to parse(); mode 1 builds a
+// window list from carved doubles and exercises the validating constructor
+// (ContractViolation is the only acceptable rejection there). Whatever either
+// path accepts must satisfy the normalization invariants — sorted, disjoint,
+// non-empty, non-negative, finite windows — survive a to_string()/parse()
+// round trip bit-exactly, and answer link_up() consistently with windows().
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "channel/outage.hpp"
+#include "fuzz_input.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+using mobiweb::Rng;
+using mobiweb::channel::FaultSchedule;
+using mobiweb::fuzz::FuzzInput;
+
+namespace {
+
+bool in_any_window(const FaultSchedule& schedule, double time) {
+  for (const FaultSchedule::Window& w : schedule.windows()) {
+    if (time >= w.begin && time < w.end) return true;
+  }
+  return false;
+}
+
+void check_invariants(const FaultSchedule& schedule) {
+  const std::vector<FaultSchedule::Window>& windows = schedule.windows();
+  MOBIWEB_FUZZ_ASSERT(windows.size() <= FaultSchedule::kMaxWindows,
+                      "accepted schedule exceeds kMaxWindows");
+  double prev_end = -1.0;
+  for (const FaultSchedule::Window& w : windows) {
+    MOBIWEB_FUZZ_ASSERT(std::isfinite(w.begin) && std::isfinite(w.end),
+                        "accepted window has non-finite bound");
+    MOBIWEB_FUZZ_ASSERT(w.begin >= 0.0, "accepted window begins before 0");
+    MOBIWEB_FUZZ_ASSERT(w.begin < w.end, "accepted window is empty");
+    // Normalization merges touching windows, so gaps are strict.
+    MOBIWEB_FUZZ_ASSERT(w.begin > prev_end,
+                        "accepted windows overlap or touch out of order");
+    prev_end = w.end;
+  }
+  MOBIWEB_FUZZ_ASSERT(schedule.total_outage_s() >= 0.0,
+                      "total outage time is negative or NaN");
+  const double fraction = schedule.outage_fraction();
+  MOBIWEB_FUZZ_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                      "outage fraction outside [0,1]");
+}
+
+void check_round_trip(const FaultSchedule& schedule) {
+  // %.17g round-trips IEEE doubles exactly, so reparsing must reproduce the
+  // window list bit-for-bit — the matrix scripts rely on this to archive and
+  // replay schedules.
+  const std::optional<FaultSchedule> reparsed =
+      FaultSchedule::parse(schedule.to_string());
+  MOBIWEB_FUZZ_ASSERT(reparsed.has_value(),
+                      "to_string() output failed to reparse");
+  const auto& a = schedule.windows();
+  const auto& b = reparsed->windows();
+  MOBIWEB_FUZZ_ASSERT(a.size() == b.size(),
+                      "round trip changed the window count");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    MOBIWEB_FUZZ_ASSERT(a[i].begin == b[i].begin && a[i].end == b[i].end,
+                        "round trip perturbed a window bound");
+  }
+}
+
+void check_link_up(FaultSchedule& schedule) {
+  // Probe each window's begin / midpoint / end in order; the probes are
+  // non-decreasing because normalized windows are sorted and disjoint. The
+  // expectation is recomputed from the probed time itself so midpoint
+  // rounding (begin + gap/2 landing on end for ulp-wide windows) cannot
+  // desynchronize oracle and subject.
+  Rng rng(1);
+  std::vector<double> probes;
+  probes.push_back(0.0);
+  for (const FaultSchedule::Window& w : schedule.windows()) {
+    if (probes.size() > 64) break;
+    probes.push_back(w.begin);
+    probes.push_back(w.begin + (w.end - w.begin) / 2.0);
+    probes.push_back(w.end);
+  }
+  for (const double t : probes) {
+    MOBIWEB_FUZZ_ASSERT(schedule.link_up(t, rng) == !in_any_window(schedule, t),
+                        "link_up disagrees with window membership");
+  }
+}
+
+FaultSchedule from_parse(FuzzInput& in, bool& accepted) {
+  const std::vector<std::uint8_t> raw = in.take_remaining();
+  const std::string text(raw.begin(), raw.end());
+  std::optional<FaultSchedule> parsed;
+  // parse() is documented untrusted-input safe: a throw here is a finding.
+  try {
+    parsed = FaultSchedule::parse(text);
+  } catch (...) {
+    MOBIWEB_FUZZ_ASSERT(false, "parse threw on arbitrary bytes");
+  }
+  accepted = parsed.has_value();
+  return accepted ? *parsed : FaultSchedule();
+}
+
+FaultSchedule from_ctor(FuzzInput& in, bool& accepted) {
+  // Carve a handful of window bounds, occasionally poisoned with the exact
+  // values the constructor's contract names (negative, infinite, NaN).
+  const std::size_t count = in.take_index(9);
+  std::vector<FaultSchedule::Window> windows;
+  windows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto carve = [&in]() -> double {
+      switch (in.take_index(8)) {
+        case 0: return -std::numeric_limits<double>::infinity();
+        case 1: return std::numeric_limits<double>::infinity();
+        case 2: return std::numeric_limits<double>::quiet_NaN();
+        case 3: return -static_cast<double>(in.take_in_range(0, 1u << 20)) / 64.0;
+        default: return static_cast<double>(in.take_in_range(0, 1u << 20)) / 64.0;
+      }
+    };
+    windows.push_back({carve(), carve()});
+  }
+  try {
+    FaultSchedule schedule(std::move(windows));
+    accepted = true;
+    return schedule;
+  } catch (const mobiweb::ContractViolation&) {
+    accepted = false;  // documented rejection of bad bounds
+    return FaultSchedule();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  FuzzInput in(data, size);
+
+  bool accepted = false;
+  FaultSchedule schedule =
+      in.take_bool() ? from_ctor(in, accepted) : from_parse(in, accepted);
+  if (!accepted) return 0;
+
+  check_invariants(schedule);
+  check_round_trip(schedule);
+  check_link_up(schedule);
+  return 0;
+}
