@@ -9,12 +9,16 @@
 // given), following bench_micro_coding's convention.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/json.hpp"
 #include "util/table.hpp"
 
 namespace mobiweb::bench {
@@ -43,14 +47,59 @@ inline void print_table(const std::string& caption, const TextTable& table) {
   std::printf("csv:\n%s", table.render_csv().c_str());
 }
 
+// Scans argv for --NAME or --NAME=PATH (NAME without the dashes). Returns
+// nullopt when absent, the (possibly empty) value when present. This is the
+// one definition of the `--flag[=value]` convention every harness follows.
+inline std::optional<std::string> flag_request(int argc, char** argv,
+                                               const char* name) {
+  const std::string bare = std::string("--") + name;
+  const std::string prefix = bare + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return std::string();
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
 // Scans argv for --json or --json=PATH. Returns nullopt when absent, the
 // (possibly empty) output path when present.
 inline std::optional<std::string> json_request(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return std::string();
-    if (std::strncmp(argv[i], "--json=", 7) == 0) return std::string(argv[i] + 7);
+  return flag_request(argc, argv, "json");
+}
+
+// Scans argv for --trace or --trace=PATH (Perfetto timeline output).
+inline std::optional<std::string> trace_request(int argc, char** argv) {
+  return flag_request(argc, argv, "trace");
+}
+
+// --NAME=VALUE parsed as a double; `fallback` when absent or unparsable.
+inline double arg_double(int argc, char** argv, const char* name,
+                         double fallback) {
+  const auto v = flag_request(argc, argv, name);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return end == v->c_str() ? fallback : parsed;
+}
+
+// --NAME=V1,V2,... parsed as doubles; `fallback` when absent or empty.
+inline std::vector<double> arg_double_list(int argc, char** argv,
+                                           const char* name,
+                                           std::vector<double> fallback) {
+  const auto v = flag_request(argc, argv, name);
+  if (!v || v->empty()) return fallback;
+  std::vector<double> out;
+  const char* p = v->c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    const double parsed = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(parsed);
+    p = (*end == ',') ? end + 1 : end;
   }
-  return std::nullopt;
+  return out.empty() ? fallback : out;
 }
 
 // Prints `json` to stdout and, when `path` is non-empty, to `path` as well.
@@ -67,6 +116,102 @@ inline int emit_json(const std::string& json, const std::string& path) {
   }
   std::fputs(json.c_str(), stdout);
   return 0;
+}
+
+// Machine-readable run in the "mobiweb-bench/1" schema — the stable contract
+// scripts/bench_diff.py consumes:
+//
+//   {"schema": "mobiweb-bench/1", "bench": NAME,
+//    "meta": {string/number descriptors of the run configuration},
+//    "metrics": {flat key -> number},
+//    ...optional extra sections (raw())...}
+//
+// Metric keys gate perf regressions, so their direction is encoded in the
+// suffix: *_mbps / *_per_hour / *_per_s / *completed / *content are
+// higher-is-better; *_s / *_ms / *_us / *_ns / *frames / *timeouts /
+// *attempts / *gave_up are lower-is-better; anything else is informational.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, "\"" + obs::json_escape(value) + "\"");
+  }
+  void meta(const std::string& key, double value) {
+    meta_.emplace_back(key, number(value));
+  }
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, number(value));
+  }
+  // Appends a pre-rendered JSON value as an extra top-level section (e.g. a
+  // per-cell array or captured session traces). Caller owns its validity.
+  void raw(const std::string& key, std::string json_value) {
+    raw_.emplace_back(key, std::move(json_value));
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{\n  \"schema\": \"mobiweb-bench/1\",\n  \"bench\": ";
+    obs::append_json_string(out, bench_);
+    out += ",\n  \"meta\": {";
+    append_members(out, meta_);
+    out += "},\n  \"metrics\": {";
+    append_members(out, metrics_);
+    out += "}";
+    for (const auto& [key, value] : raw_) {
+      out += ",\n  ";
+      obs::append_json_string(out, key);
+      out += ": " + value;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+ private:
+  static std::string number(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    return buf;
+  }
+  static void append_members(
+      std::string& out,
+      const std::vector<std::pair<std::string, std::string>>& members) {
+    bool first = true;
+    for (const auto& [key, value] : members) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      obs::append_json_string(out, key);
+      out += ": " + value;
+    }
+    if (!first) out += "\n  ";
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, std::string>> raw_;
+};
+
+// Compiler barrier for self-timed loops in harnesses that do not link
+// google-benchmark.
+template <typename T>
+inline void keep_alive(T const& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+// Runs `op` repeatedly for ~budget_s of wall time and returns ops/second.
+template <typename Fn>
+inline double measure_ops_per_s(Fn&& op, double budget_s = 0.25) {
+  using Clock = std::chrono::steady_clock;
+  const auto budget = std::chrono::duration<double>(budget_s);
+  const auto start = Clock::now();
+  long ops = 0;
+  do {
+    op();
+    ++ops;
+  } while (Clock::now() - start < budget);
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(ops) / secs;
 }
 
 }  // namespace mobiweb::bench

@@ -58,7 +58,7 @@ std::string panel_json(double success) {
 }
 
 int run_json_mode(const std::string& path) {
-  std::string json = "{\n  \"bench\": \"fig2\",\n";
+  std::string json = "{\n  \"schema\": \"mobiweb-bench/1\",\n  \"bench\": \"fig2\",\n";
   json += "  \"alphas\": [0.1, 0.2, 0.3, 0.4, 0.5],\n";
   json += "  \"n_required\": {\"s95\": " + panel_json(0.95) +
           ",\n                 \"s99\": " + panel_json(0.99) + "},\n";

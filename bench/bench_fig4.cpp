@@ -50,7 +50,7 @@ void panel(const char* name, bool caching, double irrelevant_fraction) {
 }
 
 int run_json_mode(const std::string& path) {
-  std::string json = "{\n  \"bench\": \"fig4\",\n  \"conditions\": [\n";
+  std::string json = "{\n  \"schema\": \"mobiweb-bench/1\",\n  \"bench\": \"fig4\",\n  \"conditions\": [\n";
   bool first = true;
   for (const bool caching : {false, true}) {
     for (const double gamma : {1.2, 1.5, 2.0}) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "gf256/gf256.hpp"
 #include "gf256/matrix.hpp"
 #include "ida/ida.hpp"
@@ -194,7 +195,7 @@ double measure_payload_mbps(std::size_t payload_bytes, Fn&& op) {
   return static_cast<double>(bytes) / 1e6 / secs;
 }
 
-int emit_json(const char* path) {
+int emit_json(const std::string& path) {
   const std::size_t row_bytes = 4096;
   const Bytes payload = random_bytes(10240, 13);
   const ida::Encoder enc(40, 60);
@@ -203,55 +204,31 @@ int emit_json(const char* path) {
   std::vector<std::pair<std::size_t, Bytes>> redundancy;
   for (std::size_t i = 20; i < 60; ++i) redundancy.emplace_back(i, cooked[i]);
 
-  std::string json = "{\n  \"bench\": \"micro_coding\",\n";
-  json += "  \"row_bytes\": " + std::to_string(row_bytes) + ",\n";
-  json += "  \"active_kernel\": \"" +
-          std::string(gf::kernel_name(gf::resolve_kernel(gf::active_kernel()))) +
-          "\",\n";
-  json += "  \"mul_add_row_mbps\": {";
-  bool first = true;
+  mobiweb::bench::JsonReport report("micro_coding");
+  report.meta("row_bytes", static_cast<double>(row_bytes));
+  report.meta("payload_bytes", static_cast<double>(payload.size()));
+  report.meta("active_kernel", std::string(gf::kernel_name(
+                                   gf::resolve_kernel(gf::active_kernel()))));
   for (const gf::Kernel k : benchable_kernels()) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%s\"%s\": %.1f", first ? "" : ", ",
-                  gf::kernel_name(k), measure_mul_add_mbps(k, row_bytes));
-    json += buf;
-    first = false;
+    report.metric(std::string("mul_add_row.") + gf::kernel_name(k) + ".mbps",
+                  measure_mul_add_mbps(k, row_bytes));
   }
-  json += "},\n";
-
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "  \"ida_encode_mbps\": %.1f,\n",
-                measure_payload_mbps(payload.size(), [&] {
-                  benchmark::DoNotOptimize(enc.encode_payload(ByteSpan(payload), 256));
+  report.metric("ida_encode_mbps", measure_payload_mbps(payload.size(), [&] {
+                  benchmark::DoNotOptimize(
+                      enc.encode_payload(ByteSpan(payload), 256));
                 }));
-  json += buf;
-  std::snprintf(buf, sizeof buf, "  \"ida_decode_mbps\": %.1f\n",
-                measure_payload_mbps(payload.size(), [&] {
+  report.metric("ida_decode_mbps", measure_payload_mbps(payload.size(), [&] {
                   benchmark::DoNotOptimize(
                       dec.decode_payload(redundancy, payload.size()));
                 }));
-  json += buf;
-  json += "}\n";
-
-  if (path != nullptr && path[0] != '\0') {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench_micro_coding: cannot open %s\n", path);
-      return 1;
-    }
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-  }
-  std::fputs(json.c_str(), stdout);
-  return 0;
+  return mobiweb::bench::emit_json(report.str(), path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return emit_json(nullptr);
-    if (std::strncmp(argv[i], "--json=", 7) == 0) return emit_json(argv[i] + 7);
+  if (const auto path = mobiweb::bench::json_request(argc, argv)) {
+    return emit_json(*path);
   }
   register_kernel_benchmarks();
   benchmark::Initialize(&argc, argv);

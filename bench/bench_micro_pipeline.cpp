@@ -6,18 +6,27 @@
 // BM_TransferSession/* additionally measure a full document transfer over a
 // lossy channel with the observability sinks detached, attached, and
 // attached with full event capture — the no-op-sink run is the overhead
-// guarantee DESIGN.md makes for the obs layer.
+// guarantee DESIGN.md makes for the obs layer. BM_ProfilerScope/* make the
+// same guarantee for the hot-path profiler: a detached MOBIWEB_PROFILE_SCOPE
+// must cost one atomic load and a branch, nothing more.
+//
+// Two modes (same convention as bench_micro_coding):
+//   * default — google-benchmark suite;
+//   * --json[=PATH] — self-timed sweep in the "mobiweb-bench/1" schema, the
+//     input scripts/bench_diff.py gates on.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <string>
 
+#include "bench_common.hpp"
 #include "channel/channel.hpp"
 #include "channel/error_model.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
 #include "doc/recognizer.hpp"
 #include "html/structurer.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "text/porter.hpp"
 #include "text/tokenize.hpp"
@@ -120,46 +129,61 @@ void BM_Linearize(benchmark::State& state) {
 }
 BENCHMARK(BM_Linearize);
 
+// Shared fixture for the transfer-session measurements: the paper document
+// linearized and wrapped in a transmitter, plus the matching receiver config.
+struct TransferFixture {
+  TransferFixture() : tx(make_transmitter()) {
+    rc.doc_id = 1;
+    rc.m = tx.m();
+    rc.n = tx.n();
+    rc.packet_size = 256;
+    rc.payload_size = tx.payload_size();
+  }
+
+  static mobiweb::transmit::DocumentTransmitter make_transmitter() {
+    const doc::ScGenerator gen;
+    const auto sc = gen.generate(mobiweb::xml::parse(bench::kPaperXml));
+    doc::LinearDocument linear = doc::linearize(
+        sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
+    mobiweb::transmit::TransmitterConfig tc;
+    tc.packet_size = 256;
+    tc.gamma = 1.5;
+    tc.doc_id = 1;
+    return mobiweb::transmit::DocumentTransmitter(std::move(linear), tc);
+  }
+
+  // One full transfer over a fresh lossy channel; `trace` may be null.
+  mobiweb::transmit::SessionResult run_once(mobiweb::obs::SessionTrace* trace) const {
+    namespace channel = mobiweb::channel;
+    namespace transmit = mobiweb::transmit;
+    channel::ChannelConfig cc;
+    cc.seed = 99;
+    channel::WirelessChannel ch(cc,
+                                std::make_unique<channel::IidErrorModel>(0.2));
+    transmit::ClientReceiver rx(rc, tx.document().segments);
+    transmit::SessionConfig scfg;
+    if (trace != nullptr) {
+      trace->clear();
+      scfg.trace = trace;
+    }
+    transmit::TransferSession session(tx, rx, ch, scfg);
+    return session.run();
+  }
+
+  mobiweb::transmit::DocumentTransmitter tx;
+  mobiweb::transmit::ReceiverConfig rc;
+};
+
 // mode 0: no trace attached (the zero-cost guarantee), 1: trace with round
 // summaries only, 2: trace with the full per-frame event log.
 void BM_TransferSession(benchmark::State& state) {
-  namespace channel = mobiweb::channel;
-  namespace transmit = mobiweb::transmit;
   namespace obs = mobiweb::obs;
   const int mode = static_cast<int>(state.range(0));
-
-  const doc::ScGenerator gen;
-  const auto sc = gen.generate(mobiweb::xml::parse(bench::kPaperXml));
-  doc::LinearDocument linear =
-      doc::linearize(sc, {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc});
-  transmit::TransmitterConfig tc;
-  tc.packet_size = 256;
-  tc.gamma = 1.5;
-  tc.doc_id = 1;
-  const transmit::DocumentTransmitter tx(std::move(linear), tc);
-
-  transmit::ReceiverConfig rc;
-  rc.doc_id = 1;
-  rc.m = tx.m();
-  rc.n = tx.n();
-  rc.packet_size = tc.packet_size;
-  rc.payload_size = tx.payload_size();
-
+  const TransferFixture fixture;
   obs::SessionTrace trace;
   trace.capture_events(mode == 2);
-
   for (auto _ : state) {
-    channel::ChannelConfig cc;
-    cc.seed = 99;
-    channel::WirelessChannel ch(cc, std::make_unique<channel::IidErrorModel>(0.2));
-    transmit::ClientReceiver rx(rc, tx.document().segments);
-    transmit::SessionConfig scfg;
-    if (mode != 0) {
-      trace.clear();
-      scfg.trace = &trace;
-    }
-    transmit::TransferSession session(tx, rx, ch, scfg);
-    benchmark::DoNotOptimize(session.run());
+    benchmark::DoNotOptimize(fixture.run_once(mode == 0 ? nullptr : &trace));
   }
 }
 BENCHMARK(BM_TransferSession)
@@ -167,4 +191,90 @@ BENCHMARK(BM_TransferSession)
     ->Arg(1)   // round summaries
     ->Arg(2);  // full event capture
 
+// mode 0: bare loop body; 1: the body wrapped in MOBIWEB_PROFILE_SCOPE with
+// no profiler attached — the detached guarantee, expected to match mode 0
+// within noise; 2: the same scope with a profiler attached and accumulating.
+void BM_ProfilerScope(benchmark::State& state) {
+  namespace obs = mobiweb::obs;
+  const int mode = static_cast<int>(state.range(0));
+  obs::Profiler profiler;
+  if (mode == 2) profiler.attach();
+  int x = 0;
+  for (auto _ : state) {
+    if (mode == 0) {
+      benchmark::DoNotOptimize(++x);
+    } else {
+      MOBIWEB_PROFILE_SCOPE("bench.scope");
+      benchmark::DoNotOptimize(++x);
+    }
+  }
+  if (mode == 2) obs::Profiler::detach();
+}
+BENCHMARK(BM_ProfilerScope)
+    ->Arg(0)   // uninstrumented
+    ->Arg(1)   // detached scope
+    ->Arg(2);  // attached scope
+
+// ---- self-timed JSON mode (the perf-regression gate's input) ----
+
+// Mean nanoseconds per MOBIWEB_PROFILE_SCOPE enter+exit.
+double scope_ns(bool attached) {
+  namespace obs = mobiweb::obs;
+  obs::Profiler profiler;
+  if (attached) profiler.attach();
+  constexpr int kInner = 256;
+  const double ops = bench::measure_ops_per_s([&] {
+    for (int i = 0; i < kInner; ++i) {
+      MOBIWEB_PROFILE_SCOPE("bench.scope");
+      bench::keep_alive(i);
+    }
+  });
+  if (attached) obs::Profiler::detach();
+  return 1e9 / (ops * kInner);
+}
+
+int emit_json(const std::string& path) {
+  namespace obs = mobiweb::obs;
+  const std::string source = bench::kPaperXml;
+  const doc::ScGenerator gen;
+  const auto sc = gen.generate(mobiweb::xml::parse(source));
+  const TransferFixture fixture;
+  obs::SessionTrace trace;
+  trace.capture_events(true);
+
+  bench::JsonReport report("micro_pipeline");
+  report.meta("xml_bytes", static_cast<double>(source.size()));
+  report.metric("xml_parse_per_s", bench::measure_ops_per_s([&] {
+                  benchmark::DoNotOptimize(mobiweb::xml::parse(source));
+                }));
+  report.metric("sc_generate_per_s", bench::measure_ops_per_s([&] {
+                  benchmark::DoNotOptimize(
+                      gen.generate(mobiweb::xml::parse(source)));
+                }));
+  report.metric("linearize_per_s", bench::measure_ops_per_s([&] {
+                  benchmark::DoNotOptimize(doc::linearize(
+                      sc,
+                      {.lod = doc::Lod::kParagraph, .rank = doc::RankBy::kIc}));
+                }));
+  report.metric("transfer_detached_per_s", bench::measure_ops_per_s([&] {
+                  benchmark::DoNotOptimize(fixture.run_once(nullptr));
+                }));
+  report.metric("transfer_capture_per_s", bench::measure_ops_per_s([&] {
+                  benchmark::DoNotOptimize(fixture.run_once(&trace));
+                }));
+  report.metric("profiler_scope_detached_ns", scope_ns(false));
+  report.metric("profiler_scope_attached_ns", scope_ns(true));
+  return bench::emit_json(report.str(), path);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto path = bench::json_request(argc, argv)) {
+    return emit_json(*path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,7 +12,10 @@
 //
 // Arguments: --duty=D1,D2,...   outage duty-cycles to sweep (default 0,0.2,0.4)
 //            --feedback-loss=P  back-channel drop probability (default 0.3)
-//            --json[=PATH]      machine-readable run (bench_common convention)
+//            --json[=PATH]      machine-readable run ("mobiweb-bench/1" schema)
+//            --trace[=PATH]     one traced session per duty value, exported as
+//                               Chrome/Perfetto trace-event JSON (load the file
+//                               at https://ui.perfetto.dev)
 #include <cstring>
 #include <memory>
 #include <string>
@@ -24,6 +27,7 @@
 #include "channel/outage.hpp"
 #include "doc/content.hpp"
 #include "doc/linear.hpp"
+#include "obs/export.hpp"
 #include "transmit/arq.hpp"
 #include "transmit/receiver.hpp"
 #include "transmit/resilient.hpp"
@@ -170,30 +174,50 @@ Cell run_arq(const doc::LinearDocument& linear, double duty,
   return cell;
 }
 
-std::vector<double> parse_duties(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--duty=", 7) != 0) continue;
-    std::vector<double> out;
-    const char* p = argv[i] + 7;
-    char* end = nullptr;
-    while (*p != '\0') {
-      const double v = std::strtod(p, &end);
-      if (end == p) break;
-      out.push_back(v);
-      p = (*end == ',') ? end + 1 : end;
-    }
-    if (!out.empty()) return out;
-  }
-  return {0.0, 0.2, 0.4};
+// One fully-traced resilient transfer (caching variant) at the given duty
+// cycle, for the --trace Perfetto export. The returned trace owns the full
+// per-frame event log.
+std::unique_ptr<mobiweb::obs::SessionTrace> run_one_traced(
+    const doc::LinearDocument& linear, double duty, double feedback_loss) {
+  auto trace = std::make_unique<mobiweb::obs::SessionTrace>(
+      "resilient+caching duty=" + TextTable::fmt(duty, 2));
+  trace->capture_events(true);
+  transmit::TransmitterConfig tc;
+  tc.packet_size = kPacketSize;
+  tc.gamma = kGamma;
+  tc.doc_id = 1;
+  transmit::DocumentTransmitter tx(linear, tc);
+  transmit::ReceiverConfig rc;
+  rc.doc_id = tc.doc_id;
+  rc.m = tx.m();
+  rc.n = tx.n();
+  rc.packet_size = kPacketSize;
+  rc.payload_size = tx.payload_size();
+  rc.caching = true;
+  transmit::ClientReceiver rx(rc, tx.document().segments);
+  auto ch = make_channel(duty, feedback_loss, 0x007a6eull);
+  transmit::ResilientConfig cfg;
+  cfg.max_rounds = 50;
+  cfg.retry.retry_budget = 12;
+  cfg.retry.initial_timeout_s = 0.25;
+  cfg.trace = trace.get();
+  transmit::ResilientSession session(tx, rx, ch, cfg);
+  (void)session.run();
+  return trace;
 }
 
-double parse_feedback_loss(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--feedback-loss=", 16) == 0) {
-      return std::strtod(argv[i] + 16, nullptr);
-    }
+int run_trace_mode(const doc::LinearDocument& linear,
+                   const std::vector<double>& duties, double feedback_loss,
+                   const std::string& path) {
+  std::vector<std::unique_ptr<mobiweb::obs::SessionTrace>> traces;
+  traces.reserve(duties.size());
+  for (const double duty : duties) {
+    traces.push_back(run_one_traced(linear, duty, feedback_loss));
   }
-  return 0.3;
+  std::vector<const mobiweb::obs::SessionTrace*> ptrs;
+  ptrs.reserve(traces.size());
+  for (const auto& t : traces) ptrs.push_back(t.get());
+  return bench::emit_json(mobiweb::obs::timeline_json(ptrs), path);
 }
 
 std::string cell_json(const char* variant, double duty, const Cell& c) {
@@ -212,32 +236,43 @@ std::string cell_json(const char* variant, double duty, const Cell& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<double> duties = parse_duties(argc, argv);
-  const double feedback_loss = parse_feedback_loss(argc, argv);
+  const std::vector<double> duties =
+      bench::arg_double_list(argc, argv, "duty", {0.0, 0.2, 0.4});
+  const double feedback_loss =
+      bench::arg_double(argc, argv, "feedback-loss", 0.3);
   const int docs = bench::fast_mode() ? 20 : 100;
   const doc::LinearDocument linear = make_document();
 
-  const auto json_path = bench::json_request(argc, argv);
-  if (json_path) {
-    std::string json = "{\n  \"bench\": \"outage\",\n";
-    json += "  \"alpha\": " + TextTable::fmt(kAlpha, 2) + ",\n";
-    json += "  \"feedback_loss\": " + TextTable::fmt(feedback_loss, 2) + ",\n";
-    json += "  \"mean_outage_s\": " + TextTable::fmt(kMeanOutageS, 2) + ",\n";
-    json += "  \"documents\": " + std::to_string(docs) + ",\n";
-    json += "  \"cells\": [\n";
+  if (const auto trace_path = bench::trace_request(argc, argv)) {
+    return run_trace_mode(linear, duties, feedback_loss, *trace_path);
+  }
+
+  if (const auto json_path = bench::json_request(argc, argv)) {
+    bench::JsonReport report("outage");
+    report.meta("alpha", kAlpha);
+    report.meta("feedback_loss", feedback_loss);
+    report.meta("mean_outage_s", kMeanOutageS);
+    report.meta("documents", static_cast<double>(docs));
+    std::string cells = "[\n";
     bool first = true;
     for (const double duty : duties) {
       const Cell caching = run_resilient(linear, true, duty, feedback_loss, docs);
       const Cell nocache = run_resilient(linear, false, duty, feedback_loss, docs);
       const Cell arq = run_arq(linear, duty, feedback_loss, docs);
-      if (!first) json += ",\n";
-      json += cell_json("resilient+caching", duty, caching) + ",\n";
-      json += cell_json("resilient+nocaching", duty, nocache) + ",\n";
-      json += cell_json("arq", duty, arq);
+      if (!first) cells += ",\n";
+      cells += cell_json("resilient+caching", duty, caching) + ",\n";
+      cells += cell_json("resilient+nocaching", duty, nocache) + ",\n";
+      cells += cell_json("arq", duty, arq);
       first = false;
+      const std::string key = "caching.duty_" + TextTable::fmt(duty, 2);
+      report.metric(key + ".completed", caching.completed);
+      report.metric(key + ".mean_content", caching.mean_content);
+      report.metric(key + ".mean_time_s", caching.mean_time);
+      report.metric(key + ".mean_frames", caching.mean_frames);
     }
-    json += "\n  ]\n}\n";
-    return bench::emit_json(json, *json_path);
+    cells += "\n  ]";
+    report.raw("cells", cells);
+    return bench::emit_json(report.str(), *json_path);
   }
 
   bench::print_header(

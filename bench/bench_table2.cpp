@@ -19,7 +19,7 @@ namespace {
 
 int run_json_mode(const std::string& path) {
   sim::ExperimentParams params;
-  std::string json = "{\n  \"bench\": \"table2\",\n  \"parameters\": {\n";
+  std::string json = "{\n  \"schema\": \"mobiweb-bench/1\",\n  \"bench\": \"table2\",\n  \"parameters\": {\n";
   json += "    \"packet_size\": " + std::to_string(params.document.packet_size) + ",\n";
   json += "    \"doc_size\": " + std::to_string(params.document.doc_size) + ",\n";
   json += "    \"overhead\": " + std::to_string(params.overhead) + ",\n";

@@ -36,9 +36,30 @@ double docs_per_hour(double alpha, doc::Lod lod, double gamma, bool caching) {
   return 3600.0 / r.response_time.mean;
 }
 
+// "mobiweb-bench/1" machine-readable run over a reduced alpha grid; the
+// docs-per-hour keys end in `_per_hour` so bench_diff treats them as
+// higher-is-better.
+int emit_json(const std::string& path) {
+  bench::JsonReport report("throughput");
+  report.meta("irrelevant_fraction", 0.5);
+  report.meta("relevance_threshold", 0.5);
+  report.meta("repetitions", static_cast<double>(bench::repetitions()));
+  for (const double alpha : {0.1, 0.3, 0.5}) {
+    const std::string key = "alpha_" + TextTable::fmt(alpha, 1);
+    report.metric(key + ".conventional.docs_per_hour",
+                  docs_per_hour(alpha, doc::Lod::kDocument, 1.0, false));
+    report.metric(key + ".full_system.docs_per_hour",
+                  docs_per_hour(alpha, doc::Lod::kParagraph, 1.5, true));
+  }
+  return bench::emit_json(report.str(), path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const auto path = bench::json_request(argc, argv)) {
+    return emit_json(*path);
+  }
   bench::print_header(
       "Throughput — documents browsed per hour vs traditional browsing",
       "Mixed session (I = 0.5, F = 0.5), 19.2 kbps. 'conventional' is plain\n"

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over "mobiweb-bench/1" JSON runs.
+
+Usage:
+    bench_diff.py [--tolerance=FRAC] [--quiet] OLD.json NEW.json
+
+Compares the flat `metrics` maps of two bench runs produced by any harness's
+--json mode (bench_micro_coding, bench_micro_pipeline, bench_throughput,
+bench_outage, ...). Exits 0 when no metric regressed by more than the
+tolerance (default 0.10 = 10%), 1 when at least one did, 2 on usage or
+schema errors.
+
+Metric direction is encoded in the key suffix:
+  higher-is-better: *mbps, *per_hour, *per_s, *completed, *content
+  lower-is-better:  *_s, *_ms, *_us, *_ns, *frames, *timeouts, *attempts,
+                    *gave_up
+Keys matching neither list are informational: printed, never gating.
+Metrics present in only one run are reported but do not gate (benches may
+gain or drop metrics across revisions).
+
+Stdlib only; no third-party imports.
+"""
+
+import json
+import sys
+
+HIGHER_BETTER = ("mbps", "per_hour", "per_s", "completed", "content")
+LOWER_BETTER = ("_s", "_ms", "_us", "_ns", "frames", "timeouts", "attempts",
+                "gave_up")
+
+SCHEMA = "mobiweb-bench/1"
+
+
+def direction(key):
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    if key.endswith(HIGHER_BETTER):
+        return 1
+    if key.endswith(LOWER_BETTER):
+        return -1
+    return 0
+
+
+def load_run(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            run = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if run.get("schema") != SCHEMA:
+        sys.exit(f"bench_diff: {path}: expected schema {SCHEMA!r}, "
+                 f"got {run.get('schema')!r}")
+    metrics = run.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"bench_diff: {path}: missing metrics object")
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            sys.exit(f"bench_diff: {path}: metric {key!r} is not a number")
+    return run.get("bench", "?"), metrics
+
+
+def main(argv):
+    tolerance = 0.10
+    quiet = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            try:
+                tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                sys.exit(f"bench_diff: bad tolerance {arg!r}")
+            if tolerance < 0:
+                sys.exit("bench_diff: tolerance must be >= 0")
+        elif arg == "--quiet":
+            quiet = True
+        elif arg.startswith("-"):
+            sys.exit(f"bench_diff: unknown option {arg!r}\n{__doc__}")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(f"bench_diff: need exactly OLD.json NEW.json\n{__doc__}")
+
+    old_bench, old = load_run(paths[0])
+    new_bench, new = load_run(paths[1])
+    if old_bench != new_bench:
+        print(f"bench_diff: warning: comparing bench {old_bench!r} "
+              f"against {new_bench!r}", file=sys.stderr)
+
+    regressions = []
+    lines = []
+    for key in sorted(set(old) | set(new)):
+        if key not in old or key not in new:
+            side = "new" if key in new else "old"
+            lines.append(f"  {key}: only in {side} run")
+            continue
+        a, b = float(old[key]), float(new[key])
+        if a == b:
+            delta = 0.0
+        elif a == 0.0:
+            delta = float("inf") if b > 0 else float("-inf")
+        else:
+            delta = (b - a) / abs(a)
+        sign = direction(key)
+        # delta > 0 is an increase; a regression is a decrease of a
+        # higher-is-better metric or an increase of a lower-is-better one.
+        regressed = sign != 0 and -sign * delta > tolerance
+        tag = "REGRESSED" if regressed else (
+            "info" if sign == 0 else "ok")
+        lines.append(f"  {key}: {a:g} -> {b:g} ({delta:+.1%}) [{tag}]")
+        if regressed:
+            regressions.append(key)
+
+    if not quiet:
+        print(f"bench_diff: {old_bench}: {paths[0]} -> {paths[1]} "
+              f"(tolerance {tolerance:.0%})")
+        for line in lines:
+            print(line)
+    if regressions:
+        print(f"bench_diff: {len(regressions)} metric(s) regressed beyond "
+              f"{tolerance:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        return 1
+    if not quiet:
+        print("bench_diff: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Structural smoke test of the perf-regression gate, wired into ctest as
+# `perf.smoke`. Deliberately non-flaky: nothing here compares live timings
+# against thresholds. It checks that
+#   1. the micro harnesses emit valid "mobiweb-bench/1" JSON,
+#   2. bench_diff.py passes a run against itself,
+#   3. bench_diff.py FAILS when a regression is injected into a copy,
+#   4. the metric keys are still compatible with the checked-in baselines
+#      (compared at a tolerance timing noise cannot trip).
+# For an actual perf hunt, diff two real runs at the default tolerance:
+#   scripts/bench_diff.py bench/baselines/micro_coding.json new.json
+set -euo pipefail
+
+ROOT=${MOBIWEB_REPO_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}
+CODING=${1:-$ROOT/build/bench/bench_micro_coding}
+PIPELINE=${2:-$ROOT/build/bench/bench_micro_pipeline}
+DIFF="$ROOT/scripts/bench_diff.py"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$CODING" --json="$TMP/coding.json" >/dev/null
+"$PIPELINE" --json="$TMP/pipeline.json" >/dev/null
+
+# A run diffed against itself must pass at any tolerance.
+python3 "$DIFF" --quiet --tolerance=0 "$TMP/coding.json" "$TMP/coding.json"
+python3 "$DIFF" --quiet --tolerance=0 "$TMP/pipeline.json" "$TMP/pipeline.json"
+
+# Halve the first throughput metric: the gate must catch it.
+python3 - "$TMP/coding.json" "$TMP/regressed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    run = json.load(f)
+for key in sorted(run["metrics"]):
+    if key.endswith(("mbps", "per_s", "per_hour")):
+        run["metrics"][key] *= 0.5
+        break
+else:
+    sys.exit("perf_smoke: no directional metric to perturb")
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(run, f)
+EOF
+if python3 "$DIFF" --quiet "$TMP/coding.json" "$TMP/regressed.json"; then
+  echo "perf_smoke: injected regression was not detected" >&2
+  exit 1
+fi
+
+# Baseline key compatibility (schema + key drift only, not timings).
+python3 "$DIFF" --quiet --tolerance=1000 \
+  "$ROOT/bench/baselines/micro_coding.json" "$TMP/coding.json"
+python3 "$DIFF" --quiet --tolerance=1000 \
+  "$ROOT/bench/baselines/micro_pipeline.json" "$TMP/pipeline.json"
+
+echo "perf_smoke: ok"

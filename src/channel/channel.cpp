@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace mobiweb::channel {
@@ -51,6 +52,7 @@ double WirelessChannel::transmit_time(std::size_t frame_bytes) const {
 }
 
 WirelessChannel::Delivery WirelessChannel::send(ByteSpan frame) {
+  MOBIWEB_PROFILE_SCOPE("channel.send");
   MOBIWEB_CHECK_MSG(!frame.empty(), "WirelessChannel::send: empty frame");
   Delivery d;
   clock_ += transmit_time(frame.size());

@@ -5,6 +5,7 @@
 
 #include "doc/recognizer.hpp"
 #include "html/structurer.hpp"
+#include "obs/profile.hpp"
 #include "util/lzss.hpp"
 #include "xml/parser.hpp"
 
@@ -173,6 +174,7 @@ FetchResult BrowseSession::fetch(std::string_view url, const FetchOptions& optio
     // decompress independently — a missing unit cannot corrupt its neighbors.
     for (const transmit::PartialUnit& unit : result.partial.units) {
       if (compressed_units) {
+        MOBIWEB_PROFILE_SCOPE("lzss.decompress");
         const Bytes raw = lzss_decompress(ByteSpan(unit.bytes));
         result.text.append(raw.begin(), raw.end());
       } else {

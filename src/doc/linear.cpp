@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 #include "util/lzss.hpp"
 
@@ -107,6 +108,7 @@ LinearDocument linearize(const StructuralCharacteristic& sc,
     const std::string text = render_unit_text(*e.unit);
     Bytes bytes(text.begin(), text.end());
     if (options.compress) {
+      MOBIWEB_PROFILE_SCOPE("lzss.compress");
       bytes = lzss_compress(ByteSpan(bytes));
     }
     Segment seg;
@@ -128,6 +130,7 @@ std::string reassemble_text(const LinearDocument& doc) {
     const ByteSpan bytes =
         ByteSpan(doc.payload).subspan(seg.offset, seg.size);
     if (doc.compressed_units) {
+      MOBIWEB_PROFILE_SCOPE("lzss.decompress");
       const Bytes raw = lzss_decompress(bytes);
       out.append(raw.begin(), raw.end());
     } else {

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <string_view>
 
+#include "obs/profile.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #define MOBIWEB_GF_X86 1
 #include <immintrin.h>
@@ -310,6 +312,11 @@ const Elem* mul_table(Elem c) {
 }
 
 void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k) {
+  // The profiler's detached cost here is one atomic load + branch per row —
+  // the same budget as the nullptr trace sinks. Attached, leaf scopes this
+  // short are dominated by the two clock reads; the table still ranks the
+  // row kernels as the hot spot correctly, just with inflated self time.
+  MOBIWEB_PROFILE_SCOPE("gf.mul_add_row");
   if (c == 0 || n == 0) return;
   if (c == 1) {
     // Identity coefficient — common in systematic decodes where clear-text
@@ -326,6 +333,7 @@ void mul_add_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k) {
 }
 
 void mul_row(Elem* out, const Elem* in, Elem c, std::size_t n, Kernel k) {
+  MOBIWEB_PROFILE_SCOPE("gf.mul_row");
   if (n == 0) return;
   if (c == 0) {
     std::memset(out, 0, n);

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/profile.hpp"
+
 namespace mobiweb::gf {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -48,6 +50,7 @@ Matrix Matrix::multiply(const Matrix& other) const {
 }
 
 Matrix Matrix::inverse() const {
+  MOBIWEB_PROFILE_SCOPE("gf.invert");
   MOBIWEB_CHECK_MSG(rows_ == cols_, "Matrix::inverse requires a square matrix");
   const std::size_t n = rows_;
   Matrix work = *this;

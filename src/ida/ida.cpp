@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -22,8 +23,10 @@ void for_each_row_range(std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t, std::size_t)>& fn) {
   const std::size_t rows = end - begin;
   if (rows >= 2 && rows * work_per_row >= parallel_threshold()) {
+    MOBIWEB_PROFILE_SCOPE("ida.rows.parallel");
     ThreadPool::global().parallel_for(begin, end, 1, fn);
   } else if (rows > 0) {
+    MOBIWEB_PROFILE_SCOPE("ida.rows.serial");
     fn(begin, end);
   }
 }
@@ -77,6 +80,7 @@ Encoder::Encoder(std::size_t m, std::size_t n) : m_(m), n_(n) {
 }
 
 std::vector<Bytes> Encoder::encode(const std::vector<Bytes>& raw) const {
+  MOBIWEB_PROFILE_SCOPE("ida.encode");
   MOBIWEB_CHECK_MSG(raw.size() == m_, "Encoder::encode: expected m raw packets");
   const std::size_t size = raw.front().size();
   MOBIWEB_CHECK_MSG(size >= 1, "Encoder::encode: empty packets");
@@ -117,6 +121,7 @@ Decoder::Decoder(std::size_t m, std::size_t n) : m_(m), n_(n) {
 
 std::vector<Bytes> Decoder::decode(
     const std::vector<std::pair<std::size_t, Bytes>>& cooked) const {
+  MOBIWEB_PROFILE_SCOPE("ida.decode");
   // Validate the whole input up front: a bad index or a mixed-size payload
   // must surface as a ContractViolation here, never as a silently singular
   // submatrix or an out-of-bounds row read further down.
@@ -225,6 +230,7 @@ ByteSpan StreamingDecoder::clear_packet(std::size_t raw_index) const {
 }
 
 Bytes StreamingDecoder::reconstruct() const {
+  MOBIWEB_PROFILE_SCOPE("ida.reconstruct");
   MOBIWEB_CHECK_MSG(complete(), "StreamingDecoder::reconstruct: not complete");
   Decoder dec(m_, n_);
   return dec.decode_payload(held_, payload_size_);

@@ -1,0 +1,55 @@
+// The one JSON string-escaping routine shared by every JSON producer in
+// src/obs (metrics, traces, timeline export, flight recorder). Labels
+// containing quotes, backslashes and control characters must survive a
+// round trip through any exporter — RFC 8259 requires escaping control
+// characters below 0x20, which a quote-and-backslash-only escaper silently
+// corrupts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mobiweb::obs {
+
+// Appends `s` to `out` with JSON string escaping applied: backslash, quote,
+// \b \f \n \r \t, and \u00XX for the remaining control characters. No
+// surrounding quotes; see append_json_string.
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Appends `"s"` (quoted and escaped).
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_json_escaped(out, s);
+  return out;
+}
+
+}  // namespace mobiweb::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json.hpp"
 #include "util/check.hpp"
 
 namespace mobiweb::obs {
@@ -16,12 +17,7 @@ void append_number(std::string& out, double v) {
 }
 
 void append_quoted(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
+  append_json_string(out, s);
 }
 
 }  // namespace

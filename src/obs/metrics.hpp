@@ -85,6 +85,17 @@ class MetricsRegistry {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
+  // Whole-registry read access in stable (sorted) order, for exporters.
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {"buckets": [...],
   //  "counts": [...], "count": c, "sum": s, "min": lo, "max": hi}}}
   [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,255 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace mobiweb::obs {
+
+std::atomic<Profiler*> Profiler::g_active{nullptr};
+
+namespace {
+
+// Bumped on every attach/detach so stale thread-local log pointers (from a
+// previous profiler) are never dereferenced.
+std::atomic<std::uint64_t> g_generation{0};
+
+thread_local Profiler::ThreadLog* tls_log = nullptr;
+thread_local std::uint64_t tls_generation = 0;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct Profiler::ThreadLog {
+  static constexpr int kMaxDepth = 64;
+  static constexpr std::size_t kMaxTimelineEvents = 1u << 16;
+
+  struct Frame {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t child_ns;
+  };
+  struct Accum {
+    long count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t child_ns = 0;
+  };
+  struct SpanEvent {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+  };
+
+  Profiler* owner = nullptr;
+  int tid = 1;
+  Frame stack[kMaxDepth];
+  int depth = 0;
+  long dropped_scopes = 0;
+  long dropped_events = 0;
+  // Keyed by the literal's address: no hashing of string contents on the hot
+  // path. Distinct literals with equal text merge at report time.
+  std::unordered_map<const char*, Accum> accum;
+  std::vector<SpanEvent> timeline;
+};
+
+Profiler::Profiler() = default;
+
+Profiler::~Profiler() {
+  if (active() == this) detach();
+}
+
+void Profiler::attach() {
+  epoch_ns_ = steady_ns();
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_active.store(this, std::memory_order_release);
+}
+
+void Profiler::detach() {
+  g_active.store(nullptr, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::now_ns() const { return steady_ns() - epoch_ns_; }
+
+Profiler::ThreadLog* Profiler::log_for_this_thread() {
+  const std::uint64_t generation = g_generation.load(std::memory_order_relaxed);
+  if (tls_log != nullptr && tls_generation == generation &&
+      tls_log->owner == this) {
+    return tls_log;
+  }
+  auto log = std::make_unique<ThreadLog>();
+  log->owner = this;
+  ThreadLog* raw = log.get();
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    raw->tid = static_cast<int>(logs_.size()) + 1;
+    logs_.push_back(std::move(log));
+  }
+  tls_log = raw;
+  tls_generation = generation;
+  return raw;
+}
+
+void ScopedTimer::open(Profiler* p, const char* name) noexcept {
+  Profiler::ThreadLog* log = p->log_for_this_thread();
+  if (log->depth >= Profiler::ThreadLog::kMaxDepth) {
+    ++log->dropped_scopes;
+    return;  // log_ stays null: close() is skipped, parent keeps the time
+  }
+  log->stack[log->depth++] = {name, p->now_ns(), 0};
+  log_ = log;
+}
+
+void ScopedTimer::close() noexcept {
+  Profiler::ThreadLog* log = log_;
+  Profiler::ThreadLog::Frame frame = log->stack[--log->depth];
+  const std::uint64_t end = log->owner->now_ns();
+  const std::uint64_t dur = end > frame.start_ns ? end - frame.start_ns : 0;
+  Profiler::ThreadLog::Accum& a = log->accum[frame.name];
+  ++a.count;
+  a.total_ns += dur;
+  a.child_ns += frame.child_ns;
+  if (log->depth > 0) log->stack[log->depth - 1].child_ns += dur;
+  if (log->owner->capture_timeline_.load(std::memory_order_relaxed)) {
+    if (log->timeline.size() < Profiler::ThreadLog::kMaxTimelineEvents) {
+      log->timeline.push_back({frame.name, frame.start_ns, dur});
+    } else {
+      ++log->dropped_events;
+    }
+  }
+}
+
+std::vector<ProfileEntry> Profiler::report() const {
+  std::map<std::string, ProfileEntry> merged;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& log : logs_) {
+      for (const auto& [name, a] : log->accum) {
+        ProfileEntry& e = merged[name];
+        e.name = name;
+        e.count += a.count;
+        e.total_s += static_cast<double>(a.total_ns) * 1e-9;
+        const std::uint64_t self =
+            a.total_ns > a.child_ns ? a.total_ns - a.child_ns : 0;
+        e.self_s += static_cast<double>(self) * 1e-9;
+      }
+    }
+  }
+  std::vector<ProfileEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, e] : merged) out.push_back(std::move(e));
+  std::sort(out.begin(), out.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.self_s > b.self_s;
+            });
+  return out;
+}
+
+std::string Profiler::table() const {
+  const std::vector<ProfileEntry> entries = report();
+  double self_total = 0.0;
+  for (const ProfileEntry& e : entries) self_total += e.self_s;
+  TextTable t({"scope", "count", "total (ms)", "self (ms)", "self %"});
+  for (const ProfileEntry& e : entries) {
+    t.add_row({e.name, std::to_string(e.count),
+               TextTable::fmt(e.total_s * 1e3, 3),
+               TextTable::fmt(e.self_s * 1e3, 3),
+               TextTable::fmt(self_total > 0.0 ? 100.0 * e.self_s / self_total
+                                               : 0.0,
+                              1)});
+  }
+  return t.render();
+}
+
+std::string Profiler::to_json() const {
+  std::string out = "{\"entries\": [";
+  bool first = true;
+  char buf[64];
+  for (const ProfileEntry& e : report()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": ";
+    append_json_string(out, e.name);
+    out += ", \"count\": " + std::to_string(e.count);
+    std::snprintf(buf, sizeof buf, ", \"total_s\": %.9g, \"self_s\": %.9g}",
+                  e.total_s, e.self_s);
+    out += buf;
+  }
+  out += "], \"dropped_scopes\": " + std::to_string(dropped_scopes());
+  out += ", \"dropped_events\": " + std::to_string(dropped_events()) + "}";
+  return out;
+}
+
+void Profiler::append_timeline_events(std::string& out, bool& first,
+                                      int pid) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& log : logs_) {
+    if (log->timeline.empty()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+           std::to_string(pid) + ", \"tid\": " + std::to_string(log->tid) +
+           ", \"args\": {\"name\": \"profiler thread " +
+           std::to_string(log->tid) + "\"}}";
+    char buf[96];
+    for (const ThreadLog::SpanEvent& e : log->timeline) {
+      out += ",\n{\"ph\": \"X\", \"name\": ";
+      append_json_string(out, e.name);
+      std::snprintf(buf, sizeof buf,
+                    ", \"cat\": \"profile\", \"pid\": %d, \"tid\": %d, "
+                    "\"ts\": %.3f, \"dur\": %.3f}",
+                    pid, log->tid, static_cast<double>(e.start_ns) / 1e3,
+                    static_cast<double>(e.dur_ns) / 1e3);
+      out += buf;
+    }
+  }
+}
+
+std::string Profiler::timeline_json(int pid) const {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  append_timeline_events(out, first, pid);
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& log : logs_) {
+    log->accum.clear();
+    log->timeline.clear();
+    log->dropped_scopes = 0;
+    log->dropped_events = 0;
+    // Open frames (a reset from inside an instrumented scope) keep their
+    // start times; their totals land in the post-reset accumulation.
+  }
+  epoch_ns_ = steady_ns();
+}
+
+long Profiler::dropped_scopes() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  long total = 0;
+  for (const auto& log : logs_) total += log->dropped_scopes;
+  return total;
+}
+
+long Profiler::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  long total = 0;
+  for (const auto& log : logs_) total += log->dropped_events;
+  return total;
+}
+
+}  // namespace mobiweb::obs

@@ -1,0 +1,135 @@
+// Lightweight wall-clock profiler for the hot paths (GF kernels, IDA
+// encode/decode, LZSS, XML parse, channel send loop, session rounds).
+//
+// Design: instrumented code carries MOBIWEB_PROFILE_SCOPE("name") — an RAII
+// ScopedTimer whose constructor loads one process-wide atomic pointer. When
+// no profiler is attached (the default) that load-and-branch is the entire
+// cost, matching the repo's nullptr-sink observability contract
+// (BM_ProfilerOverhead in bench_micro_pipeline guards detached ≈
+// uninstrumented). When attached, each thread accumulates into its own
+// ThreadLog — a per-thread span stack plus per-name totals — with no
+// locking on the hot path; logs are registered once per thread (one mutex
+// acquisition) and merged under the same mutex only when a report is built.
+//
+// Reports come in two shapes: a flat self-time/total-time table (self =
+// inclusive time minus time spent in nested scopes), and Perfetto "X" span
+// events (capture_timeline(true)) that load alongside the session timeline
+// exporter's tracks — wall-clock CPU spans next to channel-time transfer
+// spans, one pid per domain.
+//
+// Scope names must be string literals (or otherwise outlive the profiler):
+// the hot path stores the pointer only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mobiweb::obs {
+
+struct ProfileEntry {
+  std::string name;
+  long count = 0;
+  double total_s = 0.0;  // inclusive wall time
+  double self_s = 0.0;   // total minus nested instrumented scopes
+};
+
+class ScopedTimer;
+
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();  // detaches first when this is the active profiler
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Makes this the process-wide active profiler (replacing any other) and
+  // starts the clock. Attach/detach only while no instrumented code is
+  // running concurrently — the hot path deliberately takes no lock.
+  void attach();
+  static void detach();
+  [[nodiscard]] static Profiler* active() {
+    return g_active.load(std::memory_order_acquire);
+  }
+
+  // Also records every span begin/end (bounded per thread) so the profile
+  // can render as Perfetto tracks. Off by default: pure accumulation.
+  void capture_timeline(bool on) {
+    capture_timeline_.store(on, std::memory_order_relaxed);
+  }
+
+  // Merged across threads, sorted by self time (descending). Build reports
+  // after the instrumented work quiesced (e.g. thread-pool jobs joined).
+  [[nodiscard]] std::vector<ProfileEntry> report() const;
+
+  // Aligned name/count/total/self table of report().
+  [[nodiscard]] std::string table() const;
+
+  // {"entries": [{"name", "count", "total_s", "self_s"}...],
+  //  "dropped_scopes": n, "dropped_events": n}
+  [[nodiscard]] std::string to_json() const;
+
+  // Perfetto span events (requires capture_timeline). One track per
+  // participating thread under `pid` — keep it distinct from the session
+  // exporter's pid so wall-clock tracks group separately from channel-time
+  // tracks. Appends comma-separated events; `first` as in obs/export.hpp.
+  void append_timeline_events(std::string& out, bool& first, int pid = 2) const;
+  [[nodiscard]] std::string timeline_json(int pid = 2) const;
+
+  // Forgets all accumulated data and recorded spans (threads stay
+  // registered). Call between measurement windows.
+  void reset();
+
+  // Scopes skipped because a thread exceeded the fixed stack depth, and
+  // timeline events dropped because a thread filled its event buffer.
+  [[nodiscard]] long dropped_scopes() const;
+  [[nodiscard]] long dropped_events() const;
+
+  struct ThreadLog;
+
+ private:
+  friend class ScopedTimer;
+
+  ThreadLog* log_for_this_thread();
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  static std::atomic<Profiler*> g_active;
+
+  std::atomic<bool> capture_timeline_{false};
+  std::uint64_t epoch_ns_ = 0;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+// RAII span. One atomic load when detached; two clock reads plus per-thread
+// bookkeeping when attached.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept {
+    Profiler* p = Profiler::active();
+    if (p != nullptr) open(p, name);
+  }
+  ~ScopedTimer() {
+    if (log_ != nullptr) close();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  void open(Profiler* p, const char* name) noexcept;
+  void close() noexcept;
+
+  Profiler::ThreadLog* log_ = nullptr;
+};
+
+#define MOBIWEB_PROFILE_CONCAT2(a, b) a##b
+#define MOBIWEB_PROFILE_CONCAT(a, b) MOBIWEB_PROFILE_CONCAT2(a, b)
+// `name` must be a string literal (the profiler stores the pointer).
+#define MOBIWEB_PROFILE_SCOPE(name) \
+  ::mobiweb::obs::ScopedTimer MOBIWEB_PROFILE_CONCAT(mobiweb_prof_scope_, \
+                                                     __LINE__)(name)
+
+}  // namespace mobiweb::obs

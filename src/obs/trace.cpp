@@ -2,7 +2,16 @@
 
 #include <cstdio>
 
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+
 namespace mobiweb::obs {
+
+// The -Wswitch-covered switch below pins event_name() to the enum; this pins
+// the exported count, so both fail loudly when an enumerator is added.
+static_assert(kEventCount == 19,
+              "obs::Event changed: update kEventCount, event_name() and the "
+              "timeline exporter's event classification");
 
 const char* event_name(Event e) {
   switch (e) {
@@ -49,10 +58,12 @@ void SessionTrace::clear() {
 }
 
 void SessionTrace::push(Event type, double time, long seq, double value) {
-  if (!capture_events_) return;
-  events_.push_back(TraceEvent{type, time,
-                               rounds_.empty() ? 0 : rounds_.back().round, seq,
-                               value});
+  if (flight_ == nullptr && !capture_events_) return;
+  const TraceEvent event{type, time,
+                         rounds_.empty() ? 0 : rounds_.back().round, seq,
+                         value};
+  if (flight_ != nullptr) flight_->record(event);
+  if (capture_events_) events_.push_back(event);
 }
 
 RoundSummary& SessionTrace::round_at(double time) {
@@ -182,12 +193,9 @@ long SessionTrace::frames_sent() const {
 }
 
 std::string SessionTrace::to_json() const {
-  std::string out = "{\"label\": \"";
-  for (const char c : label_) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += "\", \"completed\": ";
+  std::string out = "{\"label\": ";
+  append_json_string(out, label_);
+  out += ", \"completed\": ";
   out += completed_ ? "true" : "false";
   out += ", \"aborted_irrelevant\": ";
   out += aborted_ ? "true" : "false";

@@ -16,6 +16,7 @@
 // it aggregated and exports both as one JSON document.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -24,6 +25,8 @@
 #include "obs/metrics.hpp"
 
 namespace mobiweb::obs {
+
+class FlightRecorder;
 
 enum class Event : std::uint8_t {
   kSessionStart,
@@ -44,9 +47,17 @@ enum class Event : std::uint8_t {
   kAbortIrrelevant,
   kDegraded,           // retry budget/deadline exhausted: partial delivery
   kGiveUp,
-  kSessionEnd,
+  kSessionEnd,         // keep last: kEventCount is derived from it
 };
 
+// Number of Event enumerators. A static_assert in trace.cpp pins this to the
+// event_name() switch, so adding an enumerator without naming it (and without
+// the timeline exporter learning about it) fails to compile.
+inline constexpr std::size_t kEventCount =
+    static_cast<std::size_t>(Event::kSessionEnd) + 1;
+
+// Distinct non-null name for every enumerator; "unknown" only for values
+// outside the enum (e.g. a corrupted serialized event).
 [[nodiscard]] const char* event_name(Event e);
 
 struct TraceEvent {
@@ -82,6 +93,12 @@ class SessionTrace {
 
   // Enables the full per-frame event log (round summaries are always kept).
   void capture_events(bool on) { capture_events_ = on; }
+
+  // Mirrors every event into `flight` (a fixed-size ring of recent events)
+  // regardless of the capture mode, so postmortems don't need the unbounded
+  // log. nullptr detaches. Like the capture mode, survives clear().
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+  [[nodiscard]] FlightRecorder* flight() const { return flight_; }
 
   // Forgets everything recorded (label and capture mode persist), so one
   // trace object can be reused across many transfers.
@@ -134,6 +151,7 @@ class SessionTrace {
 
   std::string label_;
   bool capture_events_ = false;
+  FlightRecorder* flight_ = nullptr;
   std::vector<TraceEvent> events_;
   std::vector<RoundSummary> rounds_;
   double start_time_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace mobiweb::sim {
@@ -9,6 +10,7 @@ namespace mobiweb::sim {
 TransferResult simulate_transfer(const std::vector<double>& clear_content,
                                  const TransferConfig& config,
                                  const std::function<bool()>& next_corrupted) {
+  MOBIWEB_PROFILE_SCOPE("sim.transfer");
   MOBIWEB_CHECK_MSG(config.m >= 1, "simulate_transfer: m >= 1");
   MOBIWEB_CHECK_MSG(config.n >= config.m, "simulate_transfer: n >= m");
   MOBIWEB_CHECK_MSG(static_cast<int>(clear_content.size()) == config.m,

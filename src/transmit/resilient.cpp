@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace mobiweb::transmit {
@@ -25,6 +27,7 @@ ResilientSession::ResilientSession(const DocumentTransmitter& transmitter,
 }
 
 ResilientResult ResilientSession::run() {
+  MOBIWEB_PROFILE_SCOPE("session.resilient");
   ResilientResult out;
   SessionResult& result = out.session;
   const double start = channel_->now();
@@ -32,6 +35,16 @@ ResilientResult ResilientSession::run() {
   const bool relevance_check = config_.relevance_threshold >= 0.0;
   const RetryPolicy& rp = config_.retry;
   obs::SessionTrace* trace = config_.trace;
+  // The flight recorder taps the event stream through a SessionTrace: the
+  // caller's trace when one is supplied, otherwise a session-local scratch
+  // trace that never captures (events flow straight into the ring).
+  obs::SessionTrace scratch;
+  obs::FlightRecorder* prev_flight = nullptr;
+  if (config_.flight != nullptr) {
+    if (trace == nullptr) trace = &scratch;
+    prev_flight = trace->flight();
+    trace->set_flight(config_.flight);
+  }
   if (trace != nullptr) {
     receiver_->set_trace(trace);
     trace->session_start(start);
@@ -75,6 +88,15 @@ ResilientResult ResilientSession::run() {
           break;
       }
       trace->session_end(channel_->now(), result.content_received);
+    }
+    if (config_.flight != nullptr) {
+      if (status == SessionStatus::kDegraded) {
+        config_.flight->dump("degraded");
+      } else if (status == SessionStatus::kGaveUp) {
+        config_.flight->dump("gave_up");
+      }
+      trace->set_flight(prev_flight);
+      if (trace == &scratch) receiver_->set_trace(nullptr);
     }
     return out;
   };

@@ -49,6 +49,10 @@ struct ResilientConfig {
   std::uint64_t jitter_seed = 0x6a69747465ull;  // client-side backoff rng
   // Optional per-session event trace (see SessionConfig::trace).
   obs::SessionTrace* trace = nullptr;
+  // Optional flight recorder: receives every session event (even when the
+  // trace is not capturing, or when no trace is supplied at all) and is
+  // dumped automatically when the session ends Degraded or GaveUp.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct ResilientResult {

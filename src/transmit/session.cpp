@@ -1,5 +1,6 @@
 #include "transmit/session.hpp"
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace mobiweb::transmit {
@@ -24,6 +25,7 @@ const char* status_name(SessionStatus s) {
 }
 
 SessionResult TransferSession::run() {
+  MOBIWEB_PROFILE_SCOPE("session.transfer");
   SessionResult result;
   const double start = channel_->now();
   // Termination is measured at the client: the arrival time of the last

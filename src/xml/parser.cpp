@@ -3,6 +3,8 @@
 #include <cctype>
 #include <charconv>
 
+#include "obs/profile.hpp"
+
 namespace mobiweb::xml {
 
 ParseError::ParseError(std::string message, std::size_t line, std::size_t column)
@@ -456,6 +458,7 @@ class Parser {
 }  // namespace
 
 Document parse(std::string_view input, const ParseOptions& options) {
+  MOBIWEB_PROFILE_SCOPE("xml.parse");
   Parser parser(input, options);
   return parser.parse_document();
 }

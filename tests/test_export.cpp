@@ -1,0 +1,261 @@
+// Exporters: golden Perfetto timeline JSON for a deterministic session,
+// Prometheus text exposition checked line by line, the Event exhaustiveness
+// guard, and the JSON string-escaping contract shared by every obs producer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = mobiweb::obs;
+
+namespace {
+
+// The session every timeline test agrees on: two rounds around one outage,
+// one corrupted frame forcing the retransmission, clean completion.
+obs::SessionTrace make_golden_trace() {
+  obs::SessionTrace trace("golden");
+  trace.capture_events(true);
+  trace.session_start(0.0);
+  trace.round_start(1, 0.0);
+  trace.frame_sent(0, 0.1);
+  trace.frame_intact(0, 0.1, 0.25);
+  trace.frame_sent(1, 0.2);
+  trace.frame_corrupted(0.2);
+  trace.round_end(0.25);
+  trace.outage_begin(0.25);
+  trace.backoff(0.45, 0.2);
+  trace.outage_end(0.45, 0.2);
+  trace.resume(0.45);
+  trace.round_start(2, 0.5);
+  trace.frame_sent(1, 0.6);
+  trace.frame_intact(1, 0.6, 1.0);
+  trace.round_end(0.6);
+  trace.decode_complete(0.6);
+  trace.session_end(0.6, 1.0);
+  return trace;
+}
+
+const char* const kGoldenTimeline =
+    R"({"traceEvents": [
+{"ph": "M", "name": "thread_name", "pid": 1, "tid": 1, "args": {"name": "golden"}},
+{"ph": "X", "name": "golden", "cat": "session", "pid": 1, "tid": 1, "ts": 0, "dur": 600000, "args": {"completed": true, "aborted_irrelevant": false, "degraded": false, "gave_up": false, "rounds": 2, "final_content": 1}},
+{"ph": "X", "name": "round 1", "cat": "round", "pid": 1, "tid": 1, "ts": 0, "dur": 250000, "args": {"sent": 2, "intact": 1, "corrupted": 1, "duplicate": 0, "foreign": 0, "lost": 0, "content": 0.25}},
+{"ph": "X", "name": "round 2", "cat": "round", "pid": 1, "tid": 1, "ts": 500000, "dur": 100000, "args": {"sent": 1, "intact": 1, "corrupted": 0, "duplicate": 0, "foreign": 0, "lost": 0, "content": 1}},
+{"ph": "i", "name": "frame_sent", "cat": "frame", "pid": 1, "tid": 1, "ts": 100000, "s": "t", "args": {"seq": 0}},
+{"ph": "i", "name": "frame_intact", "cat": "frame", "pid": 1, "tid": 1, "ts": 100000, "s": "t", "args": {"seq": 0}},
+{"ph": "C", "name": "content/1", "pid": 1, "tid": 1, "ts": 100000, "args": {"content": 0.25}},
+{"ph": "i", "name": "frame_sent", "cat": "frame", "pid": 1, "tid": 1, "ts": 200000, "s": "t", "args": {"seq": 1}},
+{"ph": "i", "name": "frame_corrupted", "cat": "frame", "pid": 1, "tid": 1, "ts": 200000, "s": "t"},
+{"ph": "X", "name": "backoff", "cat": "backoff", "pid": 1, "tid": 1, "ts": 250000, "dur": 200000},
+{"ph": "X", "name": "outage", "cat": "outage", "pid": 1, "tid": 1, "ts": 250000, "dur": 200000},
+{"ph": "i", "name": "resume", "cat": "control", "pid": 1, "tid": 1, "ts": 450000, "s": "t"},
+{"ph": "i", "name": "frame_sent", "cat": "frame", "pid": 1, "tid": 1, "ts": 600000, "s": "t", "args": {"seq": 1}},
+{"ph": "i", "name": "frame_intact", "cat": "frame", "pid": 1, "tid": 1, "ts": 600000, "s": "t", "args": {"seq": 1}},
+{"ph": "C", "name": "content/1", "pid": 1, "tid": 1, "ts": 600000, "args": {"content": 1}},
+{"ph": "i", "name": "decode_complete", "cat": "control", "pid": 1, "tid": 1, "ts": 600000, "s": "t"},
+{"ph": "C", "name": "content/1", "pid": 1, "tid": 1, "ts": 600000, "args": {"content": 1}}
+], "displayTimeUnit": "ms"}
+)";
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+}  // namespace
+
+// ---- Event exhaustiveness guard -------------------------------------------
+
+TEST(EventNames, EveryEnumeratorHasADistinctName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < obs::kEventCount; ++i) {
+    const char* name = obs::event_name(static_cast<obs::Event>(i));
+    ASSERT_NE(name, nullptr) << "enumerator " << i;
+    EXPECT_STRNE(name, "") << "enumerator " << i;
+    EXPECT_STRNE(name, "unknown") << "enumerator " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate event name: " << name;
+  }
+  EXPECT_EQ(names.size(), obs::kEventCount);
+}
+
+TEST(EventNames, OutOfRangeValueIsUnknown) {
+  EXPECT_STREQ(obs::event_name(static_cast<obs::Event>(obs::kEventCount + 7)),
+               "unknown");
+}
+
+// ---- Perfetto timeline ----------------------------------------------------
+
+TEST(Timeline, GoldenDeterministicSession) {
+  const obs::SessionTrace trace = make_golden_trace();
+  EXPECT_EQ(obs::timeline_json(trace), kGoldenTimeline);
+}
+
+TEST(Timeline, OneTrackPerSession) {
+  const obs::SessionTrace a = make_golden_trace();
+  obs::SessionTrace b;  // unlabeled: falls back to "session <tid>"
+  b.session_start(0.0);
+  b.round_start(1, 0.0);
+  b.round_end(1.0);
+  b.give_up(1.0);
+  b.session_end(1.0, 0.0);
+  const std::string json = obs::timeline_json({&a, &b});
+  EXPECT_NE(json.find("\"tid\": 1, \"args\": {\"name\": \"golden\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2, \"args\": {\"name\": \"session 2\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gave_up\": true"), std::string::npos);
+}
+
+TEST(Timeline, RoundSummariesRenderWithoutEventCapture) {
+  obs::SessionTrace trace("summaries-only");
+  trace.session_start(0.0);
+  trace.round_start(1, 0.0);
+  trace.frame_sent(0, 0.1);
+  trace.frame_intact(0, 0.1, 1.0);
+  trace.round_end(0.1);
+  trace.decode_complete(0.1);
+  trace.session_end(0.1, 1.0);
+  ASSERT_TRUE(trace.events().empty());
+  const std::string json = obs::timeline_json(trace);
+  EXPECT_NE(json.find("\"name\": \"round 1\""), std::string::npos);
+  EXPECT_EQ(json.find("\"cat\": \"frame\""), std::string::npos);
+}
+
+TEST(Timeline, UnmatchedOutageClosesAtSessionEnd) {
+  obs::SessionTrace trace("stuck");
+  trace.capture_events(true);
+  trace.session_start(0.0);
+  trace.round_start(1, 0.0);
+  trace.round_end(0.5);
+  trace.outage_begin(0.5);
+  trace.degraded(2.0, 0.0);
+  trace.session_end(2.0, 0.0);
+  const std::string json = obs::timeline_json(trace);
+  // The outage never ended; its span must still close at t = 2 s.
+  EXPECT_NE(json.find("\"name\": \"outage\", \"cat\": \"outage\", \"pid\": 1, "
+                      "\"tid\": 1, \"ts\": 500000, \"dur\": 1500000"),
+            std::string::npos);
+}
+
+TEST(Timeline, LabelsWithQuotesAndControlCharsStayValidJson) {
+  obs::SessionTrace trace("evil \"label\"\\ with\nnewline and \x01 ctrl");
+  trace.session_start(0.0);
+  trace.session_end(1.0, 0.0);
+  const std::string json = obs::timeline_json(trace);
+  EXPECT_NE(json.find("evil \\\"label\\\"\\\\ with\\nnewline and \\u0001 ctrl"),
+            std::string::npos);
+  for (const char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control character leaked into the JSON document";
+  }
+}
+
+// ---- JSON escaping through trace / metrics / collector --------------------
+
+TEST(JsonEscaping, EscapesEveryMandatoryClass) {
+  std::string out;
+  obs::append_json_string(out, "q\" b\\ nl\n tab\t cr\r bs\b ff\f c\x02");
+  EXPECT_EQ(out, "\"q\\\" b\\\\ nl\\n tab\\t cr\\r bs\\b ff\\f c\\u0002\"");
+}
+
+TEST(JsonEscaping, TraceToJsonEscapesLabel) {
+  obs::SessionTrace trace("say \"hi\"\\\n");
+  trace.session_start(0.0);
+  trace.session_end(1.0, 0.0);
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"label\": \"say \\\"hi\\\"\\\\\\n\""),
+            std::string::npos);
+}
+
+TEST(JsonEscaping, MetricsRegistryEscapesNames) {
+  obs::MetricsRegistry registry;
+  registry.counter("weird\"name\nwith\\stuff").inc(2);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"weird\\\"name\\nwith\\\\stuff\": 2"),
+            std::string::npos);
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
+TEST(JsonEscaping, CollectorRoundTripsHostileLabels) {
+  obs::Collector collector;
+  obs::SessionTrace& trace = collector.begin_trace("tab\there \"x\"");
+  trace.session_start(0.0);
+  trace.session_end(1.0, 0.5);
+  collector.finish_trace(trace);
+  const std::string json = collector.to_json();
+  EXPECT_NE(json.find("tab\\there \\\"x\\\""), std::string::npos);
+  EXPECT_EQ(json.find("tab\there"), std::string::npos);
+}
+
+// ---- Prometheus exposition ------------------------------------------------
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("session.response_time"),
+            "session_response_time");
+  EXPECT_EQ(obs::prometheus_name("round.latency{variant=caching}"),
+            "round_latency");
+  EXPECT_EQ(obs::prometheus_name("9lives"), "_lives");
+  EXPECT_EQ(obs::prometheus_name(""), "_");
+  EXPECT_EQ(obs::prometheus_name("a-b c/d"), "a_b_c_d");
+}
+
+TEST(Prometheus, CountersGaugesAndLabels) {
+  obs::MetricsRegistry registry;
+  registry.counter("session.completed{variant=caching}").inc(3);
+  registry.counter("session.completed{variant=arq}").inc(1);
+  registry.gauge("content.final").set(0.75);
+  const std::vector<std::string> lines =
+      lines_of(obs::prometheus_text(registry));
+  const std::vector<std::string> expected = {
+      "# TYPE mobiweb_session_completed counter",
+      "mobiweb_session_completed{variant=\"arq\"} 1",
+      "mobiweb_session_completed{variant=\"caching\"} 3",
+      "# TYPE mobiweb_content_final gauge",
+      "mobiweb_content_final 0.75",
+  };
+  EXPECT_EQ(lines, expected);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulative) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("session.rounds", {1.0, 2.0, 4.0});
+  h.observe(1.0);  // le="1"
+  h.observe(3.0);  // le="4"
+  h.observe(9.0);  // +Inf only
+  const std::vector<std::string> lines =
+      lines_of(obs::prometheus_text(registry, ""));
+  const std::vector<std::string> expected = {
+      "# TYPE session_rounds histogram",
+      "session_rounds_bucket{le=\"1\"} 1",
+      "session_rounds_bucket{le=\"2\"} 1",
+      "session_rounds_bucket{le=\"4\"} 2",
+      "session_rounds_bucket{le=\"+Inf\"} 3",
+      "session_rounds_sum 13",
+      "session_rounds_count 3",
+  };
+  EXPECT_EQ(lines, expected);
+}
+
+TEST(Prometheus, LabelValuesAreEscaped) {
+  obs::MetricsRegistry registry;
+  registry.counter("hits{path=a\"b\\c}").inc(1);
+  const std::string text = obs::prometheus_text(registry);
+  EXPECT_NE(text.find("mobiweb_hits{path=\"a\\\"b\\\\c\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, EmptyRegistryRendersNothing) {
+  const obs::MetricsRegistry registry;
+  EXPECT_EQ(obs::prometheus_text(registry), "");
+}

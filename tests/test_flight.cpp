@@ -1,0 +1,221 @@
+// Flight recorder: ring wraparound, snapshot ordering, SessionTrace
+// mirroring without event capture, and the automatic dump when a
+// ResilientSession ends Degraded or GaveUp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "channel/error_model.hpp"
+#include "channel/outage.hpp"
+#include "doc/content.hpp"
+#include "doc/linear.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "transmit/receiver.hpp"
+#include "transmit/resilient.hpp"
+#include "transmit/transmitter.hpp"
+#include "util/check.hpp"
+#include "xml/parser.hpp"
+
+namespace channel = mobiweb::channel;
+namespace doc = mobiweb::doc;
+namespace obs = mobiweb::obs;
+namespace transmit = mobiweb::transmit;
+namespace xml = mobiweb::xml;
+using mobiweb::ContractViolation;
+using Window = channel::FaultSchedule::Window;
+
+namespace {
+
+doc::LinearDocument make_linear() {
+  std::string src = "<paper>";
+  for (int p = 0; p < 12; ++p) {
+    src += "<para>";
+    for (int w = 0; w < 40; ++w) {
+      src += "word" + std::to_string(p) + "x" + std::to_string(w) + " ";
+    }
+    src += "</para>";
+  }
+  src += "</paper>";
+  doc::ScGenerator gen;
+  const auto sc = gen.generate(xml::parse(src));
+  return doc::linearize(sc, {.lod = doc::Lod::kParagraph,
+                             .rank = doc::RankBy::kIc});
+}
+
+struct Rig {
+  transmit::DocumentTransmitter tx;
+  transmit::ClientReceiver rx;
+  channel::WirelessChannel ch;
+  double frame_time;
+
+  explicit Rig(const doc::LinearDocument& linear)
+      : tx(linear, {.packet_size = 64, .gamma = 1.5, .doc_id = 9}),
+        rx(make_receiver_config(tx), tx.document().segments),
+        ch(channel::ChannelConfig{},
+           std::make_unique<channel::IidErrorModel>(0.0)),
+        frame_time(ch.transmit_time(tx.frame(0).size())) {}
+
+  static transmit::ReceiverConfig make_receiver_config(
+      const transmit::DocumentTransmitter& tx) {
+    transmit::ReceiverConfig rc;
+    rc.doc_id = tx.doc_id();
+    rc.m = tx.m();
+    rc.n = tx.n();
+    rc.packet_size = tx.packet_size();
+    rc.payload_size = tx.payload_size();
+    rc.caching = true;
+    return rc;
+  }
+};
+
+}  // namespace
+
+TEST(FlightRecorder, RejectsZeroCapacity) {
+  EXPECT_THROW(obs::FlightRecorder(0), ContractViolation);
+}
+
+TEST(FlightRecorder, KeepsTheMostRecentEventsOnWraparound) {
+  obs::FlightRecorder flight(4);
+  EXPECT_EQ(flight.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    flight.record({obs::Event::kFrameSent, static_cast<double>(i), 1, i, 0.0});
+  }
+  EXPECT_EQ(flight.size(), 4u);
+  EXPECT_EQ(flight.recorded(), 10);
+  EXPECT_EQ(flight.dropped(), 6);
+  const auto snap = flight.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(snap[i].time, 6.0 + i) << "snapshot must be oldest-first";
+    EXPECT_EQ(snap[i].seq, 6 + i);
+  }
+}
+
+TEST(FlightRecorder, SnapshotBeforeWraparoundIsInsertionOrder) {
+  obs::FlightRecorder flight(8);
+  for (int i = 0; i < 3; ++i) {
+    flight.record({obs::Event::kBackoff, static_cast<double>(i), 0, -1, 0.1});
+  }
+  EXPECT_EQ(flight.size(), 3u);
+  EXPECT_EQ(flight.dropped(), 0);
+  const auto snap = flight.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(snap[2].time, 2.0);
+}
+
+TEST(FlightRecorder, ClearKeepsCapacityAndSink) {
+  int dumps = 0;
+  obs::FlightRecorder flight(4);
+  flight.set_sink([&dumps](const std::string&) { ++dumps; });
+  flight.record({obs::Event::kResume, 1.0, 1, -1, 0.0});
+  flight.clear();
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_EQ(flight.capacity(), 4u);
+  flight.dump("manual");
+  EXPECT_EQ(dumps, 1);
+}
+
+TEST(FlightRecorder, ToJsonCarriesReasonAndEvents) {
+  obs::FlightRecorder flight(4);
+  flight.record({obs::Event::kOutageBegin, 1.5, 2, -1, 0.0});
+  const std::string json = flight.to_json("why \"not\"");
+  EXPECT_NE(json.find("\"reason\": \"why \\\"not\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"outage_begin\""), std::string::npos);
+  EXPECT_NE(json.find("\"t\": 1.5"), std::string::npos);
+}
+
+TEST(FlightRecorder, MirrorsTraceEventsWithoutCapture) {
+  obs::FlightRecorder flight(16);
+  obs::SessionTrace trace;
+  trace.set_flight(&flight);
+  ASSERT_EQ(trace.flight(), &flight);
+  trace.session_start(0.0);
+  trace.round_start(1, 0.0);
+  trace.frame_sent(0, 0.1);
+  trace.round_end(0.2);
+  trace.session_end(0.2, 0.0);
+  EXPECT_TRUE(trace.events().empty()) << "capture stays off";
+  EXPECT_EQ(flight.recorded(), 5);
+  const auto snap = flight.snapshot();
+  EXPECT_EQ(snap.front().type, obs::Event::kSessionStart);
+  EXPECT_EQ(snap.back().type, obs::Event::kSessionEnd);
+  // clear() keeps the attachment, like the capture mode.
+  trace.clear();
+  EXPECT_EQ(trace.flight(), &flight);
+}
+
+TEST(FlightRecorder, ResilientSessionDumpsOnDegraded) {
+  const auto linear = make_linear();
+  Rig rig(linear);
+  const double T = rig.frame_time;
+  // First 30 clear frames arrive, then the link dies forever.
+  rig.ch.set_outage(std::make_unique<channel::FaultSchedule>(
+      std::vector<Window>{{30.5 * T, 1e18}}));
+
+  obs::FlightRecorder flight(64);
+  std::vector<std::string> dumps;
+  flight.set_sink([&dumps](const std::string& json) { dumps.push_back(json); });
+
+  transmit::ResilientConfig cfg;
+  cfg.flight = &flight;  // no trace attached: the scratch-trace path
+  cfg.retry.retry_budget = 5;
+  cfg.retry.initial_timeout_s = 0.2;
+  transmit::ResilientSession session(rig.tx, rig.rx, rig.ch, cfg);
+  const auto r = session.run();
+
+  EXPECT_EQ(r.session.status, transmit::SessionStatus::kDegraded);
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(flight.dump_count(), 1);
+  EXPECT_NE(dumps[0].find("\"reason\": \"degraded\""), std::string::npos);
+  // The ring saw the whole story: frames, the outage, the backoffs.
+  EXPECT_NE(dumps[0].find("\"outage_begin\""), std::string::npos);
+  EXPECT_NE(dumps[0].find("\"backoff\""), std::string::npos);
+  EXPECT_GT(flight.recorded(), 30);
+}
+
+TEST(FlightRecorder, ResilientSessionDumpsThroughCallerTrace) {
+  const auto linear = make_linear();
+  Rig rig(linear);
+  // Dead from the start: degrade with an empty partial document.
+  rig.ch.set_outage(std::make_unique<channel::FaultSchedule>(
+      std::vector<Window>{{0.0, 1e18}}));
+
+  obs::FlightRecorder flight(32);
+  int dumps = 0;
+  flight.set_sink([&dumps](const std::string&) { ++dumps; });
+  obs::SessionTrace trace("postmortem");
+
+  transmit::ResilientConfig cfg;
+  cfg.trace = &trace;
+  cfg.flight = &flight;
+  cfg.retry.retry_budget = 4;
+  cfg.retry.initial_timeout_s = 0.1;
+  transmit::ResilientSession session(rig.tx, rig.rx, rig.ch, cfg);
+  const auto r = session.run();
+
+  EXPECT_EQ(r.session.status, transmit::SessionStatus::kDegraded);
+  EXPECT_EQ(dumps, 1);
+  EXPECT_TRUE(trace.degraded());
+  // The session detached the recorder from the caller's trace afterwards.
+  EXPECT_EQ(trace.flight(), nullptr);
+}
+
+TEST(FlightRecorder, NoDumpOnCleanCompletion) {
+  const auto linear = make_linear();
+  Rig rig(linear);
+  obs::FlightRecorder flight(32);
+  int dumps = 0;
+  flight.set_sink([&dumps](const std::string&) { ++dumps; });
+  transmit::ResilientConfig cfg;
+  cfg.flight = &flight;
+  transmit::ResilientSession session(rig.tx, rig.rx, rig.ch, cfg);
+  const auto r = session.run();
+  EXPECT_EQ(r.session.status, transmit::SessionStatus::kCompleted);
+  EXPECT_EQ(dumps, 0);
+  EXPECT_GT(flight.recorded(), 0) << "events still mirrored into the ring";
+}
