@@ -1,0 +1,120 @@
+// Fleet-scale serving benchmark: one server process, a shared pre-encoded
+// document cache, and 1k/10k/100k concurrent weakly-connected sessions run to
+// termination on the sharded discrete-event engine (src/fleet).
+//
+// Reported per scale:
+//   sessions/s      engine throughput (sessions retired per wall second)
+//   kframes/s       engine throughput in analytic frames
+//   agg Mbps        offered wire load on the *simulated* clock
+//   makespan        last session end on the simulated clock
+//   completed/gave_up and cache hit/miss accounting
+//
+// Flags: --sessions=N (single scale instead of the sweep), --million (adds an
+// opt-in 1M-session scale), --shards=S, --gamma=G, --alpha=A, --corpus=D,
+// --spread=SECONDS, --json[=PATH]. MOBIWEB_FAST=1 trims the sweep to a prefix
+// (1k/10k) so CI baselines stay key-compatible with full runs.
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "fleet/engine.hpp"
+
+namespace bench = mobiweb::bench;
+namespace fleet = mobiweb::fleet;
+using mobiweb::TextTable;
+
+namespace {
+
+struct Scale {
+  std::size_t sessions;
+  const char* label;
+};
+
+fleet::FleetConfig base_config(int argc, char** argv) {
+  fleet::FleetConfig cfg;
+  cfg.corpus.corpus_size =
+      static_cast<std::size_t>(bench::arg_double(argc, argv, "corpus", 64.0));
+  cfg.corpus.seed = 6200;
+  cfg.seed = 42;
+  cfg.gammas = {bench::arg_double(argc, argv, "gamma", 1.5)};
+  cfg.alpha = bench::arg_double(argc, argv, "alpha", 0.1);
+  cfg.shards = static_cast<std::size_t>(bench::arg_double(argc, argv, "shards", 0.0));
+  cfg.request_delay = bench::arg_double(argc, argv, "delay", 1.0);
+  cfg.arrival_spread_s = bench::arg_double(argc, argv, "spread", 60.0);
+  return cfg;
+}
+
+std::vector<Scale> scales(int argc, char** argv) {
+  if (const auto v = bench::flag_request(argc, argv, "sessions"); v && !v->empty()) {
+    const double n = bench::arg_double(argc, argv, "sessions", 10000.0);
+    return {{static_cast<std::size_t>(n), "custom"}};
+  }
+  std::vector<Scale> out = {{1000, "1k"}, {10000, "10k"}};
+  if (!bench::fast_mode()) out.push_back({100000, "100k"});
+  if (bench::flag_request(argc, argv, "million")) out.push_back({1000000, "1m"});
+  return out;
+}
+
+fleet::FleetResult run_scale(const fleet::FleetConfig& base, std::size_t sessions) {
+  fleet::FleetConfig cfg = base;
+  cfg.sessions = sessions;
+  fleet::FleetEngine engine(cfg);
+  return engine.run();
+}
+
+int emit_json(int argc, char** argv, const std::string& path) {
+  const fleet::FleetConfig base = base_config(argc, argv);
+  bench::JsonReport report("fleet");
+  report.meta("gamma", base.gammas[0]);
+  report.meta("alpha", base.alpha);
+  report.meta("corpus", static_cast<double>(base.corpus.corpus_size));
+  report.meta("spread_s", base.arrival_spread_s);
+  report.meta("seed", static_cast<double>(base.seed));
+  for (const auto& [sessions, label] : scales(argc, argv)) {
+    const fleet::FleetResult r = run_scale(base, sessions);
+    const std::string key = std::string("fleet_") + label;
+    // Timing metrics (gated, higher-is-better):
+    report.metric(key + ".sessions_per_s", r.sessions_per_s());
+    report.metric(key + ".frames_per_s", r.frames_per_s());
+    // Deterministic workload facts (gated but exactly reproducible):
+    report.metric(key + ".aggregate_mbps", r.aggregate_mbps());
+    report.metric(key + ".completed", static_cast<double>(r.completed));
+    // Informational (no gating suffix):
+    report.metric(key + ".gave_up_count", static_cast<double>(r.gave_up));
+    report.metric(key + ".makespan", r.makespan_s);
+    report.metric(key + ".cache_hit_count", static_cast<double>(r.cache_hits));
+    report.metric(key + ".cache_miss_count", static_cast<double>(r.cache_misses));
+  }
+  return bench::emit_json(report.str(), path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto path = bench::json_request(argc, argv)) {
+    return emit_json(argc, argv, *path);
+  }
+  const fleet::FleetConfig base = base_config(argc, argv);
+  bench::print_header(
+      "Fleet engine — one server, a shared cooked-packet cache, 100k sessions",
+      "Sharded discrete-event replay of the paper's client state machine at\n"
+      "server scale: every session draws IDA-encoded frames from one shared\n"
+      "pre-encoded DocumentCache (encode once per (document, gamma)).");
+
+  TextTable table({"sessions", "shards", "completed", "gave_up", "Mframes",
+                   "agg Mbps", "makespan s", "wall s", "sessions/s",
+                   "cache h/m"});
+  for (const auto& [sessions, label] : scales(argc, argv)) {
+    const fleet::FleetResult r = run_scale(base, sessions);
+    table.add_row(
+        {std::to_string(r.sessions), std::to_string(r.shards),
+         std::to_string(r.completed), std::to_string(r.gave_up),
+         TextTable::fmt(static_cast<double>(r.frames_sent) / 1e6, 2),
+         TextTable::fmt(r.aggregate_mbps(), 2), TextTable::fmt(r.makespan_s, 1),
+         TextTable::fmt(r.elapsed_s, 2), TextTable::fmt(r.sessions_per_s(), 0),
+         std::to_string(r.cache_hits) + "/" + std::to_string(r.cache_misses)});
+  }
+  bench::print_table("Fleet scaling (gamma = " + TextTable::fmt(base.gammas[0], 1) +
+                         ", alpha = " + TextTable::fmt(base.alpha, 2) + ")",
+                     table);
+  return 0;
+}

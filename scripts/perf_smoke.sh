@@ -14,16 +14,19 @@ set -euo pipefail
 ROOT=${MOBIWEB_REPO_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}
 CODING=${1:-$ROOT/build/bench/bench_micro_coding}
 PIPELINE=${2:-$ROOT/build/bench/bench_micro_pipeline}
+FLEET=${3:-$ROOT/build/bench/bench_fleet}
 DIFF="$ROOT/scripts/bench_diff.py"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 "$CODING" --json="$TMP/coding.json" >/dev/null
 "$PIPELINE" --json="$TMP/pipeline.json" >/dev/null
+"$FLEET" --json="$TMP/fleet.json" >/dev/null
 
 # A run diffed against itself must pass at any tolerance.
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/coding.json" "$TMP/coding.json"
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/pipeline.json" "$TMP/pipeline.json"
+python3 "$DIFF" --quiet --tolerance=0 "$TMP/fleet.json" "$TMP/fleet.json"
 
 # Halve the first throughput metric: the gate must catch it.
 python3 - "$TMP/coding.json" "$TMP/regressed.json" <<'EOF'
@@ -49,5 +52,7 @@ python3 "$DIFF" --quiet --tolerance=1000 \
   "$ROOT/bench/baselines/micro_coding.json" "$TMP/coding.json"
 python3 "$DIFF" --quiet --tolerance=1000 \
   "$ROOT/bench/baselines/micro_pipeline.json" "$TMP/pipeline.json"
+python3 "$DIFF" --quiet --tolerance=1000 \
+  "$ROOT/bench/baselines/fleet.json" "$TMP/fleet.json"
 
 echo "perf_smoke: ok"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the fleet concurrency surface: the sharded engine,
+# the shared DocumentCache, ThreadPool re-entrancy, the concurrent
+# MetricsRegistry writers, and the GF kernel dispatch tables' first use.
+#
+# Builds an out-of-tree TSan tree (build-tsan/) so the regular build stays
+# untouched, then runs the labels that exercise real multi-threading:
+#   fleet    — engine, cache, bench smoke
+#   obs      — metrics registry hammer
+#   coding   — thread pool + GF kernel tests (test_util / test_gf_kernels)
+#
+# Usage: scripts/tsan_fleet.sh [extra ctest args...]
+set -euo pipefail
+
+ROOT=${MOBIWEB_REPO_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}
+BUILD="$ROOT/build-tsan"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMOBIWEB_TSAN=ON \
+  -DMOBIWEB_BUILD_BENCH=ON \
+  -DMOBIWEB_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j \
+  --target test_fleet test_util test_obs test_gf_kernels bench_fleet
+
+export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding' "$@"
+
+echo "tsan_fleet: ok"

@@ -1,0 +1,268 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+
+#include "obs/profile.hpp"
+#include "util/check.hpp"
+
+namespace mobiweb::fleet {
+
+namespace {
+
+// Per-session live state. Kept small on purpose: ~150 bytes per session means
+// a 1M-session fleet fits in ~150 MB, and the per-frame work is one Bernoulli
+// draw plus bitmap arithmetic — no per-session byte copies (cooked frames are
+// shared read-only out of the DocumentCache).
+struct Session {
+  Rng rng{0};
+  const CookedDocument* doc = nullptr;
+  double clock = 0.0;        // absolute simulated time
+  double start = 0.0;
+  double content = 0.0;
+  double stall_delay = 0.0;
+  double time_per_frame = 0.0;
+  long frames = 0;
+  std::uint64_t seen[4] = {0, 0, 0, 0};  // n <= 255 cooked packets
+  int intact = 0;
+  int rounds = 0;
+
+  [[nodiscard]] bool test_seen(int i) const {
+    return (seen[i >> 6] >> (i & 63)) & 1u;
+  }
+  void mark_seen(int i) { seen[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void reset_cache() {
+    seen[0] = seen[1] = seen[2] = seen[3] = 0;
+    intact = 0;
+    content = 0.0;
+  }
+};
+
+// Min-heap event: next round of session `index` fires at time `t`. Ties break
+// on the session index so processing order is deterministic.
+struct Event {
+  double t = 0.0;
+  std::uint32_t index = 0;
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.index > b.index;
+  }
+};
+
+struct ShardTotals {
+  long completed = 0;
+  long gave_up = 0;
+  long aborted_irrelevant = 0;
+  long frames = 0;
+  long rounds = 0;
+  unsigned long long bytes = 0;
+  double content = 0.0;
+  double session_time_s = 0.0;
+  double makespan_s = 0.0;
+};
+
+// Pre-resolved metric series; shards record into them concurrently (the
+// registry's instruments are thread-safe, see obs/metrics.hpp).
+struct FleetMetrics {
+  obs::Counter* sessions = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* gave_up = nullptr;
+  obs::Counter* aborted = nullptr;
+  obs::Counter* frames = nullptr;
+  obs::Histogram* session_time = nullptr;
+};
+
+}  // namespace
+
+std::uint64_t session_seed(std::uint64_t fleet_seed, std::uint64_t session) {
+  SplitMix64 mix(fleet_seed ^ (0xD1B54A32D192ED03ull * (session + 1)));
+  mix.next();
+  return mix.next();
+}
+
+FleetEngine::FleetEngine(FleetConfig config)
+    : config_(std::move(config)), cache_(config_.corpus) {
+  MOBIWEB_CHECK_MSG(!config_.gammas.empty(), "FleetEngine: no gammas");
+  MOBIWEB_CHECK_MSG(config_.alpha >= 0.0 && config_.alpha < 1.0,
+                    "FleetEngine: alpha in [0,1)");
+  MOBIWEB_CHECK_MSG(config_.max_rounds >= 1, "FleetEngine: max_rounds >= 1");
+  MOBIWEB_CHECK_MSG(config_.bandwidth_bps > 0.0, "FleetEngine: bandwidth > 0");
+}
+
+FleetResult FleetEngine::run(ThreadPool* pool) {
+  MOBIWEB_PROFILE_SCOPE("fleet.run");
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  const std::size_t sessions = config_.sessions;
+  FleetResult result;
+  result.sessions = sessions;
+  if (sessions == 0) return result;
+
+  std::size_t shards = config_.shards != 0 ? config_.shards : pool->concurrency();
+  shards = std::min(std::max<std::size_t>(shards, 1), sessions);
+  result.shards = shards;
+
+  const std::size_t corpus = config_.corpus.corpus_size;
+  const std::size_t n_gammas = config_.gammas.size();
+  const auto key_of = [&](std::size_t i) {
+    return CacheKey{static_cast<std::uint32_t>(i % corpus),
+                    config_.gammas[i % n_gammas]};
+  };
+
+  // Warm every (document, γ) the fleet will touch in one batched burst, so
+  // the IDA encodes run back-to-back on the pool instead of faulting in
+  // lazily underneath 100k sessions.
+  {
+    std::vector<CacheKey> keys;
+    const std::size_t distinct = std::min(sessions, corpus * n_gammas);
+    keys.reserve(distinct);
+    for (std::size_t i = 0; i < distinct; ++i) keys.push_back(key_of(i));
+    cache_.prefill(keys, pool);
+  }
+
+  FleetMetrics fm;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    fm.sessions = &reg.counter("fleet.sessions");
+    fm.completed = &reg.counter("fleet.sessions_completed");
+    fm.gave_up = &reg.counter("fleet.sessions_gave_up");
+    fm.aborted = &reg.counter("fleet.sessions_aborted_irrelevant");
+    fm.frames = &reg.counter("fleet.frames_sent");
+    fm.session_time = &reg.histogram(
+        "fleet.session_time_s",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+  }
+
+  std::vector<ShardTotals> totals(shards);
+  if (config_.record_outcomes) result.outcomes.resize(sessions);
+  const std::size_t per_shard = (sessions + shards - 1) / shards;
+  const bool relevance_check = config_.relevance_threshold >= 0.0;
+
+  pool->run(shards, [&](std::size_t shard) {
+    const std::size_t lo = shard * per_shard;
+    const std::size_t hi = std::min(sessions, lo + per_shard);
+    if (lo >= hi) return;
+    ShardTotals& tot = totals[shard];
+
+    // Materialize this shard's slice of sessions and seed its event heap.
+    std::vector<Session> states(hi - lo);
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+    for (std::size_t i = lo; i < hi; ++i) {
+      Session& s = states[i - lo];
+      s.rng.reseed(session_seed(config_.seed, i));
+      s.doc = cache_.get(key_of(i)).get();  // cache outlives the run
+      s.time_per_frame =
+          static_cast<double>(s.doc->frame_size) * 8.0 / config_.bandwidth_bps;
+      s.start = sessions > 1 ? config_.arrival_spread_s *
+                                   (static_cast<double>(i) /
+                                    static_cast<double>(sessions))
+                             : 0.0;
+      s.clock = s.start;
+      heap.push(Event{s.start, static_cast<std::uint32_t>(i)});
+    }
+
+    const auto finish = [&](std::size_t index, Session& s, double received,
+                            bool completed, bool aborted, bool gave_up) {
+      sim::TransferResult r;
+      r.packets = s.frames;
+      r.rounds = s.rounds;
+      r.completed = completed;
+      r.aborted_irrelevant = aborted;
+      r.gave_up = gave_up;
+      r.content = received;
+      r.time = static_cast<double>(s.frames) * s.time_per_frame + s.stall_delay;
+      tot.completed += completed ? 1 : 0;
+      tot.gave_up += gave_up ? 1 : 0;
+      tot.aborted_irrelevant += aborted ? 1 : 0;
+      tot.frames += s.frames;
+      tot.rounds += s.rounds;
+      tot.bytes += static_cast<unsigned long long>(s.frames) * s.doc->frame_size;
+      tot.content += received;
+      tot.session_time_s += r.time;
+      tot.makespan_s = std::max(tot.makespan_s, s.start + r.time);
+      if (fm.sessions != nullptr) {
+        fm.sessions->inc();
+        if (completed) fm.completed->inc();
+        if (gave_up) fm.gave_up->inc();
+        if (aborted) fm.aborted->inc();
+        fm.frames->inc(s.frames);
+        fm.session_time->observe(r.time);
+      }
+      if (config_.record_outcomes) {
+        result.outcomes[index] =
+            SessionOutcome{static_cast<std::uint32_t>(index), key_of(index),
+                           s.start, r};
+      }
+    };
+
+    // Drain the heap: one event = one transmission round. The state machine
+    // below is sim::simulate_transfer's round body verbatim (same draw order,
+    // same check precedence), which is what makes the per-session parity
+    // tests exact.
+    while (!heap.empty()) {
+      const Event ev = heap.top();
+      heap.pop();
+      Session& s = states[ev.index - lo];
+      const CookedDocument& doc = *s.doc;
+      const int m = static_cast<int>(doc.transmitter.m());
+      const int n = static_cast<int>(doc.transmitter.n());
+
+      ++s.rounds;
+      bool terminal = false;
+      for (int i = 0; i < n && !terminal; ++i) {
+        ++s.frames;
+        s.clock += s.time_per_frame;
+        const bool corrupted = s.rng.next_bernoulli(config_.alpha);
+        if (!corrupted && !s.test_seen(i)) {
+          s.mark_seen(i);
+          ++s.intact;
+          if (i < m) s.content += doc.clear_content[static_cast<std::size_t>(i)];
+        }
+        // Reconstruction (condition 1) outranks the relevance abort
+        // (condition 3) when one frame triggers both — as in TransferSession.
+        if (s.intact >= m) {
+          finish(ev.index, s, doc.total_content, true, false, false);
+          terminal = true;
+        } else if (relevance_check && s.content >= config_.relevance_threshold) {
+          finish(ev.index, s, s.content, false, true, false);
+          terminal = true;
+        }
+      }
+      if (terminal) continue;
+      // Stalled round: give up at the cap, otherwise charge one request delay
+      // and reschedule the next round.
+      if (s.rounds == config_.max_rounds) {
+        finish(ev.index, s, s.content, false, false, true);
+        continue;
+      }
+      s.clock += config_.request_delay;
+      s.stall_delay += config_.request_delay;
+      if (!config_.caching) s.reset_cache();
+      heap.push(Event{s.clock, ev.index});
+    }
+  });
+
+  // Merge in shard order: deterministic for a fixed shard count; integer
+  // aggregates are order-independent, so they match across shard counts too.
+  for (const ShardTotals& tot : totals) {
+    result.completed += tot.completed;
+    result.gave_up += tot.gave_up;
+    result.aborted_irrelevant += tot.aborted_irrelevant;
+    result.frames_sent += tot.frames;
+    result.rounds += tot.rounds;
+    result.bytes_sent += tot.bytes;
+    result.content += tot.content;
+    result.session_time_s += tot.session_time_s;
+    result.makespan_s = std::max(result.makespan_s, tot.makespan_s);
+  }
+  result.cache_hits = cache_.hits();
+  result.cache_misses = cache_.misses();
+  result.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace mobiweb::fleet

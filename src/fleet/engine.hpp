@@ -1,0 +1,111 @@
+// Sharded discrete-event fleet engine: one server, 100k+ concurrent
+// weakly-connected browsing sessions.
+//
+// The paper's evaluation simulates one client at a time; this engine answers
+// the server-scale question — what does a γ-redundant multicast/unicast mix
+// cost when tens of thousands of clients fetch from a shared corpus
+// concurrently? Sessions are partitioned into contiguous shards; each shard
+// owns a time-ordered event heap and the state of its slice of sessions and
+// runs on one ThreadPool worker. Cooked packets come from a shared read-only
+// fleet::DocumentCache (encode once per (document, γ), serve everyone).
+//
+// Each session is the analytic TransferSession state machine of
+// sim::simulate_transfer — identical draw order, identical accounting — so
+// per-session results are bit-equal to simulate_transfer run standalone with
+// the same per-session seed (tests/test_fleet.cpp pins this). One event =
+// one transmission round (n frames); mid-round completion and the relevance
+// abort terminate exactly as in the analytic simulator.
+//
+// Determinism: session i's RNG is seeded from (seed, i) only, shard partials
+// are merged in shard order, and event ties break on session index — so a
+// fixed (seed, shards) pair reproduces the aggregate bit-for-bit, and every
+// integer aggregate (plus the cache hit/miss counts) is invariant across
+// shard counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/cache.hpp"
+#include "obs/metrics.hpp"
+#include "sim/transfer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mobiweb::fleet {
+
+struct FleetConfig {
+  CacheConfig corpus;                // corpus shape + seed + LOD
+  std::size_t sessions = 10000;
+  std::size_t shards = 0;            // 0 = pool concurrency
+  std::uint64_t seed = 1;            // fleet seed (sessions draw from (seed, i))
+  std::vector<double> gammas = {1.5};  // session i uses gammas[i % size]
+  double alpha = 0.1;                // per-frame corruption probability
+  bool caching = true;               // client keeps intact packets across rounds
+  double relevance_threshold = -1.0; // F; < 0 = full download
+  double bandwidth_bps = 19200.0;    // per-client link rate
+  double request_delay = 1.0;        // seconds per stalled-round request
+  int max_rounds = 25;
+  double arrival_spread_s = 0.0;     // session starts staggered over [0, spread)
+  bool record_outcomes = false;      // keep per-session results (tests; O(sessions) memory)
+  obs::MetricsRegistry* metrics = nullptr;  // optional; shards record concurrently
+};
+
+struct SessionOutcome {
+  std::uint32_t session = 0;
+  CacheKey key;
+  double start_s = 0.0;
+  sim::TransferResult result;
+};
+
+struct FleetResult {
+  std::size_t sessions = 0;
+  std::size_t shards = 0;
+  long completed = 0;
+  long gave_up = 0;
+  long aborted_irrelevant = 0;
+  long frames_sent = 0;
+  long rounds = 0;
+  unsigned long long bytes_sent = 0;   // wire bytes (frames × frame size)
+  double content = 0.0;                // Σ per-session information content
+  double session_time_s = 0.0;         // Σ per-session transfer times
+  double makespan_s = 0.0;             // last session end on the simulated clock
+  long cache_hits = 0;
+  long cache_misses = 0;
+  double elapsed_s = 0.0;              // engine wall time
+  std::vector<SessionOutcome> outcomes;  // empty unless record_outcomes
+
+  [[nodiscard]] double sessions_per_s() const {
+    return elapsed_s > 0.0 ? static_cast<double>(sessions) / elapsed_s : 0.0;
+  }
+  [[nodiscard]] double frames_per_s() const {
+    return elapsed_s > 0.0 ? static_cast<double>(frames_sent) / elapsed_s : 0.0;
+  }
+  // Offered load on the simulated clock: aggregate wire Mbps across clients.
+  [[nodiscard]] double aggregate_mbps() const {
+    return makespan_s > 0.0
+               ? static_cast<double>(bytes_sent) * 8.0 / makespan_s / 1e6
+               : 0.0;
+  }
+};
+
+// Deterministic per-session RNG seed; depends on (seed, session index) only.
+std::uint64_t session_seed(std::uint64_t fleet_seed, std::uint64_t session);
+
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetConfig config);
+
+  // Prefills the cache (batched), then runs every session to termination on
+  // `pool` (global pool when nullptr). Reentrant-safe: may itself be called
+  // from inside a pool task (the nested run executes inline).
+  FleetResult run(ThreadPool* pool = nullptr);
+
+  [[nodiscard]] DocumentCache& cache() { return cache_; }
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+  DocumentCache cache_;
+};
+
+}  // namespace mobiweb::fleet

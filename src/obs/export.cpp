@@ -351,8 +351,9 @@ std::string prometheus_text(const MetricsRegistry& registry,
     Family& fam = histograms[metric];
     fam.type = "histogram";
     long cumulative = 0;
+    const std::vector<long> counts = h.bucket_counts();
     for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
-      cumulative += h.bucket_counts()[i];
+      cumulative += counts[i];
       fam.body += metric + "_bucket" +
                   render_labels(labels,
                                 "le=\"" + format_value(h.upper_bounds()[i]) +

@@ -29,8 +29,14 @@ Histogram::Histogram(std::vector<double> upper_bounds)
                     "Histogram: bounds must be increasing");
 }
 
+Histogram::Histogram(Histogram&& other) noexcept
+    : bounds_(std::move(other.bounds_)), counts_(std::move(other.counts_)),
+      count_(other.count_), sum_(other.sum_), min_(other.min_),
+      max_(other.max_) {}
+
 void Histogram::observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  std::scoped_lock lock(mu_);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {
     min_ = max_ = v;
@@ -42,37 +48,85 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+long Histogram::count() const {
+  std::scoped_lock lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::scoped_lock lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::scoped_lock lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::scoped_lock lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::scoped_lock lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<long> Histogram::bucket_counts() const {
+  std::scoped_lock lock(mu_);
+  return counts_;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const auto it = counters_.find(name);
-  if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  {
+    std::shared_lock lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const auto it = gauges_.find(name);
-  if (it != gauges_.end()) return it->second;
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+  {
+    std::shared_lock lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_bounds) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(std::string(name), Histogram(std::move(upper_bounds)))
+  return histograms_
+      .emplace(std::string(name), Histogram(std::move(upper_bounds)))
       .first->second;
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  std::shared_lock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  std::shared_lock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  std::shared_lock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -107,9 +161,10 @@ std::string MetricsRegistry::to_json() const {
       append_number(out, h.upper_bounds()[i]);
     }
     out += "], \"counts\": [";
-    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+    const std::vector<long> counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
       if (i) out += ", ";
-      out += std::to_string(h.bucket_counts()[i]);
+      out += std::to_string(counts[i]);
     }
     out += "], \"count\": " + std::to_string(h.count());
     out += ", \"sum\": ";

@@ -22,12 +22,16 @@ SyntheticDocument generate_document(const SyntheticConfig& config, Rng& rng) {
   return doc;
 }
 
-std::vector<double> packet_content_profile(const SyntheticDocument& doc,
-                                           doc::Lod lod) {
+namespace {
+
+// Paragraph indices in transmission order for `lod`: organizational units at
+// that level are ranked by total content (descending, stable on ties), their
+// paragraphs kept sequential inside each unit.
+std::vector<int> transmission_order(const SyntheticDocument& doc, doc::Lod lod) {
   const SyntheticConfig& cfg = doc.config;
   const int paragraphs = cfg.paragraphs();
   MOBIWEB_CHECK_MSG(static_cast<int>(doc.paragraph_content.size()) == paragraphs,
-                    "packet_content_profile: paragraph count mismatch");
+                    "transmission_order: paragraph count mismatch");
 
   // Paragraphs per organizational unit at this LOD. The synthetic tree has no
   // subsubsection level, so that LOD falls through to subsection grouping —
@@ -68,14 +72,27 @@ std::vector<double> packet_content_profile(const SyntheticDocument& doc,
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const Unit& a, const Unit& b) { return a.content > b.content; });
 
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(paragraphs));
+  for (const Unit& u : ranked) {
+    for (int p = 0; p < per_unit; ++p) order.push_back(u.first_paragraph + p);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<double> packet_content_profile(const SyntheticDocument& doc,
+                                           doc::Lod lod) {
+  const SyntheticConfig& cfg = doc.config;
+  const int paragraphs = cfg.paragraphs();
+
   // Paragraph contents in transmission order.
+  const std::vector<int> order = transmission_order(doc, lod);
   std::vector<double> ordered;
   ordered.reserve(static_cast<std::size_t>(paragraphs));
-  for (const Unit& u : ranked) {
-    for (int p = 0; p < per_unit; ++p) {
-      ordered.push_back(
-          doc.paragraph_content[static_cast<std::size_t>(u.first_paragraph + p)]);
-    }
+  for (const int p : order) {
+    ordered.push_back(doc.paragraph_content[static_cast<std::size_t>(p)]);
   }
 
   // Cut the byte stream into M raw packets; content accrues proportionally
@@ -99,6 +116,38 @@ std::vector<double> packet_content_profile(const SyntheticDocument& doc,
     }
   }
   return profile;
+}
+
+doc::LinearDocument synthetic_linear_document(const SyntheticDocument& doc,
+                                              doc::Lod lod, Rng& payload_rng) {
+  const SyntheticConfig& cfg = doc.config;
+  const int paragraphs = cfg.paragraphs();
+  const std::vector<int> order = transmission_order(doc, lod);
+
+  // Integral paragraph sizes: doc_size split evenly, remainder spread over
+  // the leading paragraphs in transmission order.
+  const std::size_t base = cfg.doc_size / static_cast<std::size_t>(paragraphs);
+  std::size_t leftover = cfg.doc_size % static_cast<std::size_t>(paragraphs);
+
+  doc::LinearDocument out;
+  out.payload.resize(cfg.doc_size);
+  for (auto& b : out.payload) {
+    b = static_cast<std::uint8_t>(payload_rng.next_below(256));
+  }
+  out.segments.reserve(order.size());
+  std::size_t offset = 0;
+  for (const int p : order) {
+    doc::Segment seg;
+    seg.label = "p";
+    seg.label += std::to_string(p);
+    seg.offset = offset;
+    seg.size = base + (leftover > 0 ? 1 : 0);
+    if (leftover > 0) --leftover;
+    seg.content = doc.paragraph_content[static_cast<std::size_t>(p)];
+    offset += seg.size;
+    out.segments.push_back(std::move(seg));
+  }
+  return out;
 }
 
 }  // namespace mobiweb::sim

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "doc/linear.hpp"
 #include "doc/lod.hpp"
 #include "util/rng.hpp"
 
@@ -51,5 +52,16 @@ SyntheticDocument generate_document(const SyntheticConfig& config, Rng& rng);
 // Lod::kDocument yields the conventional sequential order.
 std::vector<double> packet_content_profile(const SyntheticDocument& doc,
                                            doc::Lod lod);
+
+// Materializes a synthetic document as a transmittable doc::LinearDocument:
+// one segment per paragraph, in the IC-ranked transmission order the given
+// LOD produces (highest-content unit first, paragraphs sequential within a
+// unit), with `payload_rng`-filled bytes. Byte sizes are integral — doc_size
+// split evenly across paragraphs with the remainder spread over the leading
+// ones — so the LinearDocument's content accounting (content_of_range) is the
+// integral-byte analogue of packet_content_profile. This is the corpus
+// generator behind fleet::DocumentCache: encode once, serve every client.
+doc::LinearDocument synthetic_linear_document(const SyntheticDocument& doc,
+                                              doc::Lod lod, Rng& payload_rng);
 
 }  // namespace mobiweb::sim

@@ -8,6 +8,25 @@
 
 namespace mobiweb {
 
+namespace {
+
+// The pool whose batch the current thread is executing, if any. Set for the
+// whole lifetime of a worker thread and scoped around an external thread's
+// participation in run(), so re-entrant run() calls can be detected and
+// executed inline (see ThreadPool::run). A plain pointer suffices: nesting
+// across *different* pools saves and restores the previous value.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+struct ActivePoolScope {
+  const ThreadPool* prev;
+  explicit ActivePoolScope(const ThreadPool* pool) : prev(t_active_pool) {
+    t_active_pool = pool;
+  }
+  ~ActivePoolScope() { t_active_pool = prev; }
+};
+
+}  // namespace
+
 // A batch stays on the pool queue until every shard has been claimed; any
 // number of workers (plus the submitting thread) pump shards from it
 // concurrently via the `next` ticket counter.
@@ -58,7 +77,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::in_worker() const { return t_active_pool == this; }
+
 void ThreadPool::worker_loop() {
+  ActivePoolScope scope(this);
   std::unique_lock lock(mu_);
   for (;;) {
     cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -79,7 +101,14 @@ void ThreadPool::run(std::size_t shards,
                      const std::function<void(std::size_t)>& fn) {
   MOBIWEB_CHECK_MSG(static_cast<bool>(fn), "ThreadPool::run: empty function");
   if (shards == 0) return;
-  if (shards == 1 || workers_.empty()) {
+  // Re-entrant call from a thread that is already executing one of this
+  // pool's shards: execute inline. Enqueueing would park this thread — a pool
+  // thread — in a completion wait while the nested shards queue behind other
+  // batches; with every pool thread nested the same way, the pool wedges with
+  // work queued and nobody left to pump it. Inline execution keeps the
+  // invariant that a claimed shard always runs to completion without waiting
+  // on another batch.
+  if (shards == 1 || workers_.empty() || t_active_pool == this) {
     for (std::size_t s = 0; s < shards; ++s) fn(s);
     return;
   }
@@ -91,7 +120,12 @@ void ThreadPool::run(std::size_t shards,
     queue_.push_back(batch);
   }
   cv_.notify_all();
-  batch->pump();
+  {
+    // The submitting thread participates, and any nested run() it makes while
+    // executing a shard is detected above and runs inline.
+    ActivePoolScope scope(this);
+    batch->pump();
+  }
   {
     std::unique_lock lock(batch->mu);
     batch->cv.wait(lock, [&] {

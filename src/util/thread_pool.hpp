@@ -37,7 +37,19 @@ class ThreadPool {
   // Runs fn(shard) for every shard in [0, shards), blocking until all
   // complete. The calling thread executes shards too. If any shard throws,
   // the first exception is rethrown after the batch drains.
+  //
+  // Re-entrant use is safe and cheap: when run() is called from a thread that
+  // is already executing a batch of this same pool (a worker, or an external
+  // thread inside a shard of an outer batch — e.g. a fleet cache fill whose
+  // IDA encode shards its rows), the nested batch executes inline on the
+  // calling thread instead of being enqueued. Inline execution never parks a
+  // pool thread in a wait, so nested coding work cannot stall the pool, and
+  // the outer batch's sharding already provides the parallelism.
   void run(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
+  // True when the calling thread is currently executing a shard of one of
+  // this pool's batches (and a run() call would therefore execute inline).
+  [[nodiscard]] bool in_worker() const;
 
   // Splits [begin, end) into at most concurrency() contiguous chunks of at
   // least min_chunk elements and runs fn(lo, hi) for each.

@@ -1,0 +1,353 @@
+// fleet: sharded discrete-event engine + shared pre-encoded document cache.
+//
+// The load-bearing properties pinned here:
+//   * determinism — (seed, shards) reproduces aggregates bit-for-bit, and
+//     integer aggregates (plus cache hit/miss counts) are invariant across
+//     shard counts;
+//   * per-session parity — the fleet state machine is sim::simulate_transfer
+//     exactly (same draw order), so per-session results are bit-equal;
+//   * cache dedup — one build per (document, gamma) no matter how many
+//     threads race on the key, and cooked frames decode back to the payload;
+//   * metrics — shards record into one shared registry concurrently and the
+//     totals match the engine's own aggregates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "fleet/engine.hpp"
+#include "sim/transfer.hpp"
+#include "transmit/receiver.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mw = mobiweb;
+namespace fleet = mobiweb::fleet;
+namespace sim = mobiweb::sim;
+
+namespace {
+
+fleet::FleetConfig small_config(std::size_t sessions) {
+  fleet::FleetConfig cfg;
+  cfg.corpus.corpus_size = 8;
+  cfg.corpus.seed = 77;
+  cfg.sessions = sessions;
+  cfg.seed = 1234;
+  cfg.alpha = 0.25;
+  cfg.request_delay = 2.0;
+  cfg.max_rounds = 25;
+  cfg.record_outcomes = true;
+  return cfg;
+}
+
+void expect_identical(const fleet::FleetResult& a, const fleet::FleetResult& b) {
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.aborted_irrelevant, b.aborted_irrelevant);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.content, b.content);            // bit-equal, not just near
+  EXPECT_EQ(a.session_time_s, b.session_time_s);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+}  // namespace
+
+TEST(FleetEngine, DeterministicForFixedSeedAndShards) {
+  const fleet::FleetConfig cfg = small_config(64);
+  fleet::FleetEngine first(cfg);
+  fleet::FleetEngine second(cfg);
+  const fleet::FleetResult a = first.run();
+  const fleet::FleetResult b = second.run();
+  expect_identical(a, b);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].result.time, b.outcomes[i].result.time);
+    EXPECT_EQ(a.outcomes[i].result.packets, b.outcomes[i].result.packets);
+    EXPECT_EQ(a.outcomes[i].result.content, b.outcomes[i].result.content);
+  }
+}
+
+TEST(FleetEngine, IntegerAggregatesInvariantAcrossShardCounts) {
+  fleet::FleetConfig cfg = small_config(60);
+  cfg.shards = 1;
+  fleet::FleetEngine serial(cfg);
+  const fleet::FleetResult a = serial.run();
+
+  mw::ThreadPool pool(3);
+  cfg.shards = 4;
+  fleet::FleetEngine sharded(cfg);
+  const fleet::FleetResult b = sharded.run(&pool);
+
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.aborted_irrelevant, b.aborted_irrelevant);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  // Cache accounting is invariant too: misses == distinct (doc, gamma) keys,
+  // hits == one serving per session.
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  // The per-session values are identical; only the summation order differs.
+  EXPECT_NEAR(a.content, b.content, 1e-9);
+  EXPECT_NEAR(a.session_time_s, b.session_time_s, 1e-6);
+  // max() is order-independent, so the makespan matches exactly.
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(b.shards, 4u);
+}
+
+TEST(FleetEngine, PerSessionParityWithAnalyticSimulator) {
+  fleet::FleetConfig cfg = small_config(40);
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 40u);
+
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    const auto cooked = engine.cache().get(out.key);
+    sim::TransferConfig tc;
+    tc.m = static_cast<int>(cooked->transmitter.m());
+    tc.n = static_cast<int>(cooked->transmitter.n());
+    tc.alpha = cfg.alpha;
+    tc.caching = cfg.caching;
+    tc.relevance_threshold = cfg.relevance_threshold;
+    tc.time_per_packet =
+        static_cast<double>(cooked->frame_size) * 8.0 / cfg.bandwidth_bps;
+    tc.request_delay = cfg.request_delay;
+    tc.max_rounds = cfg.max_rounds;
+    mw::Rng rng(fleet::session_seed(cfg.seed, out.session));
+    const sim::TransferResult expected =
+        sim::simulate_transfer(cooked->clear_content, tc, rng);
+
+    EXPECT_EQ(out.result.packets, expected.packets);
+    EXPECT_EQ(out.result.rounds, expected.rounds);
+    EXPECT_EQ(out.result.completed, expected.completed);
+    EXPECT_EQ(out.result.aborted_irrelevant, expected.aborted_irrelevant);
+    EXPECT_EQ(out.result.gave_up, expected.gave_up);
+    EXPECT_EQ(out.result.content, expected.content);  // bit-equal
+    EXPECT_EQ(out.result.time, expected.time);
+  }
+}
+
+TEST(FleetEngine, ParityHoldsWithoutCachingAndWithRelevanceThreshold) {
+  fleet::FleetConfig cfg = small_config(24);
+  cfg.caching = false;
+  cfg.relevance_threshold = 0.5;
+  cfg.alpha = 0.4;
+  cfg.max_rounds = 6;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 24u);
+
+  long classified = 0;
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    const auto cooked = engine.cache().get(out.key);
+    sim::TransferConfig tc;
+    tc.m = static_cast<int>(cooked->transmitter.m());
+    tc.n = static_cast<int>(cooked->transmitter.n());
+    tc.alpha = cfg.alpha;
+    tc.caching = cfg.caching;
+    tc.relevance_threshold = cfg.relevance_threshold;
+    tc.time_per_packet =
+        static_cast<double>(cooked->frame_size) * 8.0 / cfg.bandwidth_bps;
+    tc.request_delay = cfg.request_delay;
+    tc.max_rounds = cfg.max_rounds;
+    mw::Rng rng(fleet::session_seed(cfg.seed, out.session));
+    const sim::TransferResult expected =
+        sim::simulate_transfer(cooked->clear_content, tc, rng);
+    EXPECT_EQ(out.result.completed, expected.completed);
+    EXPECT_EQ(out.result.aborted_irrelevant, expected.aborted_irrelevant);
+    EXPECT_EQ(out.result.gave_up, expected.gave_up);
+    EXPECT_EQ(out.result.content, expected.content);
+    EXPECT_EQ(out.result.time, expected.time);
+    classified += (out.result.completed ? 1 : 0) +
+                  (out.result.aborted_irrelevant ? 1 : 0) +
+                  (out.result.gave_up ? 1 : 0);
+  }
+  // Every session terminates in exactly one of the three states.
+  EXPECT_EQ(classified, 24);
+  EXPECT_EQ(r.completed + r.aborted_irrelevant + r.gave_up,
+            static_cast<long>(r.sessions));
+}
+
+TEST(FleetEngine, CleanChannelCompletesEverySessionInOneRound) {
+  fleet::FleetConfig cfg = small_config(32);
+  cfg.alpha = 0.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  EXPECT_EQ(r.completed, 32);
+  EXPECT_EQ(r.gave_up, 0);
+  EXPECT_EQ(r.rounds, 32);  // one round each
+  // With no corruption a session needs exactly m frames (the systematic
+  // clear-text prefix) to reconstruct.
+  long expected_frames = 0;
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    const auto cooked = engine.cache().get(out.key);
+    expected_frames += static_cast<long>(cooked->transmitter.m());
+    EXPECT_EQ(out.result.rounds, 1);
+  }
+  EXPECT_EQ(r.frames_sent, expected_frames);
+}
+
+TEST(FleetEngine, HostileChannelGivesUpAtTheRoundCap) {
+  fleet::FleetConfig cfg = small_config(16);
+  cfg.alpha = 0.95;
+  cfg.max_rounds = 3;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  EXPECT_GT(r.gave_up, 0);
+  EXPECT_EQ(r.completed + r.gave_up + r.aborted_irrelevant,
+            static_cast<long>(r.sessions));
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    EXPECT_LE(out.result.rounds, 3);
+  }
+}
+
+TEST(FleetEngine, ArrivalSpreadStaggersSessionStarts) {
+  fleet::FleetConfig cfg = small_config(20);
+  cfg.arrival_spread_s = 100.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  double prev = -1.0;
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    EXPECT_GT(out.start_s, prev);
+    EXPECT_LT(out.start_s, 100.0);
+    prev = out.start_s;
+  }
+  EXPECT_GE(r.makespan_s, prev);
+}
+
+TEST(FleetEngine, MetricsMatchEngineAggregates) {
+  mw::obs::MetricsRegistry registry;
+  fleet::FleetConfig cfg = small_config(48);
+  cfg.metrics = &registry;
+  cfg.shards = 3;
+  mw::ThreadPool pool(2);
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run(&pool);
+
+  EXPECT_EQ(registry.counter("fleet.sessions").value(),
+            static_cast<long>(r.sessions));
+  EXPECT_EQ(registry.counter("fleet.sessions_completed").value(), r.completed);
+  EXPECT_EQ(registry.counter("fleet.sessions_gave_up").value(), r.gave_up);
+  EXPECT_EQ(registry.counter("fleet.frames_sent").value(), r.frames_sent);
+  const mw::obs::Histogram* h = registry.find_histogram("fleet.session_time_s");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), static_cast<long>(r.sessions));
+  EXPECT_NEAR(h->sum(), r.session_time_s, 1e-6);
+}
+
+TEST(FleetEngine, GammaMixKeysTheCachePerGamma) {
+  fleet::FleetConfig cfg = small_config(42);
+  cfg.corpus.corpus_size = 3;
+  cfg.gammas = {1.0, 1.5};
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  // Documents and gammas cycle with coprime periods (3 and 2), so all
+  // 3 x 2 = 6 (document, gamma) keys occur; every session is a warm hit.
+  EXPECT_EQ(r.cache_misses, 6);
+  EXPECT_EQ(r.cache_hits, static_cast<long>(r.sessions));
+  EXPECT_EQ(engine.cache().size(), 6u);
+  // gamma=1.0 means n == m (no redundancy); gamma=1.5 means n = ceil(1.5 m).
+  const auto lean = engine.cache().get({0, 1.0});
+  const auto fat = engine.cache().get({0, 1.5});
+  EXPECT_EQ(lean->transmitter.n(), lean->transmitter.m());
+  EXPECT_GT(fat->transmitter.n(), fat->transmitter.m());
+}
+
+// ---- DocumentCache ----
+
+TEST(DocumentCache, RacingThreadsBuildEachKeyOnce) {
+  fleet::CacheConfig cc;
+  cc.corpus_size = 2;
+  cc.seed = 9;
+  fleet::DocumentCache cache(cc);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const fleet::CookedDocument>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&cache, &seen, i] { seen[static_cast<std::size_t>(i)] = cache.get({1, 1.5}); });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].get(), seen[0].get());
+  }
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), kThreads - 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DocumentCache, PrefillDeduplicatesAndBatchesBuilds) {
+  fleet::CacheConfig cc;
+  cc.corpus_size = 4;
+  cc.seed = 11;
+  fleet::DocumentCache cache(cc);
+  std::vector<fleet::CacheKey> keys;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint32_t d = 0; d < 4; ++d) keys.push_back({d, 1.5});
+  }
+  mw::ThreadPool pool(2);
+  cache.prefill(keys, &pool);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 0);
+  // A second prefill over the same keys is all warm.
+  cache.prefill(keys, &pool);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.hits(), 4);
+}
+
+TEST(DocumentCache, CookedDocumentIsInternallyConsistent) {
+  fleet::CacheConfig cc;
+  cc.corpus_size = 3;
+  cc.seed = 5;
+  fleet::DocumentCache cache(cc);
+  const auto cooked = cache.get({2, 1.5});
+  const std::size_t m = cooked->transmitter.m();
+  EXPECT_EQ(cooked->clear_content.size(), m);
+  EXPECT_GT(cooked->total_content, 0.99);  // normalized content sums to ~1
+  EXPECT_LT(cooked->total_content, 1.01);
+  double sum = 0.0;
+  for (double c : cooked->clear_content) sum += c;
+  EXPECT_EQ(sum, cooked->total_content);
+  // Wire frames carry header + CRC on top of the packet payload.
+  EXPECT_GT(cooked->frame_size, cc.doc.packet_size);
+  EXPECT_EQ(cooked->transmitter.frames().size(), cooked->transmitter.n());
+}
+
+TEST(DocumentCache, CookedFramesDecodeBackToThePayload) {
+  fleet::CacheConfig cc;
+  cc.corpus_size = 2;
+  cc.seed = 21;
+  fleet::DocumentCache cache(cc);
+  const fleet::CacheKey key{1, 1.5};
+  const auto cooked = cache.get(key);
+
+  mw::transmit::ReceiverConfig rc;
+  rc.doc_id = cooked->transmitter.doc_id();
+  rc.m = cooked->transmitter.m();
+  rc.n = cooked->transmitter.n();
+  rc.packet_size = cooked->transmitter.packet_size();
+  rc.payload_size = cooked->transmitter.payload_size();
+  mw::transmit::ClientReceiver receiver(rc,
+                                        cooked->transmitter.document().segments);
+  // The parity tail alone (skipping the systematic prefix) must reconstruct.
+  for (std::size_t i = rc.n - rc.m; i < rc.n; ++i) {
+    const auto fr = receiver.on_frame(mw::ByteSpan(cooked->transmitter.frame(i)));
+    EXPECT_TRUE(fr.intact);
+  }
+  ASSERT_TRUE(receiver.complete());
+  EXPECT_EQ(receiver.reconstruct(), cooked->transmitter.document().payload);
+}
+
+TEST(DocumentCache, DocumentSeedIsStablePerIndex) {
+  EXPECT_EQ(fleet::document_seed(7, 3), fleet::document_seed(7, 3));
+  EXPECT_NE(fleet::document_seed(7, 3), fleet::document_seed(7, 4));
+  EXPECT_NE(fleet::document_seed(7, 3), fleet::document_seed(8, 3));
+}

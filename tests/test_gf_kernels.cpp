@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gf256/gf256.hpp"
@@ -268,4 +269,39 @@ TEST(IdaParallel, ThresholdSetterReturnsPrevious) {
   EXPECT_EQ(ida::parallel_threshold(), 12345u);
   ida::set_parallel_threshold(prev);
   EXPECT_EQ(ida::parallel_threshold(), def);
+}
+
+// Lazily-built shared state (the per-coefficient 256-byte multiply tables and
+// the dispatch-table initialisation behind resolve_kernel) must be safe on
+// concurrent first use: the fleet engine's shards hit the coding path from
+// several pool workers at once with no warm-up. Each thread works a distinct
+// coefficient range so table construction itself races, then every result is
+// checked against the scalar reference.
+TEST(GfKernels, ConcurrentFirstUseMatchesScalarReference) {
+  constexpr std::size_t kRow = 512;
+  constexpr int kThreads = 8;
+  Rng rng(0xC0FFEE);
+  const Bytes in = random_bytes(kRow, rng);
+
+  std::vector<Bytes> got(kThreads, Bytes(kRow, 0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int c = 1; c < 256; ++c) {
+        gf::mul_add_row(got[static_cast<std::size_t>(t)].data(), in.data(),
+                        static_cast<gf::Elem>(c), kRow);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Bytes want(kRow, 0);
+  for (int c = 1; c < 256; ++c) {
+    gf::mul_add_row(want.data(), in.data(), static_cast<gf::Elem>(c), kRow,
+                    gf::Kernel::kScalar);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(t)], want) << "thread " << t;
+  }
 }

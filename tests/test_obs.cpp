@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -303,4 +304,68 @@ TEST(MetricsRegistry, FindOnEmptyRegistryReturnsNull) {
   EXPECT_EQ(registry.find_counter("nope"), nullptr);
   EXPECT_EQ(registry.find_gauge("nope"), nullptr);
   EXPECT_EQ(registry.find_histogram("nope"), nullptr);
+}
+
+// ---- MetricsRegistry under concurrent writers ----
+//
+// The fleet engine's shards record into one shared registry from every pool
+// worker. Regression coverage for the thread-safety rework: concurrent
+// lookup-or-create of the SAME names must yield one instrument per name, and
+// no increment may be lost. Run under -DMOBIWEB_TSAN=ON (scripts/
+// tsan_fleet.sh) to get data-race checking on top of the exactness checks.
+TEST(MetricsRegistry, ConcurrentWritersLoseNothing) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve-once-then-record, as the hot paths do...
+      obs::Counter& frames = registry.counter("hammer.frames");
+      obs::Gauge& backlog = registry.gauge("hammer.backlog");
+      obs::Histogram& lat = registry.histogram("hammer.latency", {1.0, 10.0, 100.0});
+      for (int i = 0; i < kPerThread; ++i) {
+        frames.inc();
+        backlog.add(1.0);
+        lat.observe(static_cast<double>(i % 128));
+        // ...and also re-resolve by name mid-flight, racing the map lookup.
+        registry.counter("hammer.frames").inc();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(registry.counter("hammer.frames").value(),
+            static_cast<long>(kThreads) * kPerThread * 2);
+  EXPECT_DOUBLE_EQ(registry.gauge("hammer.backlog").value(),
+                   static_cast<double>(kThreads) * kPerThread);
+  const obs::Histogram& lat = registry.histogram("hammer.latency", {});
+  EXPECT_EQ(lat.count(), static_cast<long>(kThreads) * kPerThread);
+  EXPECT_EQ(lat.min(), 0.0);
+  EXPECT_EQ(lat.max(), 127.0);
+  long bucket_total = 0;
+  for (long c : lat.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, lat.count());
+}
+
+TEST(MetricsRegistry, ConcurrentCreationOfDistinctNames) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::string name = "series." + std::to_string(i % 50);
+        registry.counter(name).inc();
+        registry.gauge(name + ".g").set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(registry.counter("series." + std::to_string(i)).value(),
+              kThreads * 4);  // 200 iterations / 50 names per thread
+  }
 }

@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <functional>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -302,4 +306,128 @@ TEST(ThreadPool, ReusableAcrossBatches) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&mw::ThreadPool::global(), &mw::ThreadPool::global());
   EXPECT_GE(mw::ThreadPool::global().concurrency(), 1u);
+}
+
+// ---- ThreadPool re-entrancy ----
+//
+// run() from a thread that is already executing one of the pool's shards must
+// execute inline. The pre-fix implementation enqueued the nested batch and
+// parked the worker in a completion wait; with every worker nested that way
+// the pool could wedge with work queued and nobody left to pump it. These
+// tests run the nested workload under a watchdog so a reintroduced wedge
+// shows up as a clean failure, not a hung test binary.
+
+namespace {
+
+// Runs `body` on a throwaway thread and fails (leaking the thread) if it does
+// not finish within `budget` — the hang itself is the regression.
+void expect_finishes_within(std::chrono::seconds budget,
+                            const std::function<void()>& body) {
+  std::promise<void> done;
+  auto fut = done.get_future();
+  std::thread t([&body, &done] {
+    body();
+    done.set_value();
+  });
+  if (fut.wait_for(budget) == std::future_status::ready) {
+    t.join();
+    return;
+  }
+  t.detach();  // wedged inside the pool; abandon it
+  FAIL() << "nested ThreadPool::run did not finish within the watchdog";
+}
+
+}  // namespace
+
+TEST(ThreadPool, NestedRunCompletesUnderWatchdog) {
+  expect_finishes_within(std::chrono::seconds(60), [] {
+    mw::ThreadPool pool(2);
+    for (int round = 0; round < 200; ++round) {
+      std::atomic<int> count{0};
+      pool.run(8, [&](std::size_t) {
+        pool.run(8, [&](std::size_t) {
+          pool.run(4, [&](std::size_t) { count.fetch_add(1); });
+        });
+      });
+      ASSERT_EQ(count.load(), 8 * 8 * 4);
+    }
+  });
+}
+
+TEST(ThreadPool, NestedRunExecutesInlineOnSameThread) {
+  mw::ThreadPool pool(3);
+  std::atomic<int> mismatches{0};
+  std::atomic<int> nested_shards{0};
+  pool.run(8, [&](std::size_t) {
+    EXPECT_TRUE(pool.in_worker());
+    const std::thread::id outer = std::this_thread::get_id();
+    pool.run(5, [&](std::size_t) {
+      nested_shards.fetch_add(1);
+      if (std::this_thread::get_id() != outer) mismatches.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(nested_shards.load(), 8 * 5);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_FALSE(pool.in_worker());
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughInlineRun) {
+  mw::ThreadPool pool(2);
+  EXPECT_THROW(pool.run(4,
+                        [&](std::size_t s) {
+                          pool.run(3, [&](std::size_t t) {
+                            if (s == 1 && t == 2) {
+                              throw std::runtime_error("nested failure");
+                            }
+                          });
+                        }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, InWorkerIsPerPool) {
+  mw::ThreadPool a(2);
+  mw::ThreadPool b(2);
+  EXPECT_FALSE(a.in_worker());
+  a.run(4, [&](std::size_t) {
+    EXPECT_TRUE(a.in_worker());
+    EXPECT_FALSE(b.in_worker());
+  });
+}
+
+// Construction-race safety: concurrent first use of a pool must be benign.
+// ThreadPool::global() is a magic static (initialized exactly once even under
+// a race); a ThreadPool(0) on a 1-core host must degrade to serial execution
+// rather than touch uninitialized worker state.
+TEST(ThreadPool, ConcurrentGlobalUseIsSafe) {
+  constexpr int kThreads = 8;
+  std::atomic<const mw::ThreadPool*> first{nullptr};
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      mw::ThreadPool& pool = mw::ThreadPool::global();
+      const mw::ThreadPool* expected = nullptr;
+      first.compare_exchange_strong(expected, &pool);
+      EXPECT_EQ(first.load(), &pool);
+      pool.run(16, [&](std::size_t) { sum.fetch_add(1); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), kThreads * 16);
+}
+
+TEST(ThreadPool, ConcurrentConstructionOfIndependentPools) {
+  constexpr int kThreads = 6;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      mw::ThreadPool pool(static_cast<std::size_t>(i % 3));
+      pool.run(10, [&](std::size_t) { sum.fetch_add(1); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), kThreads * 10);
 }
