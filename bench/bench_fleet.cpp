@@ -13,9 +13,19 @@
 // opt-in 1M-session scale), --shards=S, --gamma=G, --alpha=A, --corpus=D,
 // --spread=SECONDS, --json[=PATH]. MOBIWEB_FAST=1 trims the sweep to a prefix
 // (1k/10k) so CI baselines stay key-compatible with full runs.
+//
+// Weak-connectivity / workload knobs (all default off = legacy behavior):
+//   --duty=D        per-session Markov link fades with long-run outage duty D
+//                   (mean fade --down=SECONDS, default 8); sessions suspend
+//                   with backoff and can terminate degraded
+//   --zipf=S        Zipf(S) document popularity instead of round-robin
+//   --arrival=HZ    Poisson session arrivals at HZ instead of the uniform
+//                   stagger over --spread
 #include <cinttypes>
+#include <memory>
 
 #include "bench_common.hpp"
+#include "channel/outage.hpp"
 #include "fleet/engine.hpp"
 
 namespace bench = mobiweb::bench;
@@ -40,6 +50,14 @@ fleet::FleetConfig base_config(int argc, char** argv) {
   cfg.shards = static_cast<std::size_t>(bench::arg_double(argc, argv, "shards", 0.0));
   cfg.request_delay = bench::arg_double(argc, argv, "delay", 1.0);
   cfg.arrival_spread_s = bench::arg_double(argc, argv, "spread", 60.0);
+  cfg.zipf_s = bench::arg_double(argc, argv, "zipf", 0.0);
+  cfg.arrival_rate_hz = bench::arg_double(argc, argv, "arrival", 0.0);
+  const double duty = bench::arg_double(argc, argv, "duty", 0.0);
+  if (duty > 0.0) {
+    const double mean_down = bench::arg_double(argc, argv, "down", 8.0);
+    cfg.outage = std::make_shared<mobiweb::channel::MarkovOutageModel>(
+        mobiweb::channel::MarkovOutageModel::with_duty_cycle(duty, mean_down));
+  }
   return cfg;
 }
 
@@ -69,6 +87,9 @@ int emit_json(int argc, char** argv, const std::string& path) {
   report.meta("corpus", static_cast<double>(base.corpus.corpus_size));
   report.meta("spread_s", base.arrival_spread_s);
   report.meta("seed", static_cast<double>(base.seed));
+  report.meta("duty", base.outage ? base.outage->outage_fraction() : 0.0);
+  report.meta("zipf", base.zipf_s);
+  report.meta("arrival_hz", base.arrival_rate_hz);
   for (const auto& [sessions, label] : scales(argc, argv)) {
     const fleet::FleetResult r = run_scale(base, sessions);
     const std::string key = std::string("fleet_") + label;
@@ -80,6 +101,9 @@ int emit_json(int argc, char** argv, const std::string& path) {
     report.metric(key + ".completed", static_cast<double>(r.completed));
     // Informational (no gating suffix):
     report.metric(key + ".gave_up_count", static_cast<double>(r.gave_up));
+    report.metric(key + ".degraded_count", static_cast<double>(r.degraded));
+    report.metric(key + ".frames_lost_count", static_cast<double>(r.frames_lost));
+    report.metric(key + ".suspension_count", static_cast<double>(r.suspensions));
     report.metric(key + ".makespan", r.makespan_s);
     report.metric(key + ".cache_hit_count", static_cast<double>(r.cache_hits));
     report.metric(key + ".cache_miss_count", static_cast<double>(r.cache_misses));
@@ -100,14 +124,15 @@ int main(int argc, char** argv) {
       "server scale: every session draws IDA-encoded frames from one shared\n"
       "pre-encoded DocumentCache (encode once per (document, gamma)).");
 
-  TextTable table({"sessions", "shards", "completed", "gave_up", "Mframes",
-                   "agg Mbps", "makespan s", "wall s", "sessions/s",
+  TextTable table({"sessions", "shards", "completed", "gave_up", "degraded",
+                   "Mframes", "agg Mbps", "makespan s", "wall s", "sessions/s",
                    "cache h/m"});
   for (const auto& [sessions, label] : scales(argc, argv)) {
     const fleet::FleetResult r = run_scale(base, sessions);
     table.add_row(
         {std::to_string(r.sessions), std::to_string(r.shards),
          std::to_string(r.completed), std::to_string(r.gave_up),
+         std::to_string(r.degraded),
          TextTable::fmt(static_cast<double>(r.frames_sent) / 1e6, 2),
          TextTable::fmt(r.aggregate_mbps(), 2), TextTable::fmt(r.makespan_s, 1),
          TextTable::fmt(r.elapsed_s, 2), TextTable::fmt(r.sessions_per_s(), 0),

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Fault-injection matrix: sweeps outage duty-cycle × feedback-loss probability
-# through bench_outage and collects one JSON result per cell.
+# through bench_outage, plus a fleet-scale duty sweep through bench_fleet
+# (sharded engine + per-session outage clones), and collects one JSON result
+# per cell.
 #
 # Every cell runs under a hard wall-clock cap (`timeout`), so a regression
 # that re-introduces a hang in the resilient session driver fails the sweep
@@ -25,9 +27,9 @@ FAST=1
 DUTIES="0.0 0.2 0.4 0.6"
 LOSSES="0.0 0.3 0.7"
 
-if [ ! -x "$BUILD/bench/bench_outage" ]; then
+if [ ! -x "$BUILD/bench/bench_outage" ] || [ ! -x "$BUILD/bench/bench_fleet" ]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD" -j --target bench_outage
+  cmake --build "$BUILD" -j --target bench_outage bench_fleet
 fi
 
 OUT="$BUILD/fault-matrix"
@@ -52,6 +54,27 @@ for duty in $DUTIES; do
       failures=$((failures + 1))
     fi
   done
+done
+
+# Fleet-scale rows: the sharded engine under per-session link fades. Every
+# session suspends/backs off independently, so these cells also guard the
+# engine's termination proof (budget/deadline) against hangs at scale.
+for duty in $DUTIES; do
+  cell="$OUT/fleet_duty${duty}.json"
+  echo "== fleet sessions=2000 duty=$duty (cap ${CAP}s) =="
+  if MOBIWEB_FAST=$FAST timeout "$CAP" \
+      "$BUILD/bench/bench_fleet" \
+      --sessions=2000 --duty="$duty" --json="$cell" > /dev/null; then
+    echo "   -> $cell"
+  else
+    status=$?
+    if [ "$status" -eq 124 ]; then
+      echo "FAIL: fleet cell duty=$duty exceeded ${CAP}s wall clock" >&2
+    else
+      echo "FAIL: fleet cell duty=$duty exited with status $status" >&2
+    fi
+    failures=$((failures + 1))
+  fi
 done
 
 if [ "$failures" -gt 0 ]; then

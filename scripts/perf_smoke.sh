@@ -22,11 +22,15 @@ trap 'rm -rf "$TMP"' EXIT
 "$CODING" --json="$TMP/coding.json" >/dev/null
 "$PIPELINE" --json="$TMP/pipeline.json" >/dev/null
 "$FLEET" --json="$TMP/fleet.json" >/dev/null
+# Weak-connectivity path: per-session Markov fades, suspend/backoff, degraded
+# termination. Deterministic for a fixed seed, so it gates like the clean run.
+"$FLEET" --duty=0.2 --json="$TMP/fleet_duty.json" >/dev/null
 
 # A run diffed against itself must pass at any tolerance.
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/coding.json" "$TMP/coding.json"
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/pipeline.json" "$TMP/pipeline.json"
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/fleet.json" "$TMP/fleet.json"
+python3 "$DIFF" --quiet --tolerance=0 "$TMP/fleet_duty.json" "$TMP/fleet_duty.json"
 
 # Halve the first throughput metric: the gate must catch it.
 python3 - "$TMP/coding.json" "$TMP/regressed.json" <<'EOF'
@@ -54,5 +58,7 @@ python3 "$DIFF" --quiet --tolerance=1000 \
   "$ROOT/bench/baselines/micro_pipeline.json" "$TMP/pipeline.json"
 python3 "$DIFF" --quiet --tolerance=1000 \
   "$ROOT/bench/baselines/fleet.json" "$TMP/fleet.json"
+python3 "$DIFF" --quiet --tolerance=1000 \
+  "$ROOT/bench/baselines/fleet_duty.json" "$TMP/fleet_duty.json"
 
 echo "perf_smoke: ok"

@@ -26,4 +26,10 @@ cmake --build "$BUILD" -j \
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding' "$@"
 
+# Weak-connectivity / workload knobs under TSan: per-session outage clones,
+# the suspend/backoff path, Zipf document draws and Poisson arrivals all run
+# on the sharded hot path, so race them here too.
+MOBIWEB_FAST=1 "$BUILD/bench/bench_fleet" \
+  --sessions=5000 --duty=0.2 --zipf=0.8 --arrival=100 --json=/dev/null
+
 echo "tsan_fleet: ok"

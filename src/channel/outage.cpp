@@ -9,6 +9,12 @@
 
 namespace mobiweb::channel {
 
+std::unique_ptr<OutageModel> OutageModel::session_clone() const {
+  std::unique_ptr<OutageModel> copy = clone();
+  copy->reset();
+  return copy;
+}
+
 MarkovOutageModel::MarkovOutageModel(double mean_up_s, double mean_down_s)
     : mean_up_s_(mean_up_s), mean_down_s_(mean_down_s) {
   MOBIWEB_CHECK_MSG(std::isfinite(mean_up_s_) && mean_up_s_ > 0.0,

@@ -43,6 +43,13 @@ class OutageModel {
   [[nodiscard]] virtual double outage_fraction() const = 0;
 
   [[nodiscard]] virtual std::unique_ptr<OutageModel> clone() const = 0;
+
+  // Fresh per-session copy: same parameters, initial state (as if reset()
+  // were called on the clone). This is the cheap fan-out path the fleet
+  // engine uses — clone a shared prototype once per session and drive each
+  // copy with a per-session RNG stream, so sessions see independent fade
+  // processes while a run stays deterministic and shard-invariant.
+  [[nodiscard]] std::unique_ptr<OutageModel> session_clone() const;
 };
 
 // Continuous-time on/off fades: the link alternates between an Up state with

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <numeric>
 #include <queue>
 
 #include "obs/profile.hpp"
@@ -11,10 +13,10 @@ namespace mobiweb::fleet {
 
 namespace {
 
-// Per-session live state. Kept small on purpose: ~150 bytes per session means
-// a 1M-session fleet fits in ~150 MB, and the per-frame work is one Bernoulli
-// draw plus bitmap arithmetic — no per-session byte copies (cooked frames are
-// shared read-only out of the DocumentCache).
+// Per-session live state. Kept small on purpose: ~200 bytes per session means
+// a 1M-session fleet fits in a couple hundred MB, and the per-frame work is
+// one Bernoulli draw plus bitmap arithmetic — no per-session byte copies
+// (cooked frames are shared read-only out of the DocumentCache).
 struct Session {
   Rng rng{0};
   const CookedDocument* doc = nullptr;
@@ -24,9 +26,27 @@ struct Session {
   double stall_delay = 0.0;
   double time_per_frame = 0.0;
   long frames = 0;
-  std::uint64_t seen[4] = {0, 0, 0, 0};  // n <= 255 cooked packets
+  // Receipt bitmap for the cooked set. DocumentCache::build enforces
+  // n = ceil(gamma*m) <= kMaxCookedPackets (= 256) at cook time, so every
+  // index this session can see fits these four words.
+  std::uint64_t seen[4] = {0, 0, 0, 0};
   int intact = 0;
   int rounds = 0;
+
+  // Weak-connectivity state; engaged only when FleetConfig::outage is set.
+  // link_clock mirrors sim::simulate_resilient_transfer's session clock
+  // exactly (same additions in the same order, starting at 0) so outage
+  // queries and deadline checks are bit-equal to the oracle's — the absolute
+  // `clock` above would pick up start-offset rounding and break parity.
+  std::unique_ptr<channel::OutageModel> outage;
+  Rng outage_rng{0};
+  Rng jitter_rng{0};
+  double link_clock = 0.0;
+  double backoff = 0.0;
+  double backoff_s = 0.0;
+  long frames_lost = 0;
+  int attempts = 0;
+  int suspensions = 0;
 
   [[nodiscard]] bool test_seen(int i) const {
     return (seen[i >> 6] >> (i & 63)) & 1u;
@@ -50,15 +70,23 @@ struct Event {
   }
 };
 
+// How a session left the event loop. Indexes the per-status histogram array.
+enum class Outcome : int { kCompleted = 0, kAborted = 1, kGaveUp = 2, kDegraded = 3 };
+inline constexpr int kOutcomes = 4;
+
 struct ShardTotals {
   long completed = 0;
   long gave_up = 0;
   long aborted_irrelevant = 0;
+  long degraded = 0;
   long frames = 0;
+  long frames_lost = 0;
   long rounds = 0;
+  long suspensions = 0;
   unsigned long long bytes = 0;
   double content = 0.0;
   double session_time_s = 0.0;
+  double backoff_s = 0.0;
   double makespan_s = 0.0;
 };
 
@@ -69,9 +97,18 @@ struct FleetMetrics {
   obs::Counter* completed = nullptr;
   obs::Counter* gave_up = nullptr;
   obs::Counter* aborted = nullptr;
+  obs::Counter* degraded = nullptr;
   obs::Counter* frames = nullptr;
+  obs::Counter* frames_lost = nullptr;
+  obs::Counter* suspensions = nullptr;
   obs::Histogram* session_time = nullptr;
+  obs::Histogram* session_time_by[kOutcomes] = {nullptr, nullptr, nullptr, nullptr};
 };
+
+std::uint64_t salted_session_seed(std::uint64_t fleet_seed, std::uint64_t salt,
+                                  std::uint64_t session) {
+  return session_seed(fleet_seed ^ salt, session);
+}
 
 }  // namespace
 
@@ -81,6 +118,22 @@ std::uint64_t session_seed(std::uint64_t fleet_seed, std::uint64_t session) {
   return mix.next();
 }
 
+std::uint64_t session_outage_seed(std::uint64_t fleet_seed, std::uint64_t session) {
+  return salted_session_seed(fleet_seed, 0x6f757461676521ull, session);  // "outage!"
+}
+
+std::uint64_t session_jitter_seed(std::uint64_t fleet_seed, std::uint64_t session) {
+  return salted_session_seed(fleet_seed, 0x6a69747465727aull, session);  // "jitterz"
+}
+
+std::uint64_t session_zipf_seed(std::uint64_t fleet_seed, std::uint64_t session) {
+  return salted_session_seed(fleet_seed, 0x7a6970666421ull, session);  // "zipfd!"
+}
+
+std::uint64_t fleet_arrival_seed(std::uint64_t fleet_seed) {
+  return salted_session_seed(fleet_seed, 0x706f7373696eull, 0);  // "possin"
+}
+
 FleetEngine::FleetEngine(FleetConfig config)
     : config_(std::move(config)), cache_(config_.corpus) {
   MOBIWEB_CHECK_MSG(!config_.gammas.empty(), "FleetEngine: no gammas");
@@ -88,6 +141,20 @@ FleetEngine::FleetEngine(FleetConfig config)
                     "FleetEngine: alpha in [0,1)");
   MOBIWEB_CHECK_MSG(config_.max_rounds >= 1, "FleetEngine: max_rounds >= 1");
   MOBIWEB_CHECK_MSG(config_.bandwidth_bps > 0.0, "FleetEngine: bandwidth > 0");
+  MOBIWEB_CHECK_MSG(config_.zipf_s >= 0.0, "FleetEngine: zipf_s >= 0");
+  MOBIWEB_CHECK_MSG(config_.arrival_rate_hz >= 0.0,
+                    "FleetEngine: arrival_rate_hz >= 0");
+  if (config_.outage != nullptr) {
+    const sim::RetryConfig& rp = config_.retry;
+    MOBIWEB_CHECK_MSG(rp.retry_budget >= 1, "FleetEngine: retry_budget >= 1");
+    MOBIWEB_CHECK_MSG(rp.initial_timeout_s >= 0.0,
+                      "FleetEngine: initial_timeout_s >= 0");
+    MOBIWEB_CHECK_MSG(rp.backoff_multiplier >= 1.0,
+                      "FleetEngine: backoff_multiplier >= 1");
+    MOBIWEB_CHECK_MSG(rp.max_backoff_s >= rp.initial_timeout_s,
+                      "FleetEngine: max_backoff_s >= initial_timeout_s");
+    MOBIWEB_CHECK_MSG(rp.jitter >= 0.0, "FleetEngine: jitter >= 0");
+  }
 }
 
 FleetResult FleetEngine::run(ThreadPool* pool) {
@@ -106,17 +173,67 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
 
   const std::size_t corpus = config_.corpus.corpus_size;
   const std::size_t n_gammas = config_.gammas.size();
+
+  // Zipf(s) popularity: cumulative weights over document ranks, computed once.
+  // Each session's draw depends only on (seed, i), so document assignment is
+  // deterministic and shard-invariant. zipf_s == 0 keeps round-robin.
+  std::vector<double> zipf_cum;
+  if (config_.zipf_s > 0.0) {
+    zipf_cum.reserve(corpus);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < corpus; ++r) {
+      acc += std::pow(static_cast<double>(r + 1), -config_.zipf_s);
+      zipf_cum.push_back(acc);
+    }
+  }
+  const auto doc_of = [&](std::size_t i) -> std::uint32_t {
+    if (zipf_cum.empty()) return static_cast<std::uint32_t>(i % corpus);
+    Rng draw(session_zipf_seed(config_.seed, i));
+    const double u = draw.next_double() * zipf_cum.back();
+    const auto it = std::upper_bound(zipf_cum.begin(), zipf_cum.end(), u);
+    const std::size_t rank =
+        std::min(static_cast<std::size_t>(it - zipf_cum.begin()), corpus - 1);
+    return static_cast<std::uint32_t>(rank);
+  };
   const auto key_of = [&](std::size_t i) {
-    return CacheKey{static_cast<std::uint32_t>(i % corpus),
-                    config_.gammas[i % n_gammas]};
+    return CacheKey{doc_of(i), config_.gammas[i % n_gammas]};
+  };
+
+  // Poisson arrivals: precompute every start serially from the fleet-wide
+  // arrival stream (session 0 at t = 0, exponential inter-arrival gaps), so
+  // starts are identical whatever the shard count. Rate 0 keeps the uniform
+  // stagger over [0, arrival_spread_s).
+  std::vector<double> poisson_starts;
+  if (config_.arrival_rate_hz > 0.0) {
+    poisson_starts.reserve(sessions);
+    Rng arrivals(fleet_arrival_seed(config_.seed));
+    double t = 0.0;
+    for (std::size_t i = 0; i < sessions; ++i) {
+      poisson_starts.push_back(t);
+      // 1 - next_double() is in (0, 1], so the log is finite.
+      t += -std::log(1.0 - arrivals.next_double()) / config_.arrival_rate_hz;
+    }
+  }
+  const auto start_of = [&](std::size_t i) {
+    if (!poisson_starts.empty()) return poisson_starts[i];
+    return sessions > 1 ? config_.arrival_spread_s *
+                              (static_cast<double>(i) /
+                               static_cast<double>(sessions))
+                        : 0.0;
   };
 
   // Warm every (document, γ) the fleet will touch in one batched burst, so
   // the IDA encodes run back-to-back on the pool instead of faulting in
-  // lazily underneath 100k sessions.
+  // lazily underneath 100k sessions. Round-robin assignment walks
+  // (i % corpus, gammas[i % n_gammas]), which cycles with period
+  // lcm(corpus, n_gammas) — NOT corpus * n_gammas — so that is the true
+  // distinct-key count (and what misses() reports afterwards). Zipf
+  // assignment has no closed form; enumerate and let prefill dedupe.
   {
     std::vector<CacheKey> keys;
-    const std::size_t distinct = std::min(sessions, corpus * n_gammas);
+    const std::size_t distinct =
+        zipf_cum.empty() ? std::min(sessions, std::lcm(corpus, n_gammas))
+                         : sessions;
     keys.reserve(distinct);
     for (std::size_t i = 0; i < distinct; ++i) keys.push_back(key_of(i));
     cache_.prefill(keys, pool);
@@ -129,16 +246,28 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     fm.completed = &reg.counter("fleet.sessions_completed");
     fm.gave_up = &reg.counter("fleet.sessions_gave_up");
     fm.aborted = &reg.counter("fleet.sessions_aborted_irrelevant");
+    fm.degraded = &reg.counter("fleet.sessions_degraded");
     fm.frames = &reg.counter("fleet.frames_sent");
-    fm.session_time = &reg.histogram(
-        "fleet.session_time_s",
-        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+    fm.frames_lost = &reg.counter("fleet.frames_lost_outage");
+    fm.suspensions = &reg.counter("fleet.suspensions");
+    fm.session_time =
+        &reg.histogram("fleet.session_time_s", obs::session_time_buckets());
+    fm.session_time_by[static_cast<int>(Outcome::kCompleted)] = &reg.histogram(
+        "fleet.session_time_s{status=completed}", obs::session_time_buckets());
+    fm.session_time_by[static_cast<int>(Outcome::kAborted)] =
+        &reg.histogram("fleet.session_time_s{status=aborted_irrelevant}",
+                       obs::session_time_buckets());
+    fm.session_time_by[static_cast<int>(Outcome::kGaveUp)] = &reg.histogram(
+        "fleet.session_time_s{status=gave_up}", obs::session_time_buckets());
+    fm.session_time_by[static_cast<int>(Outcome::kDegraded)] = &reg.histogram(
+        "fleet.session_time_s{status=degraded}", obs::session_time_buckets());
   }
 
   std::vector<ShardTotals> totals(shards);
   if (config_.record_outcomes) result.outcomes.resize(sessions);
   const std::size_t per_shard = (sessions + shards - 1) / shards;
   const bool relevance_check = config_.relevance_threshold >= 0.0;
+  const sim::RetryConfig& rp = config_.retry;
 
   pool->run(shards, [&](std::size_t shard) {
     const std::size_t lo = shard * per_shard;
@@ -155,40 +284,60 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       s.doc = cache_.get(key_of(i)).get();  // cache outlives the run
       s.time_per_frame =
           static_cast<double>(s.doc->frame_size) * 8.0 / config_.bandwidth_bps;
-      s.start = sessions > 1 ? config_.arrival_spread_s *
-                                   (static_cast<double>(i) /
-                                    static_cast<double>(sessions))
-                             : 0.0;
+      s.start = start_of(i);
       s.clock = s.start;
+      if (config_.outage != nullptr) {
+        s.outage = config_.outage->session_clone();
+        s.outage_rng.reseed(session_outage_seed(config_.seed, i));
+        s.jitter_rng.reseed(session_jitter_seed(config_.seed, i));
+        s.backoff = rp.initial_timeout_s;
+      }
       heap.push(Event{s.start, static_cast<std::uint32_t>(i)});
     }
 
     const auto finish = [&](std::size_t index, Session& s, double received,
-                            bool completed, bool aborted, bool gave_up) {
+                            Outcome outcome) {
+      const bool completed = outcome == Outcome::kCompleted;
+      const bool aborted = outcome == Outcome::kAborted;
+      const bool gave_up = outcome == Outcome::kGaveUp;
+      const bool degraded = outcome == Outcome::kDegraded;
       sim::TransferResult r;
       r.packets = s.frames;
       r.rounds = s.rounds;
       r.completed = completed;
       r.aborted_irrelevant = aborted;
       r.gave_up = gave_up;
+      r.degraded = degraded;
       r.content = received;
+      r.frames_lost = s.frames_lost;
+      r.suspensions = s.suspensions;
+      r.request_attempts = s.attempts;
+      r.backoff_s = s.backoff_s;
       r.time = static_cast<double>(s.frames) * s.time_per_frame + s.stall_delay;
       tot.completed += completed ? 1 : 0;
       tot.gave_up += gave_up ? 1 : 0;
       tot.aborted_irrelevant += aborted ? 1 : 0;
+      tot.degraded += degraded ? 1 : 0;
       tot.frames += s.frames;
+      tot.frames_lost += s.frames_lost;
       tot.rounds += s.rounds;
+      tot.suspensions += s.suspensions;
       tot.bytes += static_cast<unsigned long long>(s.frames) * s.doc->frame_size;
       tot.content += received;
       tot.session_time_s += r.time;
+      tot.backoff_s += s.backoff_s;
       tot.makespan_s = std::max(tot.makespan_s, s.start + r.time);
       if (fm.sessions != nullptr) {
         fm.sessions->inc();
         if (completed) fm.completed->inc();
         if (gave_up) fm.gave_up->inc();
         if (aborted) fm.aborted->inc();
+        if (degraded) fm.degraded->inc();
         fm.frames->inc(s.frames);
+        if (s.frames_lost > 0) fm.frames_lost->inc(s.frames_lost);
+        if (s.suspensions > 0) fm.suspensions->inc(s.suspensions);
         fm.session_time->observe(r.time);
+        fm.session_time_by[static_cast<int>(outcome)]->observe(r.time);
       }
       if (config_.record_outcomes) {
         result.outcomes[index] =
@@ -199,8 +348,9 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
 
     // Drain the heap: one event = one transmission round. The state machine
     // below is sim::simulate_transfer's round body verbatim (same draw order,
-    // same check precedence), which is what makes the per-session parity
-    // tests exact.
+    // same check precedence) — and, when an outage model is configured,
+    // sim::simulate_resilient_transfer's suspend/backoff walk verbatim —
+    // which is what makes the per-session parity tests exact.
     while (!heap.empty()) {
       const Event ev = heap.top();
       heap.pop();
@@ -214,6 +364,15 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       for (int i = 0; i < n && !terminal; ++i) {
         ++s.frames;
         s.clock += s.time_per_frame;
+        if (s.outage != nullptr) {
+          s.link_clock += s.time_per_frame;
+          if (!s.outage->link_up(s.link_clock, s.outage_rng)) {
+            // In a fade: airtime burned, nothing delivered, and the
+            // corruption model never sees the frame.
+            ++s.frames_lost;
+            continue;
+          }
+        }
         const bool corrupted = s.rng.next_bernoulli(config_.alpha);
         if (!corrupted && !s.test_seen(i)) {
           s.mark_seen(i);
@@ -223,19 +382,63 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         // Reconstruction (condition 1) outranks the relevance abort
         // (condition 3) when one frame triggers both — as in TransferSession.
         if (s.intact >= m) {
-          finish(ev.index, s, doc.total_content, true, false, false);
+          finish(ev.index, s, doc.total_content, Outcome::kCompleted);
           terminal = true;
         } else if (relevance_check && s.content >= config_.relevance_threshold) {
-          finish(ev.index, s, s.content, false, true, false);
+          finish(ev.index, s, s.content, Outcome::kAborted);
           terminal = true;
         }
       }
       if (terminal) continue;
-      // Stalled round: give up at the cap, otherwise charge one request delay
-      // and reschedule the next round.
-      if (s.rounds == config_.max_rounds) {
-        finish(ev.index, s, s.content, false, false, true);
+      // Stalled round: give up at the cap — BEFORE the suspend check, as
+      // ResilientSession breaks before touching the back channel. `>=` so a
+      // counter that ever steps past the cap still terminates.
+      if (s.rounds >= config_.max_rounds) {
+        finish(ev.index, s, s.content, Outcome::kGaveUp);
         continue;
+      }
+      if (s.outage != nullptr) {
+        // Suspend-on-outage: when the round ended inside a fade,
+        // re-requesting is futile — back off exponentially with jitter
+        // (consuming retry budget, so a link that never returns still
+        // terminates) until the link is observed up.
+        bool suspended = false;
+        bool dead = false;
+        while (!s.outage->link_up(s.link_clock, s.outage_rng)) {
+          if (s.attempts >= rp.retry_budget ||
+              (rp.deadline_s >= 0.0 && s.link_clock >= rp.deadline_s)) {
+            finish(ev.index, s, s.content, Outcome::kDegraded);
+            dead = true;
+            break;
+          }
+          ++s.attempts;
+          suspended = true;
+          // The jitter draw happens unconditionally (even at jitter = 0) so
+          // the stream stays aligned with the oracle's, wait-for-wait.
+          const double wait =
+              s.backoff * (1.0 + rp.jitter * s.jitter_rng.next_double());
+          s.clock += wait;
+          s.link_clock += wait;
+          s.stall_delay += wait;
+          s.backoff_s += wait;
+          s.backoff = std::min(s.backoff * rp.backoff_multiplier, rp.max_backoff_s);
+        }
+        if (dead) continue;
+        if (suspended) {
+          ++s.suspensions;
+          s.backoff = rp.initial_timeout_s;  // link is back: start fresh
+        }
+        // The retransmission request consumes budget even when it succeeds
+        // (the fleet back channel is reliable), exactly as in
+        // ResilientSession / the resilient oracle.
+        if (s.attempts >= rp.retry_budget ||
+            (rp.deadline_s >= 0.0 && s.link_clock >= rp.deadline_s)) {
+          finish(ev.index, s, s.content, Outcome::kDegraded);
+          continue;
+        }
+        ++s.attempts;
+        s.backoff = rp.initial_timeout_s;
+        s.link_clock += config_.request_delay;
       }
       s.clock += config_.request_delay;
       s.stall_delay += config_.request_delay;
@@ -250,11 +453,15 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     result.completed += tot.completed;
     result.gave_up += tot.gave_up;
     result.aborted_irrelevant += tot.aborted_irrelevant;
+    result.degraded += tot.degraded;
     result.frames_sent += tot.frames;
+    result.frames_lost += tot.frames_lost;
     result.rounds += tot.rounds;
+    result.suspensions += tot.suspensions;
     result.bytes_sent += tot.bytes;
     result.content += tot.content;
     result.session_time_s += tot.session_time_s;
+    result.backoff_s += tot.backoff_s;
     result.makespan_s = std::max(result.makespan_s, tot.makespan_s);
   }
   result.cache_hits = cache_.hits();

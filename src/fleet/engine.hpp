@@ -16,16 +16,36 @@
 // one transmission round (n frames); mid-round completion and the relevance
 // abort terminate exactly as in the analytic simulator.
 //
-// Determinism: session i's RNG is seeded from (seed, i) only, shard partials
-// are merged in shard order, and event ties break on session index — so a
-// fixed (seed, shards) pair reproduces the aggregate bit-for-bit, and every
-// integer aggregate (plus the cache hit/miss counts) is invariant across
-// shard counts.
+// Weak connectivity: when `config.outage` is set, every session owns a
+// session_clone() of the prototype outage model, driven on the session's own
+// link timeline (time since the session's start) by a dedicated per-session
+// RNG stream. The event loop then runs sim::simulate_resilient_transfer's
+// round body instead: frames transmitted into a fade are lost outright with
+// the airtime still charged, a round that ends inside a fade suspends the
+// session under exponential backoff + jitter until the link is observed up,
+// every retransmission request consumes retry budget, and an exhausted
+// budget or deadline terminates the session as degraded, carrying partial
+// content. With `outage == nullptr` the legacy always-up walk is untouched
+// (bit-identical to prior releases).
+//
+// Workload shape: `zipf_s > 0` replaces round-robin document assignment with
+// a Zipf(s) popularity draw, and `arrival_rate_hz > 0` replaces the uniform
+// `arrival_spread_s` stagger with a Poisson arrival process. Both draws
+// depend only on (seed, i) / (seed), so they are deterministic and
+// shard-invariant; both default off, reproducing today's workload exactly.
+//
+// Determinism: session i's RNGs (corruption, outage, jitter, document draw)
+// are seeded from (seed, i) only, shard partials are merged in shard order,
+// and event ties break on session index — so a fixed (seed, shards) pair
+// reproduces the aggregate bit-for-bit, and every integer aggregate (plus
+// the cache hit/miss counts) is invariant across shard counts.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "channel/outage.hpp"
 #include "fleet/cache.hpp"
 #include "obs/metrics.hpp"
 #include "sim/transfer.hpp"
@@ -48,6 +68,16 @@ struct FleetConfig {
   double arrival_spread_s = 0.0;     // session starts staggered over [0, spread)
   bool record_outcomes = false;      // keep per-session results (tests; O(sessions) memory)
   obs::MetricsRegistry* metrics = nullptr;  // optional; shards record concurrently
+
+  // Weak connectivity: prototype outage model cloned per session (see the
+  // header comment). nullptr = link always up, legacy bit-identical walk.
+  std::shared_ptr<const channel::OutageModel> outage;
+  sim::RetryConfig retry;            // suspend/backoff policy; used iff `outage`
+  // Workload shape. zipf_s > 0: document popularity ~ Zipf(s) over the corpus
+  // (0 = round-robin). arrival_rate_hz > 0: Poisson session arrivals at this
+  // rate (0 = uniform stagger over arrival_spread_s).
+  double zipf_s = 0.0;
+  double arrival_rate_hz = 0.0;
 };
 
 struct SessionOutcome {
@@ -63,8 +93,12 @@ struct FleetResult {
   long completed = 0;
   long gave_up = 0;
   long aborted_irrelevant = 0;
+  long degraded = 0;                   // retry budget / deadline exhausted
   long frames_sent = 0;
+  long frames_lost = 0;                // frames swallowed by link fades
   long rounds = 0;
+  long suspensions = 0;                // suspend→resume cycles across the fleet
+  double backoff_s = 0.0;              // Σ time sessions spent suspended
   unsigned long long bytes_sent = 0;   // wire bytes (frames × frame size)
   double content = 0.0;                // Σ per-session information content
   double session_time_s = 0.0;         // Σ per-session transfer times
@@ -90,6 +124,14 @@ struct FleetResult {
 
 // Deterministic per-session RNG seed; depends on (seed, session index) only.
 std::uint64_t session_seed(std::uint64_t fleet_seed, std::uint64_t session);
+// Independent per-session streams for the outage model, the backoff jitter,
+// and the Zipf document draw (distinct salts over session_seed), plus the
+// fleet-wide arrival-process seed. Exposed so parity tests can reproduce a
+// session's exact draw sequence outside the engine.
+std::uint64_t session_outage_seed(std::uint64_t fleet_seed, std::uint64_t session);
+std::uint64_t session_jitter_seed(std::uint64_t fleet_seed, std::uint64_t session);
+std::uint64_t session_zipf_seed(std::uint64_t fleet_seed, std::uint64_t session);
+std::uint64_t fleet_arrival_seed(std::uint64_t fleet_seed);
 
 class FleetEngine {
  public:

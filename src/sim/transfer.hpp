@@ -41,6 +41,25 @@ struct TransferConfig {
 // Bound on back-channel retries per stalled round in the analytic simulator.
 inline constexpr int kMaxFeedbackTries = 64;
 
+// Retry/backoff policy for the resilient analytic path. Field-for-field the
+// same shape as transmit::RetryPolicy (kept separate so sim does not depend
+// on the transmit layer); fleet::FleetEngine shares this struct so the
+// engine, the oracle, and the real ResilientSession agree on semantics.
+struct RetryConfig {
+  int retry_budget = 16;             // total request attempts before kDegraded
+  double initial_timeout_s = 0.5;    // first backoff wait
+  double backoff_multiplier = 2.0;   // exponential growth per wait
+  double max_backoff_s = 30.0;       // backoff ceiling
+  double jitter = 0.1;               // wait stretched by U[0, jitter)
+  double deadline_s = -1.0;          // wall budget per session; < 0 = none
+};
+
+struct ResilientTransferConfig {
+  TransferConfig base;               // round body + link_up / feedback_lost hooks
+  RetryConfig retry;
+  std::uint64_t jitter_seed = 0x6a69747465ull;  // dedicated jitter RNG stream
+};
+
 struct TransferResult {
   double time = 0.0;
   long packets = 0;
@@ -48,7 +67,13 @@ struct TransferResult {
   bool completed = false;          // M intact packets collected
   bool aborted_irrelevant = false; // stopped at the relevance threshold
   bool gave_up = false;            // hit max_rounds while stalled
+  bool degraded = false;           // resilient path only: retry budget/deadline
+                                   // exhausted; `content` holds the partial take
   double content = 0.0;            // information content at termination
+  long frames_lost = 0;            // frames swallowed by a link outage
+  int suspensions = 0;             // suspend→resume cycles ridden (resilient)
+  int request_attempts = 0;        // retry budget consumed (resilient)
+  double backoff_s = 0.0;          // time spent suspended / backing off (resilient)
 };
 
 // `clear_content[i]` = information content carried by clear-text packet i
@@ -63,6 +88,27 @@ TransferResult simulate_transfer(const std::vector<double>& clear_content,
 TransferResult simulate_transfer(const std::vector<double>& clear_content,
                                  const TransferConfig& config,
                                  const std::function<bool()>& next_corrupted);
+
+// Analytic mirror of transmit::ResilientSession — the weakly-connected round
+// body. Per round the n frames go out with airtime charged whether or not the
+// link is up (config.base.link_up decides frame loss); a stalled round whose
+// end falls inside a fade suspends the client, which backs off exponentially
+// (jittered, consuming retry budget) until the link is observed up; every
+// retransmission request — including successful ones — consumes budget, and
+// an exhausted budget or deadline terminates with `degraded = true` carrying
+// the partial content collected so far. Draw order matches ResilientSession
+// draw-for-draw: corruption from `rng`, jitter from a dedicated stream seeded
+// by `jitter_seed` (one draw per wait even at jitter = 0), link-availability
+// queries in the exact sequence the real session makes them — which is what
+// keeps the fleet-vs-oracle parity tests exact. With link_up unset and
+// retry_budget > max_rounds the walk is bit-identical to simulate_transfer.
+TransferResult simulate_resilient_transfer(
+    const std::vector<double>& clear_content,
+    const ResilientTransferConfig& config, Rng& rng);
+TransferResult simulate_resilient_transfer(
+    const std::vector<double>& clear_content,
+    const ResilientTransferConfig& config,
+    const std::function<bool()>& next_corrupted);
 
 // Selective-repeat ARQ baseline (no erasure coding): round 1 sends the m raw
 // packets, every later round resends exactly the still-missing ones, each

@@ -13,12 +13,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "channel/channel.hpp"
+#include "channel/error_model.hpp"
+#include "channel/outage.hpp"
 #include "fleet/engine.hpp"
 #include "sim/transfer.hpp"
 #include "transmit/receiver.hpp"
+#include "transmit/resilient.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mw = mobiweb;
@@ -45,14 +51,70 @@ void expect_identical(const fleet::FleetResult& a, const fleet::FleetResult& b) 
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.gave_up, b.gave_up);
   EXPECT_EQ(a.aborted_irrelevant, b.aborted_irrelevant);
+  EXPECT_EQ(a.degraded, b.degraded);
   EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
   EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.suspensions, b.suspensions);
   EXPECT_EQ(a.bytes_sent, b.bytes_sent);
   EXPECT_EQ(a.content, b.content);            // bit-equal, not just near
   EXPECT_EQ(a.session_time_s, b.session_time_s);
+  EXPECT_EQ(a.backoff_s, b.backoff_s);
   EXPECT_EQ(a.makespan_s, b.makespan_s);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
   EXPECT_EQ(a.cache_misses, b.cache_misses);
+}
+
+// Rebuilds the exact TransferConfig a fleet session ran under, for parity
+// runs against the analytic oracles.
+sim::TransferConfig base_transfer_config(const fleet::FleetConfig& cfg,
+                                         const fleet::CookedDocument& cooked) {
+  sim::TransferConfig tc;
+  tc.m = static_cast<int>(cooked.transmitter.m());
+  tc.n = static_cast<int>(cooked.transmitter.n());
+  tc.alpha = cfg.alpha;
+  tc.caching = cfg.caching;
+  tc.relevance_threshold = cfg.relevance_threshold;
+  tc.time_per_packet =
+      static_cast<double>(cooked.frame_size) * 8.0 / cfg.bandwidth_bps;
+  tc.request_delay = cfg.request_delay;
+  tc.max_rounds = cfg.max_rounds;
+  return tc;
+}
+
+void expect_session_matches_resilient_oracle(const fleet::FleetConfig& cfg,
+                                             fleet::FleetEngine& engine,
+                                             const fleet::SessionOutcome& out) {
+  const auto cooked = engine.cache().get(out.key);
+  sim::ResilientTransferConfig rc;
+  rc.base = base_transfer_config(cfg, *cooked);
+  rc.retry = cfg.retry;
+  rc.jitter_seed = fleet::session_jitter_seed(cfg.seed, out.session);
+  // The session's private outage process: a fresh clone of the prototype on
+  // the session-relative link timeline, driven by the per-session stream.
+  const std::shared_ptr<mw::channel::OutageModel> model =
+      cfg.outage->session_clone();
+  const auto outage_rng = std::make_shared<mw::Rng>(
+      fleet::session_outage_seed(cfg.seed, out.session));
+  rc.base.link_up = [model, outage_rng](double t) {
+    return model->link_up(t, *outage_rng);
+  };
+  mw::Rng rng(fleet::session_seed(cfg.seed, out.session));
+  const sim::TransferResult expected =
+      sim::simulate_resilient_transfer(cooked->clear_content, rc, rng);
+
+  EXPECT_EQ(out.result.packets, expected.packets);
+  EXPECT_EQ(out.result.rounds, expected.rounds);
+  EXPECT_EQ(out.result.completed, expected.completed);
+  EXPECT_EQ(out.result.aborted_irrelevant, expected.aborted_irrelevant);
+  EXPECT_EQ(out.result.gave_up, expected.gave_up);
+  EXPECT_EQ(out.result.degraded, expected.degraded);
+  EXPECT_EQ(out.result.content, expected.content);  // bit-equal
+  EXPECT_EQ(out.result.time, expected.time);
+  EXPECT_EQ(out.result.frames_lost, expected.frames_lost);
+  EXPECT_EQ(out.result.suspensions, expected.suspensions);
+  EXPECT_EQ(out.result.request_attempts, expected.request_attempts);
+  EXPECT_EQ(out.result.backoff_s, expected.backoff_s);
 }
 
 }  // namespace
@@ -350,4 +412,363 @@ TEST(DocumentCache, DocumentSeedIsStablePerIndex) {
   EXPECT_EQ(fleet::document_seed(7, 3), fleet::document_seed(7, 3));
   EXPECT_NE(fleet::document_seed(7, 3), fleet::document_seed(7, 4));
   EXPECT_NE(fleet::document_seed(7, 3), fleet::document_seed(8, 3));
+}
+
+// ---- Weak connectivity (outage / suspend / degraded) ----
+
+namespace {
+
+fleet::FleetConfig outage_config(std::size_t sessions) {
+  fleet::FleetConfig cfg = small_config(sessions);
+  cfg.outage = std::make_shared<mw::channel::MarkovOutageModel>(
+      mw::channel::MarkovOutageModel::with_duty_cycle(0.3, 5.0));
+  cfg.retry.retry_budget = 12;
+  cfg.retry.initial_timeout_s = 0.5;
+  cfg.retry.backoff_multiplier = 2.0;
+  cfg.retry.max_backoff_s = 30.0;
+  cfg.retry.jitter = 0.1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FleetOutage, PerSessionParityWithResilientOracleUnderMarkovFades) {
+  fleet::FleetConfig cfg = outage_config(32);
+  // Staggered starts must not perturb the parity: the link timeline is
+  // session-relative, so the oracle (which always starts at t = 0) agrees.
+  cfg.arrival_spread_s = 50.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 32u);
+  long suspensions = 0;
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    expect_session_matches_resilient_oracle(cfg, engine, out);
+    suspensions += out.result.suspensions;
+  }
+  // The duty cycle is aggressive enough that the suspend path actually ran.
+  EXPECT_GT(suspensions, 0);
+  EXPECT_EQ(r.suspensions, suspensions);
+  EXPECT_EQ(r.completed + r.gave_up + r.aborted_irrelevant + r.degraded,
+            static_cast<long>(r.sessions));
+}
+
+TEST(FleetOutage, ParityHoldsWithFaultScheduleNoCachingAndRelevance) {
+  fleet::FleetConfig cfg = outage_config(24);
+  cfg.outage = std::make_shared<mw::channel::FaultSchedule>(
+      std::vector<mw::channel::FaultSchedule::Window>{{2.0, 4.0}, {9.0, 40.0}});
+  cfg.caching = false;
+  cfg.relevance_threshold = 0.5;
+  cfg.alpha = 0.3;
+  cfg.max_rounds = 6;
+  cfg.retry.retry_budget = 10;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 24u);
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    expect_session_matches_resilient_oracle(cfg, engine, out);
+  }
+}
+
+TEST(FleetOutage, MatchesRealResilientSessionUnderFaultSchedule) {
+  // The fleet walk against the *real* stack: DocumentTransmitter frames over
+  // a WirelessChannel with the same deterministic fault schedule, driven by
+  // transmit::ResilientSession. With a clean error model (alpha = 0) the only
+  // nondeterminism is the jitter stream, which both sides seed identically,
+  // so the walks agree decision-for-decision.
+  fleet::FleetConfig cfg = small_config(6);
+  cfg.corpus.corpus_size = 3;
+  cfg.alpha = 0.0;
+  cfg.request_delay = 1.0;
+  cfg.max_rounds = 8;
+  const std::vector<mw::channel::FaultSchedule::Window> windows = {{3.0, 20.0}};
+  cfg.outage = std::make_shared<mw::channel::FaultSchedule>(windows);
+  cfg.retry.retry_budget = 16;
+  cfg.retry.jitter = 0.1;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 6u);
+
+  long suspensions = 0;
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    const auto cooked = engine.cache().get(out.key);
+    mw::transmit::ReceiverConfig rc;
+    rc.doc_id = cooked->transmitter.doc_id();
+    rc.m = cooked->transmitter.m();
+    rc.n = cooked->transmitter.n();
+    rc.packet_size = cooked->transmitter.packet_size();
+    rc.payload_size = cooked->transmitter.payload_size();
+    rc.caching = cfg.caching;
+    mw::transmit::ClientReceiver receiver(rc,
+                                          cooked->transmitter.document().segments);
+    mw::channel::ChannelConfig cc;
+    cc.bandwidth_bps = cfg.bandwidth_bps;
+    cc.feedback_delay_s = cfg.request_delay;  // the fleet's re-request charge
+    mw::channel::WirelessChannel ch(
+        cc, std::make_unique<mw::channel::IidErrorModel>(0.0));
+    ch.set_outage(std::make_unique<mw::channel::FaultSchedule>(windows));
+
+    mw::transmit::ResilientConfig scfg;
+    scfg.relevance_threshold = cfg.relevance_threshold;
+    scfg.max_rounds = cfg.max_rounds;
+    scfg.retry.retry_budget = cfg.retry.retry_budget;
+    scfg.retry.initial_timeout_s = cfg.retry.initial_timeout_s;
+    scfg.retry.backoff_multiplier = cfg.retry.backoff_multiplier;
+    scfg.retry.max_backoff_s = cfg.retry.max_backoff_s;
+    scfg.retry.jitter = cfg.retry.jitter;
+    scfg.retry.deadline_s = cfg.retry.deadline_s;
+    scfg.jitter_seed = fleet::session_jitter_seed(cfg.seed, out.session);
+    mw::transmit::ResilientSession session(cooked->transmitter, receiver, ch,
+                                           scfg);
+    const mw::transmit::ResilientResult rr = session.run();
+
+    EXPECT_EQ(out.result.completed,
+              rr.session.status == mw::transmit::SessionStatus::kCompleted);
+    EXPECT_EQ(out.result.degraded,
+              rr.session.status == mw::transmit::SessionStatus::kDegraded);
+    EXPECT_EQ(out.result.gave_up,
+              rr.session.status == mw::transmit::SessionStatus::kGaveUp);
+    EXPECT_EQ(out.result.rounds, rr.session.rounds);
+    EXPECT_EQ(out.result.packets, rr.session.frames_sent);
+    EXPECT_EQ(out.result.request_attempts, rr.request_attempts);
+    EXPECT_EQ(out.result.suspensions, rr.outages_ridden);
+    EXPECT_EQ(out.result.frames_lost, ch.stats().frames_lost);
+    EXPECT_EQ(out.result.backoff_s, rr.backoff_total_s);  // bit-equal waits
+    suspensions += out.result.suspensions;
+  }
+  // The schedule is built to force a suspend/resume ride in every session.
+  EXPECT_EQ(suspensions, 6);
+}
+
+TEST(FleetOutage, DeterministicAndShardInvariantWithOutages) {
+  fleet::FleetConfig cfg = outage_config(60);
+  cfg.retry.retry_budget = 8;  // tight enough that some sessions degrade
+  cfg.shards = 1;
+  fleet::FleetEngine serial(cfg);
+  fleet::FleetEngine again(cfg);
+  const fleet::FleetResult a = serial.run();
+  expect_identical(a, again.run());  // fixed (seed, shards) reproduces
+
+  mw::ThreadPool pool(3);
+  cfg.shards = 4;
+  fleet::FleetEngine sharded(cfg);
+  const fleet::FleetResult b = sharded.run(&pool);
+  EXPECT_EQ(b.shards, 4u);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.aborted_irrelevant, b.aborted_irrelevant);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.suspensions, b.suspensions);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_NEAR(a.content, b.content, 1e-9);
+  EXPECT_NEAR(a.session_time_s, b.session_time_s, 1e-6);
+  EXPECT_NEAR(a.backoff_s, b.backoff_s, 1e-6);
+  // The outage machinery actually engaged at this duty cycle and budget.
+  EXPECT_GT(a.frames_lost, 0);
+  EXPECT_GT(a.suspensions, 0);
+  EXPECT_GT(a.degraded, 0);
+}
+
+TEST(FleetOutage, TerminatesAtTheRoundCapUnderAPermanentOutage) {
+  // A link that never comes up: every frame of round 1 is lost. At the round
+  // cap the session must give up — the `>=` guard fires before the suspend
+  // path can spin — with the full loss accounted.
+  fleet::FleetConfig cfg = small_config(8);
+  cfg.outage = std::make_shared<mw::channel::FaultSchedule>(
+      std::vector<mw::channel::FaultSchedule::Window>{{0.0, 1e9}});
+  cfg.max_rounds = 1;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  EXPECT_EQ(r.gave_up, 8);
+  EXPECT_EQ(r.degraded, 0);
+  EXPECT_EQ(r.frames_lost, r.frames_sent);  // nothing ever arrived
+  EXPECT_EQ(r.content, 0.0);
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    EXPECT_EQ(out.result.rounds, 1);
+    EXPECT_TRUE(out.result.gave_up);
+  }
+}
+
+TEST(FleetOutage, PermanentOutageExhaustsTheBudgetIntoDegraded) {
+  // Below the cap, the same dead link drains the retry budget in the suspend
+  // loop and terminates degraded, carrying zero content.
+  fleet::FleetConfig cfg = small_config(8);
+  cfg.outage = std::make_shared<mw::channel::FaultSchedule>(
+      std::vector<mw::channel::FaultSchedule::Window>{{0.0, 1e9}});
+  cfg.max_rounds = 25;
+  cfg.retry.retry_budget = 4;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  EXPECT_EQ(r.degraded, 8);
+  EXPECT_EQ(r.gave_up, 0);
+  EXPECT_EQ(r.completed, 0);
+  EXPECT_EQ(r.frames_lost, r.frames_sent);
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    EXPECT_TRUE(out.result.degraded);
+    EXPECT_EQ(out.result.rounds, 1);
+    EXPECT_EQ(out.result.request_attempts, 4);
+    EXPECT_EQ(out.result.suspensions, 0);  // never saw the link return
+    EXPECT_EQ(out.result.content, 0.0);
+    EXPECT_GT(out.result.backoff_s, 0.0);
+  }
+}
+
+TEST(FleetOutage, MetricsIncludeOutageAndPerStatusSeries) {
+  mw::obs::MetricsRegistry registry;
+  fleet::FleetConfig cfg = outage_config(48);
+  cfg.retry.retry_budget = 8;
+  cfg.metrics = &registry;
+  cfg.shards = 3;
+  mw::ThreadPool pool(2);
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run(&pool);
+
+  EXPECT_EQ(registry.counter("fleet.sessions_degraded").value(), r.degraded);
+  EXPECT_EQ(registry.counter("fleet.frames_lost_outage").value(), r.frames_lost);
+  EXPECT_EQ(registry.counter("fleet.suspensions").value(), r.suspensions);
+  const auto* total = registry.find_histogram("fleet.session_time_s");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count(), static_cast<long>(r.sessions));
+  long by_status = 0;
+  const auto* completed =
+      registry.find_histogram("fleet.session_time_s{status=completed}");
+  const auto* gave_up =
+      registry.find_histogram("fleet.session_time_s{status=gave_up}");
+  const auto* degraded =
+      registry.find_histogram("fleet.session_time_s{status=degraded}");
+  const auto* aborted = registry.find_histogram(
+      "fleet.session_time_s{status=aborted_irrelevant}");
+  for (const auto* h : {completed, gave_up, degraded, aborted}) {
+    ASSERT_NE(h, nullptr);
+    by_status += h->count();
+  }
+  EXPECT_EQ(by_status, static_cast<long>(r.sessions));
+  EXPECT_EQ(completed->count(), r.completed);
+  EXPECT_EQ(degraded->count(), r.degraded);
+}
+
+// ---- Workload shape (Zipf popularity, Poisson arrivals) ----
+
+TEST(FleetWorkload, ZipfDrawMatchesTheExpectedSkew) {
+  fleet::FleetConfig cfg = small_config(4000);
+  cfg.alpha = 0.0;  // one clean round per session: keep the test fast
+  cfg.zipf_s = 1.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  std::vector<long> freq(cfg.corpus.corpus_size, 0);
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    ASSERT_LT(out.key.doc_index, cfg.corpus.corpus_size);
+    ++freq[out.key.doc_index];
+  }
+  // Zipf(1) over 8 documents: p(rank) = (1/rank) / H_8. The rank-1 /
+  // rank-4 frequency ratio is 4; with 4000 draws the estimate lands well
+  // within +-25% for this fixed seed.
+  ASSERT_GT(freq[3], 0);
+  const double ratio = static_cast<double>(freq[0]) / static_cast<double>(freq[3]);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+  EXPECT_GT(freq[0], freq[7]);  // popularity is monotone in rank overall
+}
+
+TEST(FleetWorkload, ZipfOffReproducesRoundRobinExactly) {
+  fleet::FleetConfig cfg = small_config(20);
+  cfg.zipf_s = 0.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    EXPECT_EQ(out.key.doc_index, out.session % cfg.corpus.corpus_size);
+  }
+}
+
+TEST(FleetWorkload, PoissonArrivalsAreDeterministicAndShardInvariant) {
+  fleet::FleetConfig cfg = small_config(40);
+  cfg.alpha = 0.0;
+  cfg.arrival_rate_hz = 0.5;  // mean inter-arrival gap of 2 s
+  cfg.shards = 1;
+  fleet::FleetEngine serial(cfg);
+  const fleet::FleetResult a = serial.run();
+  ASSERT_EQ(a.outcomes.size(), 40u);
+  EXPECT_EQ(a.outcomes[0].start_s, 0.0);
+  double prev = -1.0;
+  for (const fleet::SessionOutcome& out : a.outcomes) {
+    EXPECT_GT(out.start_s, prev);
+    prev = out.start_s;
+  }
+  // 39 exponential gaps at rate 0.5: the sample mean is close to 2 s.
+  const double mean_gap = a.outcomes.back().start_s / 39.0;
+  EXPECT_GT(mean_gap, 1.0);
+  EXPECT_LT(mean_gap, 3.5);
+
+  mw::ThreadPool pool(3);
+  cfg.shards = 4;
+  fleet::FleetEngine sharded(cfg);
+  const fleet::FleetResult b = sharded.run(&pool);
+  ASSERT_EQ(b.outcomes.size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(a.outcomes[i].start_s, b.outcomes[i].start_s);
+  }
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+}
+
+// ---- Prefill distinct-key accounting ----
+
+TEST(FleetEngine, PrefillCountsLcmDistinctKeysNotTheProduct) {
+  // corpus and gamma-list sizes share a factor: the (i % corpus,
+  // gammas[i % n_gammas]) walk visits lcm(4, 2) = 4 distinct keys, not
+  // 4 * 2 = 8. The cache must report exactly the lcm — one build per key
+  // actually used, every session a warm hit.
+  fleet::FleetConfig cfg = small_config(40);
+  cfg.corpus.corpus_size = 4;
+  cfg.gammas = {1.0, 1.5};
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  EXPECT_EQ(r.cache_misses, 4);
+  EXPECT_EQ(r.cache_hits, static_cast<long>(r.sessions));
+  EXPECT_EQ(engine.cache().size(), 4u);
+  // Only even documents ever pair with gamma 1.0 (and odd with 1.5).
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    EXPECT_EQ(out.key.gamma, out.session % 2 == 0 ? 1.0 : 1.5);
+  }
+}
+
+TEST(FleetEngine, PrefillLcmHoldsForLargerSharedFactors) {
+  fleet::FleetConfig cfg = small_config(60);
+  cfg.corpus.corpus_size = 6;
+  cfg.gammas = {1.0, 1.25, 1.5, 1.75};
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  // lcm(6, 4) = 12 distinct keys, not 24.
+  EXPECT_EQ(r.cache_misses, 12);
+  EXPECT_EQ(engine.cache().size(), 12u);
+  EXPECT_EQ(r.cache_hits, static_cast<long>(r.sessions));
+}
+
+// ---- Bitmap bound on the cooked set ----
+
+TEST(DocumentCache, OversizedCookedSetIsRejectedAtBuildTime) {
+  // gamma = 7 requests ceil(7 * 40) = 280 packets — beyond the engine's
+  // 256-bit per-session bitmap. The transmitter would silently clamp that to
+  // the GF(256) encoder cap and serve less redundancy than configured; the
+  // cache rejects the spec at cook time instead.
+  fleet::CacheConfig cc;
+  cc.corpus_size = 1;
+  cc.seed = 3;
+  fleet::DocumentCache cache(cc);
+  EXPECT_THROW(cache.get({0, 7.0}), mw::ContractViolation);
+  // The boundary request passes: ceil(6.4 * 40) = 256 fits the bitmap (the
+  // encoder then delivers its own GF(256) maximum of 255 cooked packets).
+  const auto cooked = cache.get({0, 6.4});
+  EXPECT_EQ(cooked->transmitter.n(), fleet::kMaxCookedPackets - 1);
+}
+
+TEST(FleetEngine, OversizedGammaSurfacesFromRun) {
+  fleet::FleetConfig cfg = small_config(4);
+  cfg.gammas = {7.0};
+  fleet::FleetEngine engine(cfg);
+  EXPECT_THROW(engine.run(), mw::ContractViolation);
 }

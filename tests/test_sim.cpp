@@ -449,3 +449,162 @@ TEST(Experiment, MetricsAggregateEveryDocument) {
   EXPECT_EQ(hist->count(), 20);
   EXPECT_NEAR(hist->sum() / 20.0, r.response_time.mean, 1e-9);
 }
+
+// ---- Resilient oracle (simulate_resilient_transfer) ----
+
+namespace {
+sim::ResilientTransferConfig resilient_config() {
+  sim::ResilientTransferConfig cfg;
+  cfg.base = base_config();
+  cfg.base.request_delay = 1.0;
+  cfg.retry.jitter = 0.1;
+  return cfg;
+}
+}  // namespace
+
+TEST(ResilientTransfer, MatchesPlainTransferWhenLinkAlwaysUp) {
+  // With no link_up hook, reliable feedback, and a retry budget that can
+  // never bind (one attempt per stalled round, at most max_rounds - 1 of
+  // them), the resilient walk degenerates to simulate_transfer bit-for-bit.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::ResilientTransferConfig cfg = resilient_config();
+    cfg.base.alpha = 0.35;
+    cfg.retry.retry_budget = cfg.base.max_rounds;
+    Rng a(seed);
+    Rng b(seed);
+    const auto plain = sim::simulate_transfer(uniform_content(cfg.base.m),
+                                              cfg.base, a);
+    const auto resilient = sim::simulate_resilient_transfer(
+        uniform_content(cfg.base.m), cfg, b);
+    EXPECT_EQ(resilient.packets, plain.packets);
+    EXPECT_EQ(resilient.rounds, plain.rounds);
+    EXPECT_EQ(resilient.completed, plain.completed);
+    EXPECT_EQ(resilient.aborted_irrelevant, plain.aborted_irrelevant);
+    EXPECT_EQ(resilient.gave_up, plain.gave_up);
+    EXPECT_EQ(resilient.content, plain.content);  // bit-equal
+    EXPECT_EQ(resilient.time, plain.time);
+    EXPECT_FALSE(resilient.degraded);
+    EXPECT_EQ(resilient.suspensions, 0);
+    EXPECT_EQ(resilient.frames_lost, 0);
+    EXPECT_EQ(resilient.backoff_s, 0.0);
+  }
+}
+
+TEST(ResilientTransfer, SuspendsAcrossAFadeAndResumes) {
+  sim::ResilientTransferConfig cfg = resilient_config();
+  cfg.base.alpha = 0.0;
+  // Fade covering the tail of round 1 and the stall after it: round 1 cannot
+  // reconstruct (its tail is lost), and the round ends inside the fade, so
+  // the client suspends and backs off until t >= 20.
+  cfg.base.link_up = [](double t) { return !(t >= 3.0 && t < 20.0); };
+  Rng rng(404);
+  const auto r = sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                  cfg, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.rounds, 2);
+  EXPECT_EQ(r.suspensions, 1);
+  EXPECT_GT(r.frames_lost, 0);
+  EXPECT_GT(r.backoff_s, 0.0);
+  // Suspension attempts plus one successful re-request, all on the budget.
+  EXPECT_GT(r.request_attempts, 1);
+  EXPECT_LE(r.request_attempts, cfg.retry.retry_budget);
+  // Backoff waits are charged to the transfer time like any other stall.
+  EXPECT_NEAR(r.time, r.packets * cfg.base.time_per_packet + r.backoff_s +
+                          cfg.base.request_delay,
+              1e-9);
+}
+
+TEST(ResilientTransfer, DegradesWhenTheLinkNeverReturns) {
+  sim::ResilientTransferConfig cfg = resilient_config();
+  cfg.base.alpha = 0.0;
+  cfg.base.link_up = [](double) { return false; };
+  cfg.retry.retry_budget = 6;
+  Rng rng(405);
+  const auto r = sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                  cfg, rng);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.gave_up);
+  EXPECT_EQ(r.rounds, 1);                 // one all-lost round, then suspended
+  EXPECT_EQ(r.frames_lost, r.packets);    // every frame fell into the fade
+  EXPECT_EQ(r.request_attempts, 6);       // full budget burned backing off
+  EXPECT_EQ(r.suspensions, 0);            // never saw the link come back
+  EXPECT_EQ(r.content, 0.0);
+  EXPECT_GT(r.backoff_s, 0.0);
+}
+
+TEST(ResilientTransfer, DeadlineExhaustionDegrades) {
+  sim::ResilientTransferConfig cfg = resilient_config();
+  cfg.base.alpha = 0.0;
+  cfg.base.link_up = [](double t) { return t < 3.0; };  // dies and stays dead
+  cfg.retry.retry_budget = 1000000;
+  cfg.retry.deadline_s = 30.0;
+  Rng rng(406);
+  const auto r = sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                  cfg, rng);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.content, 0.0);  // partial-content accounting survives
+  EXPECT_LT(r.content, 1.0);
+  EXPECT_LT(r.request_attempts, 1000);  // deadline bound it, not the budget
+}
+
+TEST(ResilientTransfer, LossyFeedbackConsumesBudgetWithBackoff) {
+  sim::ResilientTransferConfig cfg = resilient_config();
+  cfg.base.alpha = 0.9;  // stall every round
+  cfg.base.max_rounds = 10;
+  cfg.retry.retry_budget = 4;
+  int calls = 0;
+  cfg.base.feedback_lost = [&calls] {
+    ++calls;
+    return true;  // the back channel never delivers
+  };
+  Rng rng(407);
+  const auto r = sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                  cfg, rng);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.request_attempts, 4);
+  EXPECT_EQ(calls, 4);
+  EXPECT_GT(r.backoff_s, 0.0);
+}
+
+TEST(ResilientTransfer, GivesUpAtTheRoundCapBeforeTouchingTheBackChannel) {
+  sim::ResilientTransferConfig cfg = resilient_config();
+  cfg.base.alpha = 0.9;
+  cfg.base.max_rounds = 3;
+  cfg.retry.retry_budget = 2;  // two stalled rounds fit exactly
+  Rng rng(408);
+  const auto r = sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                  cfg, rng);
+  // Rounds 1 and 2 each consume one attempt; round 3 hits the cap and gives
+  // up without another request, so the budget never trips.
+  EXPECT_TRUE(r.gave_up);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.rounds, 3);
+  EXPECT_EQ(r.request_attempts, 2);
+}
+
+TEST(ResilientTransfer, InputValidation) {
+  Rng rng(409);
+  sim::ResilientTransferConfig cfg = resilient_config();
+  cfg.retry.retry_budget = 0;
+  EXPECT_THROW(sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                cfg, rng),
+               ContractViolation);
+  cfg = resilient_config();
+  cfg.retry.backoff_multiplier = 0.5;
+  EXPECT_THROW(sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                cfg, rng),
+               ContractViolation);
+  cfg = resilient_config();
+  cfg.retry.max_backoff_s = cfg.retry.initial_timeout_s / 2.0;
+  EXPECT_THROW(sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                cfg, rng),
+               ContractViolation);
+  cfg = resilient_config();
+  cfg.retry.jitter = -0.1;
+  EXPECT_THROW(sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
+                                                cfg, rng),
+               ContractViolation);
+}
