@@ -7,6 +7,8 @@
 //   kframes/s       engine throughput in analytic frames
 //   agg Mbps        offered wire load on the *simulated* clock
 //   makespan        last session end on the simulated clock
+//   p50/p99         session-time tails on the simulated clock (exact order
+//                   statistics; --json adds p95/p999/mean and a Student-t CI)
 //   completed/gave_up and cache hit/miss accounting
 //
 // Flags: --sessions=N (single scale instead of the sweep), --million (adds an
@@ -27,6 +29,7 @@
 #include "bench_common.hpp"
 #include "channel/outage.hpp"
 #include "fleet/engine.hpp"
+#include "stats/describe.hpp"
 
 namespace bench = mobiweb::bench;
 namespace fleet = mobiweb::fleet;
@@ -107,6 +110,17 @@ int emit_json(int argc, char** argv, const std::string& path) {
     report.metric(key + ".makespan", r.makespan_s);
     report.metric(key + ".cache_hit_count", static_cast<double>(r.cache_hits));
     report.metric(key + ".cache_miss_count", static_cast<double>(r.cache_misses));
+    // Session-time distribution on the simulated clock (deterministic for a
+    // fixed seed). The _p50/_p95/_p99/_p999/_mean suffixes strip back to
+    // *_s, so bench_diff.py gates them lower-is-better — a p99 regression
+    // fails CI even when the mean is flat; _ci95 stays informational.
+    const mobiweb::stats::TailSummary& t = r.session_time_tails;
+    report.metric(key + ".session_time_s_mean", t.mean);
+    report.metric(key + ".session_time_s_p50", t.p50);
+    report.metric(key + ".session_time_s_p95", t.p95);
+    report.metric(key + ".session_time_s_p99", t.p99);
+    report.metric(key + ".session_time_s_p999", t.p999);
+    report.metric(key + ".session_time_s_ci95", t.ci95);
   }
   return bench::emit_json(report.str(), path);
 }
@@ -125,8 +139,8 @@ int main(int argc, char** argv) {
       "pre-encoded DocumentCache (encode once per (document, gamma)).");
 
   TextTable table({"sessions", "shards", "completed", "gave_up", "degraded",
-                   "Mframes", "agg Mbps", "makespan s", "wall s", "sessions/s",
-                   "cache h/m"});
+                   "Mframes", "agg Mbps", "makespan s", "p50 s", "p99 s",
+                   "wall s", "sessions/s", "cache h/m"});
   for (const auto& [sessions, label] : scales(argc, argv)) {
     const fleet::FleetResult r = run_scale(base, sessions);
     table.add_row(
@@ -135,6 +149,8 @@ int main(int argc, char** argv) {
          std::to_string(r.degraded),
          TextTable::fmt(static_cast<double>(r.frames_sent) / 1e6, 2),
          TextTable::fmt(r.aggregate_mbps(), 2), TextTable::fmt(r.makespan_s, 1),
+         TextTable::fmt(r.session_time_tails.p50, 2),
+         TextTable::fmt(r.session_time_tails.p99, 2),
          TextTable::fmt(r.elapsed_s, 2), TextTable::fmt(r.sessions_per_s(), 0),
          std::to_string(r.cache_hits) + "/" + std::to_string(r.cache_misses)});
   }

@@ -23,6 +23,7 @@
 
 #include "bench_common.hpp"
 #include "channel/channel.hpp"
+#include "stats/describe.hpp"
 #include "channel/error_model.hpp"
 #include "channel/outage.hpp"
 #include "doc/content.hpp"
@@ -86,6 +87,8 @@ struct Cell {
   double mean_frames = 0.0; // forward frames per document
   double mean_time = 0.0;   // response time per document (s)
   double mean_content = 0.0;
+  std::vector<double> times;            // per-document response times
+  mobiweb::stats::TailSummary tails;    // filled by normalize()
 };
 
 void record(Cell& cell, const transmit::SessionResult& r, bool has_partial) {
@@ -102,6 +105,7 @@ void record(Cell& cell, const transmit::SessionResult& r, bool has_partial) {
   cell.mean_frames += static_cast<double>(r.frames_sent);
   cell.mean_time += r.response_time;
   cell.mean_content += r.content_received;
+  cell.times.push_back(r.response_time);
 }
 
 void normalize(Cell& cell, int docs) {
@@ -112,6 +116,7 @@ void normalize(Cell& cell, int docs) {
   cell.mean_frames /= d;
   cell.mean_time /= d;
   cell.mean_content /= d;
+  cell.tails = mobiweb::stats::summarize_tails(cell.times);
 }
 
 Cell run_resilient(const doc::LinearDocument& linear, bool caching,
@@ -229,6 +234,8 @@ std::string cell_json(const char* variant, double duty, const Cell& c) {
   json += ", \"gave_up\": " + TextTable::fmt(c.gave_up, 4);
   json += ", \"mean_frames\": " + TextTable::fmt(c.mean_frames, 2);
   json += ", \"mean_time_s\": " + TextTable::fmt(c.mean_time, 4);
+  json += ", \"p99_time_s\": " + TextTable::fmt(c.tails.p99, 4);
+  json += ", \"ci95_time_s\": " + TextTable::fmt(c.tails.ci95, 4);
   json += ", \"mean_content\": " + TextTable::fmt(c.mean_content, 4) + "}";
   return json;
 }
@@ -269,6 +276,12 @@ int main(int argc, char** argv) {
       report.metric(key + ".mean_content", caching.mean_content);
       report.metric(key + ".mean_time_s", caching.mean_time);
       report.metric(key + ".mean_frames", caching.mean_frames);
+      // Tail keys: _p50/_p95/_p99 strip back to *_s (lower-is-better, gated);
+      // _ci95 is informational context for the mean.
+      report.metric(key + ".time_s_p50", caching.tails.p50);
+      report.metric(key + ".time_s_p95", caching.tails.p95);
+      report.metric(key + ".time_s_p99", caching.tails.p99);
+      report.metric(key + ".time_s_ci95", caching.tails.ci95);
     }
     cells += "\n  ]";
     report.raw("cells", cells);
@@ -284,7 +297,8 @@ int main(int argc, char** argv) {
       "more recovery rounds once fades lengthen.");
 
   TextTable table({"variant", "duty", "completed", "degraded", "gave up",
-                   "mean frames", "mean time (s)", "mean content"});
+                   "mean frames", "mean time (s)", "p99 time (s)",
+                   "mean content"});
   for (const double duty : duties) {
     const Cell caching = run_resilient(linear, true, duty, feedback_loss, docs);
     const Cell nocache = run_resilient(linear, false, duty, feedback_loss, docs);
@@ -293,6 +307,7 @@ int main(int argc, char** argv) {
       table.add_row({name, TextTable::fmt(duty, 2), TextTable::fmt(c.completed, 3),
                      TextTable::fmt(c.degraded, 3), TextTable::fmt(c.gave_up, 3),
                      TextTable::fmt(c.mean_frames, 1), TextTable::fmt(c.mean_time, 3),
+                     TextTable::fmt(c.tails.p99, 3),
                      TextTable::fmt(c.mean_content, 3)});
     };
     row("resilient+caching", caching);

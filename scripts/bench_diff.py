@@ -14,9 +14,15 @@ Metric direction is encoded in the key suffix:
   higher-is-better: *mbps, *per_hour, *per_s, *completed, *content
   lower-is-better:  *_s, *_ms, *_us, *_ns, *frames, *timeouts, *attempts,
                     *gave_up
+Tail statistics inherit the direction of the metric they summarize: a key
+ending in _p50/_p95/_p99/_p999/_mean is classified by stripping that suffix
+and re-inferring (so session_time_s_p99 gates lower-is-better exactly like
+session_time_s) — a p99 regression fails the gate even when the mean is
+flat. *_ci95 keys (confidence half-widths) are always informational.
 Keys matching neither list are informational: printed, never gating.
 Metrics present in only one run are reported but do not gate (benches may
-gain or drop metrics across revisions).
+gain or drop metrics across revisions — in particular, baselines recorded
+before the tail keys existed still compare cleanly).
 
 Stdlib only; no third-party imports.
 """
@@ -27,12 +33,21 @@ import sys
 HIGHER_BETTER = ("mbps", "per_hour", "per_s", "completed", "content")
 LOWER_BETTER = ("_s", "_ms", "_us", "_ns", "frames", "timeouts", "attempts",
                 "gave_up")
+# Distribution-summary suffixes: direction comes from the summarized metric.
+TAIL_SUFFIXES = ("_p50", "_p95", "_p99", "_p999", "_mean")
+# Error-bar suffixes: context for a mean, never a gate by themselves.
+INFORMATIONAL_SUFFIXES = ("_ci95",)
 
 SCHEMA = "mobiweb-bench/1"
 
 
 def direction(key):
     """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    if key.endswith(INFORMATIONAL_SUFFIXES):
+        return 0
+    for suffix in TAIL_SUFFIXES:
+        if key.endswith(suffix):
+            return direction(key[:-len(suffix)])
     if key.endswith(HIGHER_BETTER):
         return 1
     if key.endswith(LOWER_BETTER):

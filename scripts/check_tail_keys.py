@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI smoke for the tail-aware bench contract (ctest `bench.fleet_tails`).
+
+Usage:
+    check_tail_keys.py BENCH_BINARY [bench args...]
+
+Runs `BENCH_BINARY [args] --json`, parses the "mobiweb-bench/1" run, and
+verifies the session-time tail keys the perf gate compares:
+  * every scale (metric-key prefix) that reports session_time_s_mean also
+    reports _p50, _p95, _p99, _p999 and _ci95;
+  * quantiles are finite, non-negative, and monotone
+    (p50 <= p95 <= p99 <= p999);
+  * the mean lies within [p50's floor, p999] sanity bounds (min <= mean is
+    implied by monotonicity of the exported set);
+  * bench_diff.py (imported from this directory) classifies _p99 keys as
+    gating lower-is-better and _ci95 keys as informational, so a schema or
+    direction-inference regression fails here, not in a real perf hunt.
+
+Exits 0 on success, 1 on any violation. Stdlib only.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402  (direction-inference contract check)
+
+TAILS = ("_p50", "_p95", "_p99", "_p999", "_ci95")
+
+
+def fail(msg):
+    sys.exit(f"check_tail_keys: {msg}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail(f"usage: {argv[0]} BENCH_BINARY [bench args...]")
+    cmd = argv[1:] + ["--json"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    try:
+        run = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"bench emitted invalid JSON: {e}")
+    if run.get("schema") != "mobiweb-bench/1":
+        fail(f"unexpected schema {run.get('schema')!r}")
+    metrics = run.get("metrics", {})
+
+    scales = sorted(k[: -len("session_time_s_mean")] for k in metrics
+                    if k.endswith("session_time_s_mean"))
+    if not scales:
+        fail("no session_time_s_mean keys in the run")
+
+    for scale in scales:
+        base = scale + "session_time_s"
+        for suffix in TAILS:
+            if base + suffix not in metrics:
+                fail(f"missing {base + suffix}")
+        p50, p95, p99, p999 = (metrics[base + s] for s in TAILS[:4])
+        mean = metrics[base + "_mean"]
+        ci95 = metrics[base + "_ci95"]
+        for name, v in (("p50", p50), ("p95", p95), ("p99", p99),
+                        ("p999", p999), ("mean", mean), ("ci95", ci95)):
+            if not math.isfinite(v) or v < 0:
+                fail(f"{base}_{name} = {v!r} is not a finite non-negative "
+                     "number")
+        if not p50 <= p95 <= p99 <= p999:
+            fail(f"{base}: quantiles not monotone: "
+                 f"p50={p50} p95={p95} p99={p99} p999={p999}")
+        if mean > p999:
+            fail(f"{base}: mean {mean} exceeds p999 {p999}")
+
+        # Direction-inference contract: tails gate, CI halfwidths do not.
+        for suffix in ("_p50", "_p95", "_p99", "_p999", "_mean"):
+            if bench_diff.direction(base + suffix) != -1:
+                fail(f"bench_diff.direction({base + suffix!r}) is not "
+                     "lower-is-better")
+        if bench_diff.direction(base + "_ci95") != 0:
+            fail(f"bench_diff.direction({base + '_ci95'!r}) is not "
+                 "informational")
+
+    print(f"check_tail_keys: ok ({len(scales)} scale(s): "
+          f"{', '.join(s.rstrip('.') for s in scales)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,7 +5,10 @@
 #   1. the micro harnesses emit valid "mobiweb-bench/1" JSON,
 #   2. bench_diff.py passes a run against itself,
 #   3. bench_diff.py FAILS when a regression is injected into a copy,
-#   4. the metric keys are still compatible with the checked-in baselines
+#   4. the tail gate works: an injected p99-only regression (means held
+#      flat) fails, confidence-interval keys never gate, and baselines
+#      recorded before the tail keys existed still compare cleanly,
+#   5. the metric keys are still compatible with the checked-in baselines
 #      (compared at a tolerance timing noise cannot trip).
 # For an actual perf hunt, diff two real runs at the default tolerance:
 #   scripts/bench_diff.py bench/baselines/micro_coding.json new.json
@@ -50,6 +53,57 @@ if python3 "$DIFF" --quiet "$TMP/coding.json" "$TMP/regressed.json"; then
   echo "perf_smoke: injected regression was not detected" >&2
   exit 1
 fi
+
+# Tail-aware gating: double every *_p99 session-time key while leaving the
+# means untouched. The mean-only gate of old would wave this through; the
+# tail gate must fail it.
+python3 - "$TMP/fleet.json" "$TMP/tail_regressed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    run = json.load(f)
+hit = 0
+for key in run["metrics"]:
+    if key.endswith("_p99"):
+        run["metrics"][key] = run["metrics"][key] * 2.0 + 1.0
+        hit += 1
+if not hit:
+    sys.exit("perf_smoke: no _p99 keys to perturb")
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(run, f)
+EOF
+if python3 "$DIFF" --quiet "$TMP/fleet.json" "$TMP/tail_regressed.json"; then
+  echo "perf_smoke: injected p99-only regression was not detected" >&2
+  exit 1
+fi
+
+# Confidence half-widths are context, not gates: inflating every *_ci95 key
+# must NOT fail the diff.
+python3 - "$TMP/fleet.json" "$TMP/ci_inflated.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    run = json.load(f)
+for key in run["metrics"]:
+    if key.endswith("_ci95"):
+        run["metrics"][key] = run["metrics"][key] * 10.0 + 1.0
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(run, f)
+EOF
+python3 "$DIFF" --quiet "$TMP/fleet.json" "$TMP/ci_inflated.json"
+
+# Compatibility with pre-tail baselines: a run stripped of every tail key
+# (as recorded before this gate existed) still passes against a full run —
+# keys present on one side only never gate.
+python3 - "$TMP/fleet.json" "$TMP/pre_tail.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as f:
+    run = json.load(f)
+suffixes = ("_p50", "_p95", "_p99", "_p999", "_mean", "_ci95")
+run["metrics"] = {k: v for k, v in run["metrics"].items()
+                  if not k.endswith(suffixes)}
+with open(sys.argv[2], "w", encoding="utf-8") as f:
+    json.dump(run, f)
+EOF
+python3 "$DIFF" --quiet --tolerance=0 "$TMP/pre_tail.json" "$TMP/fleet.json"
 
 # Baseline key compatibility (schema + key drift only, not timings).
 python3 "$DIFF" --quiet --tolerance=1000 \

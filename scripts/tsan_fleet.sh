@@ -8,6 +8,7 @@
 #   fleet    — engine, cache, bench smoke
 #   obs      — metrics registry hammer
 #   coding   — thread pool + GF kernel tests (test_util / test_gf_kernels)
+#   stats    — tail summaries folded from concurrent shards (test_stats_workload)
 #
 # Usage: scripts/tsan_fleet.sh [extra ctest args...]
 set -euo pipefail
@@ -21,10 +22,11 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DMOBIWEB_BUILD_BENCH=ON \
   -DMOBIWEB_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j \
-  --target test_fleet test_util test_obs test_gf_kernels bench_fleet
+  --target test_fleet test_util test_obs test_gf_kernels test_stats \
+  test_stats_workload bench_fleet
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
-ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding' "$@"
+ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding|stats' "$@"
 
 # Weak-connectivity / workload knobs under TSan: per-session outage clones,
 # the suspend/backoff path, Zipf document draws and Poisson arrivals all run

@@ -88,6 +88,7 @@ struct ShardTotals {
   double session_time_s = 0.0;
   double backoff_s = 0.0;
   double makespan_s = 0.0;
+  std::vector<double> times;  // per-session transfer times (tail_stats only)
 };
 
 // Pre-resolved metric series; shards record into them concurrently (the
@@ -325,6 +326,7 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       tot.bytes += static_cast<unsigned long long>(s.frames) * s.doc->frame_size;
       tot.content += received;
       tot.session_time_s += r.time;
+      if (config_.tail_stats) tot.times.push_back(r.time);
       tot.backoff_s += s.backoff_s;
       tot.makespan_s = std::max(tot.makespan_s, s.start + r.time);
       if (fm.sessions != nullptr) {
@@ -463,6 +465,19 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     result.session_time_s += tot.session_time_s;
     result.backoff_s += tot.backoff_s;
     result.makespan_s = std::max(result.makespan_s, tot.makespan_s);
+  }
+  if (config_.tail_stats) {
+    // summarize_tails sorts, so the outcome depends only on the multiset of
+    // session times — the tail metrics inherit the engine's shard-invariance
+    // bit-for-bit (pinned in tests/test_stats_workload.cpp).
+    std::vector<double> times;
+    times.reserve(sessions);
+    for (ShardTotals& tot : totals) {
+      times.insert(times.end(), tot.times.begin(), tot.times.end());
+      tot.times.clear();
+      tot.times.shrink_to_fit();
+    }
+    result.session_time_tails = stats::summarize_tails(times);
   }
   result.cache_hits = cache_.hits();
   result.cache_misses = cache_.misses();

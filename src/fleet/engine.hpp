@@ -49,6 +49,7 @@
 #include "fleet/cache.hpp"
 #include "obs/metrics.hpp"
 #include "sim/transfer.hpp"
+#include "stats/describe.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mobiweb::fleet {
@@ -67,6 +68,11 @@ struct FleetConfig {
   int max_rounds = 25;
   double arrival_spread_s = 0.0;     // session starts staggered over [0, spread)
   bool record_outcomes = false;      // keep per-session results (tests; O(sessions) memory)
+  // Collect every session's transfer time and summarize the distribution in
+  // FleetResult::session_time_tails (p50/p95/p99/p999 + Student-t CI). Costs
+  // 8 bytes per session while the run is live; the summary is a pure function
+  // of the sample multiset, so it is bit-identical across shard counts.
+  bool tail_stats = true;
   obs::MetricsRegistry* metrics = nullptr;  // optional; shards record concurrently
 
   // Weak connectivity: prototype outage model cloned per session (see the
@@ -106,6 +112,11 @@ struct FleetResult {
   long cache_hits = 0;
   long cache_misses = 0;
   double elapsed_s = 0.0;              // engine wall time
+  // Distribution of per-session transfer times (exact order statistics over
+  // the whole fleet; zeroed when FleetConfig::tail_stats is off). This is
+  // what bench_fleet exports as session_time_s_{p50,p95,p99,p999,mean,ci95}
+  // and what the perf gate compares tail-first.
+  stats::TailSummary session_time_tails;
   std::vector<SessionOutcome> outcomes;  // empty unless record_outcomes
 
   [[nodiscard]] double sessions_per_s() const {

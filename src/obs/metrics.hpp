@@ -63,11 +63,31 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// A quantile read off a histogram, calibrated with hard error bounds: the
+// exact sample quantile is guaranteed to lie in [lower, upper] (the observed
+// value ranges of the bucket(s) holding the quantile's rank), whatever the
+// within-bucket sample placement. `value` interpolates linearly inside that
+// range; when the winning bucket holds a single distinct value the three
+// fields coincide and the answer is exact.
+struct QuantileEstimate {
+  double value = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
 // Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of the
 // finite buckets (must be strictly increasing); one implicit overflow bucket
 // catches everything above the last edge. observe() may be called from any
 // thread; readers see a consistent snapshot (count/sum/min/max/buckets are
 // updated together under the histogram's mutex).
+//
+// Besides the bucket counters, each bucket tracks the min and max value it
+// has absorbed. That is what makes quantile() well-behaved at bucket
+// boundaries: the fractional rank is resolved inside the *observed* value
+// range of the winning bucket (never the nominal bucket edges), a rank that
+// straddles two buckets interpolates between the lower bucket's max and the
+// upper bucket's min, and a bucket holding one distinct value answers
+// exactly. stats::summarize_histogram builds full tail summaries on top.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
@@ -83,6 +103,15 @@ class Histogram {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
+  // Sample variance reconstructed from the running sum of squares (n-1
+  // denominator); 0 below two observations.
+  [[nodiscard]] double variance() const;
+  // Quantile q in [0, 1] with type-7 fractional ranks over the bucketed
+  // counts (see QuantileEstimate for the error contract). NaN when empty.
+  [[nodiscard]] QuantileEstimate quantile_with_bounds(double q) const;
+  [[nodiscard]] double quantile(double q) const {
+    return quantile_with_bounds(q).value;
+  }
   // Immutable after construction — safe to reference without locking.
   [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
   // Snapshot; size() == upper_bounds().size() + 1 (overflow last).
@@ -92,8 +121,11 @@ class Histogram {
   std::vector<double> bounds_;
   mutable std::mutex mu_;
   std::vector<long> counts_;
+  std::vector<double> bucket_lo_;  // observed min per bucket
+  std::vector<double> bucket_hi_;  // observed max per bucket
   long count_ = 0;
   double sum_ = 0.0;
+  double sum_sq_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -1,0 +1,118 @@
+#include "stats/describe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/inference.hpp"
+#include "stats/quantile.hpp"
+
+namespace mobiweb::stats {
+
+bool Moments::add(double x) {
+  if (std::isnan(x)) return false;
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  // One-pass central-moment update (Pébay's formulas); numerically stable
+  // for the magnitudes the simulator produces.
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+  return true;
+}
+
+double Moments::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Moments::stddev() const { return std::sqrt(variance()); }
+
+double Moments::skewness() const {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double Moments::kurtosis_excess() const {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+void Moments::merge(const Moments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(n_);
+  const double n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+  const double m4 = m4_ + other.m4_ +
+                    delta4 * n1 * n2 * (n1 * n1 - n1 * n2 + n2 * n2) / (n * n * n) +
+                    6.0 * delta2 * (n1 * n1 * other.m2_ + n2 * n2 * m2_) / (n * n) +
+                    4.0 * delta * (n1 * other.m3_ - n2 * m3_) / n;
+  const double m3 = m3_ + other.m3_ +
+                    delta3 * n1 * n2 * (n1 - n2) / (n * n) +
+                    3.0 * delta * (n1 * other.m2_ - n2 * m2_) / n;
+  const double m2 = m2_ + other.m2_ + delta2 * n1 * n2 / n;
+  mean_ += delta * n2 / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean_ci95_halfwidth(std::size_t n, double stddev) {
+  if (n < 2) return 0.0;
+  return t_critical(static_cast<double>(n - 1), 0.95) * stddev /
+         std::sqrt(static_cast<double>(n));
+}
+
+TailSummary summarize_tails(const std::vector<double>& samples) {
+  std::vector<double> sorted;
+  sorted.reserve(samples.size());
+  for (double v : samples) {
+    if (!std::isnan(v)) sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  TailSummary out;
+  out.count = sorted.size();
+  if (sorted.empty()) return out;
+  // Accumulate in sorted order so the result is a function of the sample
+  // multiset alone — shard- and thread-count-invariant by construction.
+  Moments m;
+  for (double v : sorted) m.add(v);
+  out.mean = m.mean();
+  out.stddev = m.stddev();
+  out.ci95 = mean_ci95_halfwidth(out.count, out.stddev);
+  out.min = sorted.front();
+  out.max = sorted.back();
+  out.p50 = exact_quantile_sorted(sorted, 0.5);
+  out.p95 = exact_quantile_sorted(sorted, 0.95);
+  out.p99 = exact_quantile_sorted(sorted, 0.99);
+  out.p999 = exact_quantile_sorted(sorted, 0.999);
+  return out;
+}
+
+}  // namespace mobiweb::stats

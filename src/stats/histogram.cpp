@@ -1,0 +1,30 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+namespace mobiweb::stats {
+
+TailSummary summarize_histogram(const obs::Histogram& h) {
+  TailSummary out;
+  const long n = h.count();
+  if (n <= 0) return out;
+  out.count = static_cast<std::size_t>(n);
+  out.mean = h.mean();
+  out.stddev = std::sqrt(h.variance());
+  out.ci95 = mean_ci95_halfwidth(out.count, out.stddev);
+  out.min = h.min();
+  out.max = h.max();
+  out.p50 = h.quantile(0.5);
+  out.p95 = h.quantile(0.95);
+  out.p99 = h.quantile(0.99);
+  out.p999 = h.quantile(0.999);
+  return out;
+}
+
+TailSummary summarize_histogram(const obs::MetricsRegistry& registry,
+                                std::string_view name) {
+  const obs::Histogram* h = registry.find_histogram(name);
+  return h != nullptr ? summarize_histogram(*h) : TailSummary{};
+}
+
+}  // namespace mobiweb::stats

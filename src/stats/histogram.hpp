@@ -1,0 +1,25 @@
+// Bridge from the observability layer into the experiment engine: any
+// obs::Histogram in a MetricsRegistry can be collapsed into a TailSummary —
+// mean with Student-t confidence half-width, p50/p95/p99/p999 with the
+// histogram's calibrated bucket-range error bounds (see
+// obs::QuantileEstimate) — without the caller retaining raw samples.
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "stats/describe.hpp"
+
+namespace mobiweb::stats {
+
+// Tail summary of one histogram. Quantiles are Histogram::quantile() reads
+// (exact for single-distinct-value buckets, within the winning bucket's
+// observed range otherwise); the CI uses the histogram's running sum of
+// squares. An empty histogram returns a zeroed summary with count 0.
+TailSummary summarize_histogram(const obs::Histogram& h);
+
+// Lookup-then-summarize on a registry; count 0 when the name is absent.
+TailSummary summarize_histogram(const obs::MetricsRegistry& registry,
+                                std::string_view name);
+
+}  // namespace mobiweb::stats

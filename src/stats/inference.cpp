@@ -1,0 +1,243 @@
+#include "stats/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mobiweb::stats {
+
+namespace {
+
+constexpr double kEps = 1e-14;
+constexpr double kTiny = 1e-300;
+constexpr int kMaxIter = 300;
+
+// Series expansion of P(a, x), effective for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a, x) (modified Lentz), effective for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for the incomplete beta (modified Lentz).
+double beta_cf(double a, double b, double x) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double dm = static_cast<double>(m);
+    double aa = dm * (b - dm) * x / ((qam + 2.0 * dm) * (a + 2.0 * dm));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + 2.0 * dm) * (qap + 2.0 * dm));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  MOBIWEB_CHECK_MSG(a > 0.0, "gamma_p: a > 0");
+  MOBIWEB_CHECK_MSG(x >= 0.0, "gamma_p: x >= 0");
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  MOBIWEB_CHECK_MSG(a > 0.0, "gamma_q: a > 0");
+  MOBIWEB_CHECK_MSG(x >= 0.0, "gamma_q: x >= 0");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+}
+
+double incomplete_beta(double a, double b, double x) {
+  MOBIWEB_CHECK_MSG(a > 0.0 && b > 0.0, "incomplete_beta: a, b > 0");
+  MOBIWEB_CHECK_MSG(x >= 0.0 && x <= 1.0, "incomplete_beta: x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double front = std::exp(std::lgamma(a + b) - std::lgamma(a) -
+                                std::lgamma(b) + a * std::log(x) +
+                                b * std::log1p(-x));
+  // The continued fraction converges fast for x below the distribution mode;
+  // use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) on the other side.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double chi_square_sf(double x, double df) {
+  MOBIWEB_CHECK_MSG(df > 0.0, "chi_square_sf: df > 0");
+  if (x <= 0.0) return 1.0;
+  return gamma_q(df / 2.0, x / 2.0);
+}
+
+double student_t_cdf(double t, double df) {
+  MOBIWEB_CHECK_MSG(df > 0.0, "student_t_cdf: df > 0");
+  if (t == 0.0) return 0.5;
+  const double tail =
+      0.5 * incomplete_beta(df / 2.0, 0.5, df / (df + t * t));
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double t_critical(double df, double confidence) {
+  MOBIWEB_CHECK_MSG(df >= 1.0, "t_critical: df >= 1");
+  MOBIWEB_CHECK_MSG(confidence > 0.0 && confidence < 1.0,
+                    "t_critical: confidence in (0,1)");
+  const double target = 0.5 + confidence / 2.0;
+  // Bracket the root, then bisect; the CDF is monotone so this is exact to
+  // the tolerance below. Start from the normal quantile's neighborhood and
+  // expand upward (small df fattens the tail dramatically: df=1 @95% = 12.7).
+  double lo = 0.0;
+  double hi = 2.0;
+  while (student_t_cdf(hi, df) < target) {
+    hi *= 2.0;
+    MOBIWEB_CHECK_MSG(hi < 1e12, "t_critical: failed to bracket");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+TestResult jarque_bera(const Moments& m) {
+  TestResult out;
+  out.df = 2.0;
+  const std::size_t n = m.count();
+  if (n < 8) return out;  // too few samples to say anything
+  const double g1 = m.skewness();
+  const double g2 = m.kurtosis_excess();
+  out.statistic =
+      static_cast<double>(n) / 6.0 * (g1 * g1 + g2 * g2 / 4.0);
+  out.p_value = chi_square_sf(out.statistic, 2.0);
+  return out;
+}
+
+TestResult chi_square_gof(const std::vector<long>& observed,
+                          const std::vector<double>& weights,
+                          double min_expected) {
+  MOBIWEB_CHECK_MSG(observed.size() == weights.size(),
+                    "chi_square_gof: observed/weights size mismatch");
+  MOBIWEB_CHECK_MSG(observed.size() >= 2, "chi_square_gof: need >= 2 bins");
+  double total_weight = 0.0;
+  long total_obs = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    MOBIWEB_CHECK_MSG(observed[i] >= 0, "chi_square_gof: negative count");
+    MOBIWEB_CHECK_MSG(weights[i] > 0.0, "chi_square_gof: weights > 0");
+    total_weight += weights[i];
+    total_obs += observed[i];
+  }
+  MOBIWEB_CHECK_MSG(total_obs > 0, "chi_square_gof: empty sample");
+
+  // Pool adjacent bins until each pooled bin's expectation clears
+  // min_expected, so the chi-square(df) reference stays trustworthy on deep
+  // tails (e.g. the last ranks of a Zipf corpus).
+  std::vector<double> exp_pooled;
+  std::vector<long> obs_pooled;
+  double e_acc = 0.0;
+  long o_acc = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    e_acc += static_cast<double>(total_obs) * weights[i] / total_weight;
+    o_acc += observed[i];
+    if (e_acc >= min_expected) {
+      exp_pooled.push_back(e_acc);
+      obs_pooled.push_back(o_acc);
+      e_acc = 0.0;
+      o_acc = 0;
+    }
+  }
+  if (e_acc > 0.0 || o_acc > 0) {
+    if (exp_pooled.empty()) {
+      exp_pooled.push_back(e_acc);
+      obs_pooled.push_back(o_acc);
+    } else {
+      exp_pooled.back() += e_acc;
+      obs_pooled.back() += o_acc;
+    }
+  }
+
+  TestResult out;
+  out.df = static_cast<double>(exp_pooled.size()) - 1.0;
+  for (std::size_t i = 0; i < exp_pooled.size(); ++i) {
+    const double diff = static_cast<double>(obs_pooled[i]) - exp_pooled[i];
+    out.statistic += diff * diff / exp_pooled[i];
+  }
+  out.p_value = out.df > 0.0 ? chi_square_sf(out.statistic, out.df) : 1.0;
+  return out;
+}
+
+double dispersion_index(const std::vector<long>& counts) {
+  Moments m;
+  for (long c : counts) m.add(static_cast<double>(c));
+  return m.mean() > 0.0 ? m.variance() / m.mean() : 0.0;
+}
+
+TestResult dispersion_test(const std::vector<long>& counts) {
+  MOBIWEB_CHECK_MSG(counts.size() >= 2, "dispersion_test: need >= 2 windows");
+  Moments m;
+  for (long c : counts) m.add(static_cast<double>(c));
+  MOBIWEB_CHECK_MSG(m.mean() > 0.0, "dispersion_test: zero mean count");
+  TestResult out;
+  out.df = static_cast<double>(counts.size()) - 1.0;
+  out.statistic = out.df * m.variance() / m.mean();
+  // Two-sided: both a too-regular (underdispersed) and a too-bursty
+  // (overdispersed) process should reject.
+  const double upper = chi_square_sf(out.statistic, out.df);
+  out.p_value = std::min(1.0, 2.0 * std::min(upper, 1.0 - upper));
+  return out;
+}
+
+}  // namespace mobiweb::stats

@@ -1,0 +1,64 @@
+#include "stats/regress.hpp"
+
+#include <cmath>
+
+#include "stats/inference.hpp"
+#include "util/check.hpp"
+
+namespace mobiweb::stats {
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  MOBIWEB_CHECK_MSG(xs.size() == ys.size(), "fit_linear: size mismatch");
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(xs.size());
+  y.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!std::isnan(xs[i]) && !std::isnan(ys[i])) {
+      x.push_back(xs[i]);
+      y.push_back(ys[i]);
+    }
+  }
+  const std::size_t n = x.size();
+  MOBIWEB_CHECK_MSG(n >= 2, "fit_linear: need >= 2 finite points");
+
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MOBIWEB_CHECK_MSG(sxx > 0.0, "fit_linear: x values are all equal");
+
+  LinearFit fit;
+  fit.count = n;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  const double sse = syy - fit.slope * sxy;  // residual sum of squares
+  fit.r2 = syy > 0.0 ? 1.0 - sse / syy : 1.0;
+  if (n > 2) {
+    // Guard sse against cancellation on exact fits.
+    const double mse = std::max(sse, 0.0) / static_cast<double>(n - 2);
+    fit.residual_stddev = std::sqrt(mse);
+    fit.slope_stderr = std::sqrt(mse / sxx);
+    fit.slope_ci95 =
+        t_critical(static_cast<double>(n - 2), 0.95) * fit.slope_stderr;
+  }
+  return fit;
+}
+
+}  // namespace mobiweb::stats

@@ -1,0 +1,31 @@
+// Ordinary least-squares line fit for experiment sweeps: redundancy ratio
+// vs alpha, session time vs outage duty cycle, throughput vs shard count.
+// One predictor is all the ablations need; the fit reports the slope with a
+// Student-t confidence interval so "the trend is flat" is a testable claim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mobiweb::stats {
+
+struct LinearFit {
+  std::size_t count = 0;
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;            // coefficient of determination
+  double residual_stddev = 0.0;  // sqrt(SSE / (n - 2)); 0 when n <= 2
+  double slope_stderr = 0.0;  // standard error of the slope estimate
+  double slope_ci95 = 0.0;    // Student-t 95% half-width for the slope
+
+  // Fitted value at x.
+  [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+};
+
+// Least-squares fit of y = intercept + slope * x. Requires xs.size() ==
+// ys.size(), n >= 2, and at least two distinct x values (the design matrix
+// must have rank 2); NaN pairs are skipped before fitting.
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+}  // namespace mobiweb::stats

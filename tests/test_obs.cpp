@@ -1,6 +1,8 @@
 // Observability stack: metrics primitives, session traces, aggregation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <thread>
 #include <string>
@@ -50,6 +52,122 @@ TEST(Histogram, BucketEdgesAreInclusive) {
 TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(obs::Histogram(std::vector<double>{}), ContractViolation);
   EXPECT_THROW(obs::Histogram({2.0, 1.0}), ContractViolation);
+}
+
+TEST(Histogram, QuantileIsExactWhenBucketsHoldSingleValues) {
+  // One distinct value per bucket: interpolation has nothing to smear, so
+  // every quantile equals the exact type-7 sample quantile of {1, 3, 8}.
+  obs::Histogram h({2.0, 5.0, 10.0});
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+  // Rank 0.25 * 2 = 0.5 between order statistics 1 and 3.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 5.5);
+}
+
+TEST(Histogram, QuantileInterpolatesAcrossBucketBoundaries) {
+  // The broken behavior this pins against: answering a rank that straddles
+  // two buckets with a nominal bucket edge (2.0 here) no sample sits on.
+  // The fix interpolates between the lower bucket's observed max and the
+  // upper bucket's observed min.
+  obs::Histogram h({2.0, 10.0});
+  h.observe(1.0);  // bucket 0
+  h.observe(1.2);  // bucket 0
+  h.observe(7.0);  // bucket 1
+  h.observe(9.0);  // bucket 1
+  // h = 0.5 * 3 = 1.5: halfway between order stats 1.2 and 7.0 = 4.1 —
+  // NOT the bucket edge 2.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.1);
+  const obs::QuantileEstimate est = h.quantile_with_bounds(0.5);
+  EXPECT_DOUBLE_EQ(est.lower, 1.0);   // observed range of the lower bucket
+  EXPECT_DOUBLE_EQ(est.upper, 9.0);   // observed range of the upper bucket
+  EXPECT_GE(est.value, est.lower);
+  EXPECT_LE(est.value, est.upper);
+}
+
+TEST(Histogram, QuantileNeverLeavesTheObservedRange) {
+  // All mass piled just under one edge: nominal-edge interpolation would
+  // report values in the empty [0, 4.9) span; the observed-range answer
+  // stays pinned at the data.
+  obs::Histogram h({5.0, 10.0});
+  for (int i = 0; i < 100; ++i) h.observe(4.9);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 4.9) << "q=" << q;
+  }
+  const obs::QuantileEstimate est = h.quantile_with_bounds(0.5);
+  EXPECT_DOUBLE_EQ(est.lower, 4.9);
+  EXPECT_DOUBLE_EQ(est.upper, 4.9);
+}
+
+TEST(Histogram, QuantileBoundsBracketTheTrueSampleQuantile) {
+  // Uniform stream over [0, 100): the within-bucket even-spacing model is
+  // only an estimate, but the [lower, upper] bounds must always contain the
+  // exact sample quantile computed from the raw values.
+  obs::Histogram h({10.0, 20.0, 50.0, 100.0});
+  std::vector<double> values;
+  unsigned long long x = 0x9e3779b97f4a7c15ull;  // SplitMix64 walk
+  for (int i = 0; i < 1000; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    unsigned long long z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double v = static_cast<double>(z >> 11) * 0x1.0p-53 * 100.0;
+    values.push_back(v);
+    h.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double rank = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    const double exact =
+        values[lo] +
+        frac * (values[std::min(lo + 1, values.size() - 1)] - values[lo]);
+    const obs::QuantileEstimate est = h.quantile_with_bounds(q);
+    EXPECT_GE(exact, est.lower) << "q=" << q;
+    EXPECT_LE(exact, est.upper) << "q=" << q;
+    EXPECT_GE(est.value, est.lower) << "q=" << q;
+    EXPECT_LE(est.value, est.upper) << "q=" << q;
+    // The point estimate is itself close: off by at most one bucket span.
+    EXPECT_NEAR(est.value, exact, est.upper - est.lower + 1e-9) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileDegenerateInputs) {
+  obs::Histogram h({1.0, 2.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty
+  EXPECT_TRUE(std::isnan(h.quantile_with_bounds(0.5).lower));
+  h.observe(1.5);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 1.5) << "q=" << q;  // single sample
+  }
+  // Out-of-range q clamps instead of throwing.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), 1.5);
+}
+
+TEST(Histogram, VarianceMatchesTwoPassComputation) {
+  obs::Histogram h({10.0, 100.0});
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  double mean = 0.0;
+  for (double v : values) {
+    h.observe(v);
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(h.variance(), ss / (static_cast<double>(values.size()) - 1.0),
+              1e-12);
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  empty.observe(3.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);  // undefined below two samples
 }
 
 TEST(Registry, LookupOrCreateReturnsStableReferences) {
