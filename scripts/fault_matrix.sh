@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Fault-injection matrix: sweeps outage duty-cycle × feedback-loss probability
 # through bench_outage, plus a fleet-scale duty sweep through bench_fleet
-# (sharded engine + per-session outage clones), and collects one JSON result
-# per cell.
+# (sharded engine + per-session outage clones) and an origin-fade × link-fade
+# sweep through bench_proxy (edge tier: failover, stale serves, reconnect
+# reconciliation), and collects one JSON result per cell.
 #
 # Every cell runs under a hard wall-clock cap (`timeout`), so a regression
 # that re-introduces a hang in the resilient session driver fails the sweep
@@ -27,10 +28,21 @@ FAST=1
 DUTIES="0.0 0.2 0.4 0.6"
 LOSSES="0.0 0.3 0.7"
 
-if [ ! -x "$BUILD/bench/bench_outage" ] || [ ! -x "$BUILD/bench/bench_fleet" ]; then
+if [ ! -x "$BUILD/bench/bench_outage" ] || [ ! -x "$BUILD/bench/bench_fleet" ] \
+    || [ ! -x "$BUILD/bench/bench_proxy" ]; then
   cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$BUILD" -j --target bench_outage bench_fleet
+  cmake --build "$BUILD" -j --target bench_outage bench_fleet bench_proxy
 fi
+
+# The sweep must never silently skip a failure domain: a bench binary still
+# missing after the build attempt (e.g. benches disabled in this tree) is a
+# hard error, not an empty matrix.
+for bin in bench_outage bench_fleet bench_proxy; do
+  if [ ! -x "$BUILD/bench/$bin" ]; then
+    echo "fault matrix: $BUILD/bench/$bin missing or not executable" >&2
+    exit 1
+  fi
+done
 
 OUT="$BUILD/fault-matrix"
 mkdir -p "$OUT"
@@ -75,6 +87,32 @@ for duty in $DUTIES; do
     fi
     failures=$((failures + 1))
   fi
+done
+
+# Edge-tier rows: origin fades × link fades through the proxied engine walk.
+# The cold-proxy + dead-origin path suspends sessions on the retry budget, so
+# these cells guard the edge tier's termination proof under the same cap.
+ORIGIN_DUTIES="0.25 0.5"
+LINK_DUTIES="0.0 0.3"
+for oduty in $ORIGIN_DUTIES; do
+  for lduty in $LINK_DUTIES; do
+    cell="$OUT/proxy_origin${oduty}_link${lduty}.json"
+    echo "== proxy sessions=2000 origin-duty=$oduty link-duty=$lduty (cap ${CAP}s) =="
+    if MOBIWEB_FAST=$FAST timeout "$CAP" \
+        "$BUILD/bench/bench_proxy" \
+        --sessions=2000 --origin-duty="$oduty" --warm=0.6 --duty="$lduty" \
+        --json="$cell" > /dev/null; then
+      echo "   -> $cell"
+    else
+      status=$?
+      if [ "$status" -eq 124 ]; then
+        echo "FAIL: proxy cell origin=$oduty link=$lduty exceeded ${CAP}s wall clock" >&2
+      else
+        echo "FAIL: proxy cell origin=$oduty link=$lduty exited with status $status" >&2
+      fi
+      failures=$((failures + 1))
+    fi
+  done
 done
 
 if [ "$failures" -gt 0 ]; then

@@ -18,6 +18,7 @@ ROOT=${MOBIWEB_REPO_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}
 CODING=${1:-$ROOT/build/bench/bench_micro_coding}
 PIPELINE=${2:-$ROOT/build/bench/bench_micro_pipeline}
 FLEET=${3:-$ROOT/build/bench/bench_fleet}
+PROXY=${4:-$ROOT/build/bench/bench_proxy}
 DIFF="$ROOT/scripts/bench_diff.py"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -28,12 +29,16 @@ trap 'rm -rf "$TMP"' EXIT
 # Weak-connectivity path: per-session Markov fades, suspend/backoff, degraded
 # termination. Deterministic for a fixed seed, so it gates like the clean run.
 "$FLEET" --duty=0.2 --json="$TMP/fleet_duty.json" >/dev/null
+# Edge proxy tier: the origin-duty x warm-hit grid through the proxied engine
+# walk. Also deterministic for a fixed seed.
+"$PROXY" --sessions=800 --json="$TMP/proxy.json" >/dev/null
 
 # A run diffed against itself must pass at any tolerance.
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/coding.json" "$TMP/coding.json"
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/pipeline.json" "$TMP/pipeline.json"
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/fleet.json" "$TMP/fleet.json"
 python3 "$DIFF" --quiet --tolerance=0 "$TMP/fleet_duty.json" "$TMP/fleet_duty.json"
+python3 "$DIFF" --quiet --tolerance=0 "$TMP/proxy.json" "$TMP/proxy.json"
 
 # Halve the first throughput metric: the gate must catch it.
 python3 - "$TMP/coding.json" "$TMP/regressed.json" <<'EOF'
@@ -114,5 +119,7 @@ python3 "$DIFF" --quiet --tolerance=1000 \
   "$ROOT/bench/baselines/fleet.json" "$TMP/fleet.json"
 python3 "$DIFF" --quiet --tolerance=1000 \
   "$ROOT/bench/baselines/fleet_duty.json" "$TMP/fleet_duty.json"
+python3 "$DIFF" --quiet --tolerance=1000 \
+  "$ROOT/bench/baselines/proxy.json" "$TMP/proxy.json"
 
 echo "perf_smoke: ok"

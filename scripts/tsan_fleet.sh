@@ -9,6 +9,8 @@
 #   obs      — metrics registry hammer
 #   coding   — thread pool + GF kernel tests (test_util / test_gf_kernels)
 #   stats    — tail summaries folded from concurrent shards (test_stats_workload)
+#   proxy    — edge tier: proxied engine walk across shards, origin-clone
+#              streams, the proxied bench smoke (test_proxy / bench_proxy)
 #
 # Usage: scripts/tsan_fleet.sh [extra ctest args...]
 set -euo pipefail
@@ -23,15 +25,21 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DMOBIWEB_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j \
   --target test_fleet test_util test_obs test_gf_kernels test_stats \
-  test_stats_workload bench_fleet
+  test_stats_workload test_proxy bench_fleet bench_proxy
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
-ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding|stats' "$@"
+ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding|stats|proxy' "$@"
 
 # Weak-connectivity / workload knobs under TSan: per-session outage clones,
 # the suspend/backoff path, Zipf document draws and Poisson arrivals all run
 # on the sharded hot path, so race them here too.
 MOBIWEB_FAST=1 "$BUILD/bench/bench_fleet" \
   --sessions=5000 --duty=0.2 --zipf=0.8 --arrival=100 --json=/dev/null
+
+# Edge tier under TSan: per-session origin-outage clones, the cold-proxy
+# suspend loop, handoff/reconciliation state and the FleetProxyTotals merge
+# all run across shards in one proxied cell stacked on link fades.
+MOBIWEB_FAST=1 "$BUILD/bench/bench_proxy" \
+  --sessions=2000 --origin-duty=0.4 --warm=0.6 --duty=0.2 --json=/dev/null
 
 echo "tsan_fleet: ok"

@@ -1,0 +1,66 @@
+#include "channel/handoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace mobiweb::channel {
+
+HandoffSchedule::HandoffSchedule(std::vector<double> times) {
+  for (const double t : times) {
+    MOBIWEB_CHECK_MSG(std::isfinite(t), "HandoffSchedule: times must be finite");
+    MOBIWEB_CHECK_MSG(t >= 0.0, "HandoffSchedule: times must be >= 0");
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  times_ = std::move(times);
+}
+
+std::optional<HandoffSchedule> HandoffSchedule::parse(std::string_view text) {
+  std::vector<double> times;
+  std::size_t pos = 0;
+  const auto skip_separators = [&] {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r' || text[pos] == ',' || text[pos] == ';')) {
+      ++pos;
+    }
+  };
+  // strtod needs NUL termination; copy once instead of scanning in place.
+  const std::string owned(text);
+  for (;;) {
+    skip_separators();
+    if (pos >= text.size()) break;
+    char* end = nullptr;
+    const double v = std::strtod(owned.c_str() + pos, &end);
+    if (end == owned.c_str() + pos) return std::nullopt;  // no digits consumed
+    if (!std::isfinite(v)) return std::nullopt;
+    pos = static_cast<std::size_t>(end - owned.c_str());
+    times.push_back(std::max(v, 0.0));
+    if (times.size() > kMaxHandoffs) return std::nullopt;
+  }
+  return HandoffSchedule(std::move(times));
+}
+
+std::string HandoffSchedule::to_string() const {
+  std::string out;
+  char buf[32];
+  for (const double t : times_) {
+    if (!out.empty()) out += ',';
+    std::snprintf(buf, sizeof buf, "%.17g", t);
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t HandoffSchedule::count_in(double begin, double end) const {
+  if (end <= begin) return 0;
+  const auto lo = std::upper_bound(times_.begin(), times_.end(), begin);
+  const auto hi = std::upper_bound(times_.begin(), times_.end(), end);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+}  // namespace mobiweb::channel

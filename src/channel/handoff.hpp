@@ -1,0 +1,52 @@
+// Scripted cell-handoff schedule for the wireless channel.
+//
+// A weakly-connected client roams: at scripted instants it leaves one cell
+// (and therefore one edge proxy) and attaches to the next. Unlike an outage
+// (FaultSchedule windows where the link is *down*), a handoff is a point
+// event — the link stays nominally up, but the serving proxy changes, which
+// forces a replica re-lookup and a reconciliation of the client's partial
+// cache on the new proxy (src/proxy/session.hpp drives this).
+//
+// Deterministic and replayable like FaultSchedule: times are normalized on
+// construction (sorted, duplicates dropped), parse()/to_string() round-trip,
+// and untrusted input degrades to nullopt, never UB.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mobiweb::channel {
+
+class HandoffSchedule {
+ public:
+  // Throws ContractViolation on non-finite or negative times.
+  explicit HandoffSchedule(std::vector<double> times);
+  HandoffSchedule() = default;  // no handoffs
+
+  // Parses a comma/semicolon/whitespace-separated list of handoff instants in
+  // seconds, e.g. "2.5, 7, 11.25". Untrusted-input safe: negative times clamp
+  // to 0, duplicates collapse; returns nullopt on malformed numbers,
+  // non-finite values, trailing garbage, or more than kMaxHandoffs entries.
+  // An empty/blank string is a valid schedule with no handoffs.
+  static std::optional<HandoffSchedule> parse(std::string_view text);
+  static constexpr std::size_t kMaxHandoffs = 1024;
+
+  // "t,t,t" round-trippable through parse().
+  [[nodiscard]] std::string to_string() const;
+
+  // Handoffs scheduled in the half-open interval (begin, end]. The session
+  // driver calls this with (time of last check, now] so every instant is
+  // counted exactly once as the clock sweeps forward.
+  [[nodiscard]] std::size_t count_in(double begin, double end) const;
+
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+
+ private:
+  std::vector<double> times_;  // sorted, distinct, >= 0
+};
+
+}  // namespace mobiweb::channel

@@ -17,9 +17,26 @@ namespace {
 // a 1M-session fleet fits in a couple hundred MB, and the per-frame work is
 // one Bernoulli draw plus bitmap arithmetic — no per-session byte copies
 // (cooked frames are shared read-only out of the DocumentCache).
+// Edge-tier per-session state; allocated only when FleetConfig::proxy is set
+// so non-proxied fleets pay one pointer, not ~150 bytes, per session. Mirrors
+// sim::simulate_proxied_transfer's serving-replica variables exactly.
+struct ProxyState {
+  Rng proxy_rng{0};                            // warm/age/handoff draws
+  std::unique_ptr<channel::OutageModel> origin;  // nullptr = origin always up
+  Rng origin_rng{0};
+  bool attached = false;      // initial proxy acquire ran (first event)
+  bool has_replica = false;
+  bool serving_stale = false;
+  std::uint64_t replica_gen = 0;
+  std::uint64_t held_gen = 0;
+  sim::ProxyStats stats;
+};
+
 struct Session {
   Rng rng{0};
-  const CookedDocument* doc = nullptr;
+  // shared_ptr, not a raw pointer: with a bounded DocumentCache the entry can
+  // be evicted mid-run, and the session must keep its document alive.
+  std::shared_ptr<const CookedDocument> doc;
   double clock = 0.0;        // absolute simulated time
   double start = 0.0;
   double content = 0.0;
@@ -47,6 +64,8 @@ struct Session {
   long frames_lost = 0;
   int attempts = 0;
   int suspensions = 0;
+
+  std::unique_ptr<ProxyState> px;  // engaged only when FleetConfig::proxy set
 
   [[nodiscard]] bool test_seen(int i) const {
     return (seen[i >> 6] >> (i & 63)) & 1u;
@@ -88,6 +107,7 @@ struct ShardTotals {
   double session_time_s = 0.0;
   double backoff_s = 0.0;
   double makespan_s = 0.0;
+  FleetProxyTotals proxy;
   std::vector<double> times;  // per-session transfer times (tail_stats only)
 };
 
@@ -104,6 +124,17 @@ struct FleetMetrics {
   obs::Counter* suspensions = nullptr;
   obs::Histogram* session_time = nullptr;
   obs::Histogram* session_time_by[kOutcomes] = {nullptr, nullptr, nullptr, nullptr};
+  // Edge-tier series (resolved only for proxied runs).
+  obs::Counter* px_replica_hits = nullptr;
+  obs::Counter* px_stale_serves = nullptr;
+  obs::Counter* px_failovers = nullptr;
+  obs::Counter* px_handoffs = nullptr;
+  obs::Counter* px_origin_fetches = nullptr;
+  obs::Counter* px_origin_suspensions = nullptr;
+  obs::Counter* px_reconciliations = nullptr;
+  obs::Counter* px_packets_refetched = nullptr;
+  obs::Counter* px_stale_frames = nullptr;
+  obs::Counter* px_ended_stale = nullptr;
 };
 
 std::uint64_t salted_session_seed(std::uint64_t fleet_seed, std::uint64_t salt,
@@ -135,6 +166,23 @@ std::uint64_t fleet_arrival_seed(std::uint64_t fleet_seed) {
   return salted_session_seed(fleet_seed, 0x706f7373696eull, 0);  // "possin"
 }
 
+std::uint64_t session_proxy_seed(std::uint64_t fleet_seed, std::uint64_t session) {
+  return salted_session_seed(fleet_seed, 0x70726f787921ull, session);  // "proxy!"
+}
+
+std::uint64_t session_origin_seed(std::uint64_t fleet_seed, std::uint64_t session) {
+  return salted_session_seed(fleet_seed, 0x6f726967696e21ull, session);  // "origin!"
+}
+
+std::uint32_t session_proxy_assignment(std::uint64_t fleet_seed,
+                                       std::uint64_t session,
+                                       std::uint32_t proxies) {
+  MOBIWEB_CHECK_MSG(proxies >= 1, "session_proxy_assignment: proxies >= 1");
+  return static_cast<std::uint32_t>(
+      salted_session_seed(fleet_seed, 0x656467656964ull, session) %  // "edgeid"
+      proxies);
+}
+
 FleetEngine::FleetEngine(FleetConfig config)
     : config_(std::move(config)), cache_(config_.corpus) {
   MOBIWEB_CHECK_MSG(!config_.gammas.empty(), "FleetEngine: no gammas");
@@ -145,7 +193,7 @@ FleetEngine::FleetEngine(FleetConfig config)
   MOBIWEB_CHECK_MSG(config_.zipf_s >= 0.0, "FleetEngine: zipf_s >= 0");
   MOBIWEB_CHECK_MSG(config_.arrival_rate_hz >= 0.0,
                     "FleetEngine: arrival_rate_hz >= 0");
-  if (config_.outage != nullptr) {
+  if (config_.outage != nullptr || config_.proxy.has_value()) {
     const sim::RetryConfig& rp = config_.retry;
     MOBIWEB_CHECK_MSG(rp.retry_budget >= 1, "FleetEngine: retry_budget >= 1");
     MOBIWEB_CHECK_MSG(rp.initial_timeout_s >= 0.0,
@@ -155,6 +203,22 @@ FleetEngine::FleetEngine(FleetConfig config)
     MOBIWEB_CHECK_MSG(rp.max_backoff_s >= rp.initial_timeout_s,
                       "FleetEngine: max_backoff_s >= initial_timeout_s");
     MOBIWEB_CHECK_MSG(rp.jitter >= 0.0, "FleetEngine: jitter >= 0");
+  }
+  if (config_.proxy.has_value()) {
+    const sim::ProxyModelConfig& pm = config_.proxy->model;
+    MOBIWEB_CHECK_MSG(pm.warm_hit >= 0.0 && pm.warm_hit <= 1.0,
+                      "FleetEngine: warm_hit in [0,1]");
+    MOBIWEB_CHECK_MSG(pm.replica_age_mean_s >= 0.0,
+                      "FleetEngine: replica_age_mean_s >= 0");
+    MOBIWEB_CHECK_MSG(pm.origin_fetch_delay_s >= 0.0,
+                      "FleetEngine: origin_fetch_delay_s >= 0");
+    MOBIWEB_CHECK_MSG(pm.handoff_rate >= 0.0 && pm.handoff_rate < 1.0,
+                      "FleetEngine: handoff_rate in [0,1)");
+    MOBIWEB_CHECK_MSG(pm.handoff_delay_s >= 0.0,
+                      "FleetEngine: handoff_delay_s >= 0");
+    MOBIWEB_CHECK_MSG(pm.update_interval_s >= 0.0,
+                      "FleetEngine: update_interval_s >= 0");
+    MOBIWEB_CHECK_MSG(pm.proxies >= 1, "FleetEngine: proxies >= 1");
   }
 }
 
@@ -262,6 +326,18 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         "fleet.session_time_s{status=gave_up}", obs::session_time_buckets());
     fm.session_time_by[static_cast<int>(Outcome::kDegraded)] = &reg.histogram(
         "fleet.session_time_s{status=degraded}", obs::session_time_buckets());
+    if (config_.proxy.has_value()) {
+      fm.px_replica_hits = &reg.counter("proxy.replica_hits");
+      fm.px_stale_serves = &reg.counter("proxy.stale_serves");
+      fm.px_failovers = &reg.counter("proxy.failovers");
+      fm.px_handoffs = &reg.counter("proxy.handoffs");
+      fm.px_origin_fetches = &reg.counter("proxy.origin_fetches");
+      fm.px_origin_suspensions = &reg.counter("proxy.origin_suspensions");
+      fm.px_reconciliations = &reg.counter("proxy.reconciliations");
+      fm.px_packets_refetched = &reg.counter("proxy.packets_refetched");
+      fm.px_stale_frames = &reg.counter("proxy.stale_frames");
+      fm.px_ended_stale = &reg.counter("proxy.sessions_ended_stale");
+    }
   }
 
   std::vector<ShardTotals> totals(shards);
@@ -269,6 +345,9 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
   const std::size_t per_shard = (sessions + shards - 1) / shards;
   const bool relevance_check = config_.relevance_threshold >= 0.0;
   const sim::RetryConfig& rp = config_.retry;
+  const bool proxied = config_.proxy.has_value();
+  const sim::ProxyModelConfig pm =
+      proxied ? config_.proxy->model : sim::ProxyModelConfig{};
 
   pool->run(shards, [&](std::size_t shard) {
     const std::size_t lo = shard * per_shard;
@@ -282,7 +361,7 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     for (std::size_t i = lo; i < hi; ++i) {
       Session& s = states[i - lo];
       s.rng.reseed(session_seed(config_.seed, i));
-      s.doc = cache_.get(key_of(i)).get();  // cache outlives the run
+      s.doc = cache_.get(key_of(i));  // pins the document across evictions
       s.time_per_frame =
           static_cast<double>(s.doc->frame_size) * 8.0 / config_.bandwidth_bps;
       s.start = start_of(i);
@@ -290,8 +369,20 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       if (config_.outage != nullptr) {
         s.outage = config_.outage->session_clone();
         s.outage_rng.reseed(session_outage_seed(config_.seed, i));
+      }
+      if (config_.outage != nullptr || proxied) {
+        // Proxied sessions back off on origin fades even with the link
+        // always up, so the jitter stream and backoff state engage for both.
         s.jitter_rng.reseed(session_jitter_seed(config_.seed, i));
         s.backoff = rp.initial_timeout_s;
+      }
+      if (proxied) {
+        s.px = std::make_unique<ProxyState>();
+        s.px->proxy_rng.reseed(session_proxy_seed(config_.seed, i));
+        if (config_.proxy->origin_outage != nullptr) {
+          s.px->origin = config_.proxy->origin_outage->session_clone();
+          s.px->origin_rng.reseed(session_origin_seed(config_.seed, i));
+        }
       }
       heap.push(Event{s.start, static_cast<std::uint32_t>(i)});
     }
@@ -329,6 +420,41 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       if (config_.tail_stats) tot.times.push_back(r.time);
       tot.backoff_s += s.backoff_s;
       tot.makespan_s = std::max(tot.makespan_s, s.start + r.time);
+      sim::ProxyStats pstats;
+      if (s.px != nullptr) {
+        s.px->stats.ended_stale = s.px->serving_stale;
+        pstats = s.px->stats;
+        tot.proxy.replica_hits += pstats.replica_hits;
+        tot.proxy.stale_serves += pstats.stale_serves;
+        tot.proxy.failovers += pstats.failovers;
+        tot.proxy.handoffs += pstats.handoffs;
+        tot.proxy.origin_fetches += pstats.origin_fetches;
+        tot.proxy.origin_suspensions += pstats.origin_suspensions;
+        tot.proxy.reconciliations += pstats.reconciliations;
+        tot.proxy.packets_refetched += pstats.packets_refetched;
+        tot.proxy.stale_frames += pstats.stale_frames;
+        tot.proxy.sessions_ended_stale += pstats.ended_stale ? 1 : 0;
+        if (fm.px_replica_hits != nullptr) {
+          if (pstats.replica_hits > 0) fm.px_replica_hits->inc(pstats.replica_hits);
+          if (pstats.stale_serves > 0) fm.px_stale_serves->inc(pstats.stale_serves);
+          if (pstats.failovers > 0) fm.px_failovers->inc(pstats.failovers);
+          if (pstats.handoffs > 0) fm.px_handoffs->inc(pstats.handoffs);
+          if (pstats.origin_fetches > 0) {
+            fm.px_origin_fetches->inc(pstats.origin_fetches);
+          }
+          if (pstats.origin_suspensions > 0) {
+            fm.px_origin_suspensions->inc(pstats.origin_suspensions);
+          }
+          if (pstats.reconciliations > 0) {
+            fm.px_reconciliations->inc(pstats.reconciliations);
+          }
+          if (pstats.packets_refetched > 0) {
+            fm.px_packets_refetched->inc(pstats.packets_refetched);
+          }
+          if (pstats.stale_frames > 0) fm.px_stale_frames->inc(pstats.stale_frames);
+          if (pstats.ended_stale) fm.px_ended_stale->inc();
+        }
+      }
       if (fm.sessions != nullptr) {
         fm.sessions->inc();
         if (completed) fm.completed->inc();
@@ -342,17 +468,121 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         fm.session_time_by[static_cast<int>(outcome)]->observe(r.time);
       }
       if (config_.record_outcomes) {
-        result.outcomes[index] =
-            SessionOutcome{static_cast<std::uint32_t>(index), key_of(index),
-                           s.start, r};
+        result.outcomes[index] = SessionOutcome{
+            static_cast<std::uint32_t>(index), key_of(index), s.start,
+            s.px != nullptr
+                ? session_proxy_assignment(config_.seed, index, pm.proxies)
+                : 0,
+            r, pstats};
+      }
+    };
+
+    // Shared backoff helpers — the resilient and proxied walks consume the
+    // jitter stream and retry budget identically (see sim/transfer.cpp,
+    // sim/proxied.cpp).
+    const auto wait_one_backoff = [&](Session& s) {
+      // The jitter draw happens unconditionally (even at jitter = 0) so the
+      // stream stays aligned with the oracle's, wait-for-wait.
+      const double wait =
+          s.backoff * (1.0 + rp.jitter * s.jitter_rng.next_double());
+      s.clock += wait;
+      s.link_clock += wait;
+      s.stall_delay += wait;
+      s.backoff_s += wait;
+      s.backoff = std::min(s.backoff * rp.backoff_multiplier, rp.max_backoff_s);
+    };
+    const auto budget_exhausted = [&](const Session& s) {
+      return s.attempts >= rp.retry_budget ||
+             (rp.deadline_s >= 0.0 && s.link_clock >= rp.deadline_s);
+    };
+
+    // Edge-tier walk, mirroring sim::simulate_proxied_transfer lambda-for-
+    // lambda (see that file for the semantics; the draw order here must stay
+    // bit-identical to it).
+    const auto origin_up_now = [&](Session& s) {
+      ProxyState& px = *s.px;
+      return px.origin == nullptr ||
+             px.origin->link_up(s.link_clock, px.origin_rng);
+    };
+    const auto charge = [&](Session& s, double delay) {
+      s.clock += delay;
+      s.link_clock += delay;
+      s.stall_delay += delay;
+    };
+    const auto validate_serving = [&](std::size_t index, Session& s) -> bool {
+      ProxyState& px = *s.px;
+      if (origin_up_now(s)) {
+        if (px.has_replica &&
+            px.replica_gen ==
+                sim::generation_at(s.link_clock, pm.update_interval_s)) {
+          ++px.stats.replica_hits;
+        } else {
+          ++px.stats.origin_fetches;
+          charge(s, pm.origin_fetch_delay_s);
+          px.has_replica = true;
+          px.replica_gen =
+              sim::generation_at(s.link_clock, pm.update_interval_s);
+        }
+        px.serving_stale = false;
+        return true;
+      }
+      ++px.stats.failovers;
+      if (px.has_replica) {
+        ++px.stats.stale_serves;
+        px.serving_stale = true;
+        return true;
+      }
+      // Cold proxy AND origin down: ride out the origin fade under backoff.
+      while (!origin_up_now(s)) {
+        if (budget_exhausted(s)) {
+          finish(index, s, s.content, Outcome::kDegraded);
+          return false;
+        }
+        ++s.attempts;
+        wait_one_backoff(s);
+      }
+      ++px.stats.origin_suspensions;
+      s.backoff = rp.initial_timeout_s;  // origin is back: start fresh
+      px.serving_stale = false;
+      ++px.stats.origin_fetches;
+      charge(s, pm.origin_fetch_delay_s);
+      px.has_replica = true;
+      px.replica_gen = sim::generation_at(s.link_clock, pm.update_interval_s);
+      return true;
+    };
+    const auto acquire_proxy = [&](std::size_t index, Session& s) -> bool {
+      ProxyState& px = *s.px;
+      // Exactly two proxy-stream draws per attach, as in the oracle.
+      const bool warm = px.proxy_rng.next_bernoulli(pm.warm_hit);
+      const double age = -pm.replica_age_mean_s *
+                         std::log(1.0 - px.proxy_rng.next_double());
+      px.has_replica = warm;
+      px.serving_stale = false;
+      px.replica_gen =
+          warm ? sim::generation_at(std::max(0.0, s.link_clock - age),
+                                    pm.update_interval_s)
+               : 0;
+      return validate_serving(index, s);
+    };
+    const auto reconcile = [&](Session& s) {
+      ProxyState& px = *s.px;
+      ++px.stats.reconciliations;
+      if (px.held_gen != px.replica_gen) {
+        if (s.intact > 0) {
+          px.stats.packets_refetched += s.intact;
+          s.reset_cache();
+        }
+        px.held_gen = px.replica_gen;
       }
     };
 
     // Drain the heap: one event = one transmission round. The state machine
     // below is sim::simulate_transfer's round body verbatim (same draw order,
     // same check precedence) — and, when an outage model is configured,
-    // sim::simulate_resilient_transfer's suspend/backoff walk verbatim —
-    // which is what makes the per-session parity tests exact.
+    // sim::simulate_resilient_transfer's suspend/backoff walk verbatim, and,
+    // when the proxy tier is configured, sim::simulate_proxied_transfer's
+    // attach/validate/handoff/reconcile walk verbatim — which is what makes
+    // the per-session parity tests exact.
     while (!heap.empty()) {
       const Event ev = heap.top();
       heap.pop();
@@ -360,6 +590,16 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       const CookedDocument& doc = *s.doc;
       const int m = static_cast<int>(doc.transmitter.m());
       const int n = static_cast<int>(doc.transmitter.n());
+
+      if (s.px != nullptr && !s.px->attached) {
+        // The initial request attaches to the assigned proxy before round 1
+        // (the oracle's acquire before its round loop). Degrading here — the
+        // origin down with nothing cached, budget exhausted — ends the
+        // session with zero rounds, exactly as the oracle does.
+        s.px->attached = true;
+        if (!acquire_proxy(ev.index, s)) continue;
+        s.px->held_gen = s.px->replica_gen;
+      }
 
       ++s.rounds;
       bool terminal = false;
@@ -374,11 +614,17 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
             ++s.frames_lost;
             continue;
           }
+        } else if (s.px != nullptr) {
+          // Proxied sessions keep the session-relative clock running even
+          // with the link always up: origin outage queries and generation
+          // stamps are driven off it.
+          s.link_clock += s.time_per_frame;
         }
         const bool corrupted = s.rng.next_bernoulli(config_.alpha);
         if (!corrupted && !s.test_seen(i)) {
           s.mark_seen(i);
           ++s.intact;
+          if (s.px != nullptr && s.px->serving_stale) ++s.px->stats.stale_frames;
           if (i < m) s.content += doc.clear_content[static_cast<std::size_t>(i)];
         }
         // Reconstruction (condition 1) outranks the relevance abort
@@ -407,34 +653,44 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         bool suspended = false;
         bool dead = false;
         while (!s.outage->link_up(s.link_clock, s.outage_rng)) {
-          if (s.attempts >= rp.retry_budget ||
-              (rp.deadline_s >= 0.0 && s.link_clock >= rp.deadline_s)) {
+          if (budget_exhausted(s)) {
             finish(ev.index, s, s.content, Outcome::kDegraded);
             dead = true;
             break;
           }
           ++s.attempts;
           suspended = true;
-          // The jitter draw happens unconditionally (even at jitter = 0) so
-          // the stream stays aligned with the oracle's, wait-for-wait.
-          const double wait =
-              s.backoff * (1.0 + rp.jitter * s.jitter_rng.next_double());
-          s.clock += wait;
-          s.link_clock += wait;
-          s.stall_delay += wait;
-          s.backoff_s += wait;
-          s.backoff = std::min(s.backoff * rp.backoff_multiplier, rp.max_backoff_s);
+          wait_one_backoff(s);
         }
         if (dead) continue;
         if (suspended) {
           ++s.suspensions;
           s.backoff = rp.initial_timeout_s;  // link is back: start fresh
+          if (s.px != nullptr) {
+            // Reconnect: revalidate the serving replica (it may have been
+            // refreshed or gone stale while the client was dark), then
+            // reconcile the partial cache against its generation.
+            if (!validate_serving(ev.index, s)) continue;
+            reconcile(s);
+          }
         }
+      }
+      if (s.px != nullptr) {
+        // Cell handoff: one proxy-stream Bernoulli per stalled round, drawn
+        // unconditionally (even at handoff_rate = 0) to keep the stream
+        // aligned with the oracle's.
+        if (s.px->proxy_rng.next_bernoulli(pm.handoff_rate)) {
+          ++s.px->stats.handoffs;
+          charge(s, pm.handoff_delay_s);
+          if (!acquire_proxy(ev.index, s)) continue;
+          reconcile(s);
+        }
+      }
+      if (s.outage != nullptr || s.px != nullptr) {
         // The retransmission request consumes budget even when it succeeds
         // (the fleet back channel is reliable), exactly as in
-        // ResilientSession / the resilient oracle.
-        if (s.attempts >= rp.retry_budget ||
-            (rp.deadline_s >= 0.0 && s.link_clock >= rp.deadline_s)) {
+        // ResilientSession / the resilient and proxied oracles.
+        if (budget_exhausted(s)) {
           finish(ev.index, s, s.content, Outcome::kDegraded);
           continue;
         }
@@ -465,6 +721,16 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     result.session_time_s += tot.session_time_s;
     result.backoff_s += tot.backoff_s;
     result.makespan_s = std::max(result.makespan_s, tot.makespan_s);
+    result.proxy.replica_hits += tot.proxy.replica_hits;
+    result.proxy.stale_serves += tot.proxy.stale_serves;
+    result.proxy.failovers += tot.proxy.failovers;
+    result.proxy.handoffs += tot.proxy.handoffs;
+    result.proxy.origin_fetches += tot.proxy.origin_fetches;
+    result.proxy.origin_suspensions += tot.proxy.origin_suspensions;
+    result.proxy.reconciliations += tot.proxy.reconciliations;
+    result.proxy.packets_refetched += tot.proxy.packets_refetched;
+    result.proxy.stale_frames += tot.proxy.stale_frames;
+    result.proxy.sessions_ended_stale += tot.proxy.sessions_ended_stale;
   }
   if (config_.tail_stats) {
     // summarize_tails sorts, so the outcome depends only on the multiset of

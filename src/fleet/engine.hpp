@@ -34,6 +34,17 @@
 // depend only on (seed, i) / (seed), so they are deterministic and
 // shard-invariant; both default off, reproducing today's workload exactly.
 //
+// Edge proxy tier: when `config.proxy` is set, sessions fetch through an
+// edge proxy instead of straight from the origin, and the event loop runs
+// sim::simulate_proxied_transfer's walk — warm-replica draws on attach,
+// origin validation (the origin owning its own per-session OutageModel
+// clone), failover to stale-but-flagged replicas during origin fades,
+// per-round cell-handoff draws, and reconnect reconciliation of the client's
+// partial cache against the serving replica's generation. Each session's
+// proxy assignment and its proxy/origin RNG streams depend only on
+// (seed, i), so proxied runs stay deterministic and shard-invariant, with
+// per-session bit-parity against the proxied oracle.
+//
 // Determinism: session i's RNGs (corruption, outage, jitter, document draw)
 // are seeded from (seed, i) only, shard partials are merged in shard order,
 // and event ties break on session index — so a fixed (seed, shards) pair
@@ -43,16 +54,28 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "channel/outage.hpp"
 #include "fleet/cache.hpp"
 #include "obs/metrics.hpp"
+#include "sim/proxied.hpp"
 #include "sim/transfer.hpp"
 #include "stats/describe.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mobiweb::fleet {
+
+// Edge proxy tier configuration (FleetConfig::proxy). The analytic model
+// shape is shared with the oracle; the origin gets its own outage prototype,
+// cloned per session exactly like the wireless-link model.
+struct FleetProxyConfig {
+  sim::ProxyModelConfig model;
+  // Origin failure domain, independent of the wireless link. nullptr =
+  // origin always reachable (replicas only ever refresh, never fail over).
+  std::shared_ptr<const channel::OutageModel> origin_outage;
+};
 
 struct FleetConfig {
   CacheConfig corpus;                // corpus shape + seed + LOD
@@ -84,13 +107,33 @@ struct FleetConfig {
   // rate (0 = uniform stagger over arrival_spread_s).
   double zipf_s = 0.0;
   double arrival_rate_hz = 0.0;
+  // Edge proxy tier (see the header comment). nullopt = sessions talk to the
+  // origin directly, legacy bit-identical walk. When set, `retry` governs the
+  // origin-fade backoff too, whether or not `outage` is also set.
+  std::optional<FleetProxyConfig> proxy;
 };
 
 struct SessionOutcome {
   std::uint32_t session = 0;
   CacheKey key;
   double start_s = 0.0;
+  std::uint32_t proxy_id = 0;  // assigned edge proxy (proxied runs only)
   sim::TransferResult result;
+  sim::ProxyStats proxy;       // zeros unless FleetConfig::proxy engaged
+};
+
+// Fleet-wide edge-tier aggregates (sums of the per-session ProxyStats).
+struct FleetProxyTotals {
+  long replica_hits = 0;
+  long stale_serves = 0;
+  long failovers = 0;
+  long handoffs = 0;
+  long origin_fetches = 0;
+  long origin_suspensions = 0;
+  long reconciliations = 0;
+  long packets_refetched = 0;
+  long stale_frames = 0;
+  long sessions_ended_stale = 0;  // final serving replica was stale-flagged
 };
 
 struct FleetResult {
@@ -117,6 +160,7 @@ struct FleetResult {
   // what bench_fleet exports as session_time_s_{p50,p95,p99,p999,mean,ci95}
   // and what the perf gate compares tail-first.
   stats::TailSummary session_time_tails;
+  FleetProxyTotals proxy;                // zeros unless FleetConfig::proxy
   std::vector<SessionOutcome> outcomes;  // empty unless record_outcomes
 
   [[nodiscard]] double sessions_per_s() const {
@@ -143,6 +187,15 @@ std::uint64_t session_outage_seed(std::uint64_t fleet_seed, std::uint64_t sessio
 std::uint64_t session_jitter_seed(std::uint64_t fleet_seed, std::uint64_t session);
 std::uint64_t session_zipf_seed(std::uint64_t fleet_seed, std::uint64_t session);
 std::uint64_t fleet_arrival_seed(std::uint64_t fleet_seed);
+// Edge tier streams: the warm-replica/age/handoff draws and the origin's
+// outage-model clone each get their own salted stream, and the session's
+// proxy assignment is a deterministic hash into the pool — all functions of
+// (seed, i) only, like every other per-session stream.
+std::uint64_t session_proxy_seed(std::uint64_t fleet_seed, std::uint64_t session);
+std::uint64_t session_origin_seed(std::uint64_t fleet_seed, std::uint64_t session);
+std::uint32_t session_proxy_assignment(std::uint64_t fleet_seed,
+                                       std::uint64_t session,
+                                       std::uint32_t proxies);
 
 class FleetEngine {
  public:

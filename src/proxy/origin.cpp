@@ -1,0 +1,56 @@
+#include "proxy/origin.hpp"
+
+#include "sim/proxied.hpp"
+#include "util/check.hpp"
+
+namespace mobiweb::proxy {
+
+OriginServer::OriginServer(OriginConfig config)
+    : config_(config), corpus_(config.corpus), outage_rng_(config.outage_seed),
+      published_(config.corpus.corpus_size, 0) {
+  MOBIWEB_CHECK_MSG(config_.update_interval_s >= 0.0,
+                    "OriginServer: update_interval_s >= 0");
+  if (config_.outage != nullptr) outage_ = config_.outage->session_clone();
+}
+
+bool OriginServer::available(double now) {
+  if (outage_ == nullptr) return true;
+  return outage_->link_up(now, outage_rng_);
+}
+
+std::uint64_t OriginServer::generation(std::uint32_t doc_index,
+                                       double now) const {
+  MOBIWEB_CHECK_MSG(doc_index < published_.size(),
+                    "OriginServer: doc_index out of corpus");
+  return published_[doc_index] +
+         sim::generation_at(now, config_.update_interval_s);
+}
+
+void OriginServer::publish(std::uint32_t doc_index) {
+  MOBIWEB_CHECK_MSG(doc_index < published_.size(),
+                    "OriginServer: doc_index out of corpus");
+  ++published_[doc_index];
+}
+
+std::optional<Replica> OriginServer::fetch(const fleet::CacheKey& key,
+                                           double now) {
+  if (!available(now)) {
+    ++refused_;
+    return std::nullopt;
+  }
+  ++fetches_;
+  return Replica{corpus_.get(key), generation(key.doc_index, now)};
+}
+
+std::optional<bool> OriginServer::validate(const fleet::CacheKey& key,
+                                           std::uint64_t replica_generation,
+                                           double now) {
+  if (!available(now)) {
+    ++refused_;
+    return std::nullopt;
+  }
+  ++validations_;
+  return replica_generation == generation(key.doc_index, now);
+}
+
+}  // namespace mobiweb::proxy

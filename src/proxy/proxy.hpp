@@ -1,0 +1,121 @@
+// Edge proxy: a bounded replica cache between the origin server and the
+// wireless channel.
+//
+// A proxy holds pre-encoded replicas (fleet::CookedDocument + origin
+// generation stamp) under the same LRU + IC-weighted admission policy as the
+// bounded fleet::DocumentCache: a replica is admitted only if its information
+// density (content per cooked wire byte) is at least the LRU victim's, so a
+// burst of cold low-value documents cannot flush the dense working set.
+//
+// serve() is the whole protocol. With the origin reachable the replica is
+// validated (current -> fresh hit; stale -> refreshed from the origin); with
+// the origin down the proxy fails over to whatever replica it holds, flagged
+// stale — ServeOutcome::stale is true on *every* path where the origin did
+// not vouch for the bytes, never silently cleared (the edge tier's core
+// safety property, pinned in tests/test_proxy.cpp) — and a cold proxy with a
+// dead origin reports the document unavailable, leaving the client to back
+// off and retry.
+//
+// Single-threaded by design: one proxy serves one simulated cell, and the
+// drivers (ProxyResilientSession, benches) run a cell's sessions on one
+// thread. The shared concurrency-hardened cook path stays inside
+// fleet::DocumentCache, which the origin owns.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "obs/metrics.hpp"
+#include "proxy/origin.hpp"
+
+namespace mobiweb::proxy {
+
+struct EdgeProxyConfig {
+  // Maximum resident replicas. 0 = unbounded.
+  std::size_t capacity = 0;
+  std::uint32_t proxy_id = 0;  // label in traces/metrics
+};
+
+enum class ServeSource {
+  kFreshHit,       // replica held and origin-validated current
+  kRefreshed,      // replica held but stale; re-fetched from the origin
+  kOriginFetch,    // cold proxy, origin fetch succeeded
+  kStaleFailover,  // origin down; serving the held replica flagged stale
+  kUnavailable,    // origin down and nothing cached: cannot serve at all
+};
+
+struct ServeOutcome {
+  std::shared_ptr<const fleet::CookedDocument> doc;  // nullptr iff kUnavailable
+  std::uint64_t generation = 0;
+  // True whenever the origin did not validate the bytes as current at serve
+  // time. Never false on a failover path.
+  bool stale = false;
+  ServeSource source = ServeSource::kUnavailable;
+};
+
+struct EdgeProxyStats {
+  long fresh_hits = 0;
+  long refreshes = 0;
+  long origin_fetches = 0;   // cold fetches (kOriginFetch servings)
+  long stale_serves = 0;     // kStaleFailover servings
+  long failovers = 0;        // origin found down at a serve point
+  long unavailable = 0;      // kUnavailable servings
+  long evictions = 0;
+  long admission_rejects = 0;
+};
+
+class EdgeProxy {
+ public:
+  EdgeProxy(EdgeProxyConfig config, OriginServer& origin);
+
+  // One client request for `key` at clock time `now` (non-decreasing per
+  // proxy). Never returns a stale replica with `stale == false`.
+  [[nodiscard]] ServeOutcome serve(const fleet::CacheKey& key, double now);
+
+  // Whether a replica of `key` is currently resident (no origin traffic).
+  [[nodiscard]] bool holds(const fleet::CacheKey& key) const;
+  // Resident replica's generation stamp; requires holds(key).
+  [[nodiscard]] std::uint64_t replica_generation(const fleet::CacheKey& key) const;
+
+  // Pre-warms the replica cache (deployment prefill / test setup). A no-op
+  // when the origin is down at `now`.
+  void warm(const fleet::CacheKey& key, double now);
+
+  // Drops a resident replica (test hook for cold-restart scenarios).
+  void drop(const fleet::CacheKey& key);
+
+  [[nodiscard]] std::size_t resident() const { return replicas_.size(); }
+  [[nodiscard]] const EdgeProxyStats& stats() const { return stats_; }
+  [[nodiscard]] const EdgeProxyConfig& config() const { return config_; }
+
+  // Mirrors EdgeProxyStats into `proxy.edge.*` counters of `registry` from
+  // now on; nullptr detaches (the default).
+  void set_metrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Resident {
+    Replica replica;
+    std::list<fleet::CacheKey>::iterator lru;  // front = hottest
+  };
+
+  // LRU + IC-weighted admission, mirroring fleet::DocumentCache::admit.
+  void admit(const fleet::CacheKey& key, Replica replica);
+  void touch(Resident& r);
+  [[nodiscard]] ServeOutcome serve_replica(Resident& r, bool stale,
+                                           ServeSource source);
+
+  EdgeProxyConfig config_;
+  OriginServer* origin_;
+  std::map<fleet::CacheKey, Resident> replicas_;
+  std::list<fleet::CacheKey> lru_;
+  EdgeProxyStats stats_;
+  obs::Counter* metric_fresh_ = nullptr;
+  obs::Counter* metric_refresh_ = nullptr;
+  obs::Counter* metric_fetch_ = nullptr;
+  obs::Counter* metric_stale_ = nullptr;
+  obs::Counter* metric_failover_ = nullptr;
+  obs::Counter* metric_unavailable_ = nullptr;
+};
+
+}  // namespace mobiweb::proxy

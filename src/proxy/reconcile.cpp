@@ -1,0 +1,51 @@
+#include "proxy/reconcile.hpp"
+
+namespace mobiweb::proxy {
+
+namespace {
+
+std::uint32_t popcount64(std::uint64_t w) {
+  std::uint32_t count = 0;
+  while (w != 0) {
+    w &= w - 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint32_t PartialBitmap::count() const {
+  return popcount64(words[0]) + popcount64(words[1]) + popcount64(words[2]) +
+         popcount64(words[3]);
+}
+
+ReconcileResult reconcile(const PartialBitmap& held,
+                          const std::vector<CachedUnit>& entries,
+                          std::uint64_t replica_generation) {
+  // Per held unit: seen at least one record / seen only matching records.
+  // Both fit in bitmaps, so the scan is O(entries + kReconcileUnits) with no
+  // per-unit allocation — safe against adversarial duplicate-heavy inputs.
+  PartialBitmap covered;
+  PartialBitmap mismatched;
+  for (const CachedUnit& e : entries) {
+    if (!held.test(e.unit)) continue;  // record for a packet we don't hold
+    covered.set(e.unit);
+    if (e.generation != replica_generation) mismatched.set(e.unit);
+  }
+
+  ReconcileResult out;
+  for (std::uint32_t unit = 0; unit < kReconcileUnits; ++unit) {
+    if (!held.test(unit)) continue;
+    if (covered.test(unit) && !mismatched.test(unit)) {
+      out.kept.push_back(unit);
+      out.bitmap.set(unit);
+    } else {
+      // Unprovenanced or generation-mismatched: never serve stale as fresh.
+      out.refetch.push_back(unit);
+    }
+  }
+  return out;
+}
+
+}  // namespace mobiweb::proxy

@@ -1,0 +1,244 @@
+#include "proxy/session.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "proxy/reconcile.hpp"
+#include "util/check.hpp"
+
+namespace mobiweb::proxy {
+
+ProxyResilientSession::ProxyResilientSession(std::vector<EdgeProxy*> proxies,
+                                             channel::WirelessChannel& channel,
+                                             ProxySessionConfig config,
+                                             std::size_t initial)
+    : proxies_(std::move(proxies)), channel_(&channel),
+      config_(std::move(config)), jitter_rng_(config_.jitter_seed),
+      current_(0) {
+  MOBIWEB_CHECK_MSG(!proxies_.empty(),
+                    "ProxyResilientSession: empty proxy pool");
+  for (const EdgeProxy* p : proxies_) {
+    MOBIWEB_CHECK_MSG(p != nullptr, "ProxyResilientSession: null proxy");
+  }
+  const transmit::RetryPolicy& rp = config_.retry;
+  MOBIWEB_CHECK_MSG(config_.max_rounds >= 1,
+                    "ProxyResilientSession: max_rounds >= 1");
+  MOBIWEB_CHECK_MSG(rp.retry_budget >= 1,
+                    "ProxyResilientSession: retry_budget >= 1");
+  MOBIWEB_CHECK_MSG(rp.initial_timeout_s >= 0.0,
+                    "ProxyResilientSession: initial_timeout_s >= 0");
+  MOBIWEB_CHECK_MSG(rp.backoff_multiplier >= 1.0,
+                    "ProxyResilientSession: backoff_multiplier >= 1");
+  MOBIWEB_CHECK_MSG(rp.max_backoff_s >= rp.initial_timeout_s,
+                    "ProxyResilientSession: max_backoff_s >= initial_timeout_s");
+  MOBIWEB_CHECK_MSG(rp.jitter >= 0.0, "ProxyResilientSession: jitter >= 0");
+  MOBIWEB_CHECK_MSG(config_.handoff_delay_s >= 0.0,
+                    "ProxyResilientSession: handoff_delay_s >= 0");
+  current_ = initial % proxies_.size();
+}
+
+ProxySessionResult ProxyResilientSession::run(const fleet::CacheKey& key) {
+  ProxySessionResult out;
+  transmit::SessionResult& result = out.session;
+  sim::ProxyStats& px = out.proxy;
+  const transmit::RetryPolicy& rp = config_.retry;
+  const double start = channel_->now();
+  double last_arrival = start;
+  double handoff_checked = start;
+  const bool relevance_check = config_.relevance_threshold >= 0.0;
+  double backoff = rp.initial_timeout_s;
+
+  std::shared_ptr<const fleet::CookedDocument> doc;
+  std::uint64_t serving_gen = 0;
+  bool serving_stale = false;
+  std::uint64_t held_gen = 0;
+  std::optional<transmit::ClientReceiver> receiver;
+
+  const auto deadline_exceeded = [&] {
+    return rp.deadline_s >= 0.0 && channel_->now() - start >= rp.deadline_s;
+  };
+  const auto wait_one_backoff = [&] {
+    const double wait =
+        backoff * (1.0 + rp.jitter * jitter_rng_.next_double());
+    if (wait > 0.0) channel_->advance(wait);
+    out.backoff_total_s += wait;
+    backoff = std::min(backoff * rp.backoff_multiplier, rp.max_backoff_s);
+  };
+  const auto finish = [&](transmit::SessionStatus status) -> ProxySessionResult {
+    result.status = status;
+    result.completed = status == transmit::SessionStatus::kCompleted;
+    result.aborted_irrelevant =
+        status == transmit::SessionStatus::kAbortedIrrelevant;
+    if (receiver.has_value()) {
+      result.content_received = receiver->content_received();
+      out.partial = receiver->partial_document();
+    }
+    result.response_time = last_arrival - start;
+    px.ended_stale = serving_stale;
+    out.serving_proxy = static_cast<std::uint32_t>(current_);
+    return out;
+  };
+
+  // Serves `key` from the current proxy. A proxy with nothing at all (cold
+  // AND origin down) suspends the client under backoff, consuming retry
+  // budget so a dead origin still terminates; false = budget/deadline
+  // exhausted (caller degrades).
+  const auto attach = [&]() -> bool {
+    bool waited = false;
+    for (;;) {
+      ServeOutcome s = proxies_[current_]->serve(key, channel_->now());
+      if (s.doc != nullptr) {
+        switch (s.source) {
+          case ServeSource::kFreshHit:
+            ++px.replica_hits;
+            break;
+          case ServeSource::kRefreshed:
+          case ServeSource::kOriginFetch:
+            ++px.origin_fetches;
+            break;
+          case ServeSource::kStaleFailover:
+            ++px.failovers;
+            ++px.stale_serves;
+            break;
+          case ServeSource::kUnavailable:
+            break;  // unreachable with a non-null doc
+        }
+        if (waited) {
+          ++px.origin_suspensions;
+          backoff = rp.initial_timeout_s;  // origin is back: start fresh
+        }
+        doc = std::move(s.doc);
+        serving_gen = s.generation;
+        serving_stale = s.stale;
+        return true;
+      }
+      ++px.failovers;
+      waited = true;
+      if (out.request_attempts >= rp.retry_budget || deadline_exceeded()) {
+        return false;
+      }
+      ++out.request_attempts;
+      wait_one_backoff();
+    }
+  };
+
+  // Reconnect reconciliation: validate the cached packets' generation against
+  // the replica now serving. All-or-nothing in a session (every cached packet
+  // shares held_gen), but the decision is delegated to proxy::reconcile — the
+  // same pure function the fuzz harness drives.
+  const auto reconcile_cache = [&] {
+    if (!receiver.has_value()) return;
+    ++px.reconciliations;
+    PartialBitmap held;
+    std::vector<CachedUnit> entries;
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::size_t>(doc->transmitter.n(), kReconcileUnits));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (receiver->has_packet(i)) {
+        held.set(i);
+        entries.push_back(CachedUnit{i, held_gen});
+      }
+    }
+    const ReconcileResult r = reconcile(held, entries, serving_gen);
+    if (!r.refetch.empty()) {
+      px.packets_refetched += static_cast<long>(r.refetch.size());
+      receiver->reset_cache();
+    }
+    held_gen = serving_gen;
+  };
+
+  if (!attach()) return finish(transmit::SessionStatus::kDegraded);
+  held_gen = serving_gen;
+  {
+    transmit::ReceiverConfig rc;
+    rc.doc_id = doc->transmitter.doc_id();
+    rc.m = doc->transmitter.m();
+    rc.n = doc->transmitter.n();
+    rc.packet_size = doc->transmitter.packet_size();
+    rc.payload_size = doc->transmitter.payload_size();
+    rc.caching = config_.caching;
+    receiver.emplace(rc, doc->transmitter.document().segments);
+  }
+
+  for (int round = 1; round <= config_.max_rounds; ++round) {
+    result.rounds = round;
+    for (std::size_t i = 0; i < doc->transmitter.n(); ++i) {
+      channel::WirelessChannel::Delivery d =
+          channel_->send(ByteSpan(doc->transmitter.frame(i)));
+      ++result.frames_sent;
+      if (d.lost) continue;
+      last_arrival = d.arrive_time;
+      const transmit::FrameResult fr =
+          receiver->on_frame(ByteSpan(d.frame), d.arrive_time);
+      if (fr.newly_useful && serving_stale) ++px.stale_frames;
+      if (receiver->complete()) {
+        return finish(transmit::SessionStatus::kCompleted);
+      }
+      if (relevance_check &&
+          receiver->content_received() >= config_.relevance_threshold) {
+        return finish(transmit::SessionStatus::kAbortedIrrelevant);
+      }
+    }
+    if (round == config_.max_rounds) break;  // give up: no further request
+    receiver->on_round_end();
+
+    // Link-outage suspend, exactly as ResilientSession — then, because time
+    // passed with the replica unwatched, re-validate the serving path and
+    // reconcile the cache before asking for more.
+    if (!channel_->link_up_now()) {
+      while (!channel_->link_up_now()) {
+        if (out.request_attempts >= rp.retry_budget || deadline_exceeded()) {
+          return finish(transmit::SessionStatus::kDegraded);
+        }
+        ++out.request_attempts;
+        wait_one_backoff();
+      }
+      ++out.outages_ridden;
+      backoff = rp.initial_timeout_s;  // link is back: start fresh
+      if (!attach()) return finish(transmit::SessionStatus::kDegraded);
+      reconcile_cache();
+    }
+
+    // Scripted cell handoffs that fired since the last check: rebind to the
+    // next proxy (round-robin), charge the attach latency, serve from the
+    // new cell and reconcile against whatever generation it holds.
+    const double now = channel_->now();
+    const std::size_t fired = config_.handoffs.count_in(handoff_checked, now);
+    handoff_checked = now;
+    if (fired > 0) {
+      for (std::size_t h = 0; h < fired; ++h) {
+        ++px.handoffs;
+        current_ = (current_ + 1) % proxies_.size();
+        if (config_.handoff_delay_s > 0.0) {
+          channel_->advance(config_.handoff_delay_s);
+        }
+      }
+      const std::size_t n_before = doc->transmitter.n();
+      if (!attach()) return finish(transmit::SessionStatus::kDegraded);
+      // Same key => same deterministic cooked build: the receiver's geometry
+      // cannot change across proxies, only the generation stamp can.
+      MOBIWEB_CHECK_MSG(doc->transmitter.n() == n_before,
+                        "ProxyResilientSession: cooked geometry changed");
+      reconcile_cache();
+    }
+
+    // Re-request until one message survives the lossy back channel.
+    for (;;) {
+      if (out.request_attempts >= rp.retry_budget || deadline_exceeded()) {
+        return finish(transmit::SessionStatus::kDegraded);
+      }
+      ++out.request_attempts;
+      if (channel_->send_feedback()) {
+        backoff = rp.initial_timeout_s;
+        break;
+      }
+      ++out.timeouts;
+      wait_one_backoff();
+    }
+  }
+
+  return finish(transmit::SessionStatus::kGaveUp);
+}
+
+}  // namespace mobiweb::proxy

@@ -68,6 +68,10 @@ double ClientReceiver::content_received() const {
 
 void ClientReceiver::on_round_end() {
   if (config_.caching) return;
+  reset_cache();
+}
+
+void ClientReceiver::reset_cache() {
   decoder_.reset();
   clear_content_ = 0.0;
 }

@@ -108,6 +108,14 @@ class ClientReceiver {
   // haviour; with caching this is a no-op.
   void on_round_end();
 
+  // Unconditionally drops the intact-packet cache and its content accounting,
+  // caching strategy notwithstanding. Reconnect reconciliation calls this
+  // when the serving replica's generation no longer matches the generation
+  // the cached packets were fetched under — packets from different encodings
+  // must never be mixed into one reconstruction. Frame statistics (seen /
+  // corrupted / foreign) survive: they describe the channel, not the cache.
+  void reset_cache();
+
   [[nodiscard]] const std::vector<doc::Segment>& segments() const { return segments_; }
   [[nodiscard]] long frames_seen() const { return frames_seen_; }
   // Frames that failed CRC / were undecodable. Foreign frames (intact but for

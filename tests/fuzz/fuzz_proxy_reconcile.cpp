@@ -1,0 +1,125 @@
+// Fuzz target: proxy::reconcile — the decision that determines which cached
+// cooked packets a reconnecting client may keep. The edge tier's safety
+// property rides on this function: a stale packet (one whose generation
+// record disagrees with the serving replica's) must NEVER survive into the
+// kept set, no matter how adversarial the bitmap / record list combination.
+//
+// Input layout (truncated tails are fine — the provider zero-pads):
+//   8 bytes   replica generation (LE)
+//   32 bytes  held bitmap (4 x u64 LE)
+//   12 bytes  per record: u32 unit (LE) + u64 generation (LE), repeated
+//
+// The oracle recomputes the conservative keep rule naively (per held unit:
+// kept iff covered by >= 1 record and every covering record matches) and
+// demands the production result agree exactly, plus the structural
+// invariants: kept/refetch ascending and disjoint, together a partition of
+// the held set, and the result bitmap == the kept set.
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_input.hpp"
+#include "proxy/reconcile.hpp"
+
+using mobiweb::fuzz::FuzzInput;
+using mobiweb::proxy::CachedUnit;
+using mobiweb::proxy::kReconcileUnits;
+using mobiweb::proxy::PartialBitmap;
+using mobiweb::proxy::ReconcileResult;
+
+namespace {
+
+std::uint64_t take_u64(FuzzInput& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in.take_byte()) << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t take_u32(FuzzInput& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in.take_byte()) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 16)) return 0;
+  FuzzInput in(data, size);
+
+  const std::uint64_t replica_generation = take_u64(in);
+  PartialBitmap held;
+  for (std::uint64_t& word : held.words) word = take_u64(in);
+
+  std::vector<CachedUnit> entries;
+  while (in.remaining() >= 12) {
+    entries.push_back({take_u32(in), take_u64(in)});
+  }
+
+  const ReconcileResult r =
+      mobiweb::proxy::reconcile(held, entries, replica_generation);
+
+  // Naive reference: per held unit, kept iff >= 1 covering record and no
+  // covering record disagrees with the serving generation.
+  PartialBitmap expected_kept;
+  std::vector<std::uint32_t> expected_refetch;
+  for (std::uint32_t unit = 0; unit < kReconcileUnits; ++unit) {
+    if (!held.test(unit)) continue;
+    bool covered = false;
+    bool mismatched = false;
+    for (const CachedUnit& e : entries) {
+      if (e.unit != unit) continue;
+      covered = true;
+      if (e.generation != replica_generation) mismatched = true;
+    }
+    if (covered && !mismatched) {
+      expected_kept.set(unit);
+    } else {
+      expected_refetch.push_back(unit);
+    }
+  }
+
+  // THE safety property: no stale (or unprovenanced) unit survives as kept.
+  for (const std::uint32_t unit : r.kept) {
+    MOBIWEB_FUZZ_ASSERT(expected_kept.test(unit),
+                        "stale or unprovenanced unit survived into kept");
+  }
+  MOBIWEB_FUZZ_ASSERT(r.bitmap == expected_kept,
+                      "result bitmap disagrees with the reference keep rule");
+  MOBIWEB_FUZZ_ASSERT(r.refetch == expected_refetch,
+                      "refetch list disagrees with the reference keep rule");
+
+  // Structural invariants: ascending, disjoint, and a partition of held.
+  PartialBitmap seen;
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t unit : r.kept) {
+    MOBIWEB_FUZZ_ASSERT(unit < kReconcileUnits, "kept unit out of range");
+    MOBIWEB_FUZZ_ASSERT(first || unit > prev, "kept list not ascending");
+    MOBIWEB_FUZZ_ASSERT(held.test(unit), "kept unit was never held");
+    MOBIWEB_FUZZ_ASSERT(r.bitmap.test(unit), "kept unit missing from bitmap");
+    seen.set(unit);
+    prev = unit;
+    first = false;
+  }
+  first = true;
+  for (const std::uint32_t unit : r.refetch) {
+    MOBIWEB_FUZZ_ASSERT(unit < kReconcileUnits, "refetch unit out of range");
+    MOBIWEB_FUZZ_ASSERT(first || unit > prev, "refetch list not ascending");
+    MOBIWEB_FUZZ_ASSERT(held.test(unit), "refetch unit was never held");
+    MOBIWEB_FUZZ_ASSERT(!seen.test(unit), "unit in both kept and refetch");
+    MOBIWEB_FUZZ_ASSERT(!r.bitmap.test(unit),
+                        "refetch unit still set in the bitmap");
+    seen.set(unit);
+    prev = unit;
+    first = false;
+  }
+  MOBIWEB_FUZZ_ASSERT(seen == held, "kept + refetch is not a partition of held");
+  MOBIWEB_FUZZ_ASSERT(r.bitmap.count() ==
+                          static_cast<std::uint32_t>(r.kept.size()),
+                      "bitmap population disagrees with kept size");
+  return 0;
+}

@@ -772,3 +772,374 @@ TEST(FleetEngine, OversizedGammaSurfacesFromRun) {
   fleet::FleetEngine engine(cfg);
   EXPECT_THROW(engine.run(), mw::ContractViolation);
 }
+
+// ---- Edge proxy tier (origin failover, staleness, reconciliation) ----
+
+namespace {
+
+// An edge tier aggressive enough that every branch of the proxied walk runs:
+// warm misses, origin fades (failover + stale serves + origin suspensions),
+// a moving corpus (generation bumps -> reconcile refetches), and handoffs.
+fleet::FleetConfig proxied_config(std::size_t sessions) {
+  fleet::FleetConfig cfg = small_config(sessions);
+  cfg.alpha = 0.55;  // several stalled rounds per session -> handoff draws
+  cfg.proxy.emplace();
+  cfg.proxy->model.warm_hit = 0.6;
+  cfg.proxy->model.replica_age_mean_s = 40.0;
+  cfg.proxy->model.origin_fetch_delay_s = 0.5;
+  cfg.proxy->model.handoff_rate = 0.35;
+  cfg.proxy->model.handoff_delay_s = 0.3;
+  cfg.proxy->model.update_interval_s = 15.0;
+  cfg.proxy->model.proxies = 4;
+  cfg.proxy->origin_outage = std::make_shared<mw::channel::MarkovOutageModel>(
+      mw::channel::MarkovOutageModel::with_duty_cycle(0.4, 6.0));
+  cfg.retry.retry_budget = 12;
+  cfg.retry.initial_timeout_s = 0.5;
+  cfg.retry.backoff_multiplier = 2.0;
+  cfg.retry.max_backoff_s = 30.0;
+  cfg.retry.jitter = 0.1;
+  return cfg;
+}
+
+// Re-runs one fleet session through sim::simulate_proxied_transfer with the
+// session's exact seeds and model clones; every result field must be
+// bit-equal — the engine's proxied round body IS the oracle's.
+void expect_session_matches_proxied_oracle(const fleet::FleetConfig& cfg,
+                                           fleet::FleetEngine& engine,
+                                           const fleet::SessionOutcome& out) {
+  const auto cooked = engine.cache().get(out.key);
+  sim::ProxiedTransferConfig pc;
+  pc.base = base_transfer_config(cfg, *cooked);
+  pc.retry = cfg.retry;
+  pc.proxy = cfg.proxy->model;
+  pc.jitter_seed = fleet::session_jitter_seed(cfg.seed, out.session);
+  pc.proxy_seed = fleet::session_proxy_seed(cfg.seed, out.session);
+  if (cfg.outage != nullptr) {
+    const std::shared_ptr<mw::channel::OutageModel> link =
+        cfg.outage->session_clone();
+    const auto link_rng = std::make_shared<mw::Rng>(
+        fleet::session_outage_seed(cfg.seed, out.session));
+    pc.base.link_up = [link, link_rng](double t) {
+      return link->link_up(t, *link_rng);
+    };
+  }
+  if (cfg.proxy->origin_outage != nullptr) {
+    const std::shared_ptr<mw::channel::OutageModel> origin =
+        cfg.proxy->origin_outage->session_clone();
+    const auto origin_rng = std::make_shared<mw::Rng>(
+        fleet::session_origin_seed(cfg.seed, out.session));
+    pc.origin_up = [origin, origin_rng](double t) {
+      return origin->link_up(t, *origin_rng);
+    };
+  }
+  mw::Rng rng(fleet::session_seed(cfg.seed, out.session));
+  const sim::ProxiedTransferResult expected =
+      sim::simulate_proxied_transfer(cooked->clear_content, pc, rng);
+
+  EXPECT_EQ(out.result.packets, expected.transfer.packets);
+  EXPECT_EQ(out.result.rounds, expected.transfer.rounds);
+  EXPECT_EQ(out.result.completed, expected.transfer.completed);
+  EXPECT_EQ(out.result.aborted_irrelevant, expected.transfer.aborted_irrelevant);
+  EXPECT_EQ(out.result.gave_up, expected.transfer.gave_up);
+  EXPECT_EQ(out.result.degraded, expected.transfer.degraded);
+  EXPECT_EQ(out.result.content, expected.transfer.content);  // bit-equal
+  EXPECT_EQ(out.result.time, expected.transfer.time);
+  EXPECT_EQ(out.result.frames_lost, expected.transfer.frames_lost);
+  EXPECT_EQ(out.result.suspensions, expected.transfer.suspensions);
+  EXPECT_EQ(out.result.request_attempts, expected.transfer.request_attempts);
+  EXPECT_EQ(out.result.backoff_s, expected.transfer.backoff_s);
+  EXPECT_EQ(out.proxy.replica_hits, expected.proxy.replica_hits);
+  EXPECT_EQ(out.proxy.stale_serves, expected.proxy.stale_serves);
+  EXPECT_EQ(out.proxy.failovers, expected.proxy.failovers);
+  EXPECT_EQ(out.proxy.handoffs, expected.proxy.handoffs);
+  EXPECT_EQ(out.proxy.origin_fetches, expected.proxy.origin_fetches);
+  EXPECT_EQ(out.proxy.origin_suspensions, expected.proxy.origin_suspensions);
+  EXPECT_EQ(out.proxy.reconciliations, expected.proxy.reconciliations);
+  EXPECT_EQ(out.proxy.packets_refetched, expected.proxy.packets_refetched);
+  EXPECT_EQ(out.proxy.stale_frames, expected.proxy.stale_frames);
+  EXPECT_EQ(out.proxy.ended_stale, expected.proxy.ended_stale);
+  EXPECT_EQ(out.proxy_id, fleet::session_proxy_assignment(
+                              cfg.seed, out.session, cfg.proxy->model.proxies));
+}
+
+void expect_proxy_totals_equal(const fleet::FleetProxyTotals& a,
+                               const fleet::FleetProxyTotals& b) {
+  EXPECT_EQ(a.replica_hits, b.replica_hits);
+  EXPECT_EQ(a.stale_serves, b.stale_serves);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.origin_fetches, b.origin_fetches);
+  EXPECT_EQ(a.origin_suspensions, b.origin_suspensions);
+  EXPECT_EQ(a.reconciliations, b.reconciliations);
+  EXPECT_EQ(a.packets_refetched, b.packets_refetched);
+  EXPECT_EQ(a.stale_frames, b.stale_frames);
+  EXPECT_EQ(a.sessions_ended_stale, b.sessions_ended_stale);
+}
+
+}  // namespace
+
+TEST(FleetProxy, PerSessionParityWithProxiedOracle) {
+  fleet::FleetConfig cfg = proxied_config(32);
+  // Staggered starts must not perturb the parity: both the link and the
+  // origin timelines are session-relative.
+  cfg.arrival_spread_s = 40.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 32u);
+
+  fleet::FleetProxyTotals sums;
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    expect_session_matches_proxied_oracle(cfg, engine, out);
+    sums.replica_hits += out.proxy.replica_hits;
+    sums.stale_serves += out.proxy.stale_serves;
+    sums.failovers += out.proxy.failovers;
+    sums.handoffs += out.proxy.handoffs;
+    sums.origin_fetches += out.proxy.origin_fetches;
+    sums.origin_suspensions += out.proxy.origin_suspensions;
+    sums.reconciliations += out.proxy.reconciliations;
+    sums.packets_refetched += out.proxy.packets_refetched;
+    sums.stale_frames += out.proxy.stale_frames;
+    sums.sessions_ended_stale += out.proxy.ended_stale ? 1 : 0;
+  }
+  expect_proxy_totals_equal(r.proxy, sums);
+  // The whole edge tier actually engaged at this duty cycle.
+  EXPECT_GT(r.proxy.replica_hits, 0);
+  EXPECT_GT(r.proxy.failovers, 0);
+  EXPECT_GT(r.proxy.stale_serves, 0);
+  EXPECT_GT(r.proxy.handoffs, 0);
+  EXPECT_GT(r.proxy.origin_fetches, 0);
+  EXPECT_GT(r.proxy.reconciliations, 0);
+}
+
+TEST(FleetProxy, ParityHoldsWithLinkFadesNoCachingAndRelevance) {
+  // Both failure domains at once (link fades AND origin fades), plus the
+  // no-caching client and the relevance abort: the walk must still agree with
+  // the oracle decision-for-decision.
+  fleet::FleetConfig cfg = proxied_config(24);
+  cfg.outage = std::make_shared<mw::channel::MarkovOutageModel>(
+      mw::channel::MarkovOutageModel::with_duty_cycle(0.3, 5.0));
+  cfg.caching = false;
+  cfg.relevance_threshold = 0.5;
+  cfg.alpha = 0.3;
+  cfg.max_rounds = 8;
+  cfg.proxy->model.update_interval_s = 5.0;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  ASSERT_EQ(r.outcomes.size(), 24u);
+  for (const fleet::SessionOutcome& out : r.outcomes) {
+    expect_session_matches_proxied_oracle(cfg, engine, out);
+  }
+  EXPECT_EQ(r.completed + r.gave_up + r.aborted_irrelevant + r.degraded,
+            static_cast<long>(r.sessions));
+}
+
+TEST(FleetProxy, DeterministicAndShardInvariantWithProxy) {
+  fleet::FleetConfig cfg = proxied_config(60);
+  cfg.outage = std::make_shared<mw::channel::MarkovOutageModel>(
+      mw::channel::MarkovOutageModel::with_duty_cycle(0.3, 5.0));
+  cfg.shards = 1;
+  fleet::FleetEngine serial(cfg);
+  fleet::FleetEngine again(cfg);
+  const fleet::FleetResult a = serial.run();
+  const fleet::FleetResult a2 = again.run();
+  expect_identical(a, a2);  // fixed (seed, shards) reproduces
+  expect_proxy_totals_equal(a.proxy, a2.proxy);
+
+  mw::ThreadPool pool(3);
+  cfg.shards = 4;
+  fleet::FleetEngine sharded(cfg);
+  const fleet::FleetResult b = sharded.run(&pool);
+  EXPECT_EQ(b.shards, 4u);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.aborted_irrelevant, b.aborted_irrelevant);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.suspensions, b.suspensions);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_NEAR(a.content, b.content, 1e-9);
+  EXPECT_NEAR(a.session_time_s, b.session_time_s, 1e-6);
+  expect_proxy_totals_equal(a.proxy, b.proxy);
+  // The edge tier engaged in every dimension that shard order could perturb.
+  EXPECT_GT(a.proxy.failovers, 0);
+  EXPECT_GT(a.proxy.handoffs, 0);
+  EXPECT_GT(a.proxy.packets_refetched, 0);
+}
+
+TEST(FleetProxy, TransparentProxyMatchesTheDirectWalkPerSession) {
+  // warm_hit = 1, a static corpus, no handoffs, no origin fades: the proxy
+  // tier charges nothing and loses nothing, so per-session results must be
+  // bit-equal to the same fleet run WITHOUT the proxy — the edge tier's
+  // draws live on their own RNG streams and cannot perturb the walk.
+  fleet::FleetConfig direct = outage_config(24);
+  fleet::FleetConfig proxied = outage_config(24);
+  proxied.proxy.emplace();
+  proxied.proxy->model.warm_hit = 1.0;
+  proxied.proxy->model.update_interval_s = 0.0;
+  proxied.proxy->model.handoff_rate = 0.0;
+  proxied.proxy->origin_outage = nullptr;
+
+  fleet::FleetEngine direct_engine(direct);
+  fleet::FleetEngine proxied_engine(proxied);
+  const fleet::FleetResult a = direct_engine.run();
+  const fleet::FleetResult b = proxied_engine.run();
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].result.packets, b.outcomes[i].result.packets);
+    EXPECT_EQ(a.outcomes[i].result.rounds, b.outcomes[i].result.rounds);
+    EXPECT_EQ(a.outcomes[i].result.completed, b.outcomes[i].result.completed);
+    EXPECT_EQ(a.outcomes[i].result.content, b.outcomes[i].result.content);
+    EXPECT_EQ(a.outcomes[i].result.time, b.outcomes[i].result.time);
+    EXPECT_EQ(a.outcomes[i].result.suspensions,
+              b.outcomes[i].result.suspensions);
+    EXPECT_EQ(a.outcomes[i].result.backoff_s, b.outcomes[i].result.backoff_s);
+  }
+  // A transparent edge tier never fails over, never serves stale, never drops
+  // a cached packet — it only records hits and resume reconciliations.
+  EXPECT_EQ(b.proxy.stale_serves, 0);
+  EXPECT_EQ(b.proxy.failovers, 0);
+  EXPECT_EQ(b.proxy.handoffs, 0);
+  EXPECT_EQ(b.proxy.packets_refetched, 0);
+  EXPECT_EQ(b.proxy.stale_frames, 0);
+  EXPECT_EQ(b.proxy.sessions_ended_stale, 0);
+  EXPECT_GE(b.proxy.replica_hits, static_cast<long>(b.sessions));
+  EXPECT_EQ(b.proxy.reconciliations, b.suspensions);
+}
+
+TEST(FleetProxy, MetricsIncludeEdgeTierSeries) {
+  mw::obs::MetricsRegistry registry;
+  fleet::FleetConfig cfg = proxied_config(48);
+  cfg.metrics = &registry;
+  cfg.shards = 3;
+  mw::ThreadPool pool(2);
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run(&pool);
+
+  EXPECT_EQ(registry.counter("proxy.replica_hits").value(),
+            r.proxy.replica_hits);
+  EXPECT_EQ(registry.counter("proxy.stale_serves").value(),
+            r.proxy.stale_serves);
+  EXPECT_EQ(registry.counter("proxy.failovers").value(), r.proxy.failovers);
+  EXPECT_EQ(registry.counter("proxy.handoffs").value(), r.proxy.handoffs);
+  EXPECT_EQ(registry.counter("proxy.origin_fetches").value(),
+            r.proxy.origin_fetches);
+  EXPECT_EQ(registry.counter("proxy.origin_suspensions").value(),
+            r.proxy.origin_suspensions);
+  EXPECT_EQ(registry.counter("proxy.reconciliations").value(),
+            r.proxy.reconciliations);
+  EXPECT_EQ(registry.counter("proxy.packets_refetched").value(),
+            r.proxy.packets_refetched);
+  EXPECT_EQ(registry.counter("proxy.stale_frames").value(),
+            r.proxy.stale_frames);
+  EXPECT_EQ(registry.counter("proxy.sessions_ended_stale").value(),
+            r.proxy.sessions_ended_stale);
+  EXPECT_GT(r.proxy.replica_hits + r.proxy.origin_fetches, 0);
+}
+
+// ---- Bounded document cache (LRU + IC-weighted admission) ----
+
+TEST(DocumentCache, BoundedAdmissionPrefersTheDenserEncoding) {
+  fleet::CacheConfig cc;
+  cc.corpus_size = 4;
+  cc.seed = 77;
+  cc.capacity = 1;
+  {
+    // Dense resident first: the sparse newcomer (3x the wire bytes for the
+    // same content) is served but NOT admitted.
+    fleet::DocumentCache cache(cc);
+    const auto dense = cache.get({0, 1.0});
+    const auto sparse = cache.get({0, 3.0});
+    EXPECT_GT(fleet::DocumentCache::admission_weight(*dense),
+              fleet::DocumentCache::admission_weight(*sparse));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 2);
+    EXPECT_EQ(cache.admission_rejects(), 1);
+    EXPECT_EQ(cache.evictions(), 0);
+    // The dense resident survived the low-value burst.
+    cache.get({0, 1.0});
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 2);
+  }
+  {
+    // Sparse resident first: the denser newcomer displaces it, and the
+    // evicted encoding recounts as a miss on its next request.
+    fleet::DocumentCache cache(cc);
+    cache.get({0, 3.0});
+    cache.get({0, 1.0});
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_EQ(cache.admission_rejects(), 0);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.get({0, 3.0});
+    EXPECT_EQ(cache.misses(), 3);
+    EXPECT_EQ(cache.hits(), 0);
+  }
+}
+
+TEST(DocumentCache, BoundedModeEvictsTheLeastRecentlyUsedKey) {
+  // Same gamma across documents -> equal admission weights (the synthetic
+  // corpus normalizes each document's content to 1), so admission always
+  // passes and the policy reduces to pure LRU.
+  fleet::CacheConfig cc;
+  cc.corpus_size = 4;
+  cc.seed = 77;
+  cc.capacity = 2;
+  fleet::DocumentCache cache(cc);
+  cache.get({0, 1.5});
+  cache.get({1, 1.5});
+  cache.get({0, 1.5});  // touch 0: the LRU victim is now 1
+  cache.get({2, 1.5});  // displaces 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  const long misses_before = cache.misses();
+  cache.get({0, 1.5});  // still resident
+  EXPECT_EQ(cache.misses(), misses_before);
+  cache.get({1, 1.5});  // evicted above: rebuilds
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+}
+
+TEST(DocumentCache, UnboundedModeNeverEvicts) {
+  fleet::CacheConfig cc;
+  cc.corpus_size = 4;
+  cc.seed = 77;  // capacity = 0: legacy unbounded residency
+  fleet::DocumentCache cache(cc);
+  for (std::uint32_t d = 0; d < 4; ++d) cache.get({d, 1.5});
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ(cache.admission_rejects(), 0);
+}
+
+TEST(FleetEngine, BoundedCacheKeepsServingInvariantAcrossShardCounts) {
+  // Under a capacity bound, WHICH get() is a hit depends on eviction order,
+  // which shard interleaving may perturb — but every session is served
+  // exactly once and each serving charges exactly one of hit/miss, so the
+  // sum is invariant. The cooked document itself is a pure function of the
+  // key, so rebuilds cannot perturb the walks either.
+  fleet::FleetConfig cfg = small_config(48);
+  cfg.corpus.corpus_size = 8;
+  cfg.corpus.capacity = 3;
+  cfg.shards = 1;
+  fleet::FleetEngine serial(cfg);
+  const fleet::FleetResult a = serial.run();
+
+  mw::ThreadPool pool(3);
+  cfg.shards = 4;
+  fleet::FleetEngine sharded(cfg);
+  const fleet::FleetResult b = sharded.run(&pool);
+
+  EXPECT_EQ(a.cache_hits + a.cache_misses, b.cache_hits + b.cache_misses);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.gave_up, b.gave_up);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_NEAR(a.content, b.content, 1e-9);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  // The bound actually bound: rebuilds happened and residency stayed capped.
+  EXPECT_GT(a.cache_misses, 8);  // > distinct keys -> evict/rebuild churn
+  EXPECT_LE(serial.cache().size(), 3u);
+  EXPECT_LE(sharded.cache().size(), 3u);
+  EXPECT_LE(serial.cache().evictions(), serial.cache().misses());
+}

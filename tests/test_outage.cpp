@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
@@ -101,6 +102,38 @@ TEST(MarkovOutage, CloneIsIndependent) {
   }
 }
 
+TEST(MarkovOutage, SessionCloneStartsFreshAndIsDeterministic) {
+  // Drive the prototype deep into its renewal timeline first: session_clone
+  // must still hand back a model in the initial Up state with no transition
+  // times drawn, exactly as if freshly constructed — this is what makes the
+  // fleet engine's per-session fade processes independent of prefill order.
+  channel::MarkovOutageModel proto(1.0, 1.0);
+  Rng drive(11);
+  for (double t = 0.0; t < 25.0; t += 0.3) proto.link_up(t, drive);
+
+  for (const std::uint64_t seed : {7ull, 42ull, 1234ull}) {
+    const auto clone_a = proto.session_clone();
+    const auto clone_b = proto.session_clone();
+    channel::MarkovOutageModel fresh(1.0, 1.0);
+    Rng ra(seed);
+    Rng rb(seed);
+    Rng rf(seed);
+    // The lazy first dwell draw anchors at the first queried time, so all
+    // three walk the same time ladder from t = 0.
+    EXPECT_TRUE(clone_a->link_up(0.0, ra));  // starts Up, like reset()
+    EXPECT_TRUE(clone_b->link_up(0.0, rb));
+    EXPECT_TRUE(fresh.link_up(0.0, rf));
+    for (double t = 0.25; t < 40.0; t += 0.25) {
+      const bool expected = fresh.link_up(t, rf);
+      EXPECT_EQ(clone_a->link_up(t, ra), expected) << "seed=" << seed
+                                                   << " t=" << t;
+      EXPECT_EQ(clone_b->link_up(t, rb), expected) << "seed=" << seed
+                                                   << " t=" << t;
+    }
+    EXPECT_DOUBLE_EQ(clone_a->outage_fraction(), proto.outage_fraction());
+  }
+}
+
 // -------------------------------------------------------- FaultSchedule ----
 
 TEST(FaultSchedule, NormalizesAndMerges) {
@@ -174,6 +207,18 @@ TEST(FaultSchedule, ParseEmptyStringIsAlwaysUp) {
 }
 
 // ------------------------------------------------- channel composition ----
+
+TEST(FaultSchedule, SessionCloneReplaysTheSameWindows) {
+  const channel::FaultSchedule proto({{1.0, 2.0}, {5.0, 7.5}});
+  const auto clone = proto.session_clone();
+  channel::FaultSchedule proto_again({{1.0, 2.0}, {5.0, 7.5}});
+  Rng ra(3);
+  Rng rb(3);
+  for (double t = 0.0; t < 10.0; t += 0.125) {
+    EXPECT_EQ(clone->link_up(t, ra), proto_again.link_up(t, rb)) << "t=" << t;
+  }
+  EXPECT_DOUBLE_EQ(clone->outage_fraction(), proto.outage_fraction());
+}
 
 TEST(ChannelOutage, FramesDuringWindowAreLost) {
   channel::ChannelConfig cfg;

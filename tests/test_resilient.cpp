@@ -352,3 +352,31 @@ TEST(BrowseResilient, CompressedDegradedUnitsDecompress) {
     EXPECT_TRUE(r.text.empty());
   }
 }
+
+TEST(ResilientSession, RequestInsideAFadeIsHeldOffUntilResume) {
+  // Round 1 stalls one packet short (scripted corruption, not loss), and a
+  // fade opens just before the round boundary and outlasts it. The client
+  // must NOT burn its retransmission request into the dead link: it backs
+  // off (consuming budget) until the link is observed up, and only then does
+  // the single request go out — zero feedback frames lost to the fade.
+  const auto linear = make_linear();
+  Rig rig(linear, true);
+  const std::size_t m = rig.tx.m();
+  const std::size_t n = rig.tx.n();
+  const double T = rig.frame_time;
+  const double round_end = static_cast<double>(n) * T;
+  const double j = static_cast<double>(n - m + 1);
+  rig.ch.set_outage(std::make_unique<channel::FaultSchedule>(
+      std::vector<Window>{{0.5 * T, (j + 0.5) * T},
+                          {round_end - 0.5 * T, round_end + 3.0}}));
+  transmit::ResilientSession session(rig.tx, rig.rx, rig.ch, {});
+  const auto r = session.run();
+  EXPECT_EQ(r.session.status, transmit::SessionStatus::kCompleted);
+  EXPECT_EQ(r.session.rounds, 2);
+  EXPECT_EQ(r.outages_ridden, 1);
+  // Every pre-resume attempt was a backoff wait, then one clean request.
+  EXPECT_GE(r.request_attempts, 2);
+  EXPECT_GT(r.backoff_total_s, 0.0);
+  EXPECT_EQ(rig.ch.stats().feedback_sent, 1);
+  EXPECT_EQ(rig.ch.stats().feedback_lost, 0);
+}

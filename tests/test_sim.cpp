@@ -1,9 +1,11 @@
 // Simulation harness: synthetic documents, analytic transfers, experiments.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
 
 #include "sim/experiment.hpp"
+#include "sim/proxied.hpp"
 #include "sim/synthetic.hpp"
 #include "sim/transfer.hpp"
 
@@ -607,4 +609,145 @@ TEST(ResilientTransfer, InputValidation) {
   EXPECT_THROW(sim::simulate_resilient_transfer(uniform_content(cfg.base.m),
                                                 cfg, rng),
                ContractViolation);
+}
+
+// ---- Proxied oracle (simulate_proxied_transfer) ----
+
+namespace {
+// warm_hit = 1, a static corpus, no handoffs, no origin_up hook: the edge
+// tier is transparent — always a current replica, never a charge.
+sim::ProxiedTransferConfig transparent_proxy_config() {
+  sim::ProxiedTransferConfig cfg;
+  cfg.base = base_config();
+  cfg.base.request_delay = 1.0;
+  cfg.retry.jitter = 0.1;
+  cfg.proxy.warm_hit = 1.0;
+  cfg.proxy.update_interval_s = 0.0;
+  cfg.proxy.handoff_rate = 0.0;
+  return cfg;
+}
+}  // namespace
+
+TEST(ProxiedTransfer, GenerationAdvancesOncePerInterval) {
+  EXPECT_EQ(sim::generation_at(123.0, 0.0), 0u);   // static corpus
+  EXPECT_EQ(sim::generation_at(-5.0, 10.0), 0u);   // pre-session times clamp
+  EXPECT_EQ(sim::generation_at(0.0, 10.0), 0u);
+  EXPECT_EQ(sim::generation_at(9.999, 10.0), 0u);
+  EXPECT_EQ(sim::generation_at(10.0, 10.0), 1u);
+  EXPECT_EQ(sim::generation_at(35.0, 10.0), 3u);
+  std::uint64_t prev = 0;
+  for (double t = 0.0; t < 100.0; t += 1.7) {  // monotone in time
+    const std::uint64_t g = sim::generation_at(t, 4.0);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(ProxiedTransfer, TransparentProxyMatchesResilientTransfer) {
+  // The anchor pinning the proxied oracle to the resilient one: with a
+  // transparent edge tier the walk must be bit-identical under the same link
+  // fades — the proxy/warm/handoff draws live on their own RNG stream and
+  // cannot perturb the corruption or jitter sequences.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::ProxiedTransferConfig pc = transparent_proxy_config();
+    pc.base.alpha = 0.3;
+    pc.base.link_up = [](double t) { return !(t >= 3.0 && t < 20.0); };
+    sim::ResilientTransferConfig rc;
+    rc.base = pc.base;
+    rc.retry = pc.retry;
+    rc.jitter_seed = pc.jitter_seed;
+    Rng a(seed);
+    Rng b(seed);
+    const auto proxied =
+        sim::simulate_proxied_transfer(uniform_content(pc.base.m), pc, a);
+    const auto resilient =
+        sim::simulate_resilient_transfer(uniform_content(rc.base.m), rc, b);
+    EXPECT_EQ(proxied.transfer.packets, resilient.packets);
+    EXPECT_EQ(proxied.transfer.rounds, resilient.rounds);
+    EXPECT_EQ(proxied.transfer.completed, resilient.completed);
+    EXPECT_EQ(proxied.transfer.aborted_irrelevant, resilient.aborted_irrelevant);
+    EXPECT_EQ(proxied.transfer.gave_up, resilient.gave_up);
+    EXPECT_EQ(proxied.transfer.degraded, resilient.degraded);
+    EXPECT_EQ(proxied.transfer.content, resilient.content);  // bit-equal
+    EXPECT_EQ(proxied.transfer.time, resilient.time);
+    EXPECT_EQ(proxied.transfer.frames_lost, resilient.frames_lost);
+    EXPECT_EQ(proxied.transfer.suspensions, resilient.suspensions);
+    EXPECT_EQ(proxied.transfer.request_attempts, resilient.request_attempts);
+    EXPECT_EQ(proxied.transfer.backoff_s, resilient.backoff_s);
+    // Transparent-tier accounting: the initial attach is a hit, every resume
+    // revalidates (hit) and reconciles; nothing is ever stale or refetched.
+    EXPECT_EQ(proxied.proxy.replica_hits, 1 + resilient.suspensions);
+    EXPECT_EQ(proxied.proxy.reconciliations, resilient.suspensions);
+    EXPECT_EQ(proxied.proxy.origin_fetches, 0);
+    EXPECT_EQ(proxied.proxy.stale_serves, 0);
+    EXPECT_EQ(proxied.proxy.failovers, 0);
+    EXPECT_EQ(proxied.proxy.handoffs, 0);
+    EXPECT_EQ(proxied.proxy.origin_suspensions, 0);
+    EXPECT_EQ(proxied.proxy.packets_refetched, 0);
+    EXPECT_EQ(proxied.proxy.stale_frames, 0);
+    EXPECT_FALSE(proxied.proxy.ended_stale);
+  }
+}
+
+TEST(ProxiedTransfer, StaleFramesAreFlaggedDuringAnOriginFade) {
+  // Origin down for the whole session, replica warm and current at attach:
+  // every serving is a flagged stale failover and every intact frame counts
+  // as a stale frame — the "never serve stale as fresh" ledger.
+  sim::ProxiedTransferConfig cfg = transparent_proxy_config();
+  cfg.base.alpha = 0.0;
+  cfg.proxy.replica_age_mean_s = 0.0;  // replica current at attach
+  cfg.origin_up = [](double) { return false; };
+  Rng rng(7);
+  const auto r =
+      sim::simulate_proxied_transfer(uniform_content(cfg.base.m), cfg, rng);
+  EXPECT_TRUE(r.transfer.completed);
+  EXPECT_EQ(r.proxy.failovers, 1);
+  EXPECT_EQ(r.proxy.stale_serves, 1);
+  EXPECT_EQ(r.proxy.stale_frames, static_cast<long>(cfg.base.m));
+  EXPECT_TRUE(r.proxy.ended_stale);
+  EXPECT_EQ(r.proxy.origin_fetches, 0);
+}
+
+TEST(ProxiedTransfer, ColdProxyAndDeadOriginDegradeOnTheBudget) {
+  // Nothing cached and nothing reachable: the origin-fade suspend loop must
+  // drain the retry budget and terminate degraded with zero content, before
+  // a single frame is sent.
+  sim::ProxiedTransferConfig cfg = transparent_proxy_config();
+  cfg.proxy.warm_hit = 0.0;
+  cfg.origin_up = [](double) { return false; };
+  cfg.retry.retry_budget = 5;
+  Rng rng(8);
+  const auto r =
+      sim::simulate_proxied_transfer(uniform_content(cfg.base.m), cfg, rng);
+  EXPECT_TRUE(r.transfer.degraded);
+  EXPECT_EQ(r.transfer.packets, 0);
+  EXPECT_EQ(r.transfer.request_attempts, 5);
+  EXPECT_EQ(r.transfer.content, 0.0);
+  EXPECT_GT(r.transfer.backoff_s, 0.0);
+  EXPECT_EQ(r.proxy.origin_suspensions, 0);  // the origin never came back
+  EXPECT_EQ(r.proxy.failovers, 1);
+}
+
+TEST(ProxiedTransfer, InputValidation) {
+  Rng rng(9);
+  sim::ProxiedTransferConfig cfg = transparent_proxy_config();
+  cfg.proxy.warm_hit = 1.5;
+  EXPECT_THROW(
+      sim::simulate_proxied_transfer(uniform_content(cfg.base.m), cfg, rng),
+      ContractViolation);
+  cfg = transparent_proxy_config();
+  cfg.proxy.handoff_rate = 1.0;  // must be < 1: a.s. infinite handoffs
+  EXPECT_THROW(
+      sim::simulate_proxied_transfer(uniform_content(cfg.base.m), cfg, rng),
+      ContractViolation);
+  cfg = transparent_proxy_config();
+  cfg.proxy.origin_fetch_delay_s = -1.0;
+  EXPECT_THROW(
+      sim::simulate_proxied_transfer(uniform_content(cfg.base.m), cfg, rng),
+      ContractViolation);
+  cfg = transparent_proxy_config();
+  cfg.proxy.proxies = 0;
+  EXPECT_THROW(
+      sim::simulate_proxied_transfer(uniform_content(cfg.base.m), cfg, rng),
+      ContractViolation);
 }
