@@ -15,6 +15,9 @@
 // opt-in 1M-session scale), --shards=S, --gamma=G, --alpha=A, --corpus=D,
 // --spread=SECONDS, --json[=PATH]. MOBIWEB_FAST=1 trims the sweep to a prefix
 // (1k/10k) so CI baselines stay key-compatible with full runs.
+// --timeline[=PATH] runs one telemetry-instrumented fleet instead (with
+// --bucket=SECONDS, --trace-top=FRACTION, --slo-tolerance=DRIFT) and emits
+// the "mobiweb-timeline/1" document scripts/slo_check.py gates on.
 //
 // Weak-connectivity / workload knobs (all default off = legacy behavior):
 //   --duty=D        per-session Markov link fades with long-run outage duty D
@@ -82,6 +85,28 @@ fleet::FleetResult run_scale(const fleet::FleetConfig& base, std::size_t session
   return engine.run();
 }
 
+// --timeline[=PATH]: one telemetry-instrumented run emitting the
+// "mobiweb-timeline/1" document (time-bucketed series over the simulated
+// clock, derived SLO ratio series + verdicts, and the retained tail/failure
+// traces as Perfetto traceEvents). The document carries no wall-clock value
+// and nothing shard-dependent, so a fixed (seed, sessions) run renders
+// byte-identical output at any --shards (pinned in tests and tsan_fleet.sh).
+// scripts/slo_check.py consumes the "slo" section as a CI gate.
+int emit_timeline(int argc, char** argv, const std::string& path) {
+  fleet::FleetConfig cfg = base_config(argc, argv);
+  cfg.sessions = static_cast<std::size_t>(bench::arg_double(
+      argc, argv, "sessions", bench::fast_mode() ? 2000.0 : 10000.0));
+  cfg.tail_stats = true;
+  fleet::FleetTelemetryConfig tc;
+  tc.bucket_width_s = bench::arg_double(argc, argv, "bucket", 1.0);
+  tc.trace_top_fraction = bench::arg_double(argc, argv, "trace-top", 0.01);
+  tc.slo_tolerance = bench::arg_double(argc, argv, "slo-tolerance", 0.5);
+  cfg.telemetry = tc;
+  fleet::FleetEngine engine(cfg);
+  const fleet::FleetResult r = engine.run();
+  return bench::emit_json(fleet::timeline_document(r, cfg), path);
+}
+
 int emit_json(int argc, char** argv, const std::string& path) {
   const fleet::FleetConfig base = base_config(argc, argv);
   bench::JsonReport report("fleet");
@@ -128,6 +153,9 @@ int emit_json(int argc, char** argv, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const auto path = bench::flag_request(argc, argv, "timeline")) {
+    return emit_timeline(argc, argv, *path);
+  }
   if (const auto path = bench::json_request(argc, argv)) {
     return emit_json(argc, argv, *path);
   }

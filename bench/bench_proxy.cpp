@@ -155,11 +155,35 @@ void proxy_metrics(bench::JsonReport& report, const std::string& key,
   report.metric(key + ".stale_frame_count", static_cast<double>(p.stale_frames));
   report.metric(key + ".ended_stale_count",
                 static_cast<double>(p.sessions_ended_stale));
+  report.metric(key + ".origin_generation_bump_count",
+                static_cast<double>(p.origin_generation_bumps));
+  report.metric(key + ".reconcile_dropped_packet_count",
+                static_cast<double>(p.reconcile_dropped_packets));
 }
 
 fleet::FleetResult run_config(const fleet::FleetConfig& cfg) {
   fleet::FleetEngine engine(cfg);
   return engine.run();
+}
+
+// --timeline[=PATH]: one telemetry-instrumented proxied cell (defaults to the
+// sweep's middle cell; override with --origin-duty/--warm) emitting the
+// "mobiweb-timeline/1" document — cross-tier spans (origin outages, stale
+// failovers, handoffs, reconcile drops) ride along in the retained traces,
+// and scripts/slo_check.py gates the "slo" section.
+int emit_timeline(int argc, char** argv, const std::string& path) {
+  fleet::FleetConfig cfg = base_config(argc, argv);
+  const Cell cell{bench::arg_double(argc, argv, "origin-duty", 0.25),
+                  bench::arg_double(argc, argv, "warm", 0.6)};
+  cfg = cell_config(cfg, cell, argc, argv);
+  cfg.tail_stats = true;
+  fleet::FleetTelemetryConfig tc;
+  tc.bucket_width_s = bench::arg_double(argc, argv, "bucket", 1.0);
+  tc.trace_top_fraction = bench::arg_double(argc, argv, "trace-top", 0.01);
+  tc.slo_tolerance = bench::arg_double(argc, argv, "slo-tolerance", 0.5);
+  cfg.telemetry = tc;
+  const fleet::FleetResult r = run_config(cfg);
+  return bench::emit_json(fleet::timeline_document(r, cfg), path);
 }
 
 int emit_json(int argc, char** argv, const std::string& path) {
@@ -191,6 +215,9 @@ int emit_json(int argc, char** argv, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const auto path = bench::flag_request(argc, argv, "timeline")) {
+    return emit_timeline(argc, argv, *path);
+  }
   if (const auto path = bench::json_request(argc, argv)) {
     return emit_json(argc, argv, *path);
   }

@@ -2,7 +2,7 @@
 """Perf-regression gate over "mobiweb-bench/1" JSON runs.
 
 Usage:
-    bench_diff.py [--tolerance=FRAC] [--quiet] OLD.json NEW.json
+    bench_diff.py [--tolerance=FRAC] [--quiet] [--summary] OLD.json NEW.json
 
 Compares the flat `metrics` maps of two bench runs produced by any harness's
 --json mode (bench_micro_coding, bench_micro_pipeline, bench_throughput,
@@ -23,6 +23,11 @@ Keys matching neither list are informational: printed, never gating.
 Metrics present in only one run are reported but do not gate (benches may
 gain or drop metrics across revisions — in particular, baselines recorded
 before the tail keys existed still compare cleanly).
+
+--summary appends a one-block tally after the per-key table — how many keys
+gated clean, how many regressed, how many are informational-only or present
+in a single run — so a PASS still leaves an at-a-glance delta record in the
+CI log (composes with --quiet: just the tally, no per-key table).
 
 Stdlib only; no third-party imports.
 """
@@ -76,6 +81,7 @@ def load_run(path):
 def main(argv):
     tolerance = 0.10
     quiet = False
+    summary = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
@@ -87,6 +93,8 @@ def main(argv):
                 sys.exit("bench_diff: tolerance must be >= 0")
         elif arg == "--quiet":
             quiet = True
+        elif arg == "--summary":
+            summary = True
         elif arg.startswith("-"):
             sys.exit(f"bench_diff: unknown option {arg!r}\n{__doc__}")
         else:
@@ -102,10 +110,12 @@ def main(argv):
 
     regressions = []
     lines = []
+    gated_ok = info_only = single_sided = 0
     for key in sorted(set(old) | set(new)):
         if key not in old or key not in new:
             side = "new" if key in new else "old"
             lines.append(f"  {key}: only in {side} run")
+            single_sided += 1
             continue
         a, b = float(old[key]), float(new[key])
         if a == b:
@@ -123,12 +133,20 @@ def main(argv):
         lines.append(f"  {key}: {a:g} -> {b:g} ({delta:+.1%}) [{tag}]")
         if regressed:
             regressions.append(key)
+        elif sign == 0:
+            info_only += 1
+        else:
+            gated_ok += 1
 
     if not quiet:
         print(f"bench_diff: {old_bench}: {paths[0]} -> {paths[1]} "
               f"(tolerance {tolerance:.0%})")
         for line in lines:
             print(line)
+    if summary:
+        print(f"bench_diff: summary: {gated_ok} gating ok, "
+              f"{len(regressions)} regressed, {info_only} informational, "
+              f"{single_sided} only in one run")
     if regressions:
         print(f"bench_diff: {len(regressions)} metric(s) regressed beyond "
               f"{tolerance:.0%}: {', '.join(regressions)}", file=sys.stderr)

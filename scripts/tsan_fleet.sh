@@ -25,7 +25,7 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DMOBIWEB_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD" -j \
   --target test_fleet test_util test_obs test_gf_kernels test_stats \
-  test_stats_workload test_proxy bench_fleet bench_proxy
+  test_stats_workload test_proxy test_timeseries bench_fleet bench_proxy
 
 export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
 ctest --test-dir "$BUILD" --output-on-failure -L 'fleet|obs|coding|stats|proxy' "$@"
@@ -41,5 +41,13 @@ MOBIWEB_FAST=1 "$BUILD/bench/bench_fleet" \
 # all run across shards in one proxied cell stacked on link fades.
 MOBIWEB_FAST=1 "$BUILD/bench/bench_proxy" \
   --sessions=2000 --origin-duty=0.4 --warm=0.6 --duty=0.2 --json=/dev/null
+
+# Telemetry under TSan: per-shard TimeSeries writers, the per-session crumb
+# rings, the bounded tail-retention heaps and the post-run merge/materialize
+# all race across shards; the timeline document renders at the end.
+MOBIWEB_FAST=1 "$BUILD/bench/bench_fleet" \
+  --sessions=5000 --duty=0.25 --timeline=/dev/null
+MOBIWEB_FAST=1 "$BUILD/bench/bench_proxy" \
+  --sessions=2000 --origin-duty=0.4 --warm=0.6 --duty=0.2 --timeline=/dev/null
 
 echo "tsan_fleet: ok"

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/flight.hpp"
 #include "obs/profile.hpp"
 #include "util/check.hpp"
 
@@ -66,6 +67,10 @@ struct Session {
   int suspensions = 0;
 
   std::unique_ptr<ProxyState> px;  // engaged only when FleetConfig::proxy set
+  // Breadcrumb span log; engaged only when FleetConfig::telemetry is set.
+  // Moved into a TraceCandidate at finish, so it is only ever alive for
+  // in-flight sessions.
+  std::unique_ptr<CrumbLog> crumbs;
 
   [[nodiscard]] bool test_seen(int i) const {
     return (seen[i >> 6] >> (i & 63)) & 1u;
@@ -93,6 +98,16 @@ struct Event {
 enum class Outcome : int { kCompleted = 0, kAborted = 1, kGaveUp = 2, kDegraded = 3 };
 inline constexpr int kOutcomes = 4;
 
+// A finished session still in the running for trace retention: its verdict,
+// its ranking key (result.time) and its breadcrumb ring. Only materialized
+// into a full SessionTrace after the global tail selection.
+struct TraceCandidate {
+  std::uint32_t session = 0;
+  double start = 0.0;
+  sim::TransferResult result;
+  std::unique_ptr<CrumbLog> crumbs;
+};
+
 struct ShardTotals {
   long completed = 0;
   long gave_up = 0;
@@ -109,6 +124,13 @@ struct ShardTotals {
   double makespan_s = 0.0;
   FleetProxyTotals proxy;
   std::vector<double> times;  // per-session transfer times (tail_stats only)
+  // Telemetry (engaged only with FleetConfig::telemetry): this shard's time
+  // buckets plus its trace candidates — every degraded / gave-up session,
+  // and a bounded heap of the k slowest others (any global top-k member is
+  // necessarily within its own shard's top k).
+  obs::TimeSeries ts;
+  std::vector<TraceCandidate> failed;
+  std::vector<TraceCandidate> tail;
 };
 
 // Pre-resolved metric series; shards record into them concurrently (the
@@ -135,7 +157,21 @@ struct FleetMetrics {
   obs::Counter* px_packets_refetched = nullptr;
   obs::Counter* px_stale_frames = nullptr;
   obs::Counter* px_ended_stale = nullptr;
+  obs::Counter* px_generation_bumps = nullptr;
+  obs::Counter* px_reconcile_dropped = nullptr;
 };
+
+// Terminal crumb for an outcome — the event the materialized trace replays
+// to recover the session verdict.
+obs::Event terminal_event(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kCompleted: return obs::Event::kDecodeComplete;
+    case Outcome::kAborted: return obs::Event::kAbortIrrelevant;
+    case Outcome::kGaveUp: return obs::Event::kGiveUp;
+    case Outcome::kDegraded: return obs::Event::kDegraded;
+  }
+  return obs::Event::kSessionEnd;
+}
 
 std::uint64_t salted_session_seed(std::uint64_t fleet_seed, std::uint64_t salt,
                                   std::uint64_t session) {
@@ -337,6 +373,8 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       fm.px_packets_refetched = &reg.counter("proxy.packets_refetched");
       fm.px_stale_frames = &reg.counter("proxy.stale_frames");
       fm.px_ended_stale = &reg.counter("proxy.sessions_ended_stale");
+      fm.px_generation_bumps = &reg.counter("proxy.origin_generation_bumps");
+      fm.px_reconcile_dropped = &reg.counter("proxy.reconcile_dropped_packets");
     }
   }
 
@@ -348,12 +386,54 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
   const bool proxied = config_.proxy.has_value();
   const sim::ProxyModelConfig pm =
       proxied ? config_.proxy->model : sim::ProxyModelConfig{};
+  const bool telem = config_.telemetry.has_value();
+  const FleetTelemetryConfig tc =
+      config_.telemetry.value_or(FleetTelemetryConfig{});
+  // Global tail-retention target k. Bounded overhead: every shard retains at
+  // most k non-failed candidates, and the final cut keeps exactly k overall.
+  std::size_t tail_target = 0;
+  if (telem && tc.trace_top_fraction > 0.0) {
+    tail_target = static_cast<std::size_t>(
+        std::ceil(tc.trace_top_fraction * static_cast<double>(sessions)));
+    tail_target = std::min(tail_target, sessions);
+  }
+  result.trace_tail_target = tail_target;
 
   pool->run(shards, [&](std::size_t shard) {
     const std::size_t lo = shard * per_shard;
     const std::size_t hi = std::min(sessions, lo + per_shard);
     if (lo >= hi) return;
     ShardTotals& tot = totals[shard];
+
+    // Telemetry sinks for this shard. `ts` doubles as the "telemetry on"
+    // flag on the hot path (one null check per frame when off).
+    obs::TimeSeries* ts = nullptr;
+    if (telem) {
+      tot.ts = obs::TimeSeries(tc.bucket_width_s, tc.max_buckets);
+      ts = &tot.ts;
+    }
+    using obs::Channel;
+    // "a ranks before b": slower first, index breaks ties. The heap keeps
+    // the worst retained candidate at the front so it can be displaced.
+    const auto cand_before = [](const TraceCandidate& a,
+                                const TraceCandidate& b) {
+      return ranks_before(a.result.time, a.session, b.result.time, b.session);
+    };
+    const auto offer_tail = [&](TraceCandidate cand) {
+      if (tail_target == 0) return;
+      std::vector<TraceCandidate>& heap = tot.tail;
+      if (heap.size() < tail_target) {
+        heap.push_back(std::move(cand));
+        std::push_heap(heap.begin(), heap.end(), cand_before);
+        return;
+      }
+      if (ranks_before(cand.result.time, cand.session,
+                       heap.front().result.time, heap.front().session)) {
+        std::pop_heap(heap.begin(), heap.end(), cand_before);
+        heap.back() = std::move(cand);
+        std::push_heap(heap.begin(), heap.end(), cand_before);
+      }
+    };
 
     // Materialize this shard's slice of sessions and seed its event heap.
     std::vector<Session> states(hi - lo);
@@ -383,6 +463,10 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
           s.px->origin = config_.proxy->origin_outage->session_clone();
           s.px->origin_rng.reseed(session_origin_seed(config_.seed, i));
         }
+      }
+      if (ts != nullptr) {
+        s.crumbs = std::make_unique<CrumbLog>(tc.crumb_capacity);
+        ts->add(Channel::kSessionsStarted, s.start);
       }
       heap.push(Event{s.start, static_cast<std::uint32_t>(i)});
     }
@@ -434,6 +518,8 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         tot.proxy.packets_refetched += pstats.packets_refetched;
         tot.proxy.stale_frames += pstats.stale_frames;
         tot.proxy.sessions_ended_stale += pstats.ended_stale ? 1 : 0;
+        tot.proxy.origin_generation_bumps += pstats.origin_generation_bumps;
+        tot.proxy.reconcile_dropped_packets += pstats.reconcile_dropped_packets;
         if (fm.px_replica_hits != nullptr) {
           if (pstats.replica_hits > 0) fm.px_replica_hits->inc(pstats.replica_hits);
           if (pstats.stale_serves > 0) fm.px_stale_serves->inc(pstats.stale_serves);
@@ -453,6 +539,24 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
           }
           if (pstats.stale_frames > 0) fm.px_stale_frames->inc(pstats.stale_frames);
           if (pstats.ended_stale) fm.px_ended_stale->inc();
+          if (pstats.origin_generation_bumps > 0) {
+            fm.px_generation_bumps->inc(pstats.origin_generation_bumps);
+          }
+          if (pstats.reconcile_dropped_packets > 0) {
+            fm.px_reconcile_dropped->inc(pstats.reconcile_dropped_packets);
+          }
+        }
+      }
+      if (ts != nullptr) {
+        ts->add(Channel::kSessionsEnded, s.clock);
+        if (gave_up || degraded) ts->add(Channel::kSessionsFailed, s.clock);
+        s.crumbs->push(terminal_event(outcome), s.clock, 0, received);
+        TraceCandidate cand{static_cast<std::uint32_t>(index), s.start, r,
+                            std::move(s.crumbs)};
+        if (gave_up || degraded) {
+          tot.failed.push_back(std::move(cand));
+        } else {
+          offer_tail(std::move(cand));
         }
       }
       if (fm.sessions != nullptr) {
@@ -511,13 +615,26 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     };
     const auto validate_serving = [&](std::size_t index, Session& s) -> bool {
       ProxyState& px = *s.px;
-      if (origin_up_now(s)) {
+      // Exactly one probe at the validate point (origin_up_now may consume
+      // RNG draws, so the result is stored — never re-queried — to keep the
+      // stream aligned with the oracle draw-for-draw).
+      const bool up = origin_up_now(s);
+      if (ts != nullptr) {
+        ts->add(Channel::kOriginProbes, s.clock);
+        if (up) ts->add(Channel::kOriginUp, s.clock);
+      }
+      if (up) {
         if (px.has_replica &&
             px.replica_gen ==
                 sim::generation_at(s.link_clock, pm.update_interval_s)) {
           ++px.stats.replica_hits;
+          if (ts != nullptr) ts->add(Channel::kReplicaHits, s.clock);
         } else {
+          // A live replica landing here means its generation fell behind
+          // the origin's — the refresh is a bump, not a cold fill.
+          if (px.has_replica) ++px.stats.origin_generation_bumps;
           ++px.stats.origin_fetches;
+          if (ts != nullptr) ts->add(Channel::kOriginFetches, s.clock);
           charge(s, pm.origin_fetch_delay_s);
           px.has_replica = true;
           px.replica_gen =
@@ -530,9 +647,17 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       if (px.has_replica) {
         ++px.stats.stale_serves;
         px.serving_stale = true;
+        if (ts != nullptr) {
+          ts->add(Channel::kStaleServes, s.clock);
+          s.crumbs->push(obs::Event::kStaleFailover, s.clock);
+        }
         return true;
       }
       // Cold proxy AND origin down: ride out the origin fade under backoff.
+      const double cold_start = s.clock;
+      if (ts != nullptr) {
+        s.crumbs->push(obs::Event::kOriginOutageBegin, s.clock);
+      }
       while (!origin_up_now(s)) {
         if (budget_exhausted(s)) {
           finish(index, s, s.content, Outcome::kDegraded);
@@ -542,9 +667,14 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         wait_one_backoff(s);
       }
       ++px.stats.origin_suspensions;
+      if (ts != nullptr) {
+        s.crumbs->push(obs::Event::kOriginOutageEnd, s.clock, 0,
+                       s.clock - cold_start);
+      }
       s.backoff = rp.initial_timeout_s;  // origin is back: start fresh
       px.serving_stale = false;
       ++px.stats.origin_fetches;
+      if (ts != nullptr) ts->add(Channel::kOriginFetches, s.clock);
       charge(s, pm.origin_fetch_delay_s);
       px.has_replica = true;
       px.replica_gen = sim::generation_at(s.link_clock, pm.update_interval_s);
@@ -570,6 +700,11 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       if (px.held_gen != px.replica_gen) {
         if (s.intact > 0) {
           px.stats.packets_refetched += s.intact;
+          px.stats.reconcile_dropped_packets += s.intact;
+          if (ts != nullptr) {
+            ts->add(Channel::kReconcileDrops, s.clock, s.intact);
+            s.crumbs->push(obs::Event::kReconcileDrop, s.clock, s.intact);
+          }
           s.reset_cache();
         }
         px.held_gen = px.replica_gen;
@@ -602,16 +737,21 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
       }
 
       ++s.rounds;
+      if (ts != nullptr) {
+        s.crumbs->push(obs::Event::kRoundStart, s.clock, s.rounds);
+      }
       bool terminal = false;
       for (int i = 0; i < n && !terminal; ++i) {
         ++s.frames;
         s.clock += s.time_per_frame;
+        if (ts != nullptr) ts->add(Channel::kFramesSent, s.clock);
         if (s.outage != nullptr) {
           s.link_clock += s.time_per_frame;
           if (!s.outage->link_up(s.link_clock, s.outage_rng)) {
             // In a fade: airtime burned, nothing delivered, and the
             // corruption model never sees the frame.
             ++s.frames_lost;
+            if (ts != nullptr) ts->add(Channel::kFramesLost, s.clock);
             continue;
           }
         } else if (s.px != nullptr) {
@@ -638,6 +778,13 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         }
       }
       if (terminal) continue;
+      if (ts != nullptr) {
+        // Stalled (non-terminal) round boundary: the suspension_rate SLO's
+        // denominator, and the crumb the materialized trace replays into a
+        // round span.
+        ts->add(Channel::kRounds, s.clock);
+        s.crumbs->push(obs::Event::kRoundEnd, s.clock, s.rounds, s.content);
+      }
       // Stalled round: give up at the cap — BEFORE the suspend check, as
       // ResilientSession breaks before touching the back channel. `>=` so a
       // counter that ever steps past the cap still terminates.
@@ -652,7 +799,12 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         // terminates) until the link is observed up.
         bool suspended = false;
         bool dead = false;
+        double susp_start = s.clock;
         while (!s.outage->link_up(s.link_clock, s.outage_rng)) {
+          if (!suspended && ts != nullptr) {
+            susp_start = s.clock;
+            s.crumbs->push(obs::Event::kOutageBegin, s.clock);
+          }
           if (budget_exhausted(s)) {
             finish(ev.index, s, s.content, Outcome::kDegraded);
             dead = true;
@@ -665,6 +817,11 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         if (dead) continue;
         if (suspended) {
           ++s.suspensions;
+          if (ts != nullptr) {
+            ts->add(Channel::kSuspensions, s.clock);
+            s.crumbs->push(obs::Event::kOutageEnd, s.clock, 0,
+                           s.clock - susp_start);
+          }
           s.backoff = rp.initial_timeout_s;  // link is back: start fresh
           if (s.px != nullptr) {
             // Reconnect: revalidate the serving replica (it may have been
@@ -682,6 +839,11 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
         if (s.px->proxy_rng.next_bernoulli(pm.handoff_rate)) {
           ++s.px->stats.handoffs;
           charge(s, pm.handoff_delay_s);
+          if (ts != nullptr) {
+            ts->add(Channel::kHandoffs, s.clock);
+            s.crumbs->push(obs::Event::kHandoff, s.clock, 0,
+                           pm.handoff_delay_s);
+          }
           if (!acquire_proxy(ev.index, s)) continue;
           reconcile(s);
         }
@@ -731,6 +893,77 @@ FleetResult FleetEngine::run(ThreadPool* pool) {
     result.proxy.packets_refetched += tot.proxy.packets_refetched;
     result.proxy.stale_frames += tot.proxy.stale_frames;
     result.proxy.sessions_ended_stale += tot.proxy.sessions_ended_stale;
+    result.proxy.origin_generation_bumps += tot.proxy.origin_generation_bumps;
+    result.proxy.reconcile_dropped_packets +=
+        tot.proxy.reconcile_dropped_packets;
+  }
+  if (telem) {
+    // Bucket merge: cells are integers accumulated with +=, so the merged
+    // series is independent of shard count and merge order.
+    result.timeseries = obs::TimeSeries(tc.bucket_width_s, tc.max_buckets);
+    for (ShardTotals& tot : totals) result.timeseries.merge(tot.ts);
+
+    // Global tail selection. Any global top-k non-failed session is within
+    // its own shard's top k (its shard holds at most k-1 sessions ranking
+    // before it), so gathering the per-shard heaps loses nothing. Failed
+    // sessions were kept unconditionally. Sort by the total rank order and
+    // cut: the retained set is exactly (global top-k) ∪ (failed), identical
+    // whatever the shard count.
+    std::vector<TraceCandidate> candidates;
+    std::vector<char> is_failed;
+    for (ShardTotals& tot : totals) {
+      for (TraceCandidate& c : tot.failed) {
+        candidates.push_back(std::move(c));
+        is_failed.push_back(1);
+      }
+      for (TraceCandidate& c : tot.tail) {
+        candidates.push_back(std::move(c));
+        is_failed.push_back(0);
+      }
+      tot.failed.clear();
+      tot.tail.clear();
+    }
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return ranks_before(candidates[a].result.time, candidates[a].session,
+                          candidates[b].result.time, candidates[b].session);
+    });
+    std::size_t tail_kept = 0;
+    for (const std::size_t idx : order) {
+      const bool failed = is_failed[idx] != 0;
+      const bool in_tail = tail_kept < tail_target;
+      if (!failed && !in_tail) continue;
+      if (in_tail) ++tail_kept;  // failed sessions occupy tail slots too
+      const TraceCandidate& c = candidates[idx];
+      std::string label = "session " + std::to_string(c.session);
+      if (c.result.degraded) label += " [degraded]";
+      else if (c.result.gave_up) label += " [gave_up]";
+      else if (c.result.aborted_irrelevant) label += " [aborted]";
+      result.traces.push_back(RetainedTrace{
+          c.session, c.result.time, failed,
+          materialize_trace(label, c.start, c.result, *c.crumbs)});
+    }
+    // Stable presentation order: by session index, whatever rank order the
+    // cut visited them in.
+    std::sort(result.traces.begin(), result.traces.end(),
+              [](const RetainedTrace& a, const RetainedTrace& b) {
+                return a.session < b.session;
+              });
+    if (tc.flight != nullptr) {
+      // Replay each failed retained trace through the flight recorder —
+      // single-threaded, post-merge, in session order (deterministic dumps).
+      for (const RetainedTrace& rt : result.traces) {
+        if (!rt.failed) continue;
+        tc.flight->clear();
+        bool gave_up = false;
+        for (const obs::TraceEvent& e : rt.trace.events()) {
+          tc.flight->record(e);
+          if (e.type == obs::Event::kGiveUp) gave_up = true;
+        }
+        tc.flight->dump(gave_up ? "fleet.gave_up" : "fleet.degraded");
+      }
+    }
   }
   if (config_.tail_stats) {
     // summarize_tails sorts, so the outcome depends only on the multiset of

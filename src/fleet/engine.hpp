@@ -59,11 +59,17 @@
 
 #include "channel/outage.hpp"
 #include "fleet/cache.hpp"
+#include "fleet/telemetry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/proxied.hpp"
 #include "sim/transfer.hpp"
 #include "stats/describe.hpp"
 #include "util/thread_pool.hpp"
+
+namespace mobiweb::obs {
+class FlightRecorder;
+}  // namespace mobiweb::obs
 
 namespace mobiweb::fleet {
 
@@ -75,6 +81,26 @@ struct FleetProxyConfig {
   // Origin failure domain, independent of the wireless link. nullptr =
   // origin always reachable (replicas only ever refresh, never fail over).
   std::shared_ptr<const channel::OutageModel> origin_outage;
+};
+
+// Fleet telemetry (FleetConfig::telemetry): time-bucketed counters over the
+// simulated clock plus tail-based trace retention (see fleet/telemetry.hpp).
+// Everything it produces is a pure function of (config, seed) — the exported
+// timeline document is bit-identical across shard counts.
+struct FleetTelemetryConfig {
+  double bucket_width_s = 1.0;      // simulated seconds per bucket
+  std::size_t max_buckets = 4096;   // adds past the window clamp into the last
+  // After the run, the slowest ceil(trace_top_fraction * sessions) sessions
+  // plus every degraded / gave-up session are materialized into full traces
+  // (FleetResult::traces); everyone else only ever carries a fixed breadcrumb
+  // ring, so trace memory stays bounded at 1M sessions.
+  double trace_top_fraction = 0.01;
+  std::size_t crumb_capacity = 32;  // per-session breadcrumb ring entries
+  double slo_tolerance = 0.5;       // relative drift allowed by the SLO gate
+  // Optional postmortem sink: every retained degraded / gave-up trace is
+  // replayed into this recorder and dumped through its sink after the run
+  // (post-merge, single-threaded — the recorder itself is not thread-safe).
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct FleetConfig {
@@ -111,6 +137,10 @@ struct FleetConfig {
   // origin directly, legacy bit-identical walk. When set, `retry` governs the
   // origin-fade backoff too, whether or not `outage` is also set.
   std::optional<FleetProxyConfig> proxy;
+  // Fleet telemetry: time-bucketed metrics + tail-based trace retention.
+  // nullopt (the default) records nothing and adds nothing to the hot path
+  // beyond one null check per frame. Never alters session draws or results.
+  std::optional<FleetTelemetryConfig> telemetry;
 };
 
 struct SessionOutcome {
@@ -134,6 +164,8 @@ struct FleetProxyTotals {
   long packets_refetched = 0;
   long stale_frames = 0;
   long sessions_ended_stale = 0;  // final serving replica was stale-flagged
+  long origin_generation_bumps = 0;   // live replicas refreshed past a stale gen
+  long reconcile_dropped_packets = 0; // held packets dropped by reconciliation
 };
 
 struct FleetResult {
@@ -162,6 +194,13 @@ struct FleetResult {
   stats::TailSummary session_time_tails;
   FleetProxyTotals proxy;                // zeros unless FleetConfig::proxy
   std::vector<SessionOutcome> outcomes;  // empty unless record_outcomes
+  // Telemetry products; disengaged/empty unless FleetConfig::telemetry.
+  // The merged time series is bit-identical across shard counts; the retained
+  // traces are the slowest trace_tail_target sessions plus every degraded /
+  // gave-up session, sorted by session index.
+  obs::TimeSeries timeseries;
+  std::vector<RetainedTrace> traces;
+  std::size_t trace_tail_target = 0;     // k used for the tail selection
 
   [[nodiscard]] double sessions_per_s() const {
     return elapsed_s > 0.0 ? static_cast<double>(sessions) / elapsed_s : 0.0;

@@ -1,0 +1,131 @@
+// Fleet telemetry: breadcrumb span logs, tail-based trace retention, and the
+// exported timeline document.
+//
+// Watching a 100k-session run as it unfolds needs two things the end-of-run
+// aggregates cannot give: time-bucketed metrics over the *simulated* clock
+// (obs::TimeSeries, one per shard, merged order-independently) and full
+// traces for the sessions that matter. Keeping a full obs::SessionTrace per
+// session is out of the question at 1M sessions, so every session instead
+// carries a CrumbLog — a fixed ring of the most recent span breadcrumbs
+// (round boundaries, outage windows, cross-tier events, the terminal
+// verdict). After the run, only the slowest ceil(trace_top_fraction *
+// sessions) sessions plus every degraded / gave-up session have their crumbs
+// materialized into full SessionTraces, which export through the existing
+// Perfetto timeline_json with the PR's cross-tier span annotations.
+//
+// Everything here is deterministic: crumbs replay simulated timestamps, the
+// tail selection breaks ties on (time desc, session asc), and the timeline
+// document contains no wall-clock value — so a fixed (seed, sessions) run
+// renders a bit-identical document at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "sim/transfer.hpp"
+#include "stats/slo.hpp"
+
+namespace mobiweb::fleet {
+
+struct FleetConfig;
+struct FleetResult;
+
+// One retained span breadcrumb. `aux` carries the small integer payload
+// (round number, dropped-packet count); `value` the double one (durations,
+// content).
+struct Crumb {
+  obs::Event type = obs::Event::kSessionStart;
+  std::int32_t aux = 0;
+  double time = 0.0;
+  double value = 0.0;
+};
+
+// Fixed-capacity ring of the most recent crumbs — the per-session analogue
+// of obs::FlightRecorder, sized in the tens of bytes so a 1M-session fleet
+// can afford one each. Overwrites oldest at capacity; O(1) per push, no
+// allocation after construction.
+class CrumbLog {
+ public:
+  explicit CrumbLog(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  void push(obs::Event type, double time, std::int32_t aux = 0,
+            double value = 0.0) {
+    ring_[next_] = Crumb{type, aux, time, value};
+    next_ = (next_ + 1) % ring_.size();
+    ++recorded_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] long recorded() const { return recorded_; }
+  [[nodiscard]] long dropped() const {
+    const long cap = static_cast<long>(ring_.size());
+    return recorded_ > cap ? recorded_ - cap : 0;
+  }
+
+  // Retained crumbs, oldest first.
+  [[nodiscard]] std::vector<Crumb> snapshot() const;
+
+ private:
+  std::vector<Crumb> ring_;
+  std::size_t next_ = 0;
+  long recorded_ = 0;
+};
+
+// A session whose full trace survived retention: the slowest tail or a
+// degraded / gave-up failure (always kept).
+struct RetainedTrace {
+  std::uint32_t session = 0;
+  double time_s = 0.0;        // transfer time — the tail ranking key
+  bool failed = false;        // degraded or gave up
+  obs::SessionTrace trace;    // materialized from the breadcrumb ring
+};
+
+// Tail ranking: slower first, session index breaks ties — total order, so
+// the retained set is identical whatever order shards produced candidates.
+[[nodiscard]] inline bool ranks_before(double time_a, std::uint32_t session_a,
+                                       double time_b, std::uint32_t session_b) {
+  if (time_a != time_b) return time_a > time_b;
+  return session_a < session_b;
+}
+
+// Replays a breadcrumb ring into a full SessionTrace (events captured, so
+// the timeline exporter can render outage / origin-outage / handoff spans).
+// Crumbs that lost their opening partner to ring overwrite still render —
+// the exporter falls back to duration-anchored spans.
+[[nodiscard]] obs::SessionTrace materialize_trace(
+    const std::string& label, double start_s,
+    const sim::TransferResult& result, const CrumbLog& crumbs);
+
+// One derived per-bucket series: integer-channel ratios (or rates), computed
+// from the merged TimeSeries only, so they are shard-invariant by
+// construction. NaN marks buckets where the metric is undefined.
+struct DerivedSeries {
+  std::string name;
+  int direction = 0;  // SLO direction: +1 higher-better, -1 lower, 0 info
+  std::vector<double> values;
+};
+
+// The standard fleet dashboard: sessions in flight, frames/s, and the
+// stationary ratio series the SLO engine gates (loss, degraded-end,
+// suspension, stale-serve, origin-up, replica-hit fractions).
+[[nodiscard]] std::vector<DerivedSeries> derived_fleet_series(
+    const obs::TimeSeries& ts);
+
+// SLO verdicts for every derived series at the given drift tolerance.
+[[nodiscard]] std::vector<stats::SloSeries> evaluate_fleet_slo(
+    const obs::TimeSeries& ts, double tolerance);
+
+// The whole timeline document ("mobiweb-timeline/1"): meta, the raw integer
+// time series, the derived ratio series, the SLO verdict, and the retained
+// traces as Perfetto traceEvents — loadable directly in ui.perfetto.dev.
+// Contains no wall-clock value and nothing shard-dependent: bit-identical
+// across shard counts for a fixed (seed, sessions) run.
+[[nodiscard]] std::string timeline_document(const FleetResult& result,
+                                            const FleetConfig& config);
+
+}  // namespace mobiweb::fleet

@@ -148,6 +148,7 @@ void append_timeline_events(const SessionTrace& trace, int tid,
   // Outage/backoff windows and per-frame instants need the captured event
   // log; without it the track simply has no third nesting level.
   double open_outage = -1.0;
+  double open_origin_outage = -1.0;
   for (const TraceEvent& e : trace.events()) {
     switch (e.type) {
       case Event::kOutageBegin:
@@ -158,6 +159,33 @@ void append_timeline_events(const SessionTrace& trace, int tid,
         append_complete_event(out, first, "outage", "outage", pid, tid, begin,
                               e.time, options, {});
         open_outage = -1.0;
+        break;
+      }
+      case Event::kOriginOutageBegin:
+        open_origin_outage = e.time;
+        break;
+      case Event::kOriginOutageEnd: {
+        const double begin =
+            open_origin_outage >= 0.0 ? open_origin_outage : e.time - e.value;
+        append_complete_event(out, first, "origin outage", "origin", pid, tid,
+                              begin, e.time, options, {});
+        open_origin_outage = -1.0;
+        break;
+      }
+      case Event::kHandoff:
+        // Recorded after the handoff delay was charged; e.value is the delay.
+        append_complete_event(out, first, "handoff", "proxy", pid, tid,
+                              e.time - e.value, e.time, options, {});
+        break;
+      case Event::kStaleFailover:
+        append_instant_event(out, first, event_name(e.type), "proxy", pid, tid,
+                             e.time, options, {});
+        break;
+      case Event::kReconcileDrop: {
+        std::string args = "\"dropped\": ";
+        append_number(args, e.value);
+        append_instant_event(out, first, event_name(e.type), "proxy", pid, tid,
+                             e.time, options, args);
         break;
       }
       case Event::kBackoff:
@@ -193,6 +221,12 @@ void append_timeline_events(const SessionTrace& trace, int tid,
     // dead): close the span at the session end so it still renders.
     append_complete_event(out, first, "outage", "outage", pid, tid, open_outage,
                           trace.end_time(), options, {});
+  }
+  if (open_origin_outage >= 0.0) {
+    // Same for a session that degraded while waiting out an origin fade with
+    // no replica to fail over to.
+    append_complete_event(out, first, "origin outage", "origin", pid, tid,
+                          open_origin_outage, trace.end_time(), options, {});
   }
   if (options.content_counter) {
     append_counter_event(out, first, "content/" + std::to_string(tid), pid,

@@ -1,0 +1,123 @@
+#include "obs/timeseries.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace mobiweb::obs {
+
+static_assert(kChannelCount == 14,
+              "obs::Channel changed: update channel_name() and the timeline "
+              "document's derived-series table");
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kSessionsStarted: return "sessions_started";
+    case Channel::kSessionsEnded: return "sessions_ended";
+    case Channel::kSessionsFailed: return "sessions_failed";
+    case Channel::kRounds: return "rounds";
+    case Channel::kFramesSent: return "frames_sent";
+    case Channel::kFramesLost: return "frames_lost";
+    case Channel::kSuspensions: return "suspensions";
+    case Channel::kReplicaHits: return "replica_hits";
+    case Channel::kStaleServes: return "stale_serves";
+    case Channel::kOriginFetches: return "origin_fetches";
+    case Channel::kOriginProbes: return "origin_probes";
+    case Channel::kOriginUp: return "origin_up";
+    case Channel::kHandoffs: return "handoffs";
+    case Channel::kReconcileDrops: return "reconcile_drops";
+    case Channel::kChannelCount: break;
+  }
+  return "unknown";
+}
+
+TimeSeries::TimeSeries(double bucket_width_s, std::size_t max_buckets)
+    : width_(bucket_width_s), max_buckets_(max_buckets) {
+  MOBIWEB_CHECK_MSG(bucket_width_s > 0.0 && std::isfinite(bucket_width_s),
+                    "TimeSeries: bucket width must be positive and finite");
+  MOBIWEB_CHECK_MSG(max_buckets > 0, "TimeSeries: need at least one bucket");
+}
+
+void TimeSeries::add(Channel c, double time_s, long delta) {
+  if (!engaged()) return;
+  const auto ci = static_cast<std::size_t>(c);
+  MOBIWEB_CHECK_MSG(ci < kChannelCount, "TimeSeries: channel out of range");
+  std::size_t bucket = 0;
+  if (time_s > 0.0) {
+    const double raw = time_s / width_;
+    // floor() of a simulated timestamp; identical for identical inputs, so
+    // the bucket index never depends on which shard computed it.
+    bucket = raw >= static_cast<double>(max_buckets_)
+                 ? max_buckets_
+                 : static_cast<std::size_t>(raw);
+  }
+  if (bucket >= max_buckets_) {
+    bucket = max_buckets_ - 1;
+    ++clamped_;
+  }
+  std::vector<long>& column = data_[ci];
+  if (column.size() <= bucket) column.resize(bucket + 1, 0);
+  column[bucket] += delta;
+  if (bucket + 1 > buckets_) buckets_ = bucket + 1;
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  if (!other.engaged()) return;
+  if (!engaged()) {
+    *this = other;
+    return;
+  }
+  MOBIWEB_CHECK_MSG(width_ == other.width_ && max_buckets_ == other.max_buckets_,
+                    "TimeSeries: merging mismatched bucket geometry");
+  clamped_ += other.clamped_;
+  if (other.buckets_ > buckets_) buckets_ = other.buckets_;
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    const std::vector<long>& src = other.data_[c];
+    std::vector<long>& dst = data_[c];
+    if (dst.size() < src.size()) dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+  }
+}
+
+const std::vector<long>& TimeSeries::series(Channel c) const {
+  const auto ci = static_cast<std::size_t>(c);
+  MOBIWEB_CHECK_MSG(ci < kChannelCount, "TimeSeries: channel out of range");
+  return data_[ci];
+}
+
+long TimeSeries::at(Channel c, std::size_t bucket) const {
+  const std::vector<long>& column = series(c);
+  return bucket < column.size() ? column[bucket] : 0;
+}
+
+long TimeSeries::total(Channel c) const {
+  long sum = 0;
+  for (const long v : series(c)) sum += v;
+  return sum;
+}
+
+std::string TimeSeries::to_json() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", width_);
+  std::string out = "{\"bucket_width_s\": ";
+  out += buf;
+  out += ", \"buckets\": " + std::to_string(buckets_);
+  out += ", \"clamped\": " + std::to_string(clamped_);
+  out += ", \"series\": {";
+  for (std::size_t c = 0; c < kChannelCount; ++c) {
+    if (c) out += ", ";
+    out += '"';
+    out += channel_name(static_cast<Channel>(c));
+    out += "\": [";
+    for (std::size_t i = 0; i < buckets_; ++i) {
+      if (i) out += ", ";
+      out += std::to_string(at(static_cast<Channel>(c), i));
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace mobiweb::obs

@@ -1,0 +1,93 @@
+// Fixed-width time-bucketed counters over *simulated* time.
+//
+// A TimeSeries is a small matrix: one integer vector per Channel, indexed by
+// bucket = floor(time / bucket_width_s). The fleet engine keeps one instance
+// per shard and folds them together with merge() after the run, so the class
+// follows the same determinism discipline as FleetResult: every cell is an
+// integer accumulated with `+=`, which is associative and commutative, so the
+// merged series is bit-identical no matter how sessions were sharded. Rates
+// (cache hit fraction, origin-up fraction, frames/s) are never stored — they
+// are derived at export time as ratios of merged integers.
+//
+// Memory is bounded: buckets grow lazily up to `max_buckets`; adds beyond the
+// window clamp into the last bucket and are tallied in clamped() so exporters
+// can flag the truncation instead of silently folding the tail.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mobiweb::obs {
+
+// One integer metric tracked per time bucket. Names (channel_name) are the
+// keys used in the exported timeline document.
+enum class Channel : int {
+  kSessionsStarted = 0,  // session admitted (arrival time)
+  kSessionsEnded,        // session terminated (any verdict)
+  kSessionsFailed,       // terminated degraded or gave-up
+  kRounds,               // stalled (non-terminal) round boundaries
+  kFramesSent,           // frames put on the air
+  kFramesLost,           // frames swallowed by a link outage
+  kSuspensions,          // suspend/backoff episodes survived
+  kReplicaHits,          // proxy served a fresh replica
+  kStaleServes,          // proxy failed over to a stale-flagged replica
+  kOriginFetches,        // proxy refreshed its replica from the origin
+  kOriginProbes,         // origin reachability checks
+  kOriginUp,             // ... of which found the origin up
+  kHandoffs,             // cell handoffs to another proxy
+  kReconcileDrops,       // held packets dropped by reconnect reconciliation
+  kChannelCount,         // keep last
+};
+
+inline constexpr std::size_t kChannelCount =
+    static_cast<std::size_t>(Channel::kChannelCount);
+
+// Distinct snake_case name per channel; "unknown" outside the enum.
+[[nodiscard]] const char* channel_name(Channel c);
+
+class TimeSeries {
+ public:
+  // Disengaged: zero width, add() is a no-op. Lets FleetResult carry a
+  // TimeSeries member without cost when telemetry is off.
+  TimeSeries() = default;
+  TimeSeries(double bucket_width_s, std::size_t max_buckets);
+
+  [[nodiscard]] bool engaged() const { return width_ > 0.0; }
+  [[nodiscard]] double bucket_width_s() const { return width_; }
+  [[nodiscard]] std::size_t max_buckets() const { return max_buckets_; }
+
+  // High-water bucket count across all channels (series() vectors may be
+  // shorter for channels that went quiet early; treat missing cells as 0).
+  [[nodiscard]] std::size_t buckets() const { return buckets_; }
+
+  // Number of add() calls that landed past the window and were folded into
+  // the final bucket.
+  [[nodiscard]] long clamped() const { return clamped_; }
+
+  void add(Channel c, double time_s, long delta = 1);
+
+  // Folds `other` into this series. Requires identical (width, max_buckets)
+  // geometry unless one side is disengaged. Order-independent: merging shard
+  // series in any order yields bit-identical cells.
+  void merge(const TimeSeries& other);
+
+  [[nodiscard]] const std::vector<long>& series(Channel c) const;
+  [[nodiscard]] long at(Channel c, std::size_t bucket) const;
+  [[nodiscard]] long total(Channel c) const;
+
+  // {"bucket_width_s": ..., "buckets": N, "clamped": ...,
+  //  "series": {"sessions_started": [..N ints..], ...}} — every channel
+  // padded to buckets() with zeros; deterministic key order.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  double width_ = 0.0;
+  std::size_t max_buckets_ = 0;
+  std::size_t buckets_ = 0;
+  long clamped_ = 0;
+  std::array<std::vector<long>, kChannelCount> data_;
+};
+
+}  // namespace mobiweb::obs

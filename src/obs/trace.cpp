@@ -9,7 +9,7 @@ namespace mobiweb::obs {
 
 // The -Wswitch-covered switch below pins event_name() to the enum; this pins
 // the exported count, so both fail loudly when an enumerator is added.
-static_assert(kEventCount == 19,
+static_assert(kEventCount == 24,
               "obs::Event changed: update kEventCount, event_name() and the "
               "timeline exporter's event classification");
 
@@ -33,6 +33,11 @@ const char* event_name(Event e) {
     case Event::kAbortIrrelevant: return "abort_irrelevant";
     case Event::kDegraded: return "degraded";
     case Event::kGiveUp: return "give_up";
+    case Event::kOriginOutageBegin: return "origin_outage_begin";
+    case Event::kOriginOutageEnd: return "origin_outage_end";
+    case Event::kStaleFailover: return "stale_failover";
+    case Event::kHandoff: return "handoff";
+    case Event::kReconcileDrop: return "reconcile_drop";
     case Event::kSessionEnd: return "session_end";
   }
   return "unknown";
@@ -54,6 +59,8 @@ void SessionTrace::clear() {
   start_time_ = end_time_ = final_content_ = 0.0;
   completed_ = aborted_ = gave_up_ = degraded_ = false;
   outage_count_ = backoff_count_ = 0;
+  origin_outage_count_ = stale_failover_count_ = handoff_count_ = 0;
+  reconcile_dropped_ = 0;
   backoff_total_s_ = 0.0;
 }
 
@@ -150,9 +157,36 @@ void SessionTrace::backoff(double time, double wait_s) {
 
 void SessionTrace::resume(double time) { push(Event::kResume, time, -1, 0.0); }
 
-void SessionTrace::round_end(double time) {
-  if (!rounds_.empty()) rounds_.back().end_time = time;
-  push(Event::kRoundEnd, time, -1, 0.0);
+void SessionTrace::origin_outage_begin(double time) {
+  ++origin_outage_count_;
+  push(Event::kOriginOutageBegin, time, -1, 0.0);
+}
+
+void SessionTrace::origin_outage_end(double time, double duration_s) {
+  push(Event::kOriginOutageEnd, time, -1, duration_s);
+}
+
+void SessionTrace::stale_failover(double time) {
+  ++stale_failover_count_;
+  push(Event::kStaleFailover, time, -1, 0.0);
+}
+
+void SessionTrace::handoff(double time, double delay_s) {
+  ++handoff_count_;
+  push(Event::kHandoff, time, -1, delay_s);
+}
+
+void SessionTrace::reconcile_drop(double time, long dropped) {
+  reconcile_dropped_ += dropped;
+  push(Event::kReconcileDrop, time, -1, static_cast<double>(dropped));
+}
+
+void SessionTrace::round_end(double time, double content) {
+  if (!rounds_.empty()) {
+    rounds_.back().end_time = time;
+    if (content >= 0.0) rounds_.back().content_end = content;
+  }
+  push(Event::kRoundEnd, time, -1, content >= 0.0 ? content : 0.0);
 }
 
 void SessionTrace::decode_complete(double time) {
@@ -205,6 +239,18 @@ std::string SessionTrace::to_json() const {
   out += degraded_ ? "true" : "false";
   if (outage_count_ > 0) {
     out += ", \"outages\": " + std::to_string(outage_count_);
+  }
+  if (origin_outage_count_ > 0) {
+    out += ", \"origin_outages\": " + std::to_string(origin_outage_count_);
+  }
+  if (stale_failover_count_ > 0) {
+    out += ", \"stale_failovers\": " + std::to_string(stale_failover_count_);
+  }
+  if (handoff_count_ > 0) {
+    out += ", \"handoffs\": " + std::to_string(handoff_count_);
+  }
+  if (reconcile_dropped_ > 0) {
+    out += ", \"reconcile_dropped\": " + std::to_string(reconcile_dropped_);
   }
   if (backoff_count_ > 0) {
     out += ", \"backoffs\": " + std::to_string(backoff_count_);

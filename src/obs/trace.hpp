@@ -47,6 +47,11 @@ enum class Event : std::uint8_t {
   kAbortIrrelevant,
   kDegraded,           // retry budget/deadline exhausted: partial delivery
   kGiveUp,
+  kOriginOutageBegin,  // origin unreachable and no replica to fail over to
+  kOriginOutageEnd,    // origin back; value = origin outage duration observed
+  kStaleFailover,      // proxy served a stale-flagged replica (origin down)
+  kHandoff,            // cell handoff to another proxy; value = handoff delay
+  kReconcileDrop,      // reconciliation dropped held packets; value = count
   kSessionEnd,         // keep last: kEventCount is derived from it
 };
 
@@ -114,11 +119,19 @@ class SessionTrace {
   void frame_foreign(double time);
   void frame_lost(double time);
   void retransmit_request(double time, long pending = -1);
-  void round_end(double time);
+  // content >= 0 also records the round's closing information content (the
+  // real stack reaches it through frame_intact; replayed breadcrumbs don't).
+  void round_end(double time, double content = -1.0);
   void outage_begin(double time);
   void outage_end(double time, double duration_s);
   void backoff(double time, double wait_s);
   void resume(double time);
+  // -- cross-tier events (edge proxy / origin domain)
+  void origin_outage_begin(double time);
+  void origin_outage_end(double time, double duration_s);
+  void stale_failover(double time);
+  void handoff(double time, double delay_s);
+  void reconcile_drop(double time, long dropped);
   void decode_complete(double time);
   void abort_irrelevant(double time, double content);
   void degraded(double time, double content);
@@ -133,6 +146,10 @@ class SessionTrace {
   [[nodiscard]] bool gave_up() const { return gave_up_; }
   [[nodiscard]] bool degraded() const { return degraded_; }
   [[nodiscard]] int outage_count() const { return outage_count_; }
+  [[nodiscard]] int origin_outage_count() const { return origin_outage_count_; }
+  [[nodiscard]] int stale_failover_count() const { return stale_failover_count_; }
+  [[nodiscard]] int handoff_count() const { return handoff_count_; }
+  [[nodiscard]] long reconcile_dropped() const { return reconcile_dropped_; }
   [[nodiscard]] int backoff_count() const { return backoff_count_; }
   [[nodiscard]] double backoff_total_s() const { return backoff_total_s_; }
   [[nodiscard]] double start_time() const { return start_time_; }
@@ -162,6 +179,10 @@ class SessionTrace {
   bool gave_up_ = false;
   bool degraded_ = false;
   int outage_count_ = 0;
+  int origin_outage_count_ = 0;
+  int stale_failover_count_ = 0;
+  int handoff_count_ = 0;
+  long reconcile_dropped_ = 0;
   int backoff_count_ = 0;
   double backoff_total_s_ = 0.0;
 };

@@ -122,6 +122,9 @@ ProxiedTransferResult simulate_proxied_transfer(
           replica_gen == generation_at(clock, pm.update_interval_s)) {
         ++px.replica_hits;
       } else {
+        // A live replica landing here means its generation fell behind the
+        // origin's — the refresh is a generation bump, not a cold fill.
+        if (has_replica) ++px.origin_generation_bumps;
         ++px.origin_fetches;
         charge(pm.origin_fetch_delay_s);
         has_replica = true;
@@ -136,11 +139,14 @@ ProxiedTransferResult simulate_proxied_transfer(
       // be behind and there is no way to know until the origin answers.
       ++px.stale_serves;
       serving_stale = true;
+      if (trace != nullptr) trace->stale_failover(clock);
       return true;
     }
     // Cold proxy AND origin down: nothing to serve. Ride out the origin fade
     // under the same backoff discipline as a link outage (budget-consuming,
     // so an origin that never returns still terminates the session).
+    const double origin_outage_started = clock;
+    if (trace != nullptr) trace->origin_outage_begin(clock);
     while (!origin_up_now()) {
       if (result.request_attempts >= rp.retry_budget || deadline_exceeded()) {
         finish_degraded();
@@ -150,6 +156,9 @@ ProxiedTransferResult simulate_proxied_transfer(
       wait_one_backoff();
     }
     ++px.origin_suspensions;
+    if (trace != nullptr) {
+      trace->origin_outage_end(clock, clock - origin_outage_started);
+    }
     backoff = rp.initial_timeout_s;  // origin is back: start fresh
     serving_stale = false;
     ++px.origin_fetches;
@@ -182,6 +191,8 @@ ProxiedTransferResult simulate_proxied_transfer(
     if (held_gen != replica_gen) {
       if (intact > 0) {
         px.packets_refetched += intact;
+        px.reconcile_dropped_packets += intact;
+        if (trace != nullptr) trace->reconcile_drop(clock, intact);
         std::fill(seen.begin(), seen.end(), false);
         intact = 0;
         content = 0.0;
@@ -274,6 +285,7 @@ ProxiedTransferResult simulate_proxied_transfer(
     if (proxy_rng.next_bernoulli(pm.handoff_rate)) {
       ++px.handoffs;
       charge(pm.handoff_delay_s);
+      if (trace != nullptr) trace->handoff(clock, pm.handoff_delay_s);
       if (!acquire_proxy()) return out;
       reconcile();
     }

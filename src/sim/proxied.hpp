@@ -82,6 +82,14 @@ struct ProxyStats {
   long packets_refetched = 0; // cached packets dropped as stale on reconcile
   long stale_frames = 0;      // intact packets delivered while serving stale
   bool ended_stale = false;   // final serving replica was stale-flagged
+  // Origin-up validations that found a live replica's generation behind and
+  // refreshed it (the replica existed but had to be replaced).
+  int origin_generation_bumps = 0;
+  // Held packets dropped by reconnect reconciliation. In this analytic walk
+  // every dropped packet is queued for re-fetch, so it always equals
+  // packets_refetched; the real proxy::reconcile can keep a subset, which is
+  // why the drop side gets its own counter.
+  long reconcile_dropped_packets = 0;
 };
 
 struct ProxiedTransferResult {

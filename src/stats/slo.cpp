@@ -1,0 +1,105 @@
+#include "stats/slo.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mobiweb::stats {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", std::isfinite(v) ? v : 0.0);
+  out += buf;
+}
+
+}  // namespace
+
+SloSeries evaluate_slo_series(std::string name,
+                              const std::vector<double>& values, int direction,
+                              double tolerance) {
+  SloSeries out;
+  out.name = std::move(name);
+  out.direction = direction;
+  out.window = values.size();
+  out.tolerance = tolerance;
+  out.summary = summarize_tails(values);  // drops the NaN buckets
+  out.buckets = out.summary.count;
+
+  // fit_linear skips NaN pairs itself but requires >= 2 surviving points on
+  // >= 2 distinct x; count them first so sparse series degrade gracefully.
+  std::size_t defined = 0;
+  for (const double v : values) {
+    if (!std::isnan(v)) ++defined;
+  }
+  if (defined >= 2) {
+    std::vector<double> xs(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      xs[i] = static_cast<double>(i);
+    }
+    out.fit = fit_linear(xs, values);
+  }
+
+  if (out.window >= 2) {
+    const double span = static_cast<double>(out.window - 1);
+    const double scale = std::max(std::fabs(out.summary.mean), 1e-12);
+    out.drift = out.fit.slope * span / scale;
+  }
+  // slope_ci95 is 0 below three points, which would make any nonzero slope
+  // "significant"; the bucket floor keeps tiny windows from gating.
+  out.significant = out.buckets >= kSloMinBuckets &&
+                    std::fabs(out.fit.slope) > out.fit.slope_ci95 &&
+                    out.fit.slope_ci95 > 0.0;
+  if (direction != 0 && out.significant) {
+    out.breach = direction < 0 ? out.drift > tolerance : out.drift < -tolerance;
+  }
+  return out;
+}
+
+std::string slo_json(const std::vector<SloSeries>& series, double tolerance) {
+  std::size_t breaches = 0;
+  for (const SloSeries& s : series) {
+    if (s.breach) ++breaches;
+  }
+  std::string out = "{\"tolerance\": ";
+  append_number(out, tolerance);
+  out += ", \"breaches\": " + std::to_string(breaches);
+  out += ", \"series\": [";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const SloSeries& s = series[i];
+    if (i) out += ", ";
+    out += "{\"name\": \"" + s.name + "\"";
+    out += ", \"direction\": " + std::to_string(s.direction);
+    out += ", \"buckets\": " + std::to_string(s.buckets);
+    out += ", \"window\": " + std::to_string(s.window);
+    out += ", \"mean\": ";
+    append_number(out, s.summary.mean);
+    out += ", \"p50\": ";
+    append_number(out, s.summary.p50);
+    out += ", \"p95\": ";
+    append_number(out, s.summary.p95);
+    out += ", \"p99\": ";
+    append_number(out, s.summary.p99);
+    out += ", \"max\": ";
+    append_number(out, s.summary.max);
+    out += ", \"slope\": ";
+    append_number(out, s.fit.slope);
+    out += ", \"slope_ci95\": ";
+    append_number(out, s.fit.slope_ci95);
+    out += ", \"r2\": ";
+    append_number(out, s.fit.r2);
+    out += ", \"drift\": ";
+    append_number(out, s.drift);
+    out += ", \"tolerance\": ";
+    append_number(out, s.tolerance);
+    out += ", \"significant\": ";
+    out += s.significant ? "true" : "false";
+    out += ", \"breach\": ";
+    out += s.breach ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mobiweb::stats

@@ -1,0 +1,63 @@
+// SLO burn engine: statistical gating of time-bucketed metric series.
+//
+// The fleet timeline (obs::TimeSeries + derived ratio series) turns one run
+// into a handful of per-bucket series — link-loss fraction, origin-up
+// fraction, stale-serve fraction, ... An end-of-run mean can hide a mid-run
+// burn: a cache-eviction cliff halfway through a 100k-session run averages
+// out. evaluate_slo_series() catches it with two instruments from this
+// library:
+//
+//   1. summarize_tails() over the buckets — the distributional view (p99 of
+//      the per-bucket loss fraction, not of the pooled samples);
+//   2. fit_linear() of value against bucket index — the drift view. The
+//      fitted relative change across the whole window ("drift") is compared
+//      against a tolerance, but only breaches when the slope is
+//      statistically significant (its 95% CI excludes zero) and enough
+//      buckets contributed. A flat-but-noisy series must PASS; a genuine
+//      mid-run regression must FAIL.
+//
+// Buckets where the metric is undefined (ratio with a zero denominator) are
+// passed as NaN and skipped — both by the summary and by the fit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/describe.hpp"
+#include "stats/regress.hpp"
+
+namespace mobiweb::stats {
+
+// Minimum defined buckets before a drift can gate. Below this the slope CI
+// from so few points is meaningless and everything reports breach = false.
+inline constexpr std::size_t kSloMinBuckets = 8;
+
+// Verdict for one bucketed series.
+struct SloSeries {
+  std::string name;
+  // +1: higher is better (origin_up_fraction); -1: lower is better
+  // (loss fraction); 0: informational, never breaches.
+  int direction = 0;
+  std::size_t buckets = 0;      // defined (non-NaN) buckets evaluated
+  std::size_t window = 0;       // total buckets in the run window
+  TailSummary summary;          // distribution over the defined buckets
+  LinearFit fit;                // value ~ bucket index (zeroed below 2 pts)
+  double drift = 0.0;           // slope * (window-1) / max(|mean|, eps)
+  double tolerance = 0.0;       // relative drift allowed before breaching
+  bool significant = false;     // slope 95% CI excludes zero (and enough data)
+  bool breach = false;
+};
+
+// Evaluates one series. `values` is the per-bucket metric (NaN = undefined
+// bucket). Deterministic: depends only on the argument values.
+SloSeries evaluate_slo_series(std::string name,
+                              const std::vector<double>& values, int direction,
+                              double tolerance);
+
+// Renders verdicts as a JSON object:
+//   {"tolerance": ..., "breaches": N, "series": [{...one per verdict...}]}
+// Numbers use %.9g so the document is byte-stable for identical inputs.
+std::string slo_json(const std::vector<SloSeries>& series, double tolerance);
+
+}  // namespace mobiweb::stats

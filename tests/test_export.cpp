@@ -259,3 +259,83 @@ TEST(Prometheus, EmptyRegistryRendersNothing) {
   const obs::MetricsRegistry registry;
   EXPECT_EQ(obs::prometheus_text(registry), "");
 }
+
+// ---- Cross-tier (edge proxy / origin) span rendering ----------------------
+//
+// The proxied session every cross-tier timeline test agrees on: one clean
+// round, an origin outage bridged by a stale failover, a cell handoff whose
+// reconciliation drops held packets, then a clean finishing round.
+namespace {
+
+obs::SessionTrace make_proxied_trace() {
+  obs::SessionTrace trace("edge");
+  trace.capture_events(true);
+  trace.session_start(0.0);
+  trace.round_start(1, 0.0);
+  trace.frame_sent(0, 0.1);
+  trace.frame_intact(0, 0.1, 0.5);
+  trace.round_end(0.2);
+  trace.origin_outage_begin(0.2);
+  trace.origin_outage_end(1.2, 1.0);
+  trace.stale_failover(1.2);
+  trace.handoff(1.7, 0.5);
+  trace.reconcile_drop(1.7, 3);
+  trace.round_start(2, 1.7);
+  trace.frame_sent(1, 1.8);
+  trace.frame_intact(1, 1.8, 1.0);
+  trace.round_end(1.9);
+  trace.decode_complete(1.9);
+  trace.session_end(1.9, 1.0);
+  return trace;
+}
+
+const char* const kGoldenProxiedTimeline =
+    R"({"traceEvents": [
+{"ph": "M", "name": "thread_name", "pid": 1, "tid": 1, "args": {"name": "edge"}},
+{"ph": "X", "name": "edge", "cat": "session", "pid": 1, "tid": 1, "ts": 0, "dur": 1900000, "args": {"completed": true, "aborted_irrelevant": false, "degraded": false, "gave_up": false, "rounds": 2, "final_content": 1}},
+{"ph": "X", "name": "round 1", "cat": "round", "pid": 1, "tid": 1, "ts": 0, "dur": 200000, "args": {"sent": 1, "intact": 1, "corrupted": 0, "duplicate": 0, "foreign": 0, "lost": 0, "content": 0.5}},
+{"ph": "X", "name": "round 2", "cat": "round", "pid": 1, "tid": 1, "ts": 1700000, "dur": 200000, "args": {"sent": 1, "intact": 1, "corrupted": 0, "duplicate": 0, "foreign": 0, "lost": 0, "content": 1}},
+{"ph": "i", "name": "frame_sent", "cat": "frame", "pid": 1, "tid": 1, "ts": 100000, "s": "t", "args": {"seq": 0}},
+{"ph": "i", "name": "frame_intact", "cat": "frame", "pid": 1, "tid": 1, "ts": 100000, "s": "t", "args": {"seq": 0}},
+{"ph": "C", "name": "content/1", "pid": 1, "tid": 1, "ts": 100000, "args": {"content": 0.5}},
+{"ph": "X", "name": "origin outage", "cat": "origin", "pid": 1, "tid": 1, "ts": 200000, "dur": 1000000},
+{"ph": "i", "name": "stale_failover", "cat": "proxy", "pid": 1, "tid": 1, "ts": 1200000, "s": "t"},
+{"ph": "X", "name": "handoff", "cat": "proxy", "pid": 1, "tid": 1, "ts": 1200000, "dur": 500000},
+{"ph": "i", "name": "reconcile_drop", "cat": "proxy", "pid": 1, "tid": 1, "ts": 1700000, "s": "t", "args": {"dropped": 3}},
+{"ph": "i", "name": "frame_sent", "cat": "frame", "pid": 1, "tid": 1, "ts": 1800000, "s": "t", "args": {"seq": 1}},
+{"ph": "i", "name": "frame_intact", "cat": "frame", "pid": 1, "tid": 1, "ts": 1800000, "s": "t", "args": {"seq": 1}},
+{"ph": "C", "name": "content/1", "pid": 1, "tid": 1, "ts": 1800000, "args": {"content": 1}},
+{"ph": "i", "name": "decode_complete", "cat": "control", "pid": 1, "tid": 1, "ts": 1900000, "s": "t"},
+{"ph": "C", "name": "content/1", "pid": 1, "tid": 1, "ts": 1900000, "args": {"content": 1}}
+], "displayTimeUnit": "ms"}
+)";
+
+}  // namespace
+
+TEST(Timeline, GoldenCrossTierSpans) {
+  const obs::SessionTrace trace = make_proxied_trace();
+  EXPECT_EQ(trace.origin_outage_count(), 1);
+  EXPECT_EQ(trace.stale_failover_count(), 1);
+  EXPECT_EQ(trace.handoff_count(), 1);
+  EXPECT_EQ(trace.reconcile_dropped(), 3);
+  EXPECT_EQ(obs::timeline_json(trace), kGoldenProxiedTimeline);
+}
+
+TEST(Timeline, UnmatchedOriginOutageClosesAtSessionEnd) {
+  // A session that degraded while waiting out an origin fade: the
+  // kOriginOutageEnd never arrives, yet the span must still render, closed
+  // at the session end.
+  obs::SessionTrace trace("stranded");
+  trace.capture_events(true);
+  trace.session_start(0.0);
+  trace.round_start(1, 0.0);
+  trace.round_end(0.2);
+  trace.origin_outage_begin(0.2);
+  trace.degraded(5.0, 0.4);
+  trace.session_end(5.0, 0.4);
+  const std::string json = obs::timeline_json(trace);
+  EXPECT_NE(json.find(R"({"ph": "X", "name": "origin outage", "cat": "origin", )"
+                      R"("pid": 1, "tid": 1, "ts": 200000, "dur": 4800000})"),
+            std::string::npos)
+      << json;
+}

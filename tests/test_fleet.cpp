@@ -858,6 +858,10 @@ void expect_session_matches_proxied_oracle(const fleet::FleetConfig& cfg,
   EXPECT_EQ(out.proxy.packets_refetched, expected.proxy.packets_refetched);
   EXPECT_EQ(out.proxy.stale_frames, expected.proxy.stale_frames);
   EXPECT_EQ(out.proxy.ended_stale, expected.proxy.ended_stale);
+  EXPECT_EQ(out.proxy.origin_generation_bumps,
+            expected.proxy.origin_generation_bumps);
+  EXPECT_EQ(out.proxy.reconcile_dropped_packets,
+            expected.proxy.reconcile_dropped_packets);
   EXPECT_EQ(out.proxy_id, fleet::session_proxy_assignment(
                               cfg.seed, out.session, cfg.proxy->model.proxies));
 }
@@ -874,6 +878,8 @@ void expect_proxy_totals_equal(const fleet::FleetProxyTotals& a,
   EXPECT_EQ(a.packets_refetched, b.packets_refetched);
   EXPECT_EQ(a.stale_frames, b.stale_frames);
   EXPECT_EQ(a.sessions_ended_stale, b.sessions_ended_stale);
+  EXPECT_EQ(a.origin_generation_bumps, b.origin_generation_bumps);
+  EXPECT_EQ(a.reconcile_dropped_packets, b.reconcile_dropped_packets);
 }
 
 }  // namespace
@@ -900,6 +906,8 @@ TEST(FleetProxy, PerSessionParityWithProxiedOracle) {
     sums.packets_refetched += out.proxy.packets_refetched;
     sums.stale_frames += out.proxy.stale_frames;
     sums.sessions_ended_stale += out.proxy.ended_stale ? 1 : 0;
+    sums.origin_generation_bumps += out.proxy.origin_generation_bumps;
+    sums.reconcile_dropped_packets += out.proxy.reconcile_dropped_packets;
   }
   expect_proxy_totals_equal(r.proxy, sums);
   // The whole edge tier actually engaged at this duty cycle.
@@ -967,6 +975,9 @@ TEST(FleetProxy, DeterministicAndShardInvariantWithProxy) {
   EXPECT_GT(a.proxy.failovers, 0);
   EXPECT_GT(a.proxy.handoffs, 0);
   EXPECT_GT(a.proxy.packets_refetched, 0);
+  EXPECT_GT(a.proxy.origin_generation_bumps, 0);
+  // In the analytic walk every reconcile-dropped packet is re-fetched.
+  EXPECT_EQ(a.proxy.reconcile_dropped_packets, a.proxy.packets_refetched);
 }
 
 TEST(FleetProxy, TransparentProxyMatchesTheDirectWalkPerSession) {
@@ -1005,6 +1016,8 @@ TEST(FleetProxy, TransparentProxyMatchesTheDirectWalkPerSession) {
   EXPECT_EQ(b.proxy.packets_refetched, 0);
   EXPECT_EQ(b.proxy.stale_frames, 0);
   EXPECT_EQ(b.proxy.sessions_ended_stale, 0);
+  EXPECT_EQ(b.proxy.origin_generation_bumps, 0);
+  EXPECT_EQ(b.proxy.reconcile_dropped_packets, 0);
   EXPECT_GE(b.proxy.replica_hits, static_cast<long>(b.sessions));
   EXPECT_EQ(b.proxy.reconciliations, b.suspensions);
 }
@@ -1036,6 +1049,10 @@ TEST(FleetProxy, MetricsIncludeEdgeTierSeries) {
             r.proxy.stale_frames);
   EXPECT_EQ(registry.counter("proxy.sessions_ended_stale").value(),
             r.proxy.sessions_ended_stale);
+  EXPECT_EQ(registry.counter("proxy.origin_generation_bumps").value(),
+            r.proxy.origin_generation_bumps);
+  EXPECT_EQ(registry.counter("proxy.reconcile_dropped_packets").value(),
+            r.proxy.reconcile_dropped_packets);
   EXPECT_GT(r.proxy.replica_hits + r.proxy.origin_fetches, 0);
 }
 

@@ -14,6 +14,7 @@
 #include "stats/inference.hpp"
 #include "stats/quantile.hpp"
 #include "stats/regress.hpp"
+#include "stats/slo.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -456,4 +457,116 @@ TEST(LinearFit, DetectsMonotoneTrendInSweepShapedData) {
   EXPECT_GT(fit.slope - fit.slope_ci95, 0.0)
       << "slope CI must exclude zero for a real trend";
   EXPECT_NEAR(fit.slope, 45.0, 10.0);
+}
+
+// ---- SLO burn engine (evaluate_slo_series) --------------------------------
+//
+// The gate's contract, pinned as unit shapes: a flat-but-noisy series must
+// PASS, a genuine mid-run regression must FAIL, a drift in the *good*
+// direction or on an informational series must never breach, and too few
+// buckets must never be "significant". The wobble is deterministic
+// (sinusoid), so nothing here can flake.
+
+namespace {
+
+std::vector<double> flat_series(std::size_t n, double level) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = level + 0.002 * std::sin(1.7 * static_cast<double>(i));
+  }
+  return out;
+}
+
+// Flat first half, linear burn to +ramp over the second half — the
+// cache-cliff shape an end-of-run mean averages away.
+std::vector<double> mid_run_regression(std::size_t n, double level,
+                                       double ramp) {
+  std::vector<double> out = flat_series(n, level);
+  for (std::size_t i = n / 2; i < n; ++i) {
+    out[i] += ramp * static_cast<double>(i - n / 2) /
+              static_cast<double>(n - n / 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(SloSeries, FlatSeriesPasses) {
+  const stats::SloSeries v = stats::evaluate_slo_series(
+      "link_loss_fraction", flat_series(40, 0.3), -1, 0.5);
+  EXPECT_EQ(v.name, "link_loss_fraction");
+  EXPECT_EQ(v.buckets, 40u);
+  EXPECT_EQ(v.window, 40u);
+  EXPECT_FALSE(v.breach);
+  EXPECT_NEAR(v.summary.mean, 0.3, 0.01);
+}
+
+TEST(SloSeries, MidRunRegressionBreaches) {
+  const stats::SloSeries v = stats::evaluate_slo_series(
+      "link_loss_fraction", mid_run_regression(40, 0.2, 0.4), -1, 0.5);
+  EXPECT_TRUE(v.significant);
+  EXPECT_GT(v.drift, v.tolerance);
+  EXPECT_TRUE(v.breach);
+}
+
+TEST(SloSeries, DriftInTheGoodDirectionNeverBreaches) {
+  // The same upward burn is an improvement for a higher-is-better series.
+  const stats::SloSeries v = stats::evaluate_slo_series(
+      "origin_up_fraction", mid_run_regression(40, 0.2, 0.4), +1, 0.5);
+  EXPECT_TRUE(v.significant);
+  EXPECT_FALSE(v.breach);
+  // And a higher-is-better series *falling* breaches.
+  std::vector<double> falling = mid_run_regression(40, 0.2, 0.4);
+  std::reverse(falling.begin(), falling.end());
+  EXPECT_TRUE(
+      stats::evaluate_slo_series("origin_up_fraction", falling, +1, 0.5)
+          .breach);
+}
+
+TEST(SloSeries, InformationalDirectionNeverBreaches) {
+  const stats::SloSeries v = stats::evaluate_slo_series(
+      "frames_per_s", mid_run_regression(40, 0.2, 0.8), 0, 0.1);
+  EXPECT_EQ(v.direction, 0);
+  EXPECT_FALSE(v.breach);
+}
+
+TEST(SloSeries, TooFewBucketsNeverBreach) {
+  // A steep perfect ramp, but below kSloMinBuckets defined points: the slope
+  // CI from so few buckets is meaningless, so the verdict must stay PASS.
+  std::vector<double> steep;
+  for (std::size_t i = 0; i + 1 < stats::kSloMinBuckets; ++i) {
+    steep.push_back(0.1 * static_cast<double>(i));
+  }
+  const stats::SloSeries v =
+      stats::evaluate_slo_series("ramp", steep, -1, 0.1);
+  EXPECT_LT(v.buckets, stats::kSloMinBuckets);
+  EXPECT_FALSE(v.significant);
+  EXPECT_FALSE(v.breach);
+}
+
+TEST(SloSeries, NanBucketsAreSkippedNotCounted) {
+  std::vector<double> holes = flat_series(40, 0.3);
+  holes[3] = kNan;
+  holes[17] = kNan;
+  holes[31] = kNan;
+  const stats::SloSeries v =
+      stats::evaluate_slo_series("holes", holes, -1, 0.5);
+  EXPECT_EQ(v.window, 40u);
+  EXPECT_EQ(v.buckets, 37u);
+  EXPECT_FALSE(v.breach);
+  EXPECT_TRUE(std::isfinite(v.summary.mean));
+  EXPECT_TRUE(std::isfinite(v.drift));
+}
+
+TEST(SloSeries, JsonIsByteStableAndCountsBreaches) {
+  std::vector<stats::SloSeries> verdicts;
+  verdicts.push_back(stats::evaluate_slo_series(
+      "flat", flat_series(40, 0.3), -1, 0.5));
+  verdicts.push_back(stats::evaluate_slo_series(
+      "burn", mid_run_regression(40, 0.2, 0.4), -1, 0.5));
+  const std::string json = stats::slo_json(verdicts, 0.5);
+  EXPECT_EQ(json, stats::slo_json(verdicts, 0.5));
+  EXPECT_NE(json.find("\"breaches\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"flat\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"burn\""), std::string::npos);
 }
